@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Ablation: LossCheck's false-positive filtering (§4.5.3).
+ *
+ * LossCheck cannot statically distinguish intentional data drops from
+ * unintentional losses, so it suppresses reports at registers that also
+ * fire under the design's passing ("ground truth") tests. This bench
+ * runs the 7 data-loss bugs with and without the filter:
+ *
+ *  - without filtering, every intentional-drop register (the debug
+ *    mirrors, the frame FIFO's drop path) appears as a false positive;
+ *  - with filtering, those reports vanish (3 of the 4 FP registers -
+ *    D1's mirror survives because the developer test never exercises
+ *    its drop, the paper's one remaining false positive);
+ *  - the filter's cost is the D11 false negative, where a real loss
+ *    shares its register with an intentional drop.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+using namespace hwdbg::bench;
+using namespace hwdbg::core;
+
+namespace
+{
+
+std::string
+join(const std::set<std::string> &names)
+{
+    std::string out;
+    for (const auto &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out.empty() ? "-" : out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("LossCheck filtering ablation (7 data-loss bugs)\n");
+    std::printf("%-4s %-26s %-22s %s\n", "Bug", "unfiltered report",
+                "filtered report", "filter effect");
+    std::printf("%s\n", std::string(86, '-').c_str());
+
+    int fp_without = 0, fp_with = 0;
+    int fp_registers_total = 0, fp_registers_filtered = 0;
+    bool d11_tp_suppressed = false;
+
+    for (const char *id : {"D1", "D2", "D3", "D4", "D11", "C2", "C4"}) {
+        const TestbedBug &bug = bugById(id);
+        // The register where the loss really happens. For D11 that is
+        // the frame memory even though the filtered tool is expected to
+        // report nothing (the documented false negative).
+        std::string true_site = bug.expectedLossSite.empty()
+                                    ? "memd" : bug.expectedLossSite;
+        auto elaborated = buildDesign(bug, true);
+        LossCheckResult inst =
+            applyLossCheck(*elaborated.mod, *bug.lossCheck);
+
+        auto run = [&](bool trigger) {
+            auto sim = simulateModule(inst.module);
+            if (trigger)
+                runWorkload(bug, *sim);
+            else
+                driveGroundTruth(bug, *sim);
+            return lossRegisters(sim->log());
+        };
+        std::set<std::string> raw = run(true);
+        std::set<std::string> ground_truth = run(false);
+        std::set<std::string> filtered;
+        for (const auto &reg : raw)
+            if (!ground_truth.count(reg))
+                filtered.insert(reg);
+
+        // Classify false positives relative to the true loss site.
+        auto count_fps = [&](const std::set<std::string> &report) {
+            int fps = 0;
+            for (const auto &reg : report)
+                if (reg != true_site)
+                    ++fps;
+            return fps;
+        };
+        int raw_fps = count_fps(raw);
+        int filtered_fps = count_fps(filtered);
+        fp_without += raw_fps;
+        fp_with += filtered_fps;
+        fp_registers_total += raw_fps;
+        fp_registers_filtered += raw_fps - filtered_fps;
+
+        std::string effect;
+        if (raw.count(true_site) && !filtered.count(true_site)) {
+            effect = "SUPPRESSED THE TRUE POSITIVE";
+            d11_tp_suppressed = true;
+        } else if (raw_fps > filtered_fps) {
+            effect = csprintf("removed %d false positive(s)",
+                              raw_fps - filtered_fps);
+        } else if (raw_fps > 0) {
+            effect = "false positive survives (GT has no drop there)";
+        } else {
+            effect = "no change";
+        }
+
+        std::printf("%-4s %-26s %-22s %s\n", id, join(raw).c_str(),
+                    join(filtered).c_str(), effect.c_str());
+    }
+
+    std::printf("%s\n", std::string(86, '-').c_str());
+    std::printf("False-positive registers: %d without filtering, %d "
+                "with filtering (%d/%d filtered)\n",
+                fp_without, fp_with, fp_registers_filtered,
+                fp_registers_total);
+    std::printf("Paper (§4.5.3): pre-existing tests filter 23/24 false "
+                "positive registers; the cost is the D11 false "
+                "negative.\n");
+
+    bool ok = fp_with == 1 && fp_registers_filtered == 3 &&
+              fp_registers_total == 4 && d11_tp_suppressed;
+    std::printf("Shape match (most FPs filtered, one survives, one "
+                "true positive lost): %s\n", ok ? "ok" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduces Table 1: the classification of the 68 studied bugs into 3
+ * classes and 13 subclasses with per-subclass counts and common
+ * symptoms.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bugbase/study.hh"
+
+using namespace hwdbg::bugs;
+
+int
+main()
+{
+    std::printf("Table 1: bug classification (68 studied bugs)\n");
+    std::printf("%-16s %-27s %5s  %-6s %-5s %-7s %-5s\n", "Class",
+                "Subclass", "Bugs", "Stuck", "Loss", "Incor.", "Ext.");
+    std::printf("%s\n", std::string(78, '-').c_str());
+
+    std::map<BugClass, int> class_totals;
+    for (const auto &row : bugStudyTable()) {
+        class_totals[row.bugClass] += row.count;
+        std::printf("%-16s %-27s %5d  %-6s %-5s %-7s %-5s\n",
+                    bugClassName(row.bugClass), row.subclass.c_str(),
+                    row.count,
+                    row.commonSymptoms.count(Symptom::Stuck) ? "x" : "",
+                    row.commonSymptoms.count(Symptom::DataLoss) ? "x"
+                                                                : "",
+                    row.commonSymptoms.count(Symptom::IncorrectOutput)
+                        ? "x" : "",
+                    row.commonSymptoms.count(Symptom::ExternalError)
+                        ? "x" : "");
+    }
+    std::printf("%s\n", std::string(78, '-').c_str());
+    std::printf("Class totals: Data Mis-Access %d, Communication %d, "
+                "Semantic %d (total %zu)\n",
+                class_totals[BugClass::DataMisAccess],
+                class_totals[BugClass::Communication],
+                class_totals[BugClass::Semantic], studyBugs().size());
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Reproduces Table 2: runs every testbed bug push-button, verifies the
+ * observed symptoms against the table, and prints the per-bug helpful
+ * tools. The "Repro" column confirms the buggy variant fails the
+ * workload while the fixed variant passes (Appendix A.5).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+
+namespace
+{
+
+std::string
+symptomCell(const std::set<Symptom> &symptoms, Symptom which)
+{
+    return symptoms.count(which) ? "x" : "";
+}
+
+std::string
+toolCell(const TestbedBug &bug, const char *tool)
+{
+    return bug.helpfulTools.count(tool) ? "x" : "";
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Table 2: testbed of reproducible bugs\n");
+    std::printf("%-4s %-27s %-22s %-8s | %-5s %-4s %-6s %-4s | "
+                "%-2s %-3s %-4s %-3s %-2s | %s\n",
+                "ID", "Subclass", "Application", "Platform", "Stuck",
+                "Loss", "Incor.", "Ext.", "SC", "FSM", "Stat", "Dep",
+                "LC", "Repro");
+    std::printf("%s\n", std::string(118, '-').c_str());
+
+    int reproduced = 0;
+    for (const auto &bug : testbedBugs()) {
+        sim::Simulator buggy_sim(buildDesign(bug, true).mod);
+        WorkloadResult buggy = runWorkload(bug, buggy_sim);
+        sim::Simulator fixed_sim(buildDesign(bug, false).mod);
+        WorkloadResult fixed = runWorkload(bug, fixed_sim);
+
+        bool ok = !buggy.passed && fixed.passed &&
+                  buggy.observed == bug.symptoms;
+        if (ok)
+            ++reproduced;
+
+        std::printf("%-4s %-27s %-22s %-8s | %-5s %-4s %-6s %-4s | "
+                    "%-2s %-3s %-4s %-3s %-2s | %s\n",
+                    bug.id.c_str(), bug.subclass.c_str(),
+                    bug.application.c_str(), bug.platform.c_str(),
+                    symptomCell(buggy.observed, Symptom::Stuck).c_str(),
+                    symptomCell(buggy.observed,
+                                Symptom::DataLoss).c_str(),
+                    symptomCell(buggy.observed,
+                                Symptom::IncorrectOutput).c_str(),
+                    symptomCell(buggy.observed,
+                                Symptom::ExternalError).c_str(),
+                    toolCell(bug, "SC").c_str(),
+                    toolCell(bug, "FSM").c_str(),
+                    toolCell(bug, "Stat").c_str(),
+                    toolCell(bug, "Dep").c_str(),
+                    toolCell(bug, "LC").c_str(), ok ? "ok" : "FAIL");
+    }
+    std::printf("%s\n", std::string(118, '-').c_str());
+    std::printf("Push-button reproduction: %d/20 bugs show their Table 2 "
+                "symptoms (fixed variants pass).\n",
+                reproduced);
+    return reproduced == 20 ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * LossCheck on the frame FIFO's buffer overflow (testbed bug D4),
+ * showing the generated shadow-state Verilog the developer would
+ * otherwise write by hand, and the two-phase false-positive filtering
+ * flow of §4.5.3.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "bugbase/testbed.hh"
+#include "bugbase/workloads.hh"
+#include "core/losscheck.hh"
+#include "hdl/parser.hh"
+#include "hdl/printer.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+using namespace hwdbg::core;
+
+int
+main()
+{
+    const TestbedBug &bug = bugById("D4");
+    auto elaborated = buildDesign(bug, true);
+
+    std::printf("=== LossCheck on the frame FIFO (D4) ===\n\n");
+    std::printf("Source: %s (valid: %s)   Sink: %s\n",
+                bug.lossCheck->source.c_str(),
+                bug.lossCheck->sourceValid.c_str(),
+                bug.lossCheck->sink.c_str());
+
+    LossCheckResult inst =
+        applyLossCheck(*elaborated.mod, *bug.lossCheck);
+    std::printf("Propagation path:");
+    for (const auto &name : inst.onPath)
+        std::printf(" %s", name.c_str());
+    std::printf("\nInstrumented registers:");
+    for (const auto &name : inst.instrumented)
+        std::printf(" %s", name.c_str());
+    std::printf("\nGenerated %d lines of Verilog; the shadow-state "
+                "fragment:\n\n", inst.generatedLines);
+
+    // Show the generated logic (everything mentioning __lc_).
+    std::istringstream text(hdl::printModule(*inst.module));
+    std::string line;
+    int shown = 0;
+    while (std::getline(text, line) && shown < 24) {
+        if (line.find("__lc_") != std::string::npos) {
+            std::printf("    %s\n", line.c_str());
+            ++shown;
+        }
+    }
+
+    // Two-phase run: ground truth filters intentional drops, then the
+    // failing test localizes the real loss.
+    auto simulate = [](hdl::ModulePtr mod) {
+        hdl::Design design = hdl::parse(hdl::printModule(*mod));
+        return sim::Simulator(
+            elab::elaborate(design, "frame_fifo").mod);
+    };
+    LossCheckReport report = runLossCheck(
+        *elaborated.mod, *bug.lossCheck,
+        [&](hdl::ModulePtr mod) {
+            auto sim = simulate(mod);
+            driveGroundTruth(bug, sim);
+            return sim.log();
+        },
+        [&](hdl::ModulePtr mod) {
+            auto sim = simulate(mod);
+            runWorkload(bug, sim);
+            return sim.log();
+        });
+
+    std::printf("\nGround-truth run filtered %zu register(s); failing "
+                "run reports:\n", report.filtered.size());
+    for (const auto &reg : report.reported)
+        std::printf("  [LossCheck] potential data loss at %s\n",
+                    reg.c_str());
+    std::printf("\nRoot cause: %s.\n", bug.rootCauseNote.c_str());
+    return 0;
+}

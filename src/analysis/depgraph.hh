@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Signal-level dependency graph over an elaborated module.
+ *
+ * Nodes are signal names; edges record data dependencies (RHS signal ->
+ * assigned signal) and control dependencies (guard signal -> assigned
+ * signal). Sequential edges (nonblocking assignments in clocked
+ * processes) cost one cycle; combinational edges (continuous assigns and
+ * always @* blocks) are free. Blackbox primitives contribute edges from
+ * their developer-provided port dependency models, exactly as
+ * Dependency Monitor and LossCheck require for closed-source IPs (§4.3,
+ * §4.5.1).
+ */
+
+#ifndef HWDBG_ANALYSIS_DEPGRAPH_HH
+#define HWDBG_ANALYSIS_DEPGRAPH_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/guards.hh"
+#include "hdl/ast.hh"
+
+namespace hwdbg::analysis
+{
+
+enum class DepKind { Comb, Seq };
+
+struct DepEdge
+{
+    std::string src;
+    std::string dst;
+    DepKind kind = DepKind::Comb;
+    /** False for control dependencies (src appears in the guard). */
+    bool isData = true;
+    /** Structural condition under which the dependency is active. */
+    hdl::ExprPtr cond;
+    /** True when contributed by a blackbox IP model. */
+    bool viaIp = false;
+    std::string ipInstance;
+};
+
+class DepGraph
+{
+  public:
+    explicit DepGraph(const hdl::Module &mod);
+
+    const std::vector<DepEdge> &edges() const { return edges_; }
+    std::vector<const DepEdge *> edgesInto(const std::string &name) const;
+    std::vector<const DepEdge *> edgesOutOf(const std::string &name) const;
+
+    /** True when the signal is a register (reg declaration). */
+    bool isReg(const std::string &name) const;
+    /** True when the signal is a top-level input port. */
+    bool isInput(const std::string &name) const;
+    /** True when the signal is driven by a primitive output port. */
+    bool isIpOutput(const std::string &name) const;
+    /**
+     * True for relation endpoints: registers, top-level inputs, and
+     * primitive outputs (state-holding or externally-produced values).
+     */
+    bool isStateful(const std::string &name) const;
+
+    /**
+     * Stateful signals that combinationally feed @p name (following
+     * comb edges backwards through wires). If @p name itself is
+     * stateful, returns {name}.
+     */
+    std::set<std::string> statefulSources(const std::string &name) const;
+
+    /**
+     * Registers in the dependency chain of @p name within @p cycles
+     * sequential steps, following both data and control dependencies
+     * (configurable). Includes @p name itself when it is a register.
+     * Result maps register name -> minimum cycle distance.
+     */
+    std::map<std::string, int>
+    backwardSlice(const std::string &name, int cycles, bool follow_data,
+                  bool follow_control) const;
+
+  private:
+    void addAssignEdges(const GuardedAssign &ga);
+    void addIpEdges(const hdl::InstanceItem &inst);
+
+    const hdl::Module &mod_;
+    std::vector<DepEdge> edges_;
+    std::map<std::string, std::vector<size_t>> into_;
+    std::map<std::string, std::vector<size_t>> outOf_;
+    std::set<std::string> regs_;
+    std::set<std::string> inputs_;
+    std::set<std::string> ipOutputs_;
+};
+
+} // namespace hwdbg::analysis
+
+#endif // HWDBG_ANALYSIS_DEPGRAPH_HH

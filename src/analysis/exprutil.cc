@@ -1,0 +1,138 @@
+#include "analysis/exprutil.hh"
+
+#include "common/logging.hh"
+
+namespace hwdbg::analysis
+{
+
+using namespace hdl;
+
+std::set<std::string>
+collectSignals(const ExprPtr &expr)
+{
+    std::set<std::string> out;
+    forEachIdent(expr, [&](const std::string &name) { out.insert(name); });
+    return out;
+}
+
+std::set<std::string>
+lvalueTargets(const ExprPtr &lhs)
+{
+    std::set<std::string> out;
+    switch (lhs->kind) {
+      case ExprKind::Id:
+        out.insert(lhs->as<IdExpr>()->name);
+        break;
+      case ExprKind::Index:
+        out.insert(lhs->as<IndexExpr>()->base);
+        break;
+      case ExprKind::Range:
+        out.insert(lhs->as<RangeExpr>()->base);
+        break;
+      case ExprKind::Concat:
+        for (const auto &part : lhs->as<ConcatExpr>()->parts) {
+            auto sub = lvalueTargets(part);
+            out.insert(sub.begin(), sub.end());
+        }
+        break;
+      default:
+        break;
+    }
+    return out;
+}
+
+std::map<std::string, ExprPtr>
+wireDefinitions(const Module &mod)
+{
+    std::map<std::string, ExprPtr> defs;
+    std::set<std::string> multi;
+    for (const auto &item : mod.items) {
+        if (item->kind != ItemKind::ContAssign)
+            continue;
+        const auto *assign = item->as<ContAssignItem>();
+        if (assign->lhs->kind != ExprKind::Id)
+            continue; // partial drivers stay opaque
+        const std::string &name = assign->lhs->as<IdExpr>()->name;
+        if (defs.count(name) || multi.count(name)) {
+            defs.erase(name);
+            multi.insert(name);
+            continue;
+        }
+        defs[name] = assign->rhs;
+    }
+    return defs;
+}
+
+namespace
+{
+
+ExprPtr
+inlineWiresRec(const ExprPtr &expr,
+               const std::map<std::string, ExprPtr> &defs,
+               std::set<std::string> &expanding)
+{
+    if (!expr)
+        return nullptr;
+    if (expr->kind == ExprKind::Id) {
+        const std::string &name = expr->as<IdExpr>()->name;
+        auto it = defs.find(name);
+        if (it == defs.end() || expanding.count(name))
+            return cloneExpr(expr);
+        expanding.insert(name);
+        ExprPtr inlined = inlineWiresRec(it->second, defs, expanding);
+        expanding.erase(name);
+        return inlined;
+    }
+
+    ExprPtr copy = cloneExpr(expr);
+    switch (copy->kind) {
+      case ExprKind::Unary: {
+        auto *un = copy->as<UnaryExpr>();
+        un->arg = inlineWiresRec(un->arg, defs, expanding);
+        break;
+      }
+      case ExprKind::Binary: {
+        auto *bin = copy->as<BinaryExpr>();
+        bin->lhs = inlineWiresRec(bin->lhs, defs, expanding);
+        bin->rhs = inlineWiresRec(bin->rhs, defs, expanding);
+        break;
+      }
+      case ExprKind::Ternary: {
+        auto *tern = copy->as<TernaryExpr>();
+        tern->cond = inlineWiresRec(tern->cond, defs, expanding);
+        tern->thenExpr = inlineWiresRec(tern->thenExpr, defs, expanding);
+        tern->elseExpr = inlineWiresRec(tern->elseExpr, defs, expanding);
+        break;
+      }
+      case ExprKind::Concat: {
+        auto *cat = copy->as<ConcatExpr>();
+        for (auto &part : cat->parts)
+            part = inlineWiresRec(part, defs, expanding);
+        break;
+      }
+      case ExprKind::Repeat: {
+        auto *rep = copy->as<RepeatExpr>();
+        rep->inner = inlineWiresRec(rep->inner, defs, expanding);
+        break;
+      }
+      case ExprKind::Index: {
+        auto *idx = copy->as<IndexExpr>();
+        idx->index = inlineWiresRec(idx->index, defs, expanding);
+        break;
+      }
+      default:
+        break;
+    }
+    return copy;
+}
+
+} // namespace
+
+ExprPtr
+inlineWires(const ExprPtr &expr, const std::map<std::string, ExprPtr> &defs)
+{
+    std::set<std::string> expanding;
+    return inlineWiresRec(expr, defs, expanding);
+}
+
+} // namespace hwdbg::analysis

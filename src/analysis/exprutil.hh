@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Expression utilities shared by the analysis passes: signal collection,
+ * wire inlining, and lvalue target extraction.
+ */
+
+#ifndef HWDBG_ANALYSIS_EXPRUTIL_HH
+#define HWDBG_ANALYSIS_EXPRUTIL_HH
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "hdl/ast.hh"
+
+namespace hwdbg::analysis
+{
+
+/** All signal names referenced by @p expr. */
+std::set<std::string> collectSignals(const hdl::ExprPtr &expr);
+
+/** Base signal names written by an lvalue (Id/Index/Range/Concat). */
+std::set<std::string> lvalueTargets(const hdl::ExprPtr &lhs);
+
+/**
+ * Map from wire name to its single driving expression, built from the
+ * module's continuous assignments. Wires driven through part selects,
+ * concat lvalues, or multiple assigns are omitted (treated as opaque).
+ */
+std::map<std::string, hdl::ExprPtr>
+wireDefinitions(const hdl::Module &mod);
+
+/**
+ * Return a copy of @p expr with wire references replaced by their driving
+ * expressions, recursively, so that only registers, memories, ports, and
+ * primitive outputs remain. Cyclic definitions stop expanding (the wire
+ * is left in place).
+ */
+hdl::ExprPtr
+inlineWires(const hdl::ExprPtr &expr,
+            const std::map<std::string, hdl::ExprPtr> &defs);
+
+} // namespace hwdbg::analysis
+
+#endif // HWDBG_ANALYSIS_EXPRUTIL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Path-constraint (guard) extraction.
+ *
+ * Walks statement trees and produces, for every assignment and $display,
+ * the structural path constraint under which it executes: the conjunction
+ * of enclosing if-conditions and case-label matches (with earlier labels
+ * negated for later items and for the default). This is the same
+ * path-constraint notion SignalCat uses for debugging statements (§4.1)
+ * and LossCheck uses for propagation-relation conditions (§4.5.1).
+ */
+
+#ifndef HWDBG_ANALYSIS_GUARDS_HH
+#define HWDBG_ANALYSIS_GUARDS_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+
+namespace hwdbg::analysis
+{
+
+/** An assignment together with its structural path constraint. */
+struct GuardedAssign
+{
+    hdl::ExprPtr lhs;
+    hdl::ExprPtr rhs;
+    /** Path constraint; literal 1'b1 for unconditional assignments. */
+    hdl::ExprPtr guard;
+    /** True for nonblocking assignments in clocked processes (the
+     *  assignment takes effect at the next cycle). */
+    bool sequential = false;
+    /** Clock signal of the owning process (empty for combinational). */
+    std::string clock;
+    /** Owning process; null for continuous assignments. */
+    const hdl::AlwaysItem *proc = nullptr;
+    /** The statement; null for continuous assignments. */
+    const hdl::AssignStmt *stmt = nullptr;
+    const hdl::ContAssignItem *cont = nullptr;
+};
+
+/** A $display together with its structural path constraint. */
+struct GuardedDisplay
+{
+    const hdl::DisplayStmt *stmt = nullptr;
+    hdl::ExprPtr guard;
+    std::string clock;
+    const hdl::AlwaysItem *proc = nullptr;
+};
+
+/** Every assignment in the module (procedural and continuous). */
+std::vector<GuardedAssign> collectAssigns(const hdl::Module &mod);
+
+/** Every $display in a clocked process. */
+std::vector<GuardedDisplay> collectDisplays(const hdl::Module &mod);
+
+/** Clock of a clocked process (first posedge sensitivity item). */
+std::string processClock(const hdl::AlwaysItem &proc);
+
+} // namespace hwdbg::analysis
+
+#endif // HWDBG_ANALYSIS_GUARDS_HH

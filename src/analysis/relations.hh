@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Register-level propagation relations (LossCheck §4.5.1).
+ *
+ * A relation X ~>[cond] Y means the value stored in stateful signal X
+ * propagates into stateful signal Y at the next cycle whenever cond holds
+ * at the current cycle. Relations come from nonblocking assignments in
+ * clocked processes (with combinational wires traced back to their
+ * stateful sources) and from blackbox IP models (e.g. a FIFO's data input
+ * propagates to its q output when wrreq && !full).
+ */
+
+#ifndef HWDBG_ANALYSIS_RELATIONS_HH
+#define HWDBG_ANALYSIS_RELATIONS_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/depgraph.hh"
+
+namespace hwdbg::analysis
+{
+
+struct PropRelation
+{
+    std::string src;
+    std::string dst;
+    /** Condition under which the propagation happens (may reference
+     *  combinational wires of the design). */
+    hdl::ExprPtr cond;
+    bool viaIp = false;
+    std::string clock;
+    /** When dst is a memory written as dst[i] <= ...: the index i. */
+    hdl::ExprPtr dstIndex;
+    /** When src is a memory read as src[j]: the index j. */
+    hdl::ExprPtr srcIndex;
+};
+
+class RelationTable
+{
+  public:
+    explicit RelationTable(const hdl::Module &mod);
+
+    const std::vector<PropRelation> &relations() const { return rels_; }
+    const DepGraph &graph() const { return graph_; }
+
+    std::vector<const PropRelation *> into(const std::string &dst) const;
+    std::vector<const PropRelation *> outOf(const std::string &src) const;
+
+    /**
+     * The stateful signals on any propagation sequence from @p src to
+     * @p sink (inclusive). Empty when the sink is unreachable.
+     */
+    std::set<std::string> propagationPath(const std::string &src,
+                                          const std::string &sink) const;
+
+    /** True when the signal is a memory (reg array). */
+    bool isMemory(const std::string &name) const
+    {
+        return memories_.count(name) != 0;
+    }
+
+    /** Number of elements of a memory. */
+    uint64_t memorySize(const std::string &name) const;
+
+  private:
+    void addIpRelations(const hdl::InstanceItem &inst);
+
+    DepGraph graph_;
+    std::vector<PropRelation> rels_;
+    std::map<std::string, uint64_t> memories_;
+};
+
+} // namespace hwdbg::analysis
+
+#endif // HWDBG_ANALYSIS_RELATIONS_HH

@@ -1,0 +1,1161 @@
+#include "bugbase/designs.hh"
+
+#include "common/logging.hh"
+
+namespace hwdbg::bugs
+{
+
+namespace
+{
+
+// -------------------------------------------------------------------
+// rsd: Reed-Solomon-style block decoder (HardCloud / Intel HARP).
+// BUG_D1 (Buffer Overflow): the block length is miscomputed as 10, so
+// the 8-entry symbol buffer is indexed past its depth; the 4-bit index
+// truncates (power-of-two wrap) and overwrites unconsumed slots. The
+// parity check then never matches and the decoder rescans forever.
+// The mirror register models an intentionally-overwritten debug tap
+// (the source of LossCheck's one false positive on D1, §6.3).
+// -------------------------------------------------------------------
+const char *rsd_v = R"VLG(
+module rsd (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_data,
+    input wire [7:0] expected_parity,
+    input wire mode_ext,
+    input wire inject_dbg,
+    output wire ready,
+    output reg out_valid,
+    output reg [7:0] out_data
+);
+localparam S_LOAD = 2'd0, S_CHECK = 2'd1, S_DONE = 2'd2;
+`ifdef BUG_D1
+localparam BLOCK = 10;
+`else
+localparam BLOCK = 8;
+`endif
+reg [1:0] state;
+reg [3:0] wr_idx;
+reg [3:0] rd_idx;
+reg [7:0] acc;
+reg [7:0] buf0 [0:7];
+reg [7:0] mirror;
+
+assign ready = state == S_LOAD && !rst;
+
+always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (rst) begin
+        state <= S_LOAD;
+        wr_idx <= 4'd0;
+        rd_idx <= 4'd0;
+        acc <= 8'd0;
+    end else begin
+        case (state)
+          S_LOAD:
+            if (in_valid) begin
+                buf0[wr_idx] <= in_data;
+                wr_idx <= wr_idx + 4'd1;
+                if (wr_idx == BLOCK - 1) begin
+                    state <= S_CHECK;
+                    rd_idx <= 4'd0;
+                    acc <= 8'd0;
+                end
+            end
+          S_CHECK: begin
+            acc <= acc ^ buf0[rd_idx];
+            rd_idx <= rd_idx + 4'd1;
+            if (rd_idx == 4'd7)
+                state <= S_DONE;
+          end
+          S_DONE:
+            if (acc == expected_parity) begin
+                out_valid <= 1'b1;
+                out_data <= acc;
+                state <= S_LOAD;
+                wr_idx <= 4'd0;
+            end else begin
+                state <= S_CHECK;
+                rd_idx <= 4'd0;
+                acc <= 8'd0;
+            end
+        endcase
+        if (mode_ext && in_valid)
+            mirror <= in_data;
+        if (inject_dbg && state == S_CHECK)
+            acc <= acc ^ mirror;
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// grayscale: HARP image accelerator with out-of-order memory responses
+// and a reorder buffer (the paper's §6.3 case study).
+// BUG_D2 (Buffer Overflow): read-request tags are truncated to 2 bits,
+// so requests 4..7 alias tags 0..3. Their responses overwrite
+// unconsumed reorder-buffer slots (data loss) and slots 4..7 are never
+// marked valid, leaving the write FSM stuck in WR_DATA while the read
+// FSM reaches RD_FINISH.
+// -------------------------------------------------------------------
+const char *grayscale_v = R"VLG(
+module grayscale (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire dbg_sel,
+    output reg rd_req_valid,
+    output reg [2:0] rd_req_tag,
+    input wire rd_resp_valid,
+    input wire [2:0] rd_resp_tag,
+    input wire [7:0] rd_resp_data,
+    input wire wr_ready,
+    output reg wr_valid,
+    output reg [7:0] wr_data,
+    output reg done
+);
+localparam RD_IDLE = 2'd0, RD_REQ = 2'd1, RD_FINISH = 2'd2;
+localparam WR_IDLE = 2'd0, WR_DATA = 2'd1, WR_FINISH = 2'd2;
+localparam NPIX = 8;
+reg [1:0] rd_state;
+reg [1:0] wr_state;
+reg [3:0] req_cnt;
+reg [3:0] wr_idx;
+reg [7:0] rob [0:7];
+reg rob_vld [0:7];
+reg [7:0] last_resp;
+
+always @(posedge clk) begin
+    rd_req_valid <= 1'b0;
+    wr_valid <= 1'b0;
+    done <= 1'b0;
+    if (rst) begin
+        rd_state <= RD_IDLE;
+        wr_state <= WR_IDLE;
+        req_cnt <= 4'd0;
+        wr_idx <= 4'd0;
+    end else begin
+        case (rd_state)
+          RD_IDLE:
+            if (start) begin
+                rd_state <= RD_REQ;
+                req_cnt <= 4'd0;
+            end
+          RD_REQ: begin
+            rd_req_valid <= 1'b1;
+`ifdef BUG_D2
+            rd_req_tag <= {1'b0, req_cnt[1:0]};
+`else
+            rd_req_tag <= req_cnt[2:0];
+`endif
+            req_cnt <= req_cnt + 4'd1;
+            if (req_cnt == NPIX - 1)
+                rd_state <= RD_FINISH;
+          end
+          RD_FINISH:
+            if (wr_state == WR_FINISH)
+                rd_state <= RD_IDLE;
+        endcase
+        if (rd_resp_valid) begin
+            rob[rd_resp_tag] <= rd_resp_data;
+            rob_vld[rd_resp_tag] <= 1'b1;
+            last_resp <= rd_resp_data;
+        end
+        // Diagnostic tap: replay the last raw response on request.
+        if (dbg_sel)
+            wr_data <= last_resp;
+        case (wr_state)
+          WR_IDLE:
+            if (start) begin
+                wr_state <= WR_DATA;
+                wr_idx <= 4'd0;
+            end
+          WR_DATA:
+            if (rob_vld[wr_idx[2:0]] && wr_ready) begin
+                wr_valid <= 1'b1;
+                wr_data <= rob[wr_idx[2:0]] >> 1;
+                rob_vld[wr_idx[2:0]] <= 1'b0;
+                wr_idx <= wr_idx + 4'd1;
+                if (wr_idx == NPIX - 1)
+                    wr_state <= WR_FINISH;
+            end
+          WR_FINISH: begin
+            done <= 1'b1;
+            wr_state <= WR_IDLE;
+          end
+        endcase
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// optimus: shared-memory FPGA hypervisor MMIO path (two guest VMs).
+// BUG_D3 (Buffer Overflow): the request path accepts guest MMIO writes
+// unconditionally; pushes into a full per-VM queue are dropped and the
+// shell raises an overflow error.
+// BUG_C2 (Producer-Consumer Mismatch): the response path uses a single
+// staging register for both VMs; simultaneous responses lose one and
+// the waiting guest hangs.
+// -------------------------------------------------------------------
+const char *optimus_v = R"VLG(
+module optimus (
+    input wire clk,
+    input wire rst,
+    input wire vm0_valid,
+    input wire [15:0] vm0_data,
+    input wire vm1_valid,
+    input wire [15:0] vm1_data,
+    output wire vm0_ready,
+    output wire vm1_ready,
+    input wire host_ready,
+    output reg req_valid,
+    output reg [15:0] req_data,
+    output reg req_vm,
+    input wire resp0_valid,
+    input wire [15:0] resp0_data,
+    input wire resp1_valid,
+    input wire [15:0] resp1_data,
+    output reg resp_valid,
+    output reg [15:0] resp_data,
+    output reg resp_vm,
+    input wire dbg_replay,
+    output reg err_overflow
+);
+wire [15:0] q0;
+wire [15:0] q1;
+wire e0, f0, e1, f1;
+reg [15:0] vm0_stage;
+reg vm0_stage_v;
+reg [15:0] vm1_stage;
+reg vm1_stage_v;
+`ifdef BUG_D3
+assign vm0_ready = 1'b1;
+assign vm1_ready = 1'b1;
+wire push0 = vm0_stage_v;
+wire push1 = vm1_stage_v;
+`else
+assign vm0_ready = !f0 && !vm0_stage_v;
+assign vm1_ready = !f1 && !vm1_stage_v;
+wire push0 = vm0_stage_v && !f0;
+wire push1 = vm1_stage_v && !f1;
+`endif
+reg turn;
+// Round-robin with pressure relief: a full queue gets priority.
+wire pop0 = host_ready && !e0 && (f0 || turn == 1'b0 || e1);
+wire pop1 = host_ready && !e1 && (f1 || turn == 1'b1 || e0) && !pop0;
+scfifo #(.WIDTH(16), .DEPTH(4)) u_q0 (
+    .clock(clk),
+    .sclr(rst),
+    .data(vm0_stage),
+    .wrreq(push0),
+    .rdreq(pop0),
+    .q(q0),
+    .empty(e0),
+    .full(f0)
+);
+scfifo #(.WIDTH(16), .DEPTH(4)) u_q1 (
+    .clock(clk),
+    .sclr(rst),
+    .data(vm1_stage),
+    .wrreq(push1),
+    .rdreq(pop1),
+    .q(q1),
+    .empty(e1),
+    .full(f1)
+);
+reg pop0_d;
+reg pop1_d;
+localparam B_IDLE = 2'd0, B_ISSUE = 2'd1, B_RESP = 2'd2;
+reg [1:0] bus_state;
+reg [15:0] resp0_stage;
+reg [15:0] resp1_stage;
+reg [15:0] last_req0;
+reg [15:0] last_resp1;
+`ifdef BUG_C2
+reg [15:0] stage;
+reg stage_v;
+reg stage_vm;
+reg p0_v;
+reg p1_v;
+`else
+reg s0_v;
+reg s1_v;
+`endif
+
+always @(posedge clk) begin
+    req_valid <= 1'b0;
+    resp_valid <= 1'b0;
+    if (rst) begin
+        turn <= 1'b0;
+        err_overflow <= 1'b0;
+        pop0_d <= 1'b0;
+        pop1_d <= 1'b0;
+        vm0_stage_v <= 1'b0;
+        vm1_stage_v <= 1'b0;
+        bus_state <= B_IDLE;
+`ifdef BUG_C2
+        stage_v <= 1'b0;
+        p0_v <= 1'b0;
+        p1_v <= 1'b0;
+`else
+        s0_v <= 1'b0;
+        s1_v <= 1'b0;
+`endif
+    end else begin
+        // MMIO capture stage per VM.
+        vm0_stage_v <= vm0_valid && vm0_ready;
+        if (vm0_valid && vm0_ready) begin
+            vm0_stage <= vm0_data;
+            last_req0 <= vm0_data;
+        end
+        vm1_stage_v <= vm1_valid && vm1_ready;
+        if (vm1_valid && vm1_ready)
+            vm1_stage <= vm1_data;
+        if ((push0 && f0) || (push1 && f1))
+            err_overflow <= 1'b1;
+        pop0_d <= pop0;
+        pop1_d <= pop1;
+        if (pop0)
+            turn <= 1'b1;
+        if (pop1)
+            turn <= 1'b0;
+        if (pop0_d) begin
+            req_valid <= 1'b1;
+            req_data <= q0;
+            req_vm <= 1'b0;
+        end else if (pop1_d) begin
+            req_valid <= 1'b1;
+            req_data <= q1;
+            req_vm <= 1'b1;
+        end
+        case (bus_state)
+          B_IDLE:
+            if (pop0 || pop1)
+                bus_state <= B_ISSUE;
+          B_ISSUE:
+            bus_state <= B_RESP;
+          B_RESP:
+            if (resp0_valid || resp1_valid)
+                bus_state <= B_IDLE;
+          default:
+            bus_state <= B_IDLE;
+        endcase
+        // Response capture stage per VM.
+        if (resp0_valid)
+            resp0_stage <= resp0_data;
+        if (resp1_valid) begin
+            resp1_stage <= resp1_data;
+            last_resp1 <= resp1_data;
+        end
+        // Diagnostic replay of the last observed traffic.
+        if (dbg_replay) begin
+            req_valid <= 1'b1;
+            req_data <= last_req0;
+            resp_valid <= 1'b1;
+            resp_data <= last_resp1;
+        end
+`ifdef BUG_C2
+        p0_v <= resp0_valid;
+        p1_v <= resp1_valid;
+        if (p0_v) begin
+            stage <= resp0_stage;
+            stage_vm <= 1'b0;
+            stage_v <= 1'b1;
+        end else if (p1_v) begin
+            stage <= resp1_stage;
+            stage_vm <= 1'b1;
+            stage_v <= 1'b1;
+        end else if (stage_v) begin
+            resp_valid <= 1'b1;
+            resp_data <= stage;
+            resp_vm <= stage_vm;
+            stage_v <= 1'b0;
+        end
+`else
+        if (resp0_valid)
+            s0_v <= 1'b1;
+        if (resp1_valid)
+            s1_v <= 1'b1;
+        if (s0_v && !resp0_valid) begin
+            resp_valid <= 1'b1;
+            resp_data <= resp0_stage;
+            resp_vm <= 1'b0;
+            s0_v <= 1'b0;
+        end else if (s1_v && !resp1_valid) begin
+            resp_valid <= 1'b1;
+            resp_data <= resp1_stage;
+            resp_vm <= 1'b1;
+            s1_v <= 1'b0;
+        end
+`endif
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// sha512: HARP hash accelerator (message absorb + finalize).
+// BUG_D5 (Bit Truncation): the 48-bit message word count is computed
+// from bits [41:0] of the bit length before the >>6, truncating bits
+// [47:42]; the final write-back address and digest are wrong, and the
+// shell reports the bad address (the paper's page-fault symptom).
+// BUG_D10 (Failure-to-Update): the accumulator is not cleared when a
+// new job starts, so the second digest is polluted by the first.
+// -------------------------------------------------------------------
+const char *sha512_v = R"VLG(
+module sha512 (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [63:0] total_bits,
+    input wire [47:0] base_addr,
+    input wire w_valid,
+    input wire [31:0] w_data,
+    output wire w_ready,
+    output reg digest_valid,
+    output reg [31:0] digest,
+    output reg wb_valid,
+    output reg [47:0] wb_addr
+);
+localparam H_IDLE = 2'd0, H_ABSORB = 2'd1, H_FINAL = 2'd2;
+localparam NWORDS = 8;
+reg [1:0] state;
+reg [3:0] wcnt;
+reg [31:0] acc;
+reg [63:0] tbits;
+`ifdef BUG_D5
+wire [47:0] msg_words = {6'd0, tbits[41:0]} >> 6;
+`else
+wire [47:0] msg_words = tbits[47:0] >> 6;
+`endif
+assign w_ready = state == H_ABSORB;
+
+always @(posedge clk) begin
+    digest_valid <= 1'b0;
+    wb_valid <= 1'b0;
+    if (rst) begin
+        state <= H_IDLE;
+        acc <= 32'd0;
+        wcnt <= 4'd0;
+    end else begin
+        case (state)
+          H_IDLE:
+            if (start) begin
+                state <= H_ABSORB;
+                wcnt <= 4'd0;
+                tbits <= total_bits;
+`ifdef BUG_D10
+`else
+                acc <= 32'd0;
+`endif
+            end
+          H_ABSORB:
+            if (w_valid) begin
+                acc <= {acc[28:0], acc[31:29]} ^ w_data;
+                wcnt <= wcnt + 4'd1;
+                if (wcnt == NWORDS - 1)
+                    state <= H_FINAL;
+            end
+          H_FINAL: begin
+            digest <= acc ^ msg_words[31:0] ^ {16'd0, msg_words[47:32]};
+            digest_valid <= 1'b1;
+            wb_valid <= 1'b1;
+            wb_addr <= base_addr + msg_words;
+            state <= H_IDLE;
+          end
+        endcase
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// fft: butterfly datapath from the ZipCPU FFT.
+// BUG_D6 (Bit Truncation): the scaled product keeps the low byte of
+// the 17-bit product instead of the aligned [15:8] slice.
+// -------------------------------------------------------------------
+const char *fft_v = R"VLG(
+module fft (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [7:0] in_re,
+    input wire [7:0] in_im,
+    input wire [7:0] tw_re,
+    input wire [7:0] tw_im,
+    output reg out_valid,
+    output reg [7:0] out_re,
+    output reg [7:0] out_im
+);
+reg [16:0] prod_re;
+reg [16:0] prod_im;
+reg stage_valid;
+
+always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (rst) begin
+        stage_valid <= 1'b0;
+    end else begin
+        stage_valid <= in_valid;
+        if (in_valid) begin
+            prod_re <= in_re * tw_re + in_im * tw_im;
+            prod_im <= in_re * tw_im + in_im * tw_re;
+        end
+        if (stage_valid) begin
+            out_valid <= 1'b1;
+`ifdef BUG_D6
+            out_re <= prod_re[7:0];
+            out_im <= prod_im[7:0];
+`else
+            out_re <= prod_re[15:8];
+            out_im <= prod_im[15:8];
+`endif
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// fadd: the floating-point adder contributed by a hardware developer.
+// BUG_D7 (Misindexing): the fraction is extracted as bits [10:0]
+// (including the exponent LSB) instead of [9:0] - the paper's IEEE-754
+// misindexing pattern.
+// -------------------------------------------------------------------
+const char *fadd_v = R"VLG(
+module fadd (
+    input wire clk,
+    input wire rst,
+    input wire in_valid,
+    input wire [15:0] a,
+    input wire [15:0] b,
+    output reg out_valid,
+    output reg [15:0] sum
+);
+wire [4:0] exp_a = a[14:10];
+wire [4:0] exp_b = b[14:10];
+`ifdef BUG_D7
+wire [10:0] frac_a = a[10:0];
+wire [10:0] frac_b = b[10:0];
+`else
+wire [10:0] frac_a = {1'b0, a[9:0]};
+wire [10:0] frac_b = {1'b0, b[9:0]};
+`endif
+wire a_ge_b = exp_a >= exp_b;
+wire [4:0] exp_big = a_ge_b ? exp_a : exp_b;
+wire [4:0] exp_diff = a_ge_b ? exp_a - exp_b : exp_b - exp_a;
+wire [10:0] frac_big = a_ge_b ? frac_a : frac_b;
+wire [10:0] frac_small = (a_ge_b ? frac_b : frac_a) >> exp_diff;
+wire [11:0] frac_sum = {1'b0, frac_big} + {1'b0, frac_small};
+
+always @(posedge clk) begin
+    out_valid <= 1'b0;
+    if (rst) begin
+        sum <= 16'd0;
+    end else if (in_valid) begin
+        out_valid <= 1'b1;
+        if (frac_sum[11])
+            sum <= {1'b0, exp_big + 5'd1, frac_sum[10:1]};
+        else
+            sum <= {1'b0, exp_big, frac_sum[9:0]};
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// axis_switch: 1-to-2 AXI-Stream switch (verilog-axis style).
+// BUG_D8 (Misindexing): the destination bit is taken from header bit 3
+// instead of bit 4, steering frames to the wrong port.
+// -------------------------------------------------------------------
+const char *axis_switch_v = R"VLG(
+module axis_switch (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire [7:0] s_data,
+    input wire s_last,
+    output reg m0_valid,
+    output reg [7:0] m0_data,
+    output reg m0_last,
+    output reg m1_valid,
+    output reg [7:0] m1_data,
+    output reg m1_last
+);
+reg in_frame;
+reg cur_port;
+`ifdef BUG_D8
+wire dest = s_data[3];
+`else
+wire dest = s_data[4];
+`endif
+
+always @(posedge clk) begin
+    m0_valid <= 1'b0;
+    m1_valid <= 1'b0;
+    if (rst) begin
+        in_frame <= 1'b0;
+        cur_port <= 1'b0;
+    end else if (s_valid) begin
+        if (!in_frame) begin
+            in_frame <= !s_last;
+            cur_port <= dest;
+            if (dest) begin
+                m1_valid <= 1'b1;
+                m1_data <= s_data;
+                m1_last <= s_last;
+            end else begin
+                m0_valid <= 1'b1;
+                m0_data <= s_data;
+                m0_last <= s_last;
+            end
+        end else begin
+            if (s_last)
+                in_frame <= 1'b0;
+            if (cur_port) begin
+                m1_valid <= 1'b1;
+                m1_data <= s_data;
+                m1_last <= s_last;
+            end else begin
+                m0_valid <= 1'b1;
+                m0_data <= s_data;
+                m0_last <= s_last;
+            end
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// sdspi: SD-over-SPI controller (ZipCPU sdspi).
+// BUG_D9 (Endianness Mismatch): the two CRC response bytes are packed
+// into the 16-bit CRC word in the wrong order.
+// BUG_C1 (Deadlock): the transmit/receive enables form the paper's
+// circular dependency (if (a) b <= 1; if (b) a <= 1) and the reset
+// leaves both at 0, so no command is ever accepted.
+// BUG_C3 (Signal Asynchrony): the checksum summary valid is asserted
+// one cycle before the doubly-buffered summary data.
+// -------------------------------------------------------------------
+const char *sdspi_v = R"VLG(
+module sdspi (
+    input wire clk,
+    input wire rst,
+    input wire cmd_valid,
+    input wire [5:0] cmd_index,
+    output wire cmd_ready,
+    input wire byte_valid,
+    input wire [7:0] byte_data,
+    output reg resp_valid,
+    output reg [7:0] resp_data,
+    output reg [15:0] resp_crc,
+    output reg sum_valid,
+    output reg [7:0] sum_data,
+    output reg busy
+);
+localparam C_IDLE = 2'd0, C_WAIT = 2'd1, C_DONE = 2'd2;
+reg [1:0] state;
+reg [1:0] byte_cnt;
+reg tx_go;
+reg rx_go;
+reg [7:0] data_buf;
+reg [7:0] sum_buf;
+reg fire_d;
+wire resp_fire = state == C_WAIT && byte_valid && byte_cnt == 2'd2;
+assign cmd_ready = state == C_IDLE && tx_go;
+
+always @(posedge clk) begin
+    resp_valid <= 1'b0;
+    sum_valid <= 1'b0;
+    if (rst) begin
+        state <= C_IDLE;
+        byte_cnt <= 2'd0;
+        rx_go <= 1'b0;
+        busy <= 1'b0;
+        fire_d <= 1'b0;
+`ifdef BUG_C1
+        tx_go <= 1'b0;
+`else
+        tx_go <= 1'b1;
+`endif
+    end else begin
+        if (rx_go)
+            tx_go <= 1'b1;
+        if (tx_go)
+            rx_go <= 1'b1;
+        case (state)
+          C_IDLE:
+            if (cmd_valid && tx_go) begin
+                state <= C_WAIT;
+                busy <= 1'b1;
+                byte_cnt <= 2'd0;
+            end
+          C_WAIT:
+            if (byte_valid) begin
+                if (byte_cnt == 2'd0)
+                    data_buf <= byte_data;
+`ifdef BUG_D9
+                if (byte_cnt == 2'd1)
+                    resp_crc[7:0] <= byte_data;
+                if (byte_cnt == 2'd2)
+                    resp_crc[15:8] <= byte_data;
+`else
+                if (byte_cnt == 2'd1)
+                    resp_crc[15:8] <= byte_data;
+                if (byte_cnt == 2'd2)
+                    resp_crc[7:0] <= byte_data;
+`endif
+                byte_cnt <= byte_cnt + 2'd1;
+                if (byte_cnt == 2'd2)
+                    state <= C_DONE;
+            end
+          C_DONE: begin
+            resp_valid <= 1'b1;
+            resp_data <= data_buf;
+            state <= C_IDLE;
+            busy <= 1'b0;
+          end
+        endcase
+        if (resp_fire)
+            sum_buf <= data_buf ^ byte_data;
+        sum_data <= sum_buf;
+`ifdef BUG_C3
+        sum_valid <= resp_fire;
+`else
+        fire_d <= resp_fire;
+        sum_valid <= fire_d;
+`endif
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// frame_fifo: store-and-forward frame FIFO (verilog-ethernet style).
+// BUG_D4 (Buffer Overflow): no occupancy check - frames longer than
+// the 16-byte memory wrap and overwrite unread data.
+// BUG_D11 (Failure-to-Update): the drop flag is never cleared after a
+// dropped frame, so every following good frame is silently discarded.
+// BUG_D12 (Failure-to-Update): the length counter is not reset at the
+// end of a frame, so reported lengths accumulate.
+// -------------------------------------------------------------------
+const char *frame_fifo_v = R"VLG(
+module frame_fifo (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire [7:0] s_data,
+    input wire s_last,
+    input wire s_bad,
+    input wire m_ready,
+    output reg m_valid,
+    output reg [7:0] m_data,
+    output reg m_last,
+    output reg [7:0] m_len,
+    output reg len_valid
+);
+reg [7:0] memd [0:15];
+reg meml [0:15];
+reg [4:0] wr_ptr;
+reg [4:0] wr_cur;
+reg [4:0] rd_ptr;
+reg drop;
+reg [7:0] len_cnt;
+wire [4:0] occupancy = wr_cur - rd_ptr;
+wire space_ok = occupancy < 5'd16;
+
+always @(posedge clk) begin
+    len_valid <= 1'b0;
+    if (rst) begin
+        wr_ptr <= 5'd0;
+        wr_cur <= 5'd0;
+        rd_ptr <= 5'd0;
+        drop <= 1'b0;
+        len_cnt <= 8'd0;
+        m_valid <= 1'b0;
+    end else begin
+        if (s_valid) begin
+`ifdef BUG_D4
+            memd[wr_cur[3:0]] <= s_data;
+            meml[wr_cur[3:0]] <= s_last;
+            wr_cur <= wr_cur + 5'd1;
+`else
+            // Beats are staged into the memory while space remains;
+            // frames flagged for dropping are discarded at commit by
+            // reverting wr_cur (their staged bytes are overwritten by
+            // the next frame - an intentional drop).
+            if (space_ok) begin
+                memd[wr_cur[3:0]] <= s_data;
+                meml[wr_cur[3:0]] <= s_last;
+                wr_cur <= wr_cur + 5'd1;
+            end
+            if (!space_ok)
+                drop <= 1'b1;
+`endif
+            len_cnt <= len_cnt + 8'd1;
+            if (s_last) begin
+`ifdef BUG_D4
+                if (s_bad) begin
+`else
+                if (s_bad || drop || !space_ok) begin
+`endif
+                    wr_cur <= wr_ptr;
+                end else begin
+                    wr_ptr <= wr_cur + 5'd1;
+                    m_len <= len_cnt + 8'd1;
+                    len_valid <= 1'b1;
+                end
+`ifdef BUG_D11
+`else
+                drop <= 1'b0;
+`endif
+`ifdef BUG_D12
+`else
+                len_cnt <= 8'd0;
+`endif
+            end
+        end
+        if (!m_valid || m_ready) begin
+            if (rd_ptr != wr_ptr) begin
+                m_valid <= 1'b1;
+                m_data <= memd[rd_ptr[3:0]];
+                m_last <= meml[rd_ptr[3:0]];
+                rd_ptr <= rd_ptr + 5'd1;
+            end else begin
+                m_valid <= 1'b0;
+            end
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// frame_len: frame length measurer.
+// BUG_D13 (Failure-to-Update): the beat counter is not cleared when a
+// frame ends, so every subsequent length report drifts upward.
+// -------------------------------------------------------------------
+const char *frame_len_v = R"VLG(
+module frame_len (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire s_last,
+    output reg len_valid,
+    output reg [15:0] len
+);
+reg [15:0] cnt;
+
+always @(posedge clk) begin
+    len_valid <= 1'b0;
+    if (rst) begin
+        cnt <= 16'd0;
+    end else if (s_valid) begin
+        cnt <= cnt + 16'd1;
+        if (s_last) begin
+            len <= cnt + 16'd1;
+            len_valid <= 1'b1;
+`ifdef BUG_D13
+`else
+            cnt <= 16'd0;
+`endif
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// axis_fifo: AXI-Stream register slice with a skid buffer.
+// BUG_C4 (Signal Asynchrony): the skid-buffer valid flag is set one
+// cycle after the skid data, so s_ready stays high one cycle too long
+// and a second beat overwrites the buffered (unconsumed) one.
+// -------------------------------------------------------------------
+const char *axis_fifo_v = R"VLG(
+module axis_fifo (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire [7:0] s_data,
+    input wire s_last,
+    output wire s_ready,
+    output reg m_valid,
+    output reg [7:0] m_data,
+    output reg m_last,
+    input wire m_ready
+);
+reg [7:0] skid_data;
+reg skid_last;
+reg skid_valid;
+`ifdef BUG_C4
+reg skid_pre;
+`endif
+assign s_ready = !skid_valid;
+
+always @(posedge clk) begin
+    if (rst) begin
+        m_valid <= 1'b0;
+        skid_valid <= 1'b0;
+`ifdef BUG_C4
+        skid_pre <= 1'b0;
+`endif
+    end else begin
+`ifdef BUG_C4
+        skid_valid <= skid_pre;
+`endif
+        if (s_valid && s_ready) begin
+            if (!m_valid || m_ready) begin
+                m_data <= s_data;
+                m_last <= s_last;
+                m_valid <= 1'b1;
+            end else begin
+                skid_data <= s_data;
+                skid_last <= s_last;
+`ifdef BUG_C4
+                skid_pre <= 1'b1;
+`else
+                skid_valid <= 1'b1;
+`endif
+            end
+        end else if (m_valid && m_ready) begin
+            if (skid_valid) begin
+                m_data <= skid_data;
+                m_last <= skid_last;
+                skid_valid <= 1'b0;
+`ifdef BUG_C4
+                skid_pre <= 1'b0;
+`endif
+            end else begin
+                m_valid <= 1'b0;
+            end
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// axil_demo: Xilinx example AXI-Lite endpoint.
+// BUG_S1 (Protocol Violation): bvalid is deasserted one cycle after a
+// write response regardless of bready; a master that raises bready
+// late never sees the response and times out. A bus protocol checker
+// flags the dropped response.
+// -------------------------------------------------------------------
+const char *axil_demo_v = R"VLG(
+module axil_demo (
+    input wire clk,
+    input wire rst,
+    input wire awvalid,
+    input wire [3:0] awaddr,
+    output wire awready,
+    input wire wvalid,
+    input wire [15:0] wdata,
+    output wire wready,
+    output reg bvalid,
+    input wire bready,
+    input wire arvalid,
+    input wire [3:0] araddr,
+    output wire arready,
+    output reg rvalid,
+    output reg [15:0] rdata,
+    input wire rready
+);
+reg [15:0] regs [0:15];
+wire do_write = awvalid && wvalid && !bvalid;
+assign awready = do_write;
+assign wready = do_write;
+assign arready = !rvalid;
+
+always @(posedge clk) begin
+    if (rst) begin
+        bvalid <= 1'b0;
+        rvalid <= 1'b0;
+    end else begin
+        if (do_write) begin
+            regs[awaddr] <= wdata;
+            bvalid <= 1'b1;
+        end
+`ifdef BUG_S1
+        else
+            bvalid <= 1'b0;
+`else
+        else if (bready)
+            bvalid <= 1'b0;
+`endif
+        if (arvalid && arready) begin
+            rvalid <= 1'b1;
+            rdata <= regs[araddr];
+        end else if (rready) begin
+            rvalid <= 1'b0;
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// axis_demo: Xilinx example AXI-Stream pattern source.
+// BUG_S2 (Protocol Violation): the pattern counter advances every
+// cycle, so tdata changes while tvalid is high and tready is low -
+// the stability rule the protocol checker enforces.
+// -------------------------------------------------------------------
+const char *axis_demo_v = R"VLG(
+module axis_demo (
+    input wire clk,
+    input wire rst,
+    input wire start,
+    input wire [7:0] nbeats,
+    output reg tvalid,
+    output reg [7:0] tdata,
+    output reg tlast,
+    input wire tready
+);
+reg [7:0] cnt;
+reg active;
+
+always @(posedge clk) begin
+    if (rst) begin
+        tvalid <= 1'b0;
+        active <= 1'b0;
+        cnt <= 8'd0;
+    end else begin
+        if (start && !active) begin
+            active <= 1'b1;
+            cnt <= 8'd0;
+            tvalid <= 1'b1;
+            tdata <= 8'd0;
+            tlast <= nbeats == 8'd1;
+        end else if (active && tvalid) begin
+`ifdef BUG_S2
+            tdata <= cnt + 8'd1;
+            cnt <= cnt + 8'd1;
+            if (tready) begin
+                tlast <= cnt + 8'd2 >= nbeats;
+                if (tlast) begin
+                    active <= 1'b0;
+                    tvalid <= 1'b0;
+                end
+            end
+`else
+            if (tready) begin
+                cnt <= cnt + 8'd1;
+                tdata <= cnt + 8'd1;
+                tlast <= cnt + 8'd2 >= nbeats;
+                if (tlast) begin
+                    active <= 1'b0;
+                    tvalid <= 1'b0;
+                end
+            end
+`endif
+        end
+    end
+end
+endmodule
+)VLG";
+
+// -------------------------------------------------------------------
+// axis_adapter: 16-to-8 bit AXI-Stream width adapter (verilog-axis).
+// BUG_S3 (Incomplete Implementation): the adapter never looks at
+// s_keep, so a final beat carrying a single byte still emits two -
+// the unhandled corner case appends a garbage byte to every odd-length
+// frame.
+// -------------------------------------------------------------------
+const char *axis_adapter_v = R"VLG(
+module axis_adapter (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire [15:0] s_data,
+    input wire [1:0] s_keep,
+    input wire s_last,
+    output wire s_ready,
+    output reg m_valid,
+    output reg [7:0] m_data,
+    output reg m_last
+);
+reg phase;
+reg [7:0] hi_buf;
+reg hi_last;
+assign s_ready = !phase;
+
+always @(posedge clk) begin
+    m_valid <= 1'b0;
+    if (rst) begin
+        phase <= 1'b0;
+    end else begin
+        if (s_valid && s_ready) begin
+            m_valid <= 1'b1;
+            m_data <= s_data[7:0];
+`ifdef BUG_S3
+            phase <= 1'b1;
+            hi_buf <= s_data[15:8];
+            hi_last <= s_last;
+            m_last <= 1'b0;
+`else
+            if (s_keep[1]) begin
+                phase <= 1'b1;
+                hi_buf <= s_data[15:8];
+                hi_last <= s_last;
+                m_last <= 1'b0;
+            end else begin
+                m_last <= s_last;
+            end
+`endif
+        end else if (phase) begin
+            m_valid <= 1'b1;
+            m_data <= hi_buf;
+            m_last <= hi_last;
+            phase <= 1'b0;
+        end
+    end
+end
+endmodule
+)VLG";
+
+} // namespace
+
+const std::map<std::string, std::string> &
+designSources()
+{
+    static const std::map<std::string, std::string> sources = {
+        {"rsd", rsd_v},
+        {"grayscale", grayscale_v},
+        {"optimus", optimus_v},
+        {"sha512", sha512_v},
+        {"fft", fft_v},
+        {"fadd", fadd_v},
+        {"axis_switch", axis_switch_v},
+        {"sdspi", sdspi_v},
+        {"frame_fifo", frame_fifo_v},
+        {"frame_len", frame_len_v},
+        {"axis_fifo", axis_fifo_v},
+        {"axil_demo", axil_demo_v},
+        {"axis_demo", axis_demo_v},
+        {"axis_adapter", axis_adapter_v},
+    };
+    return sources;
+}
+
+const std::string &
+designSource(const std::string &name)
+{
+    const auto &sources = designSources();
+    auto it = sources.find(name);
+    if (it == sources.end())
+        fatal("unknown testbed design '%s'", name.c_str());
+    return it->second;
+}
+
+std::vector<std::string>
+designNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, source] : designSources())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace hwdbg::bugs

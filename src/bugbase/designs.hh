@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Verilog sources for the reproducible-bug testbed (Table 2).
+ *
+ * Each design is a faithful, simplified re-implementation of the buggy
+ * subsystem of the corresponding open-source project from the paper's
+ * study (the paper's own artifact likewise ships simplified snippets per
+ * bug). Every bug is switchable with a `BUG_<id>` preprocessor define so
+ * that the same source yields the buggy and the fixed variant.
+ */
+
+#ifndef HWDBG_BUGBASE_DESIGNS_HH
+#define HWDBG_BUGBASE_DESIGNS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hwdbg::bugs
+{
+
+/** Design name -> Verilog source text. */
+const std::map<std::string, std::string> &designSources();
+
+/** Source text of one design (fatal if unknown). */
+const std::string &designSource(const std::string &name);
+
+/** All design names. */
+std::vector<std::string> designNames();
+
+} // namespace hwdbg::bugs
+
+#endif // HWDBG_BUGBASE_DESIGNS_HH

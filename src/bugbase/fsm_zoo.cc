@@ -1,0 +1,146 @@
+#include "bugbase/fsm_zoo.hh"
+
+#include <sstream>
+
+namespace hwdbg::bugs
+{
+
+namespace
+{
+
+FsmZoo
+buildZoo()
+{
+    FsmZoo zoo;
+    std::ostringstream src;
+    src << "module fsm_zoo (\n"
+           "    input wire clk,\n"
+           "    input wire rst,\n"
+           "    input wire go,\n"
+           "    input wire stop,\n"
+           "    input wire [1:0] mode_in,\n"
+           "    input wire [7:0] din,\n"
+           "    output wire [7:0] dout\n"
+           ");\n";
+
+    // --- 13 case-style FSMs (3 states each), all detectable. --------
+    for (int i = 0; i < 13; ++i) {
+        std::string var = "cs" + std::to_string(i);
+        zoo.labeledFsms.push_back(var);
+        src << "reg [1:0] " << var << ";\n"
+            << "always @(posedge clk)\n"
+            << "    case (" << var << ")\n"
+            << "      2'd0: if (go) " << var << " <= 2'd1;\n"
+            << "      2'd1: if (stop) " << var << " <= 2'd2;\n"
+            << "      2'd2: " << var << " <= 2'd0;\n"
+            << "      default: " << var << " <= 2'd0;\n"
+            << "    endcase\n";
+    }
+
+    // --- 8 if-style FSMs, all detectable. ----------------------------
+    for (int i = 0; i < 8; ++i) {
+        std::string var = "is" + std::to_string(i);
+        zoo.labeledFsms.push_back(var);
+        src << "reg [1:0] " << var << ";\n"
+            << "always @(posedge clk) begin\n"
+            << "    if (rst) " << var << " <= 2'd0;\n"
+            << "    if (" << var << " == 2'd0 && go) " << var
+            << " <= 2'd3;\n"
+            << "    if (" << var << " == 2'd3 && stop) " << var
+            << " <= 2'd0;\n"
+            << "end\n";
+    }
+
+    // --- 5 hard styles: genuine FSMs the heuristics miss. ------------
+    // (1)(2) Two-process FSMs: next state through a combinational reg.
+    for (int i = 0; i < 2; ++i) {
+        std::string var = "tp" + std::to_string(i);
+        zoo.labeledFsms.push_back(var);
+        zoo.hardStyles.push_back(var);
+        src << "reg [1:0] " << var << ";\n"
+            << "reg [1:0] " << var << "_next;\n"
+            << "always @* begin\n"
+            << "    " << var << "_next = " << var << ";\n"
+            << "    if (" << var << " == 2'd0 && go) " << var
+            << "_next = 2'd1;\n"
+            << "    if (" << var << " == 2'd1) " << var
+            << "_next = 2'd0;\n"
+            << "end\n"
+            << "always @(posedge clk) " << var << " <= " << var
+            << "_next;\n";
+    }
+    // (3) Counter-encoded sequencer: transitions by arithmetic.
+    zoo.labeledFsms.push_back("seqst");
+    zoo.hardStyles.push_back("seqst");
+    src << "reg [1:0] seqst;\n"
+           "always @(posedge clk)\n"
+           "    if (seqst == 2'd3) seqst <= 2'd0;\n"
+           "    else if (go) seqst <= seqst + 2'd1;\n";
+    // (4) Bit-probed status word: individual state bits are selected.
+    zoo.labeledFsms.push_back("bitst");
+    zoo.hardStyles.push_back("bitst");
+    src << "reg [1:0] bitst;\n"
+           "wire bit_busy = bitst[0];\n"
+           "always @(posedge clk) begin\n"
+           "    if (bitst == 2'd0 && go) bitst <= 2'd1;\n"
+           "    if (bitst == 2'd1 && stop) bitst <= 2'd0;\n"
+           "end\n";
+    // (5) Data-loaded state: one transition loads an input value.
+    zoo.labeledFsms.push_back("dlst");
+    zoo.hardStyles.push_back("dlst");
+    src << "reg [1:0] dlst;\n"
+           "always @(posedge clk) begin\n"
+           "    if (dlst == 2'd0 && go) dlst <= mode_in;\n"
+           "    if (dlst == 2'd2) dlst <= 2'd0;\n"
+           "end\n";
+
+    // --- Decoys: registers that are NOT state machines. --------------
+    zoo.decoys = {"cnt_a", "cnt_b", "shift_a", "acc_a", "data_a",
+                  "toggle_a"};
+    src << "reg [7:0] cnt_a;\n"
+           "reg [7:0] cnt_b;\n"
+           "reg [7:0] shift_a;\n"
+           "reg [7:0] acc_a;\n"
+           "reg [7:0] data_a;\n"
+           "reg toggle_a;\n"
+           "always @(posedge clk) begin\n"
+           "    cnt_a <= cnt_a + 8'd1;\n"
+           "    if (go) cnt_b <= cnt_b + 8'd2;\n"
+           "    shift_a <= {shift_a[6:0], go};\n"
+           "    acc_a <= acc_a ^ din;\n"
+           "    if (go) data_a <= din;\n"
+           "    toggle_a <= !toggle_a;\n"
+           "end\n";
+
+    src << "assign dout = cnt_a ^ acc_a ^ data_a;\n"
+           "endmodule\n";
+
+    zoo.source = src.str();
+    return zoo;
+}
+
+} // namespace
+
+const FsmZoo &
+fsmZoo()
+{
+    static const FsmZoo zoo = buildZoo();
+    return zoo;
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+testbedFsmLabels()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        labels = {
+            {"rsd", "state"},
+            {"grayscale", "rd_state"},
+            {"grayscale", "wr_state"},
+            {"optimus", "bus_state"},
+            {"sha512", "state"},
+            {"sdspi", "state"},
+        };
+    return labels;
+}
+
+} // namespace hwdbg::bugs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * FSM-detection accuracy corpus.
+ *
+ * The paper evaluates FSM Monitor's detection heuristics against 32
+ * manually-identified FSMs in its benchmark suite (0 false positives,
+ * 5 false negatives, §4.2). Our corpus is the 14 testbed designs (6
+ * hand-labeled FSMs) plus a generated "zoo" module containing 26 more
+ * labeled state machines in a spread of real coding styles - including
+ * the styles the paper's heuristics are known to miss (two-process
+ * FSMs whose next state flows through a wire, counter-encoded
+ * sequencers, bit-probed status words, and data-loaded states) - along
+ * with labeled non-FSM decoy registers (counters, shift registers,
+ * accumulators) to measure false positives.
+ */
+
+#ifndef HWDBG_BUGBASE_FSM_ZOO_HH
+#define HWDBG_BUGBASE_FSM_ZOO_HH
+
+#include <string>
+#include <vector>
+
+namespace hwdbg::bugs
+{
+
+struct FsmZoo
+{
+    /** Verilog source of the zoo module ("fsm_zoo"). */
+    std::string source;
+    /** Hand-labeled state variables (ground truth). */
+    std::vector<std::string> labeledFsms;
+    /** Labeled FSMs written in styles the heuristics cannot see. */
+    std::vector<std::string> hardStyles;
+    /** Labeled non-FSM registers (false-positive bait). */
+    std::vector<std::string> decoys;
+};
+
+const FsmZoo &fsmZoo();
+
+/** Hand labels for the testbed designs: design name -> state vars. */
+const std::vector<std::pair<std::string, std::string>> &
+testbedFsmLabels();
+
+} // namespace hwdbg::bugs
+
+#endif // HWDBG_BUGBASE_FSM_ZOO_HH

@@ -1,0 +1,251 @@
+#include "bugbase/study.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hwdbg::bugs
+{
+
+namespace
+{
+
+constexpr Symptom kStuck = Symptom::Stuck;
+constexpr Symptom kLoss = Symptom::DataLoss;
+constexpr Symptom kIncor = Symptom::IncorrectOutput;
+constexpr Symptom kExt = Symptom::ExternalError;
+
+std::vector<StudyBug>
+buildStudy()
+{
+    std::vector<StudyBug> bugs;
+    auto add = [&](const char *subclass, BugClass cls,
+                   const char *project, const char *note,
+                   std::set<Symptom> symptoms) {
+        bugs.push_back(StudyBug{subclass, cls, project, note,
+                                std::move(symptoms)});
+    };
+    const BugClass data = BugClass::DataMisAccess;
+    const BugClass comm = BugClass::Communication;
+    const BugClass sem = BugClass::Semantic;
+
+    // ---- Buffer Overflow (5) -------------------------------------
+    add("Buffer Overflow", data, "Reed-Solomon decoder",
+        "syndrome buffer indexed past depth", {kStuck, kLoss});
+    add("Buffer Overflow", data, "Grayscale",
+        "reorder buffer slot aliasing", {kStuck, kLoss});
+    add("Buffer Overflow", data, "Optimus",
+        "MMIO queue pushed while full", {kLoss, kExt});
+    add("Buffer Overflow", data, "verilog-ethernet",
+        "frame FIFO wraps on oversized frame", {kLoss, kIncor});
+    add("Buffer Overflow", data, "Nyuzi GPGPU",
+        "store queue entry count exceeds depth", {kLoss});
+
+    // ---- Bit Truncation (12) -------------------------------------
+    add("Bit Truncation", data, "SHA512",
+        "bit length cast before shift", {kIncor, kExt});
+    add("Bit Truncation", data, "ZipCPU FFT",
+        "butterfly product scaled at wrong width", {kIncor});
+    add("Bit Truncation", data, "CVA6",
+        "physical address truncated in PTW", {kIncor, kExt});
+    add("Bit Truncation", data, "VexRiscv",
+        "CSR counter write drops high bits", {kIncor});
+    add("Bit Truncation", data, "openwifi",
+        "RSSI accumulator narrower than sum", {kIncor});
+    add("Bit Truncation", data, "Bitcoin Miner",
+        "nonce counter truncated at 28 bits", {kIncor});
+    add("Bit Truncation", data, "Corundum NIC",
+        "PCIe length field truncated", {kIncor, kExt});
+    add("Bit Truncation", data, "verilog-axis",
+        "tid width mismatch on join", {kIncor});
+    add("Bit Truncation", data, "ADI HDL library",
+        "DMA burst length register too narrow", {kIncor});
+    add("Bit Truncation", data, "Optimus",
+        "guest physical offset truncated", {kIncor, kExt});
+    add("Bit Truncation", data, "SDSPI",
+        "block address shifted into 24 bits", {kIncor});
+    add("Bit Truncation", data, "Nyuzi GPGPU",
+        "fp exponent narrowed during normalize", {kIncor});
+
+    // ---- Misindexing (5) -----------------------------------------
+    add("Misindexing", data, "FADD",
+        "fraction extracted as [23:0]", {kIncor});
+    add("Misindexing", data, "verilog-axis",
+        "destination field sliced at wrong offset", {kIncor, kLoss});
+    add("Misindexing", data, "CVA6",
+        "page-table level index off by one", {kIncor});
+    add("Misindexing", data, "openwifi",
+        "subcarrier index mapped to wrong bin", {kIncor});
+    add("Misindexing", data, "ADI HDL library",
+        "channel enable bit indexed from wrong word", {kLoss});
+
+    // ---- Endianness Mismatch (1) ---------------------------------
+    add("Endianness Mismatch", data, "SDSPI",
+        "CRC bytes assembled little-endian", {kIncor});
+
+    // ---- Failure-to-Update (5) -----------------------------------
+    add("Failure-to-Update", data, "SHA512",
+        "digest accumulator not reset per job", {kIncor});
+    add("Failure-to-Update", data, "verilog-ethernet",
+        "drop flag not cleared on new frame", {kLoss});
+    add("Failure-to-Update", data, "verilog-ethernet",
+        "frame length counter not reset", {kIncor});
+    add("Failure-to-Update", data, "Corundum NIC",
+        "completion counter missing reset", {kIncor, kExt});
+    add("Failure-to-Update", data, "Bitcoin Miner",
+        "midstate register stale after retarget", {kIncor});
+
+    // ---- Deadlock (3) --------------------------------------------
+    add("Deadlock", comm, "SDSPI",
+        "tx/rx enables wait on each other", {kStuck});
+    add("Deadlock", comm, "Nyuzi GPGPU",
+        "L2 writeback waits on fill that waits on writeback",
+        {kStuck});
+    add("Deadlock", comm, "Optimus",
+        "doorbell ack gated by quiesced engine", {kStuck});
+
+    // ---- Producer-Consumer Mismatch (3) --------------------------
+    add("Producer-Consumer Mismatch", comm, "Optimus",
+        "two VM responses race for one staging register",
+        {kStuck, kLoss});
+    add("Producer-Consumer Mismatch", comm, "openwifi",
+        "sample FIFO overrun on RX burst", {kLoss, kIncor});
+    add("Producer-Consumer Mismatch", comm, "Corundum NIC",
+        "descriptor ring producer outruns consumer", {kLoss});
+
+    // ---- Signal Asynchrony (10) ----------------------------------
+    add("Signal Asynchrony", comm, "SDSPI",
+        "response valid one cycle before data", {kIncor});
+    add("Signal Asynchrony", comm, "verilog-axis",
+        "skid valid lags skid data", {kLoss});
+    add("Signal Asynchrony", comm, "CVA6",
+        "exception flag misaligned with commit", {kIncor});
+    add("Signal Asynchrony", comm, "VexRiscv",
+        "branch flush a stage behind target", {kIncor});
+    add("Signal Asynchrony", comm, "openwifi",
+        "IQ sample pair split across cycles", {kIncor});
+    add("Signal Asynchrony", comm, "ADI HDL library",
+        "DMA request ahead of address phase", {kIncor});
+    add("Signal Asynchrony", comm, "ZipCPU FFT",
+        "twiddle index lags sample stream", {kIncor});
+    add("Signal Asynchrony", comm, "Grayscale",
+        "write strobe early versus data mux", {kIncor});
+    add("Signal Asynchrony", comm, "Corundum NIC",
+        "timestamp sampled a cycle after capture", {kIncor});
+    add("Signal Asynchrony", comm, "Nyuzi GPGPU",
+        "scoreboard clear misaligned with retire", {kIncor});
+
+    // ---- Use-Without-Valid (1) -----------------------------------
+    add("Use-Without-Valid", comm, "openwifi",
+        "FFT input consumed while valid low", {kIncor});
+
+    // ---- Protocol Violation (3) ----------------------------------
+    add("Protocol Violation", sem, "Xilinx AXI-Lite demo",
+        "bvalid dropped before bready", {kStuck, kExt});
+    add("Protocol Violation", sem, "Xilinx AXI-Stream demo",
+        "tdata changes while stalled", {kIncor, kExt});
+    add("Protocol Violation", sem, "Corundum NIC",
+        "PCIe TLP issued before credits", {kStuck, kExt});
+
+    // ---- API Misuse (3) ------------------------------------------
+    add("API Misuse", sem, "FADD",
+        "comparator module ports swapped", {kIncor});
+    add("API Misuse", sem, "HardCloud",
+        "CCI-P MPF configured with wrong channel", {kIncor});
+    add("API Misuse", sem, "ADI HDL library",
+        "FIFO IP parameterized below burst size", {kIncor});
+
+    // ---- Incomplete Implementation (7) ---------------------------
+    add("Incomplete Implementation", sem, "verilog-axis",
+        "width adapter ignores tkeep on last beat", {kIncor});
+    add("Incomplete Implementation", sem, "CVA6",
+        "misaligned store corner case unhandled", {kIncor});
+    add("Incomplete Implementation", sem, "VexRiscv",
+        "compressed instruction on page boundary", {kIncor});
+    add("Incomplete Implementation", sem, "openwifi",
+        "short-GI mode missing in deframer", {kIncor});
+    add("Incomplete Implementation", sem, "Nyuzi GPGPU",
+        "denormal handling absent in FP path", {kIncor});
+    add("Incomplete Implementation", sem, "ZipCPU FFT",
+        "no handling for single-point transform", {kIncor});
+    add("Incomplete Implementation", sem, "Bitcoin Miner",
+        "difficulty rollover case missing", {kIncor});
+
+    // ---- Erroneous Expression (10) -------------------------------
+    add("Erroneous Expression", sem, "Reed-Solomon decoder",
+        "wrong polynomial coefficient in control", {kIncor});
+    add("Erroneous Expression", sem, "Grayscale",
+        "inverted done condition in control flow", {kIncor});
+    add("Erroneous Expression", sem, "SHA512",
+        "round constant index expression wrong", {kIncor});
+    add("Erroneous Expression", sem, "CVA6",
+        "branch predicate uses signed compare", {kIncor});
+    add("Erroneous Expression", sem, "VexRiscv",
+        "forwarding select expression wrong", {kIncor});
+    add("Erroneous Expression", sem, "openwifi",
+        "CFO correction sign flipped", {kIncor});
+    add("Erroneous Expression", sem, "Bitcoin Miner",
+        "target compare off by a nibble", {kIncor});
+    add("Erroneous Expression", sem, "Corundum NIC",
+        "checksum fold expression wrong", {kIncor});
+    add("Erroneous Expression", sem, "verilog-ethernet",
+        "padding length computed with or-not-plus", {kIncor});
+    add("Erroneous Expression", sem, "ADI HDL library",
+        "interrupt mask combined with wrong reduce", {kIncor});
+
+    return bugs;
+}
+
+} // namespace
+
+const std::vector<StudyBug> &
+studyBugs()
+{
+    static const std::vector<StudyBug> bugs = buildStudy();
+    return bugs;
+}
+
+std::vector<SubclassSummary>
+bugStudyTable()
+{
+    // Presentation order matches Table 1.
+    static const std::vector<std::pair<const char *, BugClass>> order = {
+        {"Buffer Overflow", BugClass::DataMisAccess},
+        {"Bit Truncation", BugClass::DataMisAccess},
+        {"Misindexing", BugClass::DataMisAccess},
+        {"Endianness Mismatch", BugClass::DataMisAccess},
+        {"Failure-to-Update", BugClass::DataMisAccess},
+        {"Deadlock", BugClass::Communication},
+        {"Producer-Consumer Mismatch", BugClass::Communication},
+        {"Signal Asynchrony", BugClass::Communication},
+        {"Use-Without-Valid", BugClass::Communication},
+        {"Protocol Violation", BugClass::Semantic},
+        {"API Misuse", BugClass::Semantic},
+        {"Incomplete Implementation", BugClass::Semantic},
+        {"Erroneous Expression", BugClass::Semantic},
+    };
+
+    std::map<std::string, SubclassSummary> by_name;
+    for (const auto &[name, cls] : order) {
+        SubclassSummary summary;
+        summary.subclass = name;
+        summary.bugClass = cls;
+        by_name[name] = summary;
+    }
+    for (const auto &bug : studyBugs()) {
+        auto it = by_name.find(bug.subclass);
+        if (it == by_name.end())
+            panic("study bug with unknown subclass '%s'",
+                  bug.subclass.c_str());
+        ++it->second.count;
+        it->second.commonSymptoms.insert(bug.symptoms.begin(),
+                                         bug.symptoms.end());
+    }
+
+    std::vector<SubclassSummary> table;
+    for (const auto &[name, cls] : order)
+        table.push_back(by_name[name]);
+    return table;
+}
+
+} // namespace hwdbg::bugs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The 68-bug study database behind Table 1.
+ *
+ * One record per studied bug: the 19-design corpus (§3's target
+ * systems), the root-cause subclass, and the symptoms reported in the
+ * commit/issue/patch that fixed it. The Table 1 bench aggregates these
+ * records into the published classification (3 classes, 13 subclasses,
+ * per-subclass counts, and common symptom sets).
+ */
+
+#ifndef HWDBG_BUGBASE_STUDY_HH
+#define HWDBG_BUGBASE_STUDY_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bugbase/testbed.hh"
+
+namespace hwdbg::bugs
+{
+
+struct StudyBug
+{
+    std::string subclass;
+    BugClass bugClass;
+    /** Project the bug was found in. */
+    std::string project;
+    std::string note;
+    std::set<Symptom> symptoms;
+};
+
+/** All 68 studied bugs. */
+const std::vector<StudyBug> &studyBugs();
+
+/** Aggregated Table 1 row. */
+struct SubclassSummary
+{
+    std::string subclass;
+    BugClass bugClass;
+    int count = 0;
+    /** Union of symptoms observed across the subclass ("common
+     *  symptoms" column of Table 1). */
+    std::set<Symptom> commonSymptoms;
+};
+
+/** Table 1: the 13 subclass rows in presentation order. */
+std::vector<SubclassSummary> bugStudyTable();
+
+} // namespace hwdbg::bugs
+
+#endif // HWDBG_BUGBASE_STUDY_HH

@@ -1,0 +1,473 @@
+#include "bugbase/testbed.hh"
+
+#include "bugbase/designs.hh"
+#include "common/logging.hh"
+#include "hdl/parser.hh"
+
+namespace hwdbg::bugs
+{
+
+const char *
+bugClassName(BugClass cls)
+{
+    switch (cls) {
+      case BugClass::DataMisAccess: return "Data Mis-Access";
+      case BugClass::Communication: return "Communication";
+      case BugClass::Semantic: return "Semantic";
+    }
+    return "?";
+}
+
+const char *
+symptomName(Symptom symptom)
+{
+    switch (symptom) {
+      case Symptom::Stuck: return "Stuck";
+      case Symptom::DataLoss: return "Loss";
+      case Symptom::IncorrectOutput: return "Incor.";
+      case Symptom::ExternalError: return "Ext.";
+    }
+    return "?";
+}
+
+namespace
+{
+
+core::LossCheckOptions
+lc(const std::string &source, const std::string &valid,
+   const std::string &sink)
+{
+    core::LossCheckOptions opts;
+    opts.source = source;
+    opts.sourceValid = valid;
+    opts.sink = sink;
+    return opts;
+}
+
+std::vector<TestbedBug>
+buildTestbed()
+{
+    std::vector<TestbedBug> bugs;
+
+    {
+        TestbedBug bug;
+        bug.id = "D1";
+        bug.subclass = "Buffer Overflow";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "RSD";
+        bug.designName = "rsd";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_D1";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::Stuck, Symptom::DataLoss};
+        bug.helpfulTools = {"SC", "FSM", "Stat", "LC"};
+        bug.monitors.fsm = true;
+        bug.monitors.statEvents = {{"in", "in_valid"},
+                                   {"out", "out_valid"}};
+        bug.lossCheck = lc("in_data", "in_valid", "out_data");
+        bug.expectedLossSite = "buf0";
+        bug.rootCauseNote =
+            "block length 10 overruns the 8-entry symbol buffer";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D2";
+        bug.subclass = "Buffer Overflow";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Grayscale";
+        bug.designName = "grayscale";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_D2";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::Stuck, Symptom::DataLoss};
+        bug.helpfulTools = {"SC", "FSM", "Stat", "LC"};
+        bug.monitors.fsm = true;
+        bug.monitors.statEvents = {{"resp", "rd_resp_valid"},
+                                   {"wr", "wr_valid"}};
+        bug.lossCheck = lc("rd_resp_data", "rd_resp_valid", "wr_data");
+        bug.expectedLossSite = "rob";
+        bug.rootCauseNote =
+            "truncated read tags alias reorder-buffer slots";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D3";
+        bug.subclass = "Buffer Overflow";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Optimus";
+        bug.designName = "optimus";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_D3";
+        bug.targetMhz = 400;
+        bug.symptoms = {Symptom::DataLoss, Symptom::ExternalError};
+        bug.helpfulTools = {"SC", "FSM", "Stat", "Dep", "LC"};
+        bug.monitors.fsm = true;
+        bug.monitors.statEvents = {{"vm0", "vm0_valid"},
+                                   {"vm1", "vm1_valid"},
+                                   {"req", "req_valid"}};
+        bug.monitors.depVariable = "req_data";
+        bug.monitors.depCycles = 3;
+        bug.lossCheck = lc("vm0_data", "vm0_valid", "req_data");
+        bug.expectedLossSite = "vm0_stage";
+        bug.rootCauseNote =
+            "guest MMIO pushes ignore the per-VM queue's full flag";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D4";
+        bug.subclass = "Buffer Overflow";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Frame FIFO";
+        bug.designName = "frame_fifo";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D4";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::DataLoss, Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Stat", "LC"};
+        bug.monitors.statEvents = {{"in", "s_valid"},
+                                   {"out", "m_valid"},
+                                   {"frames", "len_valid"}};
+        bug.lossCheck = lc("s_data", "s_valid", "m_data");
+        bug.expectedLossSite = "memd";
+        bug.rootCauseNote =
+            "no occupancy check: long frames wrap the 16-byte memory";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D5";
+        bug.subclass = "Bit Truncation";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "SHA512";
+        bug.designName = "sha512";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_D5";
+        bug.targetMhz = 400;
+        bug.symptoms = {Symptom::IncorrectOutput, Symptom::ExternalError};
+        bug.helpfulTools = {"SC", "Stat", "Dep"};
+        bug.monitors.statEvents = {{"words", "w_valid"},
+                                   {"digests", "digest_valid"}};
+        bug.monitors.depVariable = "wb_addr";
+        bug.monitors.depCycles = 3;
+        bug.rootCauseNote =
+            "bit-length truncated to [41:0] before the >>6 shift";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D6";
+        bug.subclass = "Bit Truncation";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "FFT";
+        bug.designName = "fft";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D6";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "out_re";
+        bug.monitors.depCycles = 3;
+        bug.rootCauseNote =
+            "butterfly product truncated to its low byte";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D7";
+        bug.subclass = "Misindexing";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "FADD";
+        bug.designName = "fadd";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D7";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "sum";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote =
+            "fraction extracted as [10:0] instead of [9:0]";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D8";
+        bug.subclass = "Misindexing";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "AXI-Stream Switch";
+        bug.designName = "axis_switch";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D8";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "m1_valid";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote = "destination decoded from header bit 3";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D9";
+        bug.subclass = "Endianness Mismatch";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "SDSPI";
+        bug.designName = "sdspi";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D9";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "resp_crc";
+        bug.monitors.depCycles = 3;
+        bug.rootCauseNote = "CRC bytes packed little-endian";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D10";
+        bug.subclass = "Failure-to-Update";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "SHA512";
+        bug.designName = "sha512";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_D10";
+        bug.targetMhz = 400;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "FSM", "Dep"};
+        bug.monitors.fsm = true;
+        bug.monitors.depVariable = "digest";
+        bug.monitors.depCycles = 3;
+        bug.rootCauseNote = "accumulator not reset on job start";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D11";
+        bug.subclass = "Failure-to-Update";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Frame FIFO";
+        bug.designName = "frame_fifo";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D11";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::DataLoss};
+        bug.helpfulTools = {"SC", "Stat"};
+        bug.monitors.statEvents = {{"in_last", "s_last"},
+                                   {"frames", "len_valid"}};
+        // LossCheck is attempted on D11 but the filtering hides the
+        // loss (the paper's single false negative).
+        bug.lossCheck = lc("s_data", "s_valid", "m_data");
+        bug.expectedLossSite = "";
+        bug.rootCauseNote = "drop flag never cleared after a bad frame";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D12";
+        bug.subclass = "Failure-to-Update";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Frame FIFO";
+        bug.designName = "frame_fifo";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D12";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Stat"};
+        bug.monitors.statEvents = {{"beats", "s_valid"},
+                                   {"frames", "len_valid"}};
+        bug.rootCauseNote = "length counter not reset between frames";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "D13";
+        bug.subclass = "Failure-to-Update";
+        bug.bugClass = BugClass::DataMisAccess;
+        bug.application = "Frame Length Measurer";
+        bug.designName = "frame_len";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_D13";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Stat", "Dep"};
+        bug.monitors.statEvents = {{"beats", "s_valid"},
+                                   {"frames", "len_valid"}};
+        bug.monitors.depVariable = "len";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote = "beat counter not cleared at end of frame";
+        bugs.push_back(std::move(bug));
+    }
+
+    {
+        TestbedBug bug;
+        bug.id = "C1";
+        bug.subclass = "Deadlock";
+        bug.bugClass = BugClass::Communication;
+        bug.application = "SDSPI";
+        bug.designName = "sdspi";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_C1";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::Stuck};
+        bug.helpfulTools = {"SC", "FSM", "Dep"};
+        bug.monitors.fsm = true;
+        bug.monitors.depVariable = "tx_go";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote =
+            "tx_go/rx_go enables form a circular dependency, both 0";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "C2";
+        bug.subclass = "Producer-Consumer Mismatch";
+        bug.bugClass = BugClass::Communication;
+        bug.application = "Optimus";
+        bug.designName = "optimus";
+        bug.platform = "HARP";
+        bug.bugDefine = "BUG_C2";
+        bug.targetMhz = 400;
+        bug.symptoms = {Symptom::Stuck, Symptom::DataLoss};
+        bug.helpfulTools = {"SC", "FSM", "Stat", "Dep", "LC"};
+        bug.monitors.fsm = true;
+        bug.monitors.statEvents = {{"resp0", "resp0_valid"},
+                                   {"resp1", "resp1_valid"},
+                                   {"resp_out", "resp_valid"}};
+        bug.monitors.depVariable = "resp_data";
+        bug.monitors.depCycles = 2;
+        bug.lossCheck = lc("resp1_data", "resp1_valid", "resp_data");
+        bug.expectedLossSite = "resp1_stage";
+        bug.rootCauseNote =
+            "single response staging register for two producers";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "C3";
+        bug.subclass = "Signal Asynchrony";
+        bug.bugClass = BugClass::Communication;
+        bug.application = "SDSPI";
+        bug.designName = "sdspi";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_C3";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "sum_data";
+        bug.monitors.depCycles = 3;
+        bug.rootCauseNote =
+            "summary valid asserted one cycle before the data";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "C4";
+        bug.subclass = "Signal Asynchrony";
+        bug.bugClass = BugClass::Communication;
+        bug.application = "AXI-Stream FIFO";
+        bug.designName = "axis_fifo";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_C4";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::DataLoss};
+        bug.helpfulTools = {"SC", "Stat", "LC"};
+        bug.monitors.statEvents = {{"in", "s_valid && s_ready"},
+                                   {"out", "m_valid && m_ready"}};
+        bug.lossCheck = lc("s_data", "s_valid", "m_data");
+        bug.expectedLossSite = "skid_data";
+        bug.rootCauseNote =
+            "skid valid lags skid data, so s_ready lies for one cycle";
+        bugs.push_back(std::move(bug));
+    }
+
+    {
+        TestbedBug bug;
+        bug.id = "S1";
+        bug.subclass = "Protocol Violation";
+        bug.bugClass = BugClass::Semantic;
+        bug.application = "AXI-Lite Demo";
+        bug.designName = "axil_demo";
+        bug.platform = "Xilinx";
+        bug.bugDefine = "BUG_S1";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::Stuck, Symptom::ExternalError};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "bvalid";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote = "bvalid dropped without waiting for bready";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "S2";
+        bug.subclass = "Protocol Violation";
+        bug.bugClass = BugClass::Semantic;
+        bug.application = "AXI-Stream Demo";
+        bug.designName = "axis_demo";
+        bug.platform = "Xilinx";
+        bug.bugDefine = "BUG_S2";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput,
+                        Symptom::ExternalError};
+        bug.helpfulTools = {"SC", "Stat"};
+        bug.monitors.statEvents = {{"valid_cycles", "tvalid"},
+                                   {"accepts", "tready"}};
+        bug.rootCauseNote =
+            "tdata advances while tvalid is high and tready low";
+        bugs.push_back(std::move(bug));
+    }
+    {
+        TestbedBug bug;
+        bug.id = "S3";
+        bug.subclass = "Incomplete Implementation";
+        bug.bugClass = BugClass::Semantic;
+        bug.application = "AXI-Stream Adapter";
+        bug.designName = "axis_adapter";
+        bug.platform = "Generic";
+        bug.bugDefine = "BUG_S3";
+        bug.targetMhz = 200;
+        bug.symptoms = {Symptom::IncorrectOutput};
+        bug.helpfulTools = {"SC", "Dep"};
+        bug.monitors.depVariable = "m_last";
+        bug.monitors.depCycles = 2;
+        bug.rootCauseNote = "tkeep ignored on the final beat";
+        bugs.push_back(std::move(bug));
+    }
+
+    return bugs;
+}
+
+} // namespace
+
+const std::vector<TestbedBug> &
+testbedBugs()
+{
+    static const std::vector<TestbedBug> bugs = buildTestbed();
+    return bugs;
+}
+
+const TestbedBug &
+bugById(const std::string &id)
+{
+    for (const auto &bug : testbedBugs())
+        if (bug.id == id)
+            return bug;
+    fatal("unknown testbed bug '%s'", id.c_str());
+}
+
+elab::ElabResult
+buildDesign(const TestbedBug &bug, bool buggy)
+{
+    std::map<std::string, std::string> defines;
+    if (buggy)
+        defines[bug.bugDefine] = "";
+    hdl::Design design = hdl::parseWithDefines(
+        designSource(bug.designName), defines, bug.designName + ".v");
+    return elab::elaborate(design, bug.designName);
+}
+
+} // namespace hwdbg::bugs

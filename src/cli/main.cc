@@ -1,0 +1,353 @@
+/**
+ * @file
+ * hwdbg command-line driver.
+ *
+ * Exposes the library's debugging tools over Verilog files:
+ *
+ *   hwdbg parse      <file> [--top M] [--define NAME]...
+ *   hwdbg fsm        <file> [--top M]
+ *   hwdbg deps       <file> --var V [--cycles K] [--top M]
+ *   hwdbg signalcat  <file> [--depth N] [--arm SIG] [--stop SIG]
+ *                    [--pre-trigger] [--top M]
+ *   hwdbg losscheck  <file> --source S --valid V --sink K [--top M]
+ *   hwdbg resources  <file> [--platform HARP|KC705] [--top M]
+ *   hwdbg timing     <file> [--target MHZ] [--top M]
+ *   hwdbg testbed    list | emit <bug-id> [--fixed]
+ *
+ * Instrumentation commands print the instrumented Verilog on stdout so
+ * it can be fed to a simulator or synthesis flow.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/fsm_detect.hh"
+#include "bugbase/designs.hh"
+#include "bugbase/testbed.hh"
+#include "common/logging.hh"
+#include "core/dep_monitor.hh"
+#include "core/fsm_monitor.hh"
+#include "core/losscheck.hh"
+#include "core/signalcat.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/preproc.hh"
+#include "hdl/printer.hh"
+#include "synth/platform.hh"
+#include "synth/resources.hh"
+#include "synth/timing.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+struct Args
+{
+    std::string command;
+    std::string file;
+    std::map<std::string, std::string> options;
+    std::vector<std::string> positional;
+    std::map<std::string, std::string> defines;
+    bool flag(const std::string &name) const
+    {
+        return options.count(name) != 0;
+    }
+    std::string
+    opt(const std::string &name, const std::string &def = "") const
+    {
+        auto it = options.find(name);
+        return it == options.end() ? def : it->second;
+    }
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+        "usage: hwdbg <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  parse <file>                      check and pretty-print\n"
+        "  fsm <file>                        detect state machines\n"
+        "  deps <file> --var V [--cycles K]  dependency chain of V\n"
+        "  signalcat <file> [--depth N] [--arm SIG] [--stop SIG]\n"
+        "            [--pre-trigger]         convert $display to a\n"
+        "                                    recording IP\n"
+        "  losscheck <file> --source S --valid V --sink K\n"
+        "                                    instrument for data-loss\n"
+        "                                    localization\n"
+        "  resources <file> [--platform P]   estimate FPGA resources\n"
+        "  timing <file> [--target MHZ]      estimate Fmax\n"
+        "  testbed list                      list the 20 testbed bugs\n"
+        "  testbed emit <id> [--fixed]       print a testbed design\n"
+        "\n"
+        "common options:\n"
+        "  --top M          top module (default: the only/first one)\n"
+        "  --define NAME    preprocessor define (repeatable)\n");
+    std::exit(2);
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        usage();
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+            std::string name = arg.substr(2);
+            bool takes_value =
+                name == "top" || name == "var" || name == "cycles" ||
+                name == "depth" || name == "arm" || name == "stop" ||
+                name == "source" || name == "valid" || name == "sink" ||
+                name == "platform" || name == "target" ||
+                name == "define";
+            std::string value;
+            if (takes_value) {
+                if (i + 1 >= argc)
+                    fatal("option --%s needs a value", name.c_str());
+                value = argv[++i];
+            }
+            if (name == "define")
+                args.defines[value] = "";
+            else
+                args.options[name] = value;
+        } else if (args.file.empty() && args.command != "testbed") {
+            args.file = arg;
+        } else {
+            args.positional.push_back(arg);
+        }
+    }
+    return args;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+elab::ElabResult
+load(const Args &args)
+{
+    if (args.file.empty())
+        fatal("no input file (see 'hwdbg' for usage)");
+    hdl::Design design = hdl::parseWithDefines(readFile(args.file),
+                                               args.defines, args.file);
+    if (design.modules.empty())
+        fatal("'%s' contains no modules", args.file.c_str());
+    std::string top = args.opt("top", design.modules.back()->name);
+    return elab::elaborate(design, top);
+}
+
+int
+cmdParse(const Args &args)
+{
+    hdl::Design design = hdl::parseWithDefines(readFile(args.file),
+                                               args.defines, args.file);
+    std::fputs(hdl::printDesign(design).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdFsm(const Args &args)
+{
+    auto elaborated = load(args);
+    auto fsms = analysis::detectFsms(*elaborated.mod);
+    if (fsms.empty()) {
+        std::printf("no state machines detected\n");
+        return 0;
+    }
+    for (const auto &fsm : fsms) {
+        std::printf("FSM %s (clock %s, %zu states)\n",
+                    fsm.stateVar.c_str(), fsm.clock.c_str(),
+                    fsm.states.size());
+        for (const auto &trans : fsm.transitions) {
+            std::string from =
+                trans.fromState
+                    ? core::stateName(fsm.stateVar,
+                                      trans.fromState->toU64(),
+                                      elaborated.constants)
+                    : std::string("*");
+            std::printf("  %s -> %s when %s\n", from.c_str(),
+                        core::stateName(fsm.stateVar,
+                                        trans.toState.toU64(),
+                                        elaborated.constants).c_str(),
+                        hdl::printExpr(trans.cond).c_str());
+        }
+    }
+    return 0;
+}
+
+int
+cmdDeps(const Args &args)
+{
+    auto elaborated = load(args);
+    core::DepMonitorOptions opts;
+    opts.variable = args.opt("var");
+    if (opts.variable.empty())
+        fatal("deps requires --var");
+    opts.cycles = std::atoi(args.opt("cycles", "4").c_str());
+    auto result = core::applyDepMonitor(*elaborated.mod, opts);
+    std::printf("dependency chain of %s (within %d cycles):\n",
+                opts.variable.c_str(), opts.cycles);
+    for (const auto &[reg, dist] : result.chain)
+        std::printf("  %-24s %d cycle%s away\n", reg.c_str(), dist,
+                    dist == 1 ? "" : "s");
+    std::printf("\n// instrumented design (%d generated lines):\n",
+                result.generatedLines);
+    std::fputs(hdl::printModule(*result.module).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdSignalcat(const Args &args)
+{
+    auto elaborated = load(args);
+    core::SignalCatOptions opts;
+    opts.bufferDepth = static_cast<uint32_t>(
+        std::atoi(args.opt("depth", "8192").c_str()));
+    opts.armSignal = args.opt("arm");
+    opts.stopSignal = args.opt("stop");
+    opts.preTrigger = args.flag("pre-trigger");
+    auto result = core::applySignalCat(*elaborated.mod, opts);
+    std::fprintf(stderr,
+                 "signalcat: %zu statements, %u-bit entries, %d "
+                 "generated lines\n",
+                 result.plan.statements.size(), result.plan.entryWidth,
+                 result.generatedLines);
+    std::fputs(hdl::printModule(*result.module).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdLosscheck(const Args &args)
+{
+    auto elaborated = load(args);
+    core::LossCheckOptions opts;
+    opts.source = args.opt("source");
+    opts.sourceValid = args.opt("valid");
+    opts.sink = args.opt("sink");
+    if (opts.source.empty() || opts.sourceValid.empty() ||
+        opts.sink.empty())
+        fatal("losscheck requires --source, --valid, and --sink");
+    auto result = core::applyLossCheck(*elaborated.mod, opts);
+    std::fprintf(stderr, "losscheck: path {");
+    for (const auto &name : result.onPath)
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, " }, %zu instrumented registers, %d "
+                 "generated lines\n",
+                 result.instrumented.size(), result.generatedLines);
+    std::fputs(hdl::printModule(*result.module).c_str(), stdout);
+    return 0;
+}
+
+int
+cmdResources(const Args &args)
+{
+    auto elaborated = load(args);
+    synth::ResourceUsage usage =
+        synth::estimateResources(*elaborated.mod);
+    const synth::Platform &platform =
+        synth::platformByName(args.opt("platform", "KC705"));
+    synth::NormalizedUsage pct = synth::normalize(usage, platform);
+    std::printf("block RAM : %.0f bits (%.4f%% of %s)\n",
+                usage.bramBits, pct.bramPct, platform.name.c_str());
+    std::printf("registers : %llu (%.4f%%)\n",
+                (unsigned long long)usage.registers, pct.registersPct);
+    std::printf("logic     : %llu (%.4f%%)\n",
+                (unsigned long long)usage.logic, pct.logicPct);
+    return 0;
+}
+
+int
+cmdTiming(const Args &args)
+{
+    auto elaborated = load(args);
+    synth::TimingReport report =
+        synth::estimateTiming(*elaborated.mod);
+    std::printf("critical path : %.3f ns (through %s)\n",
+                report.criticalPathNs, report.criticalSignal.c_str());
+    std::printf("Fmax          : %.1f MHz\n", report.fmaxMhz);
+    std::string target = args.opt("target");
+    if (!target.empty()) {
+        double mhz = std::atof(target.c_str());
+        std::printf("target %.0f MHz : %s\n", mhz,
+                    synth::meetsTarget(report, mhz) ? "met" : "MISSED");
+        return synth::meetsTarget(report, mhz) ? 0 : 1;
+    }
+    return 0;
+}
+
+int
+cmdTestbed(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("testbed requires 'list' or 'emit <id>'");
+    if (args.positional[0] == "list") {
+        for (const auto &bug : bugs::testbedBugs())
+            std::printf("%-4s %-27s %-22s %-8s %s\n", bug.id.c_str(),
+                        bug.subclass.c_str(), bug.application.c_str(),
+                        bug.platform.c_str(),
+                        bug.rootCauseNote.c_str());
+        return 0;
+    }
+    if (args.positional[0] == "emit") {
+        if (args.positional.size() < 2)
+            fatal("testbed emit requires a bug id");
+        const auto &bug = bugs::bugById(args.positional[1]);
+        std::map<std::string, std::string> defines;
+        if (!args.flag("fixed"))
+            defines[bug.bugDefine] = "";
+        std::fputs(hdl::preprocess(bugs::designSource(bug.designName),
+                                   defines, bug.designName + ".v")
+                       .c_str(),
+                   stdout);
+        return 0;
+    }
+    fatal("unknown testbed subcommand '%s'",
+          args.positional[0].c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        Args args = parseArgs(argc, argv);
+        if (args.command == "parse")
+            return cmdParse(args);
+        if (args.command == "fsm")
+            return cmdFsm(args);
+        if (args.command == "deps")
+            return cmdDeps(args);
+        if (args.command == "signalcat")
+            return cmdSignalcat(args);
+        if (args.command == "losscheck")
+            return cmdLosscheck(args);
+        if (args.command == "resources")
+            return cmdResources(args);
+        if (args.command == "timing")
+            return cmdTiming(args);
+        if (args.command == "testbed")
+            return cmdTestbed(args);
+        usage();
+    } catch (const HdlError &err) {
+        std::fprintf(stderr, "hwdbg: %s\n", err.what());
+        return 1;
+    }
+}

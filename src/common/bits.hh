@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Arbitrary-width two-state bit vector used throughout hwdbg.
+ *
+ * A Bits value models a Verilog vector of a fixed width (>= 1). Values are
+ * stored little-endian in 64-bit words and are always kept canonical: bits
+ * above the declared width are zero. All arithmetic is unsigned and modulo
+ * 2^width, matching two-state Verilog semantics for unsigned vectors.
+ */
+
+#ifndef HWDBG_COMMON_BITS_HH
+#define HWDBG_COMMON_BITS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwdbg
+{
+
+class Bits
+{
+  public:
+    /** Construct a 1-bit zero. */
+    Bits() : width_(1), words_(1, 0) {}
+
+    /** Construct a vector of @p width bits holding @p value (truncated). */
+    explicit Bits(uint32_t width, uint64_t value = 0);
+
+    /** Parse a Verilog-style literal body, e.g. "8'hff", "12", "4'b1010".
+     *  @param sized set to true when the literal carried an explicit width.
+     */
+    static Bits parseVerilog(const std::string &text, bool *sized = nullptr);
+
+    /** A vector of @p width bits, all ones. */
+    static Bits allOnes(uint32_t width);
+
+    uint32_t width() const { return width_; }
+
+    /** Low 64 bits of the value. */
+    uint64_t toU64() const { return words_[0]; }
+
+    bool isZero() const;
+    bool isAllOnes() const;
+
+    /** Read a single bit; out-of-range reads return 0 (Verilog 2-state). */
+    bool bit(uint32_t idx) const;
+
+    /** Write a single bit; out-of-range writes are ignored. */
+    void setBit(uint32_t idx, bool value);
+
+    /** Extract bits [msb:lsb] (inclusive); out-of-range bits read as 0. */
+    Bits slice(uint32_t msb, uint32_t lsb) const;
+
+    /** Assign @p value into bits [msb:lsb]; out-of-range bits dropped. */
+    void setSlice(uint32_t msb, uint32_t lsb, const Bits &value);
+
+    /** Zero-extend or truncate to @p new_width. */
+    Bits resized(uint32_t new_width) const;
+
+    /** {this, rhs} concatenation: this becomes the high part. */
+    Bits concat(const Bits &low) const;
+
+    /** {count{this}} replication. */
+    Bits replicate(uint32_t count) const;
+
+    Bits add(const Bits &rhs) const;
+    Bits sub(const Bits &rhs) const;
+    Bits mul(const Bits &rhs) const;
+    /** Unsigned division; division by zero yields all-ones (like x). */
+    Bits divu(const Bits &rhs) const;
+    /** Unsigned remainder; modulo zero yields all-ones (like x). */
+    Bits modu(const Bits &rhs) const;
+
+    Bits bitAnd(const Bits &rhs) const;
+    Bits bitOr(const Bits &rhs) const;
+    Bits bitXor(const Bits &rhs) const;
+    Bits bitNot() const;
+
+    /** Two's-complement negation at this width. */
+    Bits negate() const;
+
+    Bits shl(uint64_t amount) const;
+    Bits shr(uint64_t amount) const;
+
+    bool redAnd() const { return isAllOnes(); }
+    bool redOr() const { return !isZero(); }
+    bool redXor() const;
+
+    /** Unsigned comparison: -1, 0, or 1. */
+    int compare(const Bits &rhs) const;
+
+    bool operator==(const Bits &rhs) const;
+    bool operator!=(const Bits &rhs) const { return !(*this == rhs); }
+
+    /** Count of set bits. */
+    uint32_t popcount() const;
+
+    std::string toHexString() const;
+    std::string toBinString() const;
+    std::string toDecString() const;
+
+    /** Verilog literal form, e.g. 8'hff. */
+    std::string toVerilog() const;
+
+  private:
+    void normalize();
+    static uint32_t wordsFor(uint32_t width) { return (width + 63) / 64; }
+
+    uint32_t width_;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace hwdbg
+
+#endif // HWDBG_COMMON_BITS_HH

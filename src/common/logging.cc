@@ -1,0 +1,90 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace hwdbg
+{
+
+namespace
+{
+bool quietMode = false;
+} // namespace
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+std::string
+csprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string result = vcsprintf(fmt, args);
+    va_end(args);
+    return result;
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    throw HdlError(msg);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (quietMode)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vcsprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietMode = quiet;
+}
+
+} // namespace hwdbg

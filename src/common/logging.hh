@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 spirit.
+ *
+ * panic()  -- an internal invariant of hwdbg itself was violated.
+ * fatal()  -- the user's input (HDL source, tool configuration, workload)
+ *             cannot be processed; raised as HdlError so library users can
+ *             catch and report it.
+ * warn()/inform() -- advisory messages on stderr.
+ */
+
+#ifndef HWDBG_COMMON_LOGGING_HH
+#define HWDBG_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <stdexcept>
+#include <string>
+
+namespace hwdbg
+{
+
+/** printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+/**
+ * Error raised for any condition caused by the tool user: malformed HDL,
+ * unknown signal names, bad tool configuration, and the like.
+ */
+class HdlError : public std::runtime_error
+{
+  public:
+    explicit HdlError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raise an HdlError; never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Abort with a message; used for internal hwdbg bugs. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr (prefixed "warn: "). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr (prefixed "info: "). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+
+} // namespace hwdbg
+
+#endif // HWDBG_COMMON_LOGGING_HH

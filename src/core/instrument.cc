@@ -1,0 +1,114 @@
+#include "core/instrument.hh"
+
+#include "analysis/guards.hh"
+#include "common/logging.hh"
+#include "hdl/printer.hh"
+
+namespace hwdbg::core
+{
+
+using namespace hdl;
+
+std::string
+designClock(const Module &mod)
+{
+    for (const auto &item : mod.items) {
+        if (item->kind != ItemKind::Always)
+            continue;
+        const auto *proc = item->as<AlwaysItem>();
+        if (proc->isComb)
+            continue;
+        std::string clock = analysis::processClock(*proc);
+        if (!clock.empty())
+            return clock;
+    }
+    return "clk";
+}
+
+InstrumentBuilder::InstrumentBuilder(const Module &original)
+    : mod_(cloneModule(original)),
+      originalLines_(countCodeLines(printModule(original)))
+{
+}
+
+std::string
+InstrumentBuilder::fresh(const std::string &prefix)
+{
+    return prefix + "_" + std::to_string(counter_++);
+}
+
+void
+InstrumentBuilder::addReg(const std::string &name, uint32_t width)
+{
+    if (mod_->findNet(name))
+        fatal("instrumentation name clash: '%s'", name.c_str());
+    auto net = std::make_shared<NetItem>();
+    net->net = NetKind::Reg;
+    net->name = name;
+    if (width > 1)
+        net->range = AstRange{mkNum(Bits(32, width - 1), false),
+                              mkNum(Bits(32, 0), false)};
+    mod_->items.push_back(net);
+}
+
+void
+InstrumentBuilder::addWire(const std::string &name, uint32_t width)
+{
+    if (mod_->findNet(name))
+        fatal("instrumentation name clash: '%s'", name.c_str());
+    auto net = std::make_shared<NetItem>();
+    net->net = NetKind::Wire;
+    net->name = name;
+    if (width > 1)
+        net->range = AstRange{mkNum(Bits(32, width - 1), false),
+                              mkNum(Bits(32, 0), false)};
+    mod_->items.push_back(net);
+}
+
+void
+InstrumentBuilder::addAssign(ExprPtr lhs, ExprPtr rhs)
+{
+    auto assign = std::make_shared<ContAssignItem>();
+    assign->lhs = std::move(lhs);
+    assign->rhs = std::move(rhs);
+    mod_->items.push_back(assign);
+}
+
+void
+InstrumentBuilder::addClockedStmt(const std::string &clock, StmtPtr stmt)
+{
+    for (auto &[existing_clock, stmts] : clockedStmts_) {
+        if (existing_clock == clock) {
+            stmts.push_back(std::move(stmt));
+            return;
+        }
+    }
+    clockedStmts_.push_back({clock, {std::move(stmt)}});
+}
+
+void
+InstrumentBuilder::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    for (auto &[clock, stmts] : clockedStmts_) {
+        auto always = std::make_shared<AlwaysItem>();
+        always->sens.push_back(SensItem{EdgeKind::Posedge, clock});
+        auto block = std::make_shared<BlockStmt>();
+        block->stmts = std::move(stmts);
+        always->body = block;
+        mod_->items.push_back(always);
+    }
+    clockedStmts_.clear();
+}
+
+int
+InstrumentBuilder::generatedLines() const
+{
+    if (!finished_)
+        panic("generatedLines() before finish()");
+    return countCodeLines(printModule(*mod_)) - originalLines_;
+}
+
+} // namespace hwdbg::core

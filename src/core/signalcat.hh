@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SignalCat: unified logging for simulation and on-FPGA debugging (§4.1).
+ *
+ * SignalCat gives every other tool (and the developer) a single logging
+ * interface: "printf"-like $display statements embedded in the HDL. In
+ * simulation they execute natively. For an FPGA deployment SignalCat
+ * statically extracts each statement's arguments and path constraint,
+ * removes the unsynthesizable $display, and generates an instance of a
+ * vendor recording IP (modelled by the signal_recorder primitive) that
+ * captures, per cycle, one enable bit per statement plus all statements'
+ * argument bits whenever at least one path constraint holds. After the
+ * run, reconstructLog() turns the captured entries back into the exact
+ * log the simulation would have printed.
+ */
+
+#ifndef HWDBG_CORE_SIGNALCAT_HH
+#define HWDBG_CORE_SIGNALCAT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "sim/primitives.hh"
+
+namespace hwdbg::core
+{
+
+struct SignalCatOptions
+{
+    /** Recording buffer depth in entries (the paper's default: 8192). */
+    uint32_t bufferDepth = 8192;
+    /**
+     * Optional start event: recording is enabled while this 1-bit
+     * signal is high (empty = record always) - e.g. "when the first
+     * packet arrives" (§4.1).
+     */
+    std::string armSignal;
+    /**
+     * Optional stop event: the first cycle this 1-bit signal is high
+     * freezes the captured window - e.g. "when an assertion is
+     * triggered" (§4.1).
+     */
+    std::string stopSignal;
+    /**
+     * Capture window placement (§4.1): false = the first bufferDepth
+     * records after arming (post-trigger); true = a ring buffer holding
+     * the last bufferDepth records before the stop event (pre-trigger).
+     */
+    bool preTrigger = false;
+    std::string recorderInstance = "u_signalcat_rec";
+};
+
+/** Layout of one $display statement inside a recorder entry. */
+struct SignalCatStatement
+{
+    std::string format;
+    /** MSB/LSB of each argument within the entry, argument order. */
+    std::vector<std::pair<uint32_t, uint32_t>> argSlices;
+    /** Bit position of this statement's enable flag. */
+    uint32_t enableBit = 0;
+};
+
+struct SignalCatPlan
+{
+    std::vector<SignalCatStatement> statements;
+    uint32_t entryWidth = 0;
+    std::string recorderInstance;
+    uint32_t bufferDepth = 0;
+};
+
+struct SignalCatResult
+{
+    /** Module with $display replaced by recording logic. */
+    hdl::ModulePtr module;
+    SignalCatPlan plan;
+    /** Lines of Verilog SignalCat generated. */
+    int generatedLines = 0;
+};
+
+/**
+ * Instrument @p mod for on-FPGA logging. All $display statements in
+ * clocked processes are converted; the result simulates with an empty
+ * $display log and a populated recorder instead.
+ */
+SignalCatResult applySignalCat(const hdl::Module &mod,
+                               const SignalCatOptions &opts = {});
+
+/** Rebuild the textual log from a recorder's captured entries. */
+std::vector<sim::EvalContext::LogLine>
+reconstructLog(const sim::SignalRecorder &recorder,
+               const SignalCatPlan &plan);
+
+} // namespace hwdbg::core
+
+#endif // HWDBG_CORE_SIGNALCAT_HH

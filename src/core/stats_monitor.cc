@@ -1,0 +1,85 @@
+#include "core/stats_monitor.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "core/instrument.hh"
+
+namespace hwdbg::core
+{
+
+using namespace hdl;
+
+StatsEvent
+statsEvent(const std::string &name, const std::string &signal_name)
+{
+    return StatsEvent{name, mkId(signal_name)};
+}
+
+std::string
+StatsMonitorResult::counterSignal(const std::string &event_name)
+{
+    return "__stat_cnt_" + event_name;
+}
+
+StatsMonitorResult
+applyStatsMonitor(const Module &mod, const StatsMonitorOptions &opts)
+{
+    InstrumentBuilder builder(mod);
+    std::string clock = designClock(mod);
+
+    for (const auto &event : opts.events) {
+        std::string counter =
+            StatsMonitorResult::counterSignal(event.name);
+        builder.addReg(counter, opts.counterWidth);
+
+        // if (event) begin cnt <= cnt + 1; $display(...); end
+        auto bump = std::make_shared<AssignStmt>();
+        bump->lhs = mkId(counter);
+        bump->rhs = mkBinary(BinaryOp::Add, mkId(counter),
+                             mkNum(Bits(opts.counterWidth, 1)));
+        bump->nonblocking = true;
+
+        auto block = std::make_shared<BlockStmt>();
+        block->stmts.push_back(bump);
+        if (opts.logChanges) {
+            auto disp = std::make_shared<DisplayStmt>();
+            disp->format = "[Stat] " + event.name + " = %d";
+            disp->args.push_back(
+                mkBinary(BinaryOp::Add, mkId(counter),
+                         mkNum(Bits(opts.counterWidth, 1))));
+            block->stmts.push_back(disp);
+        }
+
+        auto branch = std::make_shared<IfStmt>();
+        branch->cond = cloneExpr(event.signal);
+        branch->thenStmt = block;
+        builder.addClockedStmt(clock, branch);
+    }
+
+    builder.finish();
+    StatsMonitorResult result;
+    result.module = builder.module();
+    result.generatedLines = builder.generatedLines();
+    return result;
+}
+
+std::map<std::string, uint64_t>
+statCounts(const std::vector<sim::EvalContext::LogLine> &log)
+{
+    std::map<std::string, uint64_t> counts;
+    const std::string prefix = "[Stat] ";
+    for (const auto &line : log) {
+        if (line.text.rfind(prefix, 0) != 0)
+            continue;
+        std::string body = line.text.substr(prefix.size());
+        size_t eq = body.find(" = ");
+        if (eq == std::string::npos)
+            continue;
+        counts[body.substr(0, eq)] =
+            std::strtoull(body.substr(eq + 3).c_str(), nullptr, 10);
+    }
+    return counts;
+}
+
+} // namespace hwdbg::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Statistics Monitor: event counters for debugging (§4.4).
+ *
+ * Generates a counter per developer-specified single-bit event signal
+ * plus logging code that emits a message whenever a count changes. The
+ * typical use is localizing data loss or anomaly to a circuit region by
+ * comparing related counters (e.g. valid inputs received vs. valid
+ * outputs produced) without recording full data values every cycle.
+ */
+
+#ifndef HWDBG_CORE_STATS_MONITOR_HH
+#define HWDBG_CORE_STATS_MONITOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "sim/eval.hh"
+
+namespace hwdbg::core
+{
+
+/** One event to count: a name and a 1-bit expression over the design. */
+struct StatsEvent
+{
+    std::string name;
+    hdl::ExprPtr signal;
+};
+
+/** Convenience: event on a plain signal. */
+StatsEvent statsEvent(const std::string &name,
+                      const std::string &signal_name);
+
+struct StatsMonitorOptions
+{
+    std::vector<StatsEvent> events;
+    /** Counter width in bits. */
+    uint32_t counterWidth = 32;
+    /** Emit a log message on every change (can be disabled to keep only
+     *  the final counter values readable via counterSignal()). */
+    bool logChanges = true;
+};
+
+struct StatsMonitorResult
+{
+    hdl::ModulePtr module;
+    int generatedLines = 0;
+
+    /** Name of the generated counter register for an event. */
+    static std::string counterSignal(const std::string &event_name);
+};
+
+StatsMonitorResult applyStatsMonitor(const hdl::Module &mod,
+                                     const StatsMonitorOptions &opts);
+
+/** Final counts parsed from a log (last reported value per event). */
+std::map<std::string, uint64_t>
+statCounts(const std::vector<sim::EvalContext::LogLine> &log);
+
+} // namespace hwdbg::core
+
+#endif // HWDBG_CORE_STATS_MONITOR_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Elaboration: turn a multi-module Design into one flat Module.
+ *
+ * Elaboration resolves all parameters to constants, folds constant
+ * expressions in declarations, and recursively inlines non-primitive
+ * module instances, renaming every inner identifier to
+ * "<inst>__<name>". Blackbox primitives (vendor IPs modelled by the
+ * simulator: scfifo, dcfifo, altsyncram, signal_recorder) are retained as
+ * instances with fully-resolved parameter values.
+ *
+ * The debugging tools operate on the flat module this pass produces, the
+ * same way the paper's tools operate on Verilator's inlined ASTs.
+ */
+
+#ifndef HWDBG_ELAB_ELABORATE_HH
+#define HWDBG_ELAB_ELABORATE_HH
+
+#include <map>
+#include <string>
+
+#include "hdl/ast.hh"
+
+namespace hwdbg::elab
+{
+
+/** True for blackbox IPs understood by the simulator. */
+bool isPrimitive(const std::string &module_name);
+
+/**
+ * Evaluate a constant expression.
+ *
+ * @param expr Expression made of literals, parameters in @p env, and
+ *             operators.
+ * @param env Name -> value bindings (parameters).
+ * @return The value; raises HdlError for non-constant expressions.
+ */
+Bits evalConst(const hdl::ExprPtr &expr,
+               const std::map<std::string, Bits> &env);
+
+/** Result of elaboration. */
+struct ElabResult
+{
+    hdl::ModulePtr mod;
+    /**
+     * Values of every parameter/localparam encountered, keyed by the
+     * flattened name (e.g. "u_sub__WR_DATA"). Tools use this to map
+     * numeric values (such as FSM states) back to symbolic names.
+     */
+    std::map<std::string, Bits> constants;
+};
+
+/**
+ * Elaborate @p top (and everything it instantiates) into a single flat
+ * module. @p overrides provides top-level parameter values.
+ */
+ElabResult elaborate(const hdl::Design &design, const std::string &top,
+                     const std::map<std::string, Bits> &overrides = {});
+
+} // namespace hwdbg::elab
+
+#endif // HWDBG_ELAB_ELABORATE_HH

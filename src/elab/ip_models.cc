@@ -1,0 +1,94 @@
+#include "elab/ip_models.hh"
+
+#include <map>
+
+namespace hwdbg::elab
+{
+
+namespace
+{
+
+std::map<std::string, IpModel> &
+registry()
+{
+    static std::map<std::string, IpModel> models = [] {
+        std::map<std::string, IpModel> out;
+
+        IpModel scfifo;
+        scfifo.name = "scfifo";
+        scfifo.outputs = {"q", "empty", "full", "usedw"};
+        scfifo.clockPorts = {"clock"};
+        scfifo.simulatable = true;
+        for (const char *output : {"q", "empty", "full", "usedw"})
+            for (const char *input : {"wrreq", "rdreq", "sclr"})
+                scfifo.deps.push_back(IpPortDep{output, input, false});
+        scfifo.deps.push_back(IpPortDep{"q", "data", true});
+        scfifo.dataPaths.push_back(
+            IpDataPath{"data", "q",
+                       {{"wrreq", false}, {"full", true}}});
+        out[scfifo.name] = scfifo;
+
+        IpModel dcfifo;
+        dcfifo.name = "dcfifo";
+        dcfifo.outputs = {"q", "rdempty", "wrfull", "wrusedw"};
+        dcfifo.clockPorts = {"wrclk", "rdclk"};
+        dcfifo.simulatable = true;
+        for (const char *output :
+             {"q", "rdempty", "wrfull", "wrusedw"})
+            for (const char *input : {"wrreq", "rdreq"})
+                dcfifo.deps.push_back(IpPortDep{output, input, false});
+        dcfifo.deps.push_back(IpPortDep{"q", "data", true});
+        dcfifo.dataPaths.push_back(
+            IpDataPath{"data", "q",
+                       {{"wrreq", false}, {"wrfull", true}}});
+        out[dcfifo.name] = dcfifo;
+
+        IpModel ram;
+        ram.name = "altsyncram";
+        ram.outputs = {"q_b"};
+        ram.clockPorts = {"clock0"};
+        ram.simulatable = true;
+        ram.deps.push_back(IpPortDep{"q_b", "data_a", true});
+        ram.deps.push_back(IpPortDep{"q_b", "wren_a", false});
+        ram.deps.push_back(IpPortDep{"q_b", "address_a", false});
+        ram.deps.push_back(IpPortDep{"q_b", "address_b", false});
+        ram.dataPaths.push_back(
+            IpDataPath{"data_a", "q_b", {{"wren_a", false}}});
+        out[ram.name] = ram;
+
+        IpModel recorder;
+        recorder.name = "signal_recorder";
+        recorder.clockPorts = {"clk"};
+        recorder.simulatable = true;
+        out[recorder.name] = recorder;
+
+        return out;
+    }();
+    return models;
+}
+
+} // namespace
+
+const IpModel *
+lookupIpModel(const std::string &name)
+{
+    auto it = registry().find(name);
+    return it == registry().end() ? nullptr : &it->second;
+}
+
+void
+registerIpModel(IpModel model)
+{
+    registry()[model.name] = std::move(model);
+}
+
+std::vector<std::string>
+registeredIpNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, model] : registry())
+        names.push_back(name);
+    return names;
+}
+
+} // namespace hwdbg::elab

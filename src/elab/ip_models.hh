@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Blackbox IP dependency models (§4.3, §4.5.1).
+ *
+ * Dependency Monitor and LossCheck cannot see inside closed-source IPs,
+ * so developers provide a model describing the relationship between an
+ * IP's inputs and outputs: which output ports depend on which input
+ * ports (control vs. data), and under what port-level condition a data
+ * input propagates to a data output. Models are registered once and
+ * reused across every project instantiating the IP.
+ *
+ * Models for the IPs used by the testbed (altsyncram, scfifo, dcfifo)
+ * and for SignalCat's signal_recorder are built in, mirroring the
+ * paper's three IP models (§5).
+ */
+
+#ifndef HWDBG_ELAB_IP_MODELS_HH
+#define HWDBG_ELAB_IP_MODELS_HH
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace hwdbg::elab
+{
+
+/** One output-depends-on-input edge of a blackbox IP. */
+struct IpPortDep
+{
+    std::string out;
+    std::string in;
+    /** True when the input's *value* flows to the output; false for
+     *  control inputs (requests, enables, clears). */
+    bool isData = false;
+};
+
+/**
+ * A value path through the IP with its propagation condition: data on
+ * port @p in reaches port @p out when every term holds. A term names a
+ * port; a negated term means the port must be low (e.g. a FIFO push
+ * succeeds when wrreq && !full).
+ */
+struct IpDataPath
+{
+    std::string in;
+    std::string out;
+    struct Term
+    {
+        std::string port;
+        bool negated = false;
+    };
+    std::vector<Term> condTerms;
+};
+
+struct IpModel
+{
+    std::string name;
+    /** Output ports (everything else connected is an input). */
+    std::set<std::string> outputs;
+    /** Ports the simulator samples edges on. */
+    std::vector<std::string> clockPorts;
+    std::vector<IpPortDep> deps;
+    std::vector<IpDataPath> dataPaths;
+    /**
+     * True when the simulator has a behavioral implementation (the
+     * four built-ins). Analysis-only models can be registered for IPs
+     * whose designs are analyzed but never simulated here.
+     */
+    bool simulatable = false;
+};
+
+/** Model for @p name, or nullptr when none is registered. */
+const IpModel *lookupIpModel(const std::string &name);
+
+/**
+ * Register (or replace) a model. Registering a model makes instances
+ * of the IP survive elaboration as blackboxes; simulation additionally
+ * requires a behavioral Primitive, which only the built-ins have.
+ */
+void registerIpModel(IpModel model);
+
+/** Names of all registered models (built-ins included). */
+std::vector<std::string> registeredIpNames();
+
+} // namespace hwdbg::elab
+
+#endif // HWDBG_ELAB_IP_MODELS_HH

@@ -1,0 +1,298 @@
+#include "hdl/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hwdbg::hdl
+{
+
+namespace
+{
+
+const std::map<std::string, TokKind> keywords = {
+    {"module", TokKind::KwModule},
+    {"endmodule", TokKind::KwEndmodule},
+    {"input", TokKind::KwInput},
+    {"output", TokKind::KwOutput},
+    {"inout", TokKind::KwInout},
+    {"wire", TokKind::KwWire},
+    {"reg", TokKind::KwReg},
+    {"integer", TokKind::KwInteger},
+    {"parameter", TokKind::KwParameter},
+    {"localparam", TokKind::KwLocalparam},
+    {"assign", TokKind::KwAssign},
+    {"always", TokKind::KwAlways},
+    {"posedge", TokKind::KwPosedge},
+    {"negedge", TokKind::KwNegedge},
+    {"or", TokKind::KwOr},
+    {"begin", TokKind::KwBegin},
+    {"end", TokKind::KwEnd},
+    {"if", TokKind::KwIf},
+    {"else", TokKind::KwElse},
+    {"case", TokKind::KwCase},
+    {"casez", TokKind::KwCasez},
+    {"endcase", TokKind::KwEndcase},
+    {"default", TokKind::KwDefault},
+};
+
+class Lexer
+{
+  public:
+    Lexer(const std::string &source, const std::string &file)
+        : src_(source), file_(file)
+    {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> tokens;
+        while (true) {
+            skipSpaceAndComments();
+            Token tok = next();
+            tokens.push_back(tok);
+            if (tok.kind == TokKind::Eof)
+                break;
+        }
+        return tokens;
+    }
+
+  private:
+    char peek(size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        ++pos_;
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+
+    SourceLoc here() const { return SourceLoc{file_, line_, col_}; }
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("%s:%d:%d: %s", file_.c_str(), line_, col_, msg.c_str());
+    }
+
+    void
+    skipSpaceAndComments()
+    {
+        while (true) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() != '\n' && peek() != '\0')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (peek() == '\0')
+                        error("unterminated block comment");
+                    advance();
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token
+    make(TokKind kind, const SourceLoc &loc, std::string text = "")
+    {
+        Token tok;
+        tok.kind = kind;
+        tok.text = std::move(text);
+        tok.loc = loc;
+        return tok;
+    }
+
+    Token
+    lexNumber(const SourceLoc &loc)
+    {
+        std::string text;
+        auto take_digits = [&] {
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')
+                text.push_back(advance());
+        };
+        // Leading size digits (or the whole number if no base follows).
+        while (std::isdigit(static_cast<unsigned char>(peek())) ||
+               peek() == '_')
+            text.push_back(advance());
+        if (peek() == '\'') {
+            text.push_back(advance());
+            char base = peek();
+            if (base != 'b' && base != 'B' && base != 'd' && base != 'D' &&
+                base != 'h' && base != 'H' && base != 'o' && base != 'O')
+                error("bad literal base");
+            text.push_back(advance());
+            take_digits();
+        }
+        return make(TokKind::Number, loc, text);
+    }
+
+    Token
+    lexString(const SourceLoc &loc)
+    {
+        advance(); // opening quote
+        std::string body;
+        while (true) {
+            char c = peek();
+            if (c == '\0' || c == '\n')
+                error("unterminated string literal");
+            advance();
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                char esc = advance();
+                switch (esc) {
+                  case 'n': body.push_back('\n'); break;
+                  case 't': body.push_back('\t'); break;
+                  case '\\': body.push_back('\\'); break;
+                  case '"': body.push_back('"'); break;
+                  default: body.push_back(esc); break;
+                }
+            } else {
+                body.push_back(c);
+            }
+        }
+        return make(TokKind::String, loc, body);
+    }
+
+    Token
+    next()
+    {
+        SourceLoc loc = here();
+        char c = peek();
+        if (c == '\0')
+            return make(TokKind::Eof, loc);
+
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'')
+            return lexNumber(loc);
+
+        if (c == '"')
+            return lexString(loc);
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string text;
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_' || peek() == '$')
+                text.push_back(advance());
+            auto kw = keywords.find(text);
+            if (kw != keywords.end())
+                return make(kw->second, loc, text);
+            return make(TokKind::Ident, loc, text);
+        }
+
+        if (c == '$') {
+            std::string text;
+            text.push_back(advance());
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_')
+                text.push_back(advance());
+            return make(TokKind::SysName, loc, text);
+        }
+
+        advance();
+        switch (c) {
+          case '(': return make(TokKind::LParen, loc);
+          case ')': return make(TokKind::RParen, loc);
+          case '[': return make(TokKind::LBracket, loc);
+          case ']': return make(TokKind::RBracket, loc);
+          case '{': return make(TokKind::LBrace, loc);
+          case '}': return make(TokKind::RBrace, loc);
+          case ';': return make(TokKind::Semi, loc);
+          case ':': return make(TokKind::Colon, loc);
+          case ',': return make(TokKind::Comma, loc);
+          case '.': return make(TokKind::Dot, loc);
+          case '#': return make(TokKind::Hash, loc);
+          case '@': return make(TokKind::At, loc);
+          case '?': return make(TokKind::Question, loc);
+          case '*': return make(TokKind::Star, loc);
+          case '+': return make(TokKind::Plus, loc);
+          case '-': return make(TokKind::Minus, loc);
+          case '/': return make(TokKind::Slash, loc);
+          case '%': return make(TokKind::Percent, loc);
+          case '~': return make(TokKind::Tilde, loc);
+          case '^': return make(TokKind::Caret, loc);
+          case '&':
+            if (peek() == '&') {
+                advance();
+                return make(TokKind::AmpAmp, loc);
+            }
+            return make(TokKind::Amp, loc);
+          case '|':
+            if (peek() == '|') {
+                advance();
+                return make(TokKind::PipePipe, loc);
+            }
+            return make(TokKind::Pipe, loc);
+          case '!':
+            if (peek() == '=') {
+                advance();
+                return make(TokKind::BangEq, loc);
+            }
+            return make(TokKind::Bang, loc);
+          case '=':
+            if (peek() == '=') {
+                advance();
+                return make(TokKind::EqEq, loc);
+            }
+            return make(TokKind::Assign, loc);
+          case '<':
+            if (peek() == '=') {
+                advance();
+                return make(TokKind::LtEq, loc);
+            }
+            if (peek() == '<') {
+                advance();
+                return make(TokKind::LtLt, loc);
+            }
+            return make(TokKind::Lt, loc);
+          case '>':
+            if (peek() == '=') {
+                advance();
+                return make(TokKind::GtEq, loc);
+            }
+            if (peek() == '>') {
+                advance();
+                return make(TokKind::GtGt, loc);
+            }
+            return make(TokKind::Gt, loc);
+          default:
+            error(csprintf("unexpected character '%c'", c));
+        }
+    }
+
+    const std::string &src_;
+    const std::string file_;
+    size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+tokenize(const std::string &source, const std::string &file)
+{
+    return Lexer(source, file).run();
+}
+
+} // namespace hwdbg::hdl

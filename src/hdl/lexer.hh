@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Lexer for the hwdbg Verilog subset.
+ */
+
+#ifndef HWDBG_HDL_LEXER_HH
+#define HWDBG_HDL_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/token.hh"
+
+namespace hwdbg::hdl
+{
+
+/**
+ * Tokenize preprocessed Verilog text.
+ *
+ * Comments (// and block comments) are skipped. The final token is always
+ * TokKind::Eof. Errors raise HdlError with file:line:col positions.
+ */
+std::vector<Token> tokenize(const std::string &source,
+                            const std::string &file = "<input>");
+
+} // namespace hwdbg::hdl
+
+#endif // HWDBG_HDL_LEXER_HH

@@ -1,0 +1,157 @@
+#include "hdl/preproc.hh"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hwdbg::hdl
+{
+
+namespace
+{
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '$';
+}
+
+/** Extract the identifier starting at @p pos; advances @p pos past it. */
+std::string
+readIdent(const std::string &line, size_t &pos)
+{
+    size_t start = pos;
+    while (pos < line.size() && isIdentChar(line[pos]))
+        ++pos;
+    return line.substr(start, pos - start);
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+} // namespace
+
+std::string
+preprocess(const std::string &source,
+           const std::map<std::string, std::string> &defines,
+           const std::string &file)
+{
+    std::map<std::string, std::string> macros = defines;
+
+    // Condition stack: each entry is (currently-active, any-branch-taken).
+    std::vector<std::pair<bool, bool>> stack;
+    auto active = [&] {
+        for (const auto &[on, taken] : stack)
+            if (!on)
+                return false;
+        return true;
+    };
+
+    std::ostringstream out;
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    bool first = true;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (!first)
+            out << "\n";
+        first = false;
+
+        std::string stripped = trim(line);
+        if (!stripped.empty() && stripped[0] == '`') {
+            size_t pos = 1;
+            std::string directive = readIdent(stripped, pos);
+            std::string rest = trim(stripped.substr(pos));
+
+            if (directive == "define") {
+                if (active()) {
+                    size_t rpos = 0;
+                    while (rpos < rest.size() && !isIdentChar(rest[rpos]))
+                        ++rpos;
+                    std::string name = readIdent(rest, rpos);
+                    if (name.empty())
+                        fatal("%s:%d: `define without a name",
+                              file.c_str(), line_no);
+                    macros[name] = trim(rest.substr(rpos));
+                }
+                continue;
+            }
+            if (directive == "undef") {
+                if (active())
+                    macros.erase(rest);
+                continue;
+            }
+            if (directive == "ifdef" || directive == "ifndef") {
+                bool defined = macros.count(rest) > 0;
+                bool on = directive == "ifdef" ? defined : !defined;
+                stack.emplace_back(on, on);
+                continue;
+            }
+            if (directive == "else") {
+                if (stack.empty())
+                    fatal("%s:%d: `else without `ifdef",
+                          file.c_str(), line_no);
+                auto &[on, taken] = stack.back();
+                on = !taken;
+                taken = true;
+                continue;
+            }
+            if (directive == "endif") {
+                if (stack.empty())
+                    fatal("%s:%d: `endif without `ifdef",
+                          file.c_str(), line_no);
+                stack.pop_back();
+                continue;
+            }
+            if (directive == "timescale" || directive == "default_nettype")
+                continue;
+            // Fall through: a line starting with a macro use.
+        }
+
+        if (!active())
+            continue;
+
+        // Substitute `NAME macro uses (not inside string literals).
+        std::string expanded;
+        bool in_string = false;
+        for (size_t i = 0; i < line.size(); ++i) {
+            char c = line[i];
+            if (c == '"' && (i == 0 || line[i - 1] != '\\'))
+                in_string = !in_string;
+            if (c == '`' && !in_string) {
+                size_t pos = i + 1;
+                std::string name = readIdent(line, pos);
+                auto it = macros.find(name);
+                if (it == macros.end())
+                    fatal("%s:%d: undefined macro `%s",
+                          file.c_str(), line_no, name.c_str());
+                expanded += it->second;
+                i = pos - 1;
+                continue;
+            }
+            expanded.push_back(c);
+        }
+        out << expanded;
+    }
+
+    if (!stack.empty())
+        fatal("%s: unterminated `ifdef", file.c_str());
+    std::string result = out.str();
+    if (!source.empty() && source.back() == '\n')
+        result.push_back('\n');
+    return result;
+}
+
+} // namespace hwdbg::hdl

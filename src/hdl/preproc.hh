@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal Verilog preprocessor.
+ *
+ * Supports `define NAME [value], `undef, `ifdef, `ifndef, `else, `endif,
+ * and object-like macro substitution (`NAME). `timescale and
+ * `default_nettype directives are recognized and discarded. The bug
+ * testbed uses `ifdef BUG_<id> blocks to switch between buggy and fixed
+ * variants of each design.
+ */
+
+#ifndef HWDBG_HDL_PREPROC_HH
+#define HWDBG_HDL_PREPROC_HH
+
+#include <map>
+#include <string>
+
+namespace hwdbg::hdl
+{
+
+/**
+ * Run the preprocessor over @p source.
+ *
+ * @param source Raw Verilog text.
+ * @param defines Externally supplied macro definitions (name -> body).
+ * @param file File name used in diagnostics.
+ * @return Preprocessed text with the same number of lines as the input
+ *         (suppressed lines become empty) so downstream line numbers
+ *         match the original source.
+ */
+std::string preprocess(const std::string &source,
+                       const std::map<std::string, std::string> &defines,
+                       const std::string &file = "<input>");
+
+} // namespace hwdbg::hdl
+
+#endif // HWDBG_HDL_PREPROC_HH

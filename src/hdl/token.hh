@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Token definitions for the hwdbg Verilog-subset lexer.
+ */
+
+#ifndef HWDBG_HDL_TOKEN_HH
+#define HWDBG_HDL_TOKEN_HH
+
+#include <string>
+
+#include "hdl/ast.hh"
+
+namespace hwdbg::hdl
+{
+
+enum class TokKind
+{
+    Eof,
+    Ident,
+    Number,   ///< literal text, e.g. "8'hff" or "42"
+    String,   ///< decoded string body (no quotes)
+    SysName,  ///< $display, $finish, ... (text includes the '$')
+
+    // Keywords.
+    KwModule, KwEndmodule, KwInput, KwOutput, KwInout,
+    KwWire, KwReg, KwInteger,
+    KwParameter, KwLocalparam,
+    KwAssign, KwAlways, KwPosedge, KwNegedge, KwOr,
+    KwBegin, KwEnd, KwIf, KwElse,
+    KwCase, KwCasez, KwEndcase, KwDefault,
+
+    // Punctuation.
+    LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+    Semi, Colon, Comma, Dot, Hash, At, Question, Star,
+
+    // Operators.
+    Plus, Minus, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    AmpAmp, PipePipe,
+    EqEq, BangEq, Lt, LtEq, Gt, GtEq,
+    LtLt, GtGt,
+    Assign,   ///< '='
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Eof;
+    std::string text;
+    SourceLoc loc;
+
+    bool is(TokKind k) const { return kind == k; }
+};
+
+/** Human-readable token kind name (for diagnostics). */
+const char *tokKindName(TokKind kind);
+
+} // namespace hwdbg::hdl
+
+#endif // HWDBG_HDL_TOKEN_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Expression evaluation and lvalue stores over simulator state.
+ *
+ * Widths follow the Verilog context-determined rules: the evaluation
+ * context width (the assignment target / enclosing operator width) is
+ * pushed down through arithmetic, bitwise, shift-left, and conditional
+ * operands, while comparisons, concatenations, selects and reductions are
+ * self-determined boundaries.
+ */
+
+#ifndef HWDBG_SIM_EVAL_HH
+#define HWDBG_SIM_EVAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/design.hh"
+
+namespace hwdbg::sim
+{
+
+/** Mutable simulator state shared by processes and primitives. */
+struct EvalContext
+{
+    explicit EvalContext(const LoweredDesign &design);
+
+    const LoweredDesign &design;
+
+    /** Scalar values by signal id (memories hold a dummy entry). */
+    std::vector<Bits> values;
+    /** Memory contents by signal id (empty vector for scalars). */
+    std::vector<std::vector<Bits>> arrays;
+
+    /** Number of primary clock cycles elapsed (posedges of "clk"). */
+    uint64_t cycle = 0;
+
+    /** Set by applyStore() whenever a store changes a value; the
+     *  simulator's combinational settle loop clears and polls it. */
+    bool valuesChanged = false;
+
+    /** $finish seen. */
+    bool finished = false;
+
+    /** Captured $display output. */
+    struct LogLine
+    {
+        uint64_t cycle;
+        std::string text;
+    };
+    std::vector<LogLine> log;
+};
+
+/**
+ * Evaluate @p expr. @p ctx_width is the context width (0 = use the
+ * expression's self-determined width). The result has width
+ * max(ctx_width, self width) for operators and is resized for leaves.
+ */
+Bits evalExpr(const hdl::ExprPtr &expr, EvalContext &ctx,
+              uint32_t ctx_width = 0);
+
+/** Convenience: evaluate to bool (nonzero). */
+bool evalBool(const hdl::ExprPtr &expr, EvalContext &ctx);
+
+/**
+ * A store target resolved against current state (index expressions are
+ * evaluated at resolution time, which gives nonblocking assignments their
+ * sample-then-commit semantics).
+ */
+struct StoreTarget
+{
+    int sig = -1;
+    /** Memory element index; -1 for scalars. */
+    int64_t element = -1;
+    /** True when the dynamic element index fell outside the memory and
+     *  (by hardware overflow semantics) the write must be dropped. */
+    bool dropped = false;
+    uint32_t msb = 0;
+    uint32_t lsb = 0;
+    /** True when the full signal/element is written. */
+    bool whole = true;
+};
+
+/**
+ * Resolve the targets of an lvalue. Concat lvalues produce several
+ * targets ordered MSB-first together with their bit offsets into the RHS.
+ */
+struct ResolvedLValue
+{
+    struct Part
+    {
+        StoreTarget target;
+        uint32_t rhsMsb = 0; ///< slice of the RHS feeding this part
+        uint32_t rhsLsb = 0;
+    };
+    std::vector<Part> parts;
+    uint32_t totalWidth = 0;
+};
+
+ResolvedLValue resolveLValue(const hdl::ExprPtr &lhs, EvalContext &ctx);
+
+/** Apply @p value to a resolved target. */
+void applyStore(const StoreTarget &target, const Bits &value,
+                EvalContext &ctx);
+
+/** Blocking store: resolve and apply immediately. */
+void storeLValue(const hdl::ExprPtr &lhs, const Bits &value,
+                 EvalContext &ctx);
+
+/** Render a $display format string against evaluated arguments. */
+std::string formatDisplay(const std::string &format,
+                          const std::vector<Bits> &args);
+
+} // namespace hwdbg::sim
+
+#endif // HWDBG_SIM_EVAL_HH

@@ -1,0 +1,312 @@
+#include "sim/primitives.hh"
+
+#include "common/logging.hh"
+#include "elab/elaborate.hh"
+
+namespace hwdbg::sim
+{
+
+using namespace hdl;
+
+Primitive::Primitive(const InstanceItem *inst, const LoweredDesign &design)
+    : inst_(inst)
+{
+    (void)design;
+    for (const auto &[name, value] : inst->paramOverrides)
+        params_[name] = elab::evalConst(value, {}).toU64();
+    for (const auto &conn : inst->conns)
+        if (conn.actual)
+            conns_[conn.formal] = conn.actual;
+}
+
+uint64_t
+Primitive::param(const std::string &name, int64_t def) const
+{
+    auto it = params_.find(name);
+    if (it != params_.end())
+        return it->second;
+    if (def >= 0)
+        return static_cast<uint64_t>(def);
+    fatal("primitive '%s' (%s) is missing parameter %s",
+          inst_->instName.c_str(), inst_->moduleName.c_str(), name.c_str());
+}
+
+bool
+Primitive::hasPort(const std::string &formal) const
+{
+    return conns_.count(formal) != 0;
+}
+
+Bits
+Primitive::readPort(const std::string &formal, EvalContext &ctx,
+                    uint32_t width) const
+{
+    auto it = conns_.find(formal);
+    if (it == conns_.end())
+        return Bits(width, 0);
+    return evalExpr(it->second, ctx).resized(width);
+}
+
+void
+Primitive::writePort(const std::string &formal, const Bits &value,
+                     EvalContext &ctx) const
+{
+    auto it = conns_.find(formal);
+    if (it == conns_.end())
+        return;
+    storeLValue(it->second, value, ctx);
+}
+
+// ---------------------------------------------------------------------
+// Scfifo
+// ---------------------------------------------------------------------
+
+Scfifo::Scfifo(const InstanceItem *inst, const LoweredDesign &design)
+    : Primitive(inst, design),
+      width_(static_cast<uint32_t>(param("WIDTH"))),
+      depth_(static_cast<uint32_t>(param("DEPTH"))),
+      qReg_(width_, 0)
+{
+    if (depth_ == 0)
+        fatal("scfifo '%s': DEPTH must be positive", name().c_str());
+}
+
+std::vector<std::string>
+Scfifo::clockPorts() const
+{
+    return {"clock"};
+}
+
+void
+Scfifo::reset(EvalContext &ctx)
+{
+    queue_.clear();
+    qReg_ = Bits(width_, 0);
+    driveStatus(ctx);
+}
+
+void
+Scfifo::driveStatus(EvalContext &ctx)
+{
+    writePort("q", qReg_, ctx);
+    writePort("empty", Bits(1, queue_.empty() ? 1 : 0), ctx);
+    writePort("full", Bits(1, queue_.size() >= depth_ ? 1 : 0), ctx);
+    writePort("usedw", Bits(32, queue_.size()), ctx);
+}
+
+void
+Scfifo::clockEdge(const std::string &clock_port, EvalContext &ctx)
+{
+    (void)clock_port;
+    // Sample all inputs pre-edge.
+    bool sclr = !readPort("sclr", ctx, 1).isZero();
+    bool wrreq = !readPort("wrreq", ctx, 1).isZero();
+    bool rdreq = !readPort("rdreq", ctx, 1).isZero();
+    Bits data = readPort("data", ctx, width_);
+
+    if (sclr) {
+        queue_.clear();
+        qReg_ = Bits(width_, 0);
+    } else {
+        // Reads and writes both use the pre-edge occupancy, so a
+        // simultaneous read+write on a full FIFO behaves like hardware.
+        bool can_read = !queue_.empty();
+        bool can_write =
+            queue_.size() < depth_ || (rdreq && can_read);
+        if (rdreq && can_read) {
+            qReg_ = queue_.front();
+            queue_.pop_front();
+        }
+        if (wrreq && can_write)
+            queue_.push_back(data);
+    }
+    driveStatus(ctx);
+}
+
+// ---------------------------------------------------------------------
+// Dcfifo
+// ---------------------------------------------------------------------
+
+Dcfifo::Dcfifo(const InstanceItem *inst, const LoweredDesign &design)
+    : Primitive(inst, design),
+      width_(static_cast<uint32_t>(param("WIDTH"))),
+      depth_(static_cast<uint32_t>(param("DEPTH"))),
+      qReg_(width_, 0)
+{
+}
+
+std::vector<std::string>
+Dcfifo::clockPorts() const
+{
+    return {"wrclk", "rdclk"};
+}
+
+void
+Dcfifo::reset(EvalContext &ctx)
+{
+    queue_.clear();
+    qReg_ = Bits(width_, 0);
+    writePort("q", qReg_, ctx);
+    writePort("rdempty", Bits(1, 1), ctx);
+    writePort("wrfull", Bits(1, 0), ctx);
+    writePort("wrusedw", Bits(32, 0), ctx);
+}
+
+void
+Dcfifo::clockEdge(const std::string &clock_port, EvalContext &ctx)
+{
+    if (clock_port == "wrclk") {
+        bool wrreq = !readPort("wrreq", ctx, 1).isZero();
+        Bits data = readPort("data", ctx, width_);
+        if (wrreq && queue_.size() < depth_)
+            queue_.push_back(data);
+    } else if (clock_port == "rdclk") {
+        bool rdreq = !readPort("rdreq", ctx, 1).isZero();
+        if (rdreq && !queue_.empty()) {
+            qReg_ = queue_.front();
+            queue_.pop_front();
+        }
+        writePort("q", qReg_, ctx);
+    }
+    // Status flags update on both domains (the model assumes ideal,
+    // zero-latency pointer synchronization across the clock crossing).
+    writePort("wrfull", Bits(1, queue_.size() >= depth_ ? 1 : 0), ctx);
+    writePort("wrusedw", Bits(32, queue_.size()), ctx);
+    writePort("rdempty", Bits(1, queue_.empty() ? 1 : 0), ctx);
+}
+
+// ---------------------------------------------------------------------
+// Altsyncram
+// ---------------------------------------------------------------------
+
+Altsyncram::Altsyncram(const InstanceItem *inst,
+                       const LoweredDesign &design)
+    : Primitive(inst, design),
+      width_(static_cast<uint32_t>(param("WIDTH"))),
+      numWords_(static_cast<uint32_t>(param("NUMWORDS"))),
+      qReg_(width_, 0)
+{
+    mem_.assign(numWords_, Bits(width_, 0));
+}
+
+std::vector<std::string>
+Altsyncram::clockPorts() const
+{
+    return {"clock0"};
+}
+
+void
+Altsyncram::reset(EvalContext &ctx)
+{
+    writePort("q_b", qReg_, ctx);
+}
+
+void
+Altsyncram::clockEdge(const std::string &clock_port, EvalContext &ctx)
+{
+    (void)clock_port;
+    bool wren = !readPort("wren_a", ctx, 1).isZero();
+    uint64_t addr_a = readPort("address_a", ctx, 32).toU64();
+    uint64_t addr_b = readPort("address_b", ctx, 32).toU64();
+    Bits data = readPort("data_a", ctx, width_);
+
+    // Read port returns pre-write contents (read-during-write: old data).
+    qReg_ = addr_b < numWords_ ? mem_[addr_b] : Bits(width_, 0);
+    if (wren && addr_a < numWords_)
+        mem_[addr_a] = data;
+
+    writePort("q_b", qReg_, ctx);
+}
+
+// ---------------------------------------------------------------------
+// SignalRecorder
+// ---------------------------------------------------------------------
+
+SignalRecorder::SignalRecorder(const InstanceItem *inst,
+                               const LoweredDesign &design)
+    : Primitive(inst, design),
+      width_(static_cast<uint32_t>(param("WIDTH"))),
+      depth_(static_cast<uint32_t>(param("DEPTH"))),
+      ring_(param("MODE", 0) == 1)
+{
+    buffer_.reserve(std::min<uint32_t>(depth_, 65536));
+}
+
+std::vector<std::string>
+SignalRecorder::clockPorts() const
+{
+    return {"clk"};
+}
+
+void
+SignalRecorder::reset(EvalContext &ctx)
+{
+    (void)ctx;
+    buffer_.clear();
+    next_ = 0;
+    wrappedAround_ = false;
+    overflowed_ = false;
+    stopped_ = false;
+}
+
+void
+SignalRecorder::clockEdge(const std::string &clock_port, EvalContext &ctx)
+{
+    (void)clock_port;
+    // The stop event freezes the captured window permanently.
+    if (stopped_)
+        return;
+    if (hasPort("stop") && !readPort("stop", ctx, 1).isZero()) {
+        stopped_ = true;
+        return;
+    }
+    bool armed = hasPort("arm") ? !readPort("arm", ctx, 1).isZero() : true;
+    bool valid = !readPort("valid", ctx, 1).isZero();
+    if (!armed || !valid)
+        return;
+
+    Entry entry{ctx.cycle, readPort("data", ctx, width_)};
+    if (buffer_.size() < depth_) {
+        buffer_.push_back(std::move(entry));
+        next_ = buffer_.size() % depth_;
+        return;
+    }
+    if (!ring_) {
+        overflowed_ = true;
+        return;
+    }
+    // Ring mode: overwrite the oldest entry.
+    buffer_[next_] = std::move(entry);
+    next_ = (next_ + 1) % depth_;
+    wrappedAround_ = true;
+}
+
+std::vector<SignalRecorder::Entry>
+SignalRecorder::entries() const
+{
+    if (!ring_ || !wrappedAround_)
+        return buffer_;
+    std::vector<Entry> ordered;
+    ordered.reserve(buffer_.size());
+    for (size_t i = 0; i < buffer_.size(); ++i)
+        ordered.push_back(buffer_[(next_ + i) % buffer_.size()]);
+    return ordered;
+}
+
+// ---------------------------------------------------------------------
+
+std::unique_ptr<Primitive>
+makePrimitive(const InstanceItem *inst, const LoweredDesign &design)
+{
+    if (inst->moduleName == "scfifo")
+        return std::make_unique<Scfifo>(inst, design);
+    if (inst->moduleName == "dcfifo")
+        return std::make_unique<Dcfifo>(inst, design);
+    if (inst->moduleName == "altsyncram")
+        return std::make_unique<Altsyncram>(inst, design);
+    if (inst->moduleName == "signal_recorder")
+        return std::make_unique<SignalRecorder>(inst, design);
+    fatal("unknown primitive '%s'", inst->moduleName.c_str());
+}
+
+} // namespace hwdbg::sim

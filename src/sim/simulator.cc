@@ -1,0 +1,277 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hwdbg::sim
+{
+
+using namespace hdl;
+
+Simulator::Simulator(ModulePtr elaborated)
+    : mod_(std::move(elaborated)), design_(mod_), ctx_(design_)
+{
+    for (const auto *inst : design_.prims()) {
+        prims_.push_back(makePrimitive(inst, design_));
+        Primitive *prim = prims_.back().get();
+        for (const auto &port : prim->clockPorts()) {
+            for (const auto &conn : inst->conns) {
+                if (conn.formal == port && conn.actual) {
+                    primClocks_.push_back(
+                        PrimClock{prims_.size() - 1, port, conn.actual});
+                }
+            }
+        }
+    }
+    prevPrimClocks_.assign(primClocks_.size(), false);
+
+    for (const auto *proc : design_.clockedProcs())
+        for (const auto &sens : proc->sens)
+            prevClocks_[sens.signal] = false;
+
+    primaryClockId_ = design_.signalId("clk");
+
+    for (auto &prim : prims_)
+        prim->reset(ctx_);
+    settleComb();
+}
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::poke(const std::string &signal, const Bits &value)
+{
+    int id = design_.requireSignal(signal);
+    const SignalInfo &sig = design_.info(id);
+    if (sig.dir != PortDir::Input)
+        fatal("poke: '%s' is not a top-level input", signal.c_str());
+    ctx_.values[id] = value.resized(sig.width);
+}
+
+void
+Simulator::poke(const std::string &signal, uint64_t value)
+{
+    int id = design_.requireSignal(signal);
+    poke(signal, Bits(design_.info(id).width, value));
+}
+
+Bits
+Simulator::peek(const std::string &signal) const
+{
+    int id = design_.requireSignal(signal);
+    return ctx_.values[id];
+}
+
+uint64_t
+Simulator::peekU64(const std::string &signal) const
+{
+    return peek(signal).toU64();
+}
+
+Bits
+Simulator::peekArray(const std::string &signal, uint64_t index) const
+{
+    int id = design_.requireSignal(signal);
+    const SignalInfo &sig = design_.info(id);
+    if (sig.arraySize == 0)
+        fatal("peekArray: '%s' is not a memory", signal.c_str());
+    if (index >= sig.arraySize)
+        fatal("peekArray: index %llu out of range for '%s'",
+              static_cast<unsigned long long>(index), signal.c_str());
+    return ctx_.arrays[id][index];
+}
+
+Primitive *
+Simulator::primitive(const std::string &inst_name) const
+{
+    for (const auto &prim : prims_)
+        if (prim->name() == inst_name)
+            return prim.get();
+    return nullptr;
+}
+
+void
+Simulator::settleComb()
+{
+    // Bounded fixpoint: small designs settle in a handful of passes.
+    // Store sites flag value changes, so a stable pass is detected
+    // without snapshotting the whole state.
+    size_t work = design_.assigns().size() + design_.combProcs().size();
+    size_t max_iters = work + 4;
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        ctx_.valuesChanged = false;
+        for (const auto *assign : design_.assigns()) {
+            uint32_t lw = assign->lhs->width;
+            uint32_t cw = std::max(lw, assign->rhs->width);
+            Bits value = evalExpr(assign->rhs, ctx_, cw).resized(lw);
+            storeLValue(assign->lhs, value, ctx_);
+        }
+        for (const auto *proc : design_.combProcs())
+            execStmt(proc->body, false);
+        if (!ctx_.valuesChanged)
+            return;
+    }
+    fatal("combinational logic failed to settle (combinational loop?)");
+}
+
+void
+Simulator::execStmt(const StmtPtr &stmt, bool clocked)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            execStmt(sub, clocked);
+        break;
+      case StmtKind::If: {
+        const auto *branch = stmt->as<IfStmt>();
+        if (evalBool(branch->cond, ctx_))
+            execStmt(branch->thenStmt, clocked);
+        else
+            execStmt(branch->elseStmt, clocked);
+        break;
+      }
+      case StmtKind::Case: {
+        const auto *sel = stmt->as<CaseStmt>();
+        Bits value = evalExpr(sel->selector, ctx_);
+        const CaseItem *chosen = nullptr;
+        const CaseItem *dflt = nullptr;
+        for (const auto &item : sel->items) {
+            if (item.labels.empty()) {
+                dflt = &item;
+                continue;
+            }
+            for (const auto &label : item.labels) {
+                uint32_t cmp_w =
+                    std::max(sel->selector->width, label->width);
+                if (evalExpr(label, ctx_, cmp_w) == value.resized(cmp_w)) {
+                    chosen = &item;
+                    break;
+                }
+            }
+            if (chosen)
+                break;
+        }
+        if (!chosen)
+            chosen = dflt;
+        if (chosen)
+            execStmt(chosen->body, clocked);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto *assign = stmt->as<AssignStmt>();
+        uint32_t lw = assign->lhs->width;
+        uint32_t cw = std::max(lw, assign->rhs->width);
+        Bits value = evalExpr(assign->rhs, ctx_, cw).resized(lw);
+        if (clocked && assign->nonblocking) {
+            ResolvedLValue resolved = resolveLValue(assign->lhs, ctx_);
+            for (const auto &part : resolved.parts)
+                nba_.push_back(PendingWrite{
+                    part.target,
+                    value.slice(part.rhsMsb, part.rhsLsb)});
+        } else {
+            storeLValue(assign->lhs, value, ctx_);
+        }
+        break;
+      }
+      case StmtKind::Display: {
+        const auto *disp = stmt->as<DisplayStmt>();
+        if (!clocked) {
+            if (!warnedCombDisplay_) {
+                warn("$display in combinational process ignored");
+                warnedCombDisplay_ = true;
+            }
+            break;
+        }
+        std::vector<Bits> args;
+        args.reserve(disp->args.size());
+        for (const auto &arg : disp->args)
+            args.push_back(evalExpr(arg, ctx_));
+        ctx_.log.push_back(EvalContext::LogLine{
+            ctx_.cycle, formatDisplay(disp->format, args)});
+        break;
+      }
+      case StmtKind::Finish:
+        ctx_.finished = true;
+        break;
+      case StmtKind::Null:
+        break;
+    }
+}
+
+void
+Simulator::commitNba()
+{
+    for (const auto &write : nba_)
+        applyStore(write.target, write.value, ctx_);
+    nba_.clear();
+}
+
+void
+Simulator::eval()
+{
+    settleComb();
+
+    // Detect clock edges on clocked processes.
+    std::map<std::string, std::pair<bool, bool>> edges; // old -> new
+    for (auto &[name, prev] : prevClocks_) {
+        bool now = !ctx_.values[design_.requireSignal(name)].isZero();
+        edges[name] = {prev, now};
+    }
+
+    std::vector<const AlwaysItem *> triggered;
+    for (const auto *proc : design_.clockedProcs()) {
+        for (const auto &sens : proc->sens) {
+            auto [before, after] = edges[sens.signal];
+            bool rising = !before && after;
+            bool falling = before && !after;
+            if ((sens.edge == EdgeKind::Posedge && rising) ||
+                (sens.edge == EdgeKind::Negedge && falling)) {
+                triggered.push_back(proc);
+                break;
+            }
+        }
+    }
+
+    std::vector<std::pair<size_t, std::string>> prim_triggered;
+    for (size_t i = 0; i < primClocks_.size(); ++i) {
+        bool now = !evalExpr(primClocks_[i].expr, ctx_).isZero();
+        bool before = prevPrimClocks_[i];
+        if (!before && now)
+            prim_triggered.emplace_back(primClocks_[i].prim,
+                                        primClocks_[i].port);
+        prevPrimClocks_[i] = now;
+    }
+
+    bool primary_rose = false;
+    if (primaryClockId_ >= 0) {
+        auto it = prevClocks_.find("clk");
+        bool now = !ctx_.values[primaryClockId_].isZero();
+        bool before =
+            it != prevClocks_.end() ? it->second : primaryClockRaw_;
+        primary_rose = !before && now;
+        primaryClockRaw_ = now;
+    }
+    if (primary_rose)
+        ++ctx_.cycle;
+
+    for (auto &[name, prev] : prevClocks_)
+        prev = edges[name].second;
+
+    if (triggered.empty() && prim_triggered.empty())
+        return;
+
+    // Execute processes with pre-edge (settled) values; NBAs commit
+    // together afterwards. Primitives also sample inputs pre-edge.
+    for (const auto *proc : triggered)
+        execStmt(proc->body, true);
+    for (const auto &[idx, port] : prim_triggered)
+        prims_[idx]->clockEdge(port, ctx_);
+    commitNba();
+
+    settleComb();
+}
+
+} // namespace hwdbg::sim

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Two-state cycle simulator for elaborated designs (Verilator substitute).
+ *
+ * Usage mirrors Verilator's C++ API: the testbench pokes top-level inputs
+ * (including clocks), then calls eval(). eval() settles combinational
+ * logic, detects clock edges against the previous eval, executes
+ * triggered processes with pre-edge values, commits nonblocking
+ * assignments, updates primitives, and re-settles.
+ *
+ * Semantics (documented deviations from full event-driven Verilog):
+ *  - Two-state logic; registers initialize to zero (Verilator default).
+ *  - Combinational logic settles by bounded fixpoint iteration; failure
+ *    to settle raises HdlError ("combinational loop").
+ *  - Clocks must be top-level inputs driven by the testbench.
+ *  - $display in combinational processes is ignored (warned once).
+ */
+
+#ifndef HWDBG_SIM_SIMULATOR_HH
+#define HWDBG_SIM_SIMULATOR_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/primitives.hh"
+
+namespace hwdbg::sim
+{
+
+class Simulator
+{
+  public:
+    /** Build a simulator over an elaborated (flat) module. */
+    explicit Simulator(hdl::ModulePtr elaborated);
+    ~Simulator();
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    const LoweredDesign &design() const { return design_; }
+    EvalContext &context() { return ctx_; }
+
+    void poke(const std::string &signal, const Bits &value);
+    void poke(const std::string &signal, uint64_t value);
+    Bits peek(const std::string &signal) const;
+    uint64_t peekU64(const std::string &signal) const;
+    Bits peekArray(const std::string &signal, uint64_t index) const;
+
+    /** Settle logic and process any clock edges since the last eval. */
+    void eval();
+
+    bool finished() const { return ctx_.finished; }
+
+    const std::vector<EvalContext::LogLine> &log() const
+    {
+        return ctx_.log;
+    }
+
+    /** Number of posedges seen on the primary clock ("clk"). */
+    uint64_t cycle() const { return ctx_.cycle; }
+
+    /** Primitive model by flattened instance name (null if absent). */
+    Primitive *primitive(const std::string &inst_name) const;
+    /** All primitive models. */
+    const std::vector<std::unique_ptr<Primitive>> &primitives() const
+    {
+        return prims_;
+    }
+
+  private:
+    void settleComb();
+    void execStmt(const hdl::StmtPtr &stmt, bool clocked);
+    void commitNba();
+
+    hdl::ModulePtr mod_;
+    LoweredDesign design_;
+    EvalContext ctx_;
+
+    std::vector<std::unique_ptr<Primitive>> prims_;
+
+    struct PendingWrite
+    {
+        StoreTarget target;
+        Bits value;
+    };
+    std::vector<PendingWrite> nba_;
+
+    /** Previous values of clock signals (per clocked proc sens items). */
+    std::map<std::string, bool> prevClocks_;
+    /** Clock port expressions of primitives: (prim index, port). */
+    struct PrimClock
+    {
+        size_t prim;
+        std::string port;
+        hdl::ExprPtr expr;
+    };
+    std::vector<PrimClock> primClocks_;
+    std::vector<bool> prevPrimClocks_;
+
+    int primaryClockId_ = -1;
+    /** Last seen level of the primary clock when it drives no process. */
+    bool primaryClockRaw_ = false;
+    bool warnedCombDisplay_ = false;
+};
+
+} // namespace hwdbg::sim
+
+#endif // HWDBG_SIM_SIMULATOR_HH

@@ -1,0 +1,100 @@
+#include "sim/vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hwdbg::sim
+{
+
+namespace
+{
+
+/** VCD identifier code for the n-th signal (printable ASCII run). */
+std::string
+vcdCode(size_t n)
+{
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return code;
+}
+
+} // namespace
+
+VcdWriter::VcdWriter(Simulator &sim) : sim_(sim)
+{
+    const LoweredDesign &design = sim.design();
+    for (size_t i = 0; i < design.numSignals(); ++i) {
+        const SignalInfo &sig = design.info(static_cast<int>(i));
+        if (sig.arraySize != 0)
+            continue; // memories are not dumped
+        tracked_.push_back(static_cast<int>(i));
+        last_.emplace_back(sig.width, 0);
+    }
+}
+
+void
+VcdWriter::sample(uint64_t time)
+{
+    EvalContext &ctx = sim_.context();
+    for (size_t i = 0; i < tracked_.size(); ++i) {
+        const Bits &now = ctx.values[tracked_[i]];
+        if (!started_ || now != last_[i]) {
+            changes_.push_back(Change{time, tracked_[i], now});
+            last_[i] = now;
+        }
+    }
+    started_ = true;
+}
+
+std::string
+VcdWriter::render() const
+{
+    const LoweredDesign &design = sim_.design();
+    std::ostringstream out;
+    out << "$timescale 1ns $end\n";
+    out << "$scope module " << design.module().name << " $end\n";
+    for (size_t i = 0; i < tracked_.size(); ++i) {
+        const SignalInfo &sig = design.info(tracked_[i]);
+        out << "$var wire " << sig.width << " " << vcdCode(i) << " "
+            << sig.name << " $end\n";
+    }
+    out << "$upscope $end\n$enddefinitions $end\n";
+
+    uint64_t current_time = ~uint64_t(0);
+    // Map signal id -> code index.
+    std::vector<size_t> code_of(design.numSignals(), 0);
+    for (size_t i = 0; i < tracked_.size(); ++i)
+        code_of[tracked_[i]] = i;
+
+    for (const auto &change : changes_) {
+        if (change.time != current_time) {
+            out << "#" << change.time << "\n";
+            current_time = change.time;
+        }
+        const SignalInfo &sig = design.info(change.sig);
+        if (sig.width == 1) {
+            out << (change.value.isZero() ? "0" : "1")
+                << vcdCode(code_of[change.sig]) << "\n";
+        } else {
+            out << "b" << change.value.toBinString() << " "
+                << vcdCode(code_of[change.sig]) << "\n";
+        }
+    }
+    return out.str();
+}
+
+void
+VcdWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << render();
+}
+
+} // namespace hwdbg::sim

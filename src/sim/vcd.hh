@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal VCD (value change dump) writer.
+ *
+ * Captures scalar signals of a simulator each time sample() is called and
+ * writes a standard VCD file that waveform viewers can open. The paper
+ * contrasts its tools with "inspecting a massive waveform"; the testbed
+ * uses this writer to produce those waveforms for comparison.
+ */
+
+#ifndef HWDBG_SIM_VCD_HH
+#define HWDBG_SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace hwdbg::sim
+{
+
+class VcdWriter
+{
+  public:
+    /** Track all scalar signals of @p sim. */
+    explicit VcdWriter(Simulator &sim);
+
+    /** Record current values at time @p time (monotonic). */
+    void sample(uint64_t time);
+
+    /** Render the accumulated dump as VCD text. */
+    std::string render() const;
+
+    /** Write the dump to @p path. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Change
+    {
+        uint64_t time;
+        int sig;
+        Bits value;
+    };
+
+    Simulator &sim_;
+    std::vector<int> tracked_;
+    std::vector<Bits> last_;
+    std::vector<Change> changes_;
+    bool started_ = false;
+};
+
+} // namespace hwdbg::sim
+
+#endif // HWDBG_SIM_VCD_HH

@@ -1,0 +1,36 @@
+#include "synth/platform.hh"
+
+#include "common/logging.hh"
+
+namespace hwdbg::synth
+{
+
+const Platform &
+harpPlatform()
+{
+    // Arria 10 GX1150: 2,713 M20K blocks (~54 Mbit), 1,708,800 ALM
+    // registers, 427,200 ALMs.
+    static const Platform platform{"HARP", 54.26e6, 1708800, 427200};
+    return platform;
+}
+
+const Platform &
+kc705Platform()
+{
+    // Kintex-7 325T: 445 36-Kbit block RAMs (~16 Mbit), 407,600 FFs,
+    // 203,800 LUTs.
+    static const Platform platform{"KC705", 16.02e6, 407600, 203800};
+    return platform;
+}
+
+const Platform &
+platformByName(const std::string &name)
+{
+    if (name == "HARP")
+        return harpPlatform();
+    if (name == "KC705" || name == "Xilinx" || name == "Generic")
+        return kc705Platform();
+    fatal("unknown platform '%s'", name.c_str());
+}
+
+} // namespace hwdbg::synth

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * FPGA platform capacity tables used to normalize resource overheads.
+ *
+ * The paper synthesizes HARP-specific designs to the Intel HARP platform
+ * (Arria 10 GX1150 FPGA, Quartus 17.0) and the remaining designs to the
+ * Xilinx KC705 board (Kintex-7 325T, Vivado 2020.2). hwdbg replaces the
+ * vendor synthesizers with an analytic model; these tables hold the
+ * device totals used to turn absolute estimates into the normalized
+ * percentages of Figures 2 and 3.
+ */
+
+#ifndef HWDBG_SYNTH_PLATFORM_HH
+#define HWDBG_SYNTH_PLATFORM_HH
+
+#include <cstdint>
+#include <string>
+
+namespace hwdbg::synth
+{
+
+struct Platform
+{
+    std::string name;
+    /** Total block RAM capacity in bits. */
+    double bramBits;
+    /** Total flip-flops. */
+    uint64_t registers;
+    /** Total logic elements (ALMs on Intel, LUTs on Xilinx). */
+    uint64_t logic;
+};
+
+/** Intel HARP (Arria 10 GX1150-class device). */
+const Platform &harpPlatform();
+
+/** Xilinx KC705 (Kintex-7 325T). */
+const Platform &kc705Platform();
+
+/** Look up by name ("HARP", "KC705", "Xilinx", "Generic"). */
+const Platform &platformByName(const std::string &name);
+
+} // namespace hwdbg::synth
+
+#endif // HWDBG_SYNTH_PLATFORM_HH

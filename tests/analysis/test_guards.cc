@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for path-constraint extraction and wire inlining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/exprutil.hh"
+#include "analysis/guards.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/printer.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::analysis;
+
+namespace
+{
+
+ModulePtr
+flat(const std::string &src, const std::string &top = "m")
+{
+    return elab::elaborate(parse(src), top).mod;
+}
+
+const GuardedAssign *
+assignTo(const std::vector<GuardedAssign> &assigns,
+         const std::string &target)
+{
+    for (const auto &ga : assigns)
+        if (ga.lhs->kind == ExprKind::Id &&
+            ga.lhs->as<IdExpr>()->name == target)
+            return &ga;
+    return nullptr;
+}
+
+} // namespace
+
+TEST(GuardsTest, UnconditionalAssignHasTrueGuard)
+{
+    auto mod = flat("module m(input wire clk);\nreg [3:0] x;\n"
+                    "always @(posedge clk) x <= x;\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    const auto *ga = assignTo(assigns, "x");
+    ASSERT_NE(ga, nullptr);
+    EXPECT_EQ(printExpr(ga->guard), "1'h1");
+    EXPECT_TRUE(ga->sequential);
+    EXPECT_EQ(ga->clock, "clk");
+}
+
+TEST(GuardsTest, NestedIfGuards)
+{
+    auto mod = flat(
+        "module m(input wire clk, input wire a, input wire b);\n"
+        "reg x, y;\n"
+        "always @(posedge clk) begin\n"
+        "  if (a) begin\n"
+        "    if (b) x <= 1'b1;\n"
+        "    else y <= 1'b1;\n"
+        "  end\nend\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    EXPECT_EQ(printExpr(assignTo(assigns, "x")->guard), "a && b");
+    EXPECT_EQ(printExpr(assignTo(assigns, "y")->guard), "a && !b");
+}
+
+TEST(GuardsTest, CaseGuardsWithPriority)
+{
+    auto mod = flat(
+        "module m(input wire clk, input wire [1:0] s);\n"
+        "reg a, b, c;\n"
+        "always @(posedge clk)\ncase (s)\n"
+        "  2'd0: a <= 1'b1;\n"
+        "  2'd1: b <= 1'b1;\n"
+        "  default: c <= 1'b1;\nendcase\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    EXPECT_EQ(printExpr(assignTo(assigns, "a")->guard), "s == 2'h0");
+    // Later items carry the negation of earlier label matches.
+    EXPECT_NE(printExpr(assignTo(assigns, "b")->guard).find("s == 2'h1"),
+              std::string::npos);
+    std::string c_guard = printExpr(assignTo(assigns, "c")->guard);
+    EXPECT_NE(c_guard.find("!"), std::string::npos);
+}
+
+TEST(GuardsTest, ContinuousAssignCollected)
+{
+    auto mod = flat("module m(input wire a, output wire b);\n"
+                    "assign b = !a;\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    const auto *ga = assignTo(assigns, "b");
+    ASSERT_NE(ga, nullptr);
+    EXPECT_FALSE(ga->sequential);
+    EXPECT_NE(ga->cont, nullptr);
+}
+
+TEST(GuardsTest, BlockingAssignNotSequential)
+{
+    auto mod = flat("module m(input wire clk);\nreg x;\n"
+                    "always @(posedge clk) x = 1'b1;\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    EXPECT_FALSE(assignTo(assigns, "x")->sequential);
+}
+
+TEST(GuardsTest, DisplayGuards)
+{
+    auto mod = flat(
+        "module m(input wire clk, input wire err);\n"
+        "always @(posedge clk) if (err) $display(\"bad\");\nendmodule");
+    auto displays = collectDisplays(*mod);
+    ASSERT_EQ(displays.size(), 1u);
+    EXPECT_EQ(printExpr(displays[0].guard), "err");
+    EXPECT_EQ(displays[0].clock, "clk");
+    EXPECT_EQ(displays[0].stmt->format, "bad");
+}
+
+TEST(ExprUtilTest, CollectSignals)
+{
+    auto mod = flat(
+        "module m(input wire [3:0] a, input wire [3:0] b,\n"
+        "         output wire [3:0] x);\nwire [3:0] t;\n"
+        "assign t = a & b;\nassign x = t + a;\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    const auto *ga = assignTo(assigns, "x");
+    auto sigs = collectSignals(ga->rhs);
+    EXPECT_TRUE(sigs.count("t"));
+    EXPECT_TRUE(sigs.count("a"));
+    EXPECT_FALSE(sigs.count("b"));
+}
+
+TEST(ExprUtilTest, LValueTargets)
+{
+    auto mod = flat(
+        "module m(input wire clk);\nreg c;\nreg [7:0] s;\n"
+        "reg [7:0] mem [0:3];\nreg [1:0] i;\n"
+        "always @(posedge clk) begin\n"
+        "  {c, s} <= 9'd0;\n  mem[i] <= 8'd0;\nend\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    std::set<std::string> all;
+    for (const auto &ga : assigns)
+        for (const auto &target : lvalueTargets(ga.lhs))
+            all.insert(target);
+    EXPECT_TRUE(all.count("c"));
+    EXPECT_TRUE(all.count("s"));
+    EXPECT_TRUE(all.count("mem"));
+}
+
+TEST(ExprUtilTest, InlineWiresExpandsChains)
+{
+    auto mod = flat(
+        "module m(input wire [3:0] a, input wire [3:0] b,\n"
+        "         output wire [3:0] x);\n"
+        "wire [3:0] t, u;\n"
+        "assign t = a & b;\nassign u = t | a;\nassign x = u;\nendmodule");
+    auto defs = wireDefinitions(*mod);
+    ExprPtr inlined = inlineWires(mkId("x"), defs);
+    auto sigs = collectSignals(inlined);
+    EXPECT_TRUE(sigs.count("a"));
+    EXPECT_TRUE(sigs.count("b"));
+    EXPECT_FALSE(sigs.count("t"));
+    EXPECT_FALSE(sigs.count("u"));
+    EXPECT_FALSE(sigs.count("x"));
+}
+
+TEST(ExprUtilTest, InlineWiresStopsOnCycle)
+{
+    // Combinational loop: inlining must terminate.
+    auto mod = flat(
+        "module m(input wire a, output wire x);\nwire y;\n"
+        "assign x = y & a;\nassign y = x;\nendmodule");
+    auto defs = wireDefinitions(*mod);
+    ExprPtr inlined = inlineWires(mkId("x"), defs);
+    EXPECT_NE(inlined, nullptr);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Push-button bug reproduction (Appendix A.5): every testbed bug's
+ * buggy variant exhibits its Table 2 symptoms under the trigger
+ * workload, and the fixed variant passes the same workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bugbase/testbed.hh"
+#include "bugbase/workloads.hh"
+#include "common/logging.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+
+namespace
+{
+
+std::string
+symptomsStr(const std::set<Symptom> &symptoms)
+{
+    std::string out;
+    for (Symptom symptom : symptoms) {
+        if (!out.empty())
+            out += ", ";
+        out += symptomName(symptom);
+    }
+    return out.empty() ? "(none)" : out;
+}
+
+class TestbedReproduction
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+} // namespace
+
+TEST_P(TestbedReproduction, FixedVariantPasses)
+{
+    const TestbedBug &bug = bugById(GetParam());
+    sim::Simulator sim(buildDesign(bug, false).mod);
+    WorkloadResult result = runWorkload(bug, sim);
+    EXPECT_TRUE(result.passed)
+        << bug.id << " fixed variant failed: " << result.detail
+        << " observed: " << symptomsStr(result.observed);
+    EXPECT_TRUE(result.observed.empty())
+        << "unexpected symptoms: " << symptomsStr(result.observed);
+}
+
+TEST_P(TestbedReproduction, BuggyVariantShowsTableSymptoms)
+{
+    const TestbedBug &bug = bugById(GetParam());
+    sim::Simulator sim(buildDesign(bug, true).mod);
+    WorkloadResult result = runWorkload(bug, sim);
+    EXPECT_FALSE(result.passed) << bug.id << " buggy variant passed";
+    EXPECT_EQ(result.observed, bug.symptoms)
+        << bug.id << ": observed " << symptomsStr(result.observed)
+        << " but Table 2 lists " << symptomsStr(bug.symptoms);
+}
+
+static std::vector<const char *>
+allBugIds()
+{
+    std::vector<const char *> ids;
+    for (const auto &bug : testbedBugs())
+        ids.push_back(bug.id.c_str());
+    return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBugs, TestbedReproduction,
+                         ::testing::ValuesIn(allBugIds()),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(TestbedTest, TwentyBugsAcrossThreeClasses)
+{
+    const auto &bugs = testbedBugs();
+    EXPECT_EQ(bugs.size(), 20u);
+    int data = 0, comm = 0, sem = 0;
+    for (const auto &bug : bugs) {
+        switch (bug.bugClass) {
+          case BugClass::DataMisAccess: ++data; break;
+          case BugClass::Communication: ++comm; break;
+          case BugClass::Semantic: ++sem; break;
+        }
+    }
+    EXPECT_EQ(data, 13);
+    EXPECT_EQ(comm, 4);
+    EXPECT_EQ(sem, 3);
+}
+
+TEST(TestbedTest, SevenDataLossBugs)
+{
+    int loss = 0;
+    for (const auto &bug : testbedBugs())
+        if (bug.symptoms.count(Symptom::DataLoss))
+            ++loss;
+    EXPECT_EQ(loss, 7); // §4.5.4: 7 data loss bugs in the testbed
+}
+
+TEST(TestbedTest, SignalCatHelpsEverywhereMonitorsHelpAtLeastFour)
+{
+    int fsm = 0, stat = 0, dep = 0, lc = 0;
+    for (const auto &bug : testbedBugs()) {
+        EXPECT_TRUE(bug.helpfulTools.count("SC")) << bug.id;
+        fsm += bug.helpfulTools.count("FSM");
+        stat += bug.helpfulTools.count("Stat");
+        dep += bug.helpfulTools.count("Dep");
+        lc += bug.helpfulTools.count("LC");
+    }
+    EXPECT_GE(fsm, 4);
+    EXPECT_GE(stat, 4);
+    EXPECT_GE(dep, 4);
+    EXPECT_EQ(lc, 6); // LossCheck localizes 6 of the 7 loss bugs
+}
+
+TEST(TestbedTest, PlatformsMatchApplications)
+{
+    for (const auto &bug : testbedBugs()) {
+        if (bug.application == "Optimus" ||
+            bug.application == "SHA512" || bug.application == "RSD" ||
+            bug.application == "Grayscale") {
+            EXPECT_EQ(bug.platform, "HARP") << bug.id;
+        }
+    }
+    EXPECT_EQ(bugById("S1").platform, "Xilinx");
+    EXPECT_EQ(bugById("S2").platform, "Xilinx");
+}
+
+TEST(TestbedTest, TargetFrequencies)
+{
+    // §6.4: Optimus and SHA512 target 400 MHz; the rest target 200.
+    for (const auto &bug : testbedBugs()) {
+        if (bug.designName == "optimus" || bug.designName == "sha512")
+            EXPECT_EQ(bug.targetMhz, 400) << bug.id;
+        else
+            EXPECT_EQ(bug.targetMhz, 200) << bug.id;
+    }
+}
+
+TEST(TestbedTest, UnknownBugIdThrows)
+{
+    EXPECT_THROW(bugById("Z9"), HdlError);
+}

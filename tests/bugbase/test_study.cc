@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Table 1 bug-study database.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bugbase/study.hh"
+
+using namespace hwdbg::bugs;
+
+TEST(StudyTest, SixtyEightBugsTotal)
+{
+    EXPECT_EQ(studyBugs().size(), 68u);
+}
+
+TEST(StudyTest, SubclassCountsMatchTable1)
+{
+    auto table = bugStudyTable();
+    ASSERT_EQ(table.size(), 13u);
+    std::map<std::string, int> counts;
+    for (const auto &row : table)
+        counts[row.subclass] = row.count;
+
+    EXPECT_EQ(counts["Buffer Overflow"], 5);
+    EXPECT_EQ(counts["Bit Truncation"], 12);
+    EXPECT_EQ(counts["Misindexing"], 5);
+    EXPECT_EQ(counts["Endianness Mismatch"], 1);
+    EXPECT_EQ(counts["Failure-to-Update"], 5);
+    EXPECT_EQ(counts["Deadlock"], 3);
+    EXPECT_EQ(counts["Producer-Consumer Mismatch"], 3);
+    EXPECT_EQ(counts["Signal Asynchrony"], 10);
+    EXPECT_EQ(counts["Use-Without-Valid"], 1);
+    EXPECT_EQ(counts["Protocol Violation"], 3);
+    EXPECT_EQ(counts["API Misuse"], 3);
+    EXPECT_EQ(counts["Incomplete Implementation"], 7);
+    EXPECT_EQ(counts["Erroneous Expression"], 10);
+}
+
+TEST(StudyTest, ClassTotals)
+{
+    int data = 0, comm = 0, sem = 0;
+    for (const auto &bug : studyBugs()) {
+        switch (bug.bugClass) {
+          case BugClass::DataMisAccess: ++data; break;
+          case BugClass::Communication: ++comm; break;
+          case BugClass::Semantic: ++sem; break;
+        }
+    }
+    EXPECT_EQ(data, 28);
+    EXPECT_EQ(comm, 17);
+    EXPECT_EQ(sem, 23);
+}
+
+TEST(StudyTest, SymptomColumnsMatchTable1)
+{
+    for (const auto &row : bugStudyTable()) {
+        if (row.subclass == "Buffer Overflow") {
+            EXPECT_TRUE(row.commonSymptoms.count(Symptom::DataLoss));
+        }
+        if (row.subclass == "Deadlock") {
+            EXPECT_TRUE(row.commonSymptoms.count(Symptom::Stuck));
+            EXPECT_EQ(row.commonSymptoms.size(), 1u);
+        }
+        if (row.subclass == "Bit Truncation") {
+            EXPECT_TRUE(
+                row.commonSymptoms.count(Symptom::IncorrectOutput));
+            EXPECT_TRUE(
+                row.commonSymptoms.count(Symptom::ExternalError));
+        }
+        if (row.subclass == "Erroneous Expression") {
+            EXPECT_TRUE(
+                row.commonSymptoms.count(Symptom::IncorrectOutput));
+        }
+        if (row.subclass == "Producer-Consumer Mismatch") {
+            EXPECT_TRUE(row.commonSymptoms.count(Symptom::Stuck));
+            EXPECT_TRUE(row.commonSymptoms.count(Symptom::DataLoss));
+        }
+    }
+}
+
+TEST(StudyTest, EveryBugHasProjectAndNote)
+{
+    for (const auto &bug : studyBugs()) {
+        EXPECT_FALSE(bug.project.empty());
+        EXPECT_FALSE(bug.note.empty());
+        EXPECT_FALSE(bug.symptoms.empty());
+    }
+}
+
+TEST(StudyTest, TestbedSubclassesAppearInStudy)
+{
+    // Every testbed subclass is one of the 13 studied subclasses.
+    std::set<std::string> names;
+    for (const auto &row : bugStudyTable())
+        names.insert(row.subclass);
+    for (const auto &bug : testbedBugs())
+        EXPECT_TRUE(names.count(bug.subclass)) << bug.subclass;
+}

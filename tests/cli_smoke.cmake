@@ -1,0 +1,26 @@
+# End-to-end CLI smoke test: emit a testbed design, then run the
+# analysis commands over the emitted file.
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_smoke_d4.v)
+execute_process(COMMAND ${HWDBG} testbed emit D4
+                OUTPUT_FILE ${work} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "testbed emit failed")
+endif()
+foreach(cmd "fsm" "resources" "timing")
+    execute_process(COMMAND ${HWDBG} ${cmd} ${work}
+                    RESULT_VARIABLE rc OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "hwdbg ${cmd} failed")
+    endif()
+endforeach()
+execute_process(COMMAND ${HWDBG} losscheck ${work}
+                --source s_data --valid s_valid --sink m_data
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hwdbg losscheck failed")
+endif()
+execute_process(COMMAND ${HWDBG} deps ${work} --var m_len
+                RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "hwdbg deps failed")
+endif()

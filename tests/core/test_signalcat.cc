@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for SignalCat: the headline property is that the log
+ * reconstructed from the on-FPGA recorder equals the simulation
+ * $display log, for the same workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/signalcat.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/printer.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::sim;
+using namespace hwdbg::core;
+
+namespace
+{
+
+ModulePtr
+flat(const std::string &src, const std::string &top = "m")
+{
+    return elab::elaborate(parse(src), top).mod;
+}
+
+void
+tick(Simulator &sim, int n = 1)
+{
+    for (int i = 0; i < n; ++i) {
+        sim.poke("clk", uint64_t(0));
+        sim.eval();
+        sim.poke("clk", uint64_t(1));
+        sim.eval();
+    }
+}
+
+/** Drive the same stimulus on any sim of the counter test design. */
+void
+counterWorkload(Simulator &sim)
+{
+    sim.poke("en", uint64_t(1));
+    tick(sim, 3);
+    sim.poke("en", uint64_t(0));
+    tick(sim, 2);
+    sim.poke("en", uint64_t(1));
+    tick(sim, 2);
+}
+
+const char *counter_design =
+    "module m(input wire clk, input wire en, output reg [7:0] n,\n"
+    "         output reg [7:0] m2);\n"
+    "always @(posedge clk) begin\n"
+    "  if (en) begin\n"
+    "    n <= n + 1;\n"
+    "    $display(\"count n=%d\", n);\n"
+    "  end\n"
+    "  if (n == 8'd2) begin\n"
+    "    m2 <= n;\n"
+    "    $display(\"snapshot m2=%h n=%d\", m2, n);\n"
+    "  end\nend\nendmodule";
+
+} // namespace
+
+TEST(SignalCatTest, ReconstructedLogMatchesSimulation)
+{
+    auto original = flat(counter_design);
+
+    // Simulation-mode run: native $display.
+    Simulator sim_mode(original);
+    counterWorkload(sim_mode);
+    ASSERT_FALSE(sim_mode.log().empty());
+
+    // FPGA-mode run: $display converted to a recorder.
+    SignalCatOptions opts;
+    opts.bufferDepth = 64;
+    SignalCatResult cat = applySignalCat(*original, opts);
+    EXPECT_GT(cat.generatedLines, 0);
+
+    // The instrumented module must be valid Verilog our stack accepts.
+    Design reparsed = parse(printModule(*cat.module));
+    Simulator fpga_mode(elab::elaborate(reparsed, "m").mod);
+    counterWorkload(fpga_mode);
+
+    // No native $display output in FPGA mode.
+    EXPECT_TRUE(fpga_mode.log().empty());
+
+    auto *recorder = dynamic_cast<SignalRecorder *>(
+        fpga_mode.primitive(cat.plan.recorderInstance));
+    ASSERT_NE(recorder, nullptr);
+    auto reconstructed = reconstructLog(*recorder, cat.plan);
+
+    ASSERT_EQ(reconstructed.size(), sim_mode.log().size());
+    for (size_t i = 0; i < reconstructed.size(); ++i) {
+        EXPECT_EQ(reconstructed[i].text, sim_mode.log()[i].text);
+        EXPECT_EQ(reconstructed[i].cycle, sim_mode.log()[i].cycle);
+    }
+}
+
+TEST(SignalCatTest, PlanDescribesEntryLayout)
+{
+    auto original = flat(counter_design);
+    SignalCatResult cat = applySignalCat(*original);
+    ASSERT_EQ(cat.plan.statements.size(), 2u);
+    // Entry: 2 enable bits + args (8) + (8 + 8).
+    EXPECT_EQ(cat.plan.entryWidth, 2u + 8u + 16u);
+    EXPECT_EQ(cat.plan.statements[0].enableBit, 0u);
+    EXPECT_EQ(cat.plan.statements[1].enableBit, 1u);
+    EXPECT_EQ(cat.plan.statements[0].argSlices.size(), 1u);
+    EXPECT_EQ(cat.plan.statements[1].argSlices.size(), 2u);
+}
+
+TEST(SignalCatTest, NoDisplaysIsIdentity)
+{
+    auto original = flat(
+        "module m(input wire clk, output reg [3:0] x);\n"
+        "always @(posedge clk) x <= x + 1;\nendmodule");
+    SignalCatResult cat = applySignalCat(*original);
+    EXPECT_TRUE(cat.plan.statements.empty());
+    EXPECT_EQ(cat.generatedLines, 0);
+}
+
+TEST(SignalCatTest, BufferDepthBoundsCapturedEntries)
+{
+    auto original = flat(
+        "module m(input wire clk, output reg [7:0] n);\n"
+        "always @(posedge clk) begin\n"
+        "  n <= n + 1;\n  $display(\"n=%d\", n);\nend\nendmodule");
+    SignalCatOptions opts;
+    opts.bufferDepth = 4;
+    SignalCatResult cat = applySignalCat(*original, opts);
+    Simulator sim(elab::elaborate(parse(printModule(*cat.module)),
+                                  "m").mod);
+    tick(sim, 10);
+    auto *recorder = dynamic_cast<SignalRecorder *>(
+        sim.primitive(cat.plan.recorderInstance));
+    ASSERT_NE(recorder, nullptr);
+    EXPECT_EQ(recorder->entries().size(), 4u);
+    EXPECT_TRUE(recorder->overflowed());
+    auto log = reconstructLog(*recorder, cat.plan);
+    ASSERT_EQ(log.size(), 4u);
+    EXPECT_EQ(log[0].text, "n=0");
+    EXPECT_EQ(log[3].text, "n=3");
+}
+
+TEST(SignalCatTest, ArmSignalGatesRecording)
+{
+    auto original = flat(
+        "module m(input wire clk, input wire dbg_arm,\n"
+        "         output reg [7:0] n);\n"
+        "always @(posedge clk) begin\n"
+        "  n <= n + 1;\n  $display(\"n=%d\", n);\nend\nendmodule");
+    SignalCatOptions opts;
+    opts.armSignal = "dbg_arm";
+    SignalCatResult cat = applySignalCat(*original, opts);
+    Simulator sim(elab::elaborate(parse(printModule(*cat.module)),
+                                  "m").mod);
+    sim.poke("dbg_arm", uint64_t(0));
+    tick(sim, 3);
+    sim.poke("dbg_arm", uint64_t(1));
+    tick(sim, 2);
+    auto *recorder = dynamic_cast<SignalRecorder *>(
+        sim.primitive(cat.plan.recorderInstance));
+    auto log = reconstructLog(*recorder, cat.plan);
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0].text, "n=3");
+}
+
+TEST(SignalCatTest, GeneratedLinesAreCounted)
+{
+    auto original = flat(counter_design);
+    SignalCatResult cat = applySignalCat(*original);
+    // Enable wires, data/valid assigns, recorder instance: a dozen-ish
+    // lines, definitely more than 5.
+    EXPECT_GT(cat.generatedLines, 5);
+    EXPECT_LT(cat.generatedLines, 100);
+}
+
+TEST(SignalCatTest, PreTriggerWindowCapturesTheTailOfTheRun)
+{
+    // §4.1: the buffer can capture an interval *before* the stop event;
+    // with a ring buffer, the last N records survive.
+    auto original = flat(
+        "module m(input wire clk, input wire fault,\n"
+        "         output reg [7:0] n);\n"
+        "always @(posedge clk) begin\n"
+        "  n <= n + 1;\n  $display(\"n=%d\", n);\nend\nendmodule");
+    SignalCatOptions opts;
+    opts.bufferDepth = 4;
+    opts.preTrigger = true;
+    opts.stopSignal = "fault";
+    SignalCatResult cat = applySignalCat(*original, opts);
+    Simulator sim(elab::elaborate(parse(printModule(*cat.module)),
+                                  "m").mod);
+    tick(sim, 20);
+    sim.poke("fault", uint64_t(1)); // the failure we were waiting for
+    tick(sim);
+    sim.poke("fault", uint64_t(0));
+    tick(sim, 10);
+
+    auto *recorder = dynamic_cast<SignalRecorder *>(
+        sim.primitive(cat.plan.recorderInstance));
+    ASSERT_NE(recorder, nullptr);
+    EXPECT_TRUE(recorder->stopped());
+    auto log = reconstructLog(*recorder, cat.plan);
+    ASSERT_EQ(log.size(), 4u);
+    // The window holds the last four records before the fault.
+    EXPECT_EQ(log[0].text, "n=16");
+    EXPECT_EQ(log[3].text, "n=19");
+}

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for elaboration: parameter resolution, flattening, port binding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/printer.hh"
+#include "sim/design.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::elab;
+
+TEST(EvalConstTest, Arithmetic)
+{
+    Design d = parse("module m();\nlocalparam X = 3 + 4 * 2;\nendmodule");
+    ElabResult result = elaborate(d, "m");
+    EXPECT_EQ(result.constants.at("X").toU64(), 11u);
+}
+
+TEST(EvalConstTest, ParamsReferenceEarlierParams)
+{
+    Design d = parse(
+        "module m();\nparameter W = 8;\nlocalparam D = W * 2;\n"
+        "localparam E = D - 1;\nendmodule");
+    ElabResult result = elaborate(d, "m");
+    EXPECT_EQ(result.constants.at("D").toU64(), 16u);
+    EXPECT_EQ(result.constants.at("E").toU64(), 15u);
+}
+
+TEST(EvalConstTest, TernaryAndComparison)
+{
+    Design d = parse(
+        "module m();\nparameter W = 8;\n"
+        "localparam X = W > 4 ? 100 : 200;\nendmodule");
+    EXPECT_EQ(elaborate(d, "m").constants.at("X").toU64(), 100u);
+}
+
+TEST(EvalConstTest, NonConstantThrows)
+{
+    Design d = parse(
+        "module m();\nwire w;\nlocalparam X = w + 1;\nendmodule");
+    EXPECT_THROW(elaborate(d, "m"), HdlError);
+}
+
+TEST(ElaborateTest, TopParamOverride)
+{
+    Design d = parse(
+        "module m #(parameter W = 4)(input wire [W-1:0] a);\nendmodule");
+    ElabResult result = elaborate(d, "m", {{"W", Bits(32, 16)}});
+    NetItem *a = result.mod->findNet("a");
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(sim::constU64(a->range->msb), 15u);
+}
+
+TEST(ElaborateTest, LocalparamIgnoresOverride)
+{
+    Design d = parse("module m();\nlocalparam W = 4;\nendmodule");
+    ElabResult result = elaborate(d, "m", {{"W", Bits(32, 99)}});
+    EXPECT_EQ(result.constants.at("W").toU64(), 4u);
+}
+
+TEST(ElaborateTest, RangesFoldedToConstants)
+{
+    Design d = parse(
+        "module m #(parameter W = 8)();\nreg [W-1:0] mem [0:W*2-1];\n"
+        "endmodule");
+    ElabResult result = elaborate(d, "m");
+    NetItem *mem = result.mod->findNet("mem");
+    EXPECT_EQ(sim::constU64(mem->range->msb), 7u);
+    EXPECT_EQ(sim::constU64(mem->array->msb), 15u);
+}
+
+TEST(ElaborateTest, InstanceFlattening)
+{
+    Design d = parse(
+        "module child(input wire a, output wire b);\n"
+        "assign b = !a;\nendmodule\n"
+        "module top(input wire x, output wire y);\n"
+        "child u_c (.a(x), .b(y));\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    // Child nets are prefixed; no Instance items remain.
+    EXPECT_NE(result.mod->findNet("u_c__a"), nullptr);
+    EXPECT_NE(result.mod->findNet("u_c__b"), nullptr);
+    for (const auto &item : result.mod->items)
+        EXPECT_NE(item->kind, ItemKind::Instance);
+    // Top ports preserved.
+    ASSERT_EQ(result.mod->ports.size(), 2u);
+    EXPECT_EQ(result.mod->findNet("x")->dir, PortDir::Input);
+}
+
+TEST(ElaborateTest, NestedInstancePrefixes)
+{
+    Design d = parse(
+        "module leaf(input wire i, output wire o);\nassign o = i;\n"
+        "endmodule\n"
+        "module mid(input wire i, output wire o);\n"
+        "leaf u_l (.i(i), .o(o));\nendmodule\n"
+        "module top(input wire i, output wire o);\n"
+        "mid u_m (.i(i), .o(o));\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    EXPECT_NE(result.mod->findNet("u_m__u_l__i"), nullptr);
+}
+
+TEST(ElaborateTest, ParamOverrideAtInstance)
+{
+    Design d = parse(
+        "module child #(parameter W = 2)(output wire [W-1:0] o);\n"
+        "assign o = {W{1'b1}};\nendmodule\n"
+        "module top(output wire [7:0] y);\n"
+        "child #(.W(8)) u_c (.o(y));\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    NetItem *o = result.mod->findNet("u_c__o");
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(sim::constU64(o->range->msb), 7u);
+}
+
+TEST(ElaborateTest, PositionalConnections)
+{
+    Design d = parse(
+        "module child(input wire a, output wire b);\nassign b = a;\n"
+        "endmodule\n"
+        "module top(input wire x, output wire y);\n"
+        "child u_c (x, y);\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    EXPECT_NE(result.mod->findNet("u_c__a"), nullptr);
+}
+
+TEST(ElaborateTest, PrimitiveRetainedWithFoldedParams)
+{
+    Design d = parse(
+        "module top #(parameter D = 8)(input wire clk);\n"
+        "wire [7:0] q;\nwire e, f;\nreg w, r;\nreg [7:0] din;\n"
+        "scfifo #(.WIDTH(4 * 2), .DEPTH(D)) u_f (.clock(clk), .data(din),"
+        " .wrreq(w), .rdreq(r), .q(q), .empty(e), .full(f));\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    const InstanceItem *prim = nullptr;
+    for (const auto &item : result.mod->items)
+        if (item->kind == ItemKind::Instance)
+            prim = item->as<InstanceItem>();
+    ASSERT_NE(prim, nullptr);
+    EXPECT_EQ(prim->instName, "u_f");
+    for (const auto &[name, value] : prim->paramOverrides) {
+        if (name == "WIDTH") {
+            EXPECT_EQ(sim::constU64(value), 8u);
+        }
+        if (name == "DEPTH") {
+            EXPECT_EQ(sim::constU64(value), 8u);
+        }
+    }
+}
+
+TEST(ElaborateTest, UnknownModuleThrows)
+{
+    Design d = parse("module top();\nmissing u_m ();\nendmodule");
+    EXPECT_THROW(elaborate(d, "top"), HdlError);
+}
+
+TEST(ElaborateTest, UnknownTopThrows)
+{
+    Design d = parse("module top(); endmodule");
+    EXPECT_THROW(elaborate(d, "nope"), HdlError);
+}
+
+TEST(ElaborateTest, RecursionDetected)
+{
+    Design d = parse("module a();\na u ();\nendmodule");
+    EXPECT_THROW(elaborate(d, "a"), HdlError);
+}
+
+TEST(ElaborateTest, UnknownPortThrows)
+{
+    Design d = parse(
+        "module child(input wire a);\nendmodule\n"
+        "module top(input wire x);\nchild u (.nope(x));\nendmodule");
+    EXPECT_THROW(elaborate(d, "top"), HdlError);
+}
+
+TEST(ElaborateTest, OutputToNonLValueThrows)
+{
+    Design d = parse(
+        "module child(output wire b);\nassign b = 1'b1;\nendmodule\n"
+        "module top(input wire x, input wire y);\n"
+        "child u (.b(x + y));\nendmodule");
+    EXPECT_THROW(elaborate(d, "top"), HdlError);
+}
+
+TEST(ElaborateTest, FlatModuleIsReparseable)
+{
+    Design d = parse(
+        "module child #(parameter W = 4)(input wire clk,\n"
+        "    input wire [W-1:0] a, output reg [W-1:0] b);\n"
+        "always @(posedge clk) b <= a + 1;\nendmodule\n"
+        "module top(input wire clk, input wire [7:0] i,\n"
+        "    output wire [7:0] o);\n"
+        "child #(.W(8)) u_c (.clk(clk), .a(i), .b(o));\nendmodule");
+    ElabResult result = elaborate(d, "top");
+    std::string printed = printModule(*result.mod);
+    Design reparsed = parse(printed);
+    ASSERT_EQ(reparsed.modules.size(), 1u);
+    std::string again = printModule(*elaborate(reparsed, "top").mod);
+    EXPECT_EQ(printed, again);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the Verilog preprocessor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "hdl/preproc.hh"
+
+using hwdbg::HdlError;
+using hwdbg::hdl::preprocess;
+
+TEST(PreprocTest, PassThrough)
+{
+    std::string src = "module m();\nendmodule\n";
+    EXPECT_EQ(preprocess(src, {}), "module m();\nendmodule\n");
+}
+
+TEST(PreprocTest, IfdefTakenWhenDefined)
+{
+    std::string src = "`ifdef BUG\nbuggy\n`else\nfixed\n`endif\n";
+    std::string with_bug = preprocess(src, {{"BUG", ""}});
+    EXPECT_NE(with_bug.find("buggy"), std::string::npos);
+    EXPECT_EQ(with_bug.find("fixed"), std::string::npos);
+
+    std::string without = preprocess(src, {});
+    EXPECT_EQ(without.find("buggy"), std::string::npos);
+    EXPECT_NE(without.find("fixed"), std::string::npos);
+}
+
+TEST(PreprocTest, IfndefInverts)
+{
+    std::string src = "`ifndef BUG\nclean\n`endif\n";
+    EXPECT_NE(preprocess(src, {}).find("clean"), std::string::npos);
+    EXPECT_EQ(preprocess(src, {{"BUG", ""}}).find("clean"),
+              std::string::npos);
+}
+
+TEST(PreprocTest, NestedIfdef)
+{
+    std::string src =
+        "`ifdef A\n`ifdef B\nboth\n`endif\nonly_a\n`endif\n";
+    std::string both = preprocess(src, {{"A", ""}, {"B", ""}});
+    EXPECT_NE(both.find("both"), std::string::npos);
+    std::string only_a = preprocess(src, {{"A", ""}});
+    EXPECT_EQ(only_a.find("both"), std::string::npos);
+    EXPECT_NE(only_a.find("only_a"), std::string::npos);
+    std::string neither = preprocess(src, {});
+    EXPECT_EQ(neither.find("only_a"), std::string::npos);
+}
+
+TEST(PreprocTest, DefineSubstitution)
+{
+    std::string src = "`define WIDTH 8\nreg [`WIDTH-1:0] x;\n";
+    std::string out = preprocess(src, {});
+    EXPECT_NE(out.find("reg [8-1:0] x;"), std::string::npos);
+}
+
+TEST(PreprocTest, DefineInsideInactiveBlockIgnored)
+{
+    std::string src =
+        "`ifdef NOPE\n`define W 4\n`endif\n`ifdef W\nyes\n`endif\n";
+    EXPECT_EQ(preprocess(src, {}).find("yes"), std::string::npos);
+}
+
+TEST(PreprocTest, MacroInStringNotExpanded)
+{
+    std::string src = "`define X 1\n$display(\"`X\");\n";
+    std::string out = preprocess(src, {});
+    EXPECT_NE(out.find("\"`X\""), std::string::npos);
+}
+
+TEST(PreprocTest, UndefinedMacroThrows)
+{
+    EXPECT_THROW(preprocess("wire w = `NOPE;\n", {}), HdlError);
+}
+
+TEST(PreprocTest, UnbalancedEndifThrows)
+{
+    EXPECT_THROW(preprocess("`endif\n", {}), HdlError);
+    EXPECT_THROW(preprocess("`ifdef A\n", {}), HdlError);
+    EXPECT_THROW(preprocess("`else\n", {}), HdlError);
+}
+
+TEST(PreprocTest, TimescaleDiscarded)
+{
+    std::string out = preprocess("`timescale 1ns/1ps\nwire w;\n", {});
+    EXPECT_EQ(out.find("timescale"), std::string::npos);
+    EXPECT_NE(out.find("wire w;"), std::string::npos);
+}
+
+TEST(PreprocTest, LineNumbersPreserved)
+{
+    std::string src = "line1\n`ifdef X\nhidden\n`endif\nline5\n";
+    std::string out = preprocess(src, {});
+    // line5 must still be on line 5.
+    size_t pos = out.find("line5");
+    ASSERT_NE(pos, std::string::npos);
+    int newlines = 0;
+    for (size_t i = 0; i < pos; ++i)
+        if (out[i] == '\n')
+            ++newlines;
+    EXPECT_EQ(newlines, 4);
+}

@@ -1,0 +1,367 @@
+/**
+ * @file
+ * Tests for the blackbox IP behavioral models (scfifo, dcfifo,
+ * altsyncram, signal_recorder), including FIFO conservation properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::sim;
+
+namespace
+{
+
+std::unique_ptr<Simulator>
+makeSim(const std::string &src, const std::string &top = "m")
+{
+    Design design = parse(src);
+    return std::make_unique<Simulator>(elab::elaborate(design, top).mod);
+}
+
+void
+tick(Simulator &sim, int n = 1)
+{
+    for (int i = 0; i < n; ++i) {
+        sim.poke("clk", uint64_t(0));
+        sim.eval();
+        sim.poke("clk", uint64_t(1));
+        sim.eval();
+    }
+}
+
+const char *scfifo_harness =
+    "module m(input wire clk, input wire sclr, input wire wrreq,\n"
+    "         input wire rdreq, input wire [7:0] data,\n"
+    "         output wire [7:0] q, output wire empty,\n"
+    "         output wire full, output wire [7:0] usedw);\n"
+    "scfifo #(.WIDTH(8), .DEPTH(4)) u_fifo (.clock(clk), .sclr(sclr),\n"
+    "  .data(data), .wrreq(wrreq), .rdreq(rdreq), .q(q), .empty(empty),\n"
+    "  .full(full), .usedw(usedw));\nendmodule";
+
+} // namespace
+
+TEST(ScfifoTest, StartsEmpty)
+{
+    auto sim = makeSim(scfifo_harness);
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("empty"), 1u);
+    EXPECT_EQ(sim->peekU64("full"), 0u);
+    EXPECT_EQ(sim->peekU64("usedw"), 0u);
+}
+
+TEST(ScfifoTest, PushPopFifoOrder)
+{
+    auto sim = makeSim(scfifo_harness);
+    sim->poke("wrreq", uint64_t(1));
+    for (uint64_t v : {10, 20, 30}) {
+        sim->poke("data", v);
+        tick(*sim);
+    }
+    sim->poke("wrreq", uint64_t(0));
+    EXPECT_EQ(sim->peekU64("usedw"), 3u);
+    EXPECT_EQ(sim->peekU64("empty"), 0u);
+
+    sim->poke("rdreq", uint64_t(1));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("q"), 10u);
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("q"), 20u);
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("q"), 30u);
+    EXPECT_EQ(sim->peekU64("empty"), 1u);
+}
+
+TEST(ScfifoTest, FullDropsWrites)
+{
+    auto sim = makeSim(scfifo_harness);
+    sim->poke("wrreq", uint64_t(1));
+    for (uint64_t v = 1; v <= 6; ++v) {
+        sim->poke("data", v);
+        tick(*sim);
+    }
+    sim->poke("wrreq", uint64_t(0));
+    EXPECT_EQ(sim->peekU64("full"), 1u);
+    EXPECT_EQ(sim->peekU64("usedw"), 4u);
+    // Values 5 and 6 were dropped.
+    sim->poke("rdreq", uint64_t(1));
+    uint64_t last = 0;
+    for (int i = 0; i < 4; ++i) {
+        tick(*sim);
+        last = sim->peekU64("q");
+    }
+    EXPECT_EQ(last, 4u);
+    EXPECT_EQ(sim->peekU64("empty"), 1u);
+}
+
+TEST(ScfifoTest, SimultaneousReadWriteWhenFull)
+{
+    auto sim = makeSim(scfifo_harness);
+    sim->poke("wrreq", uint64_t(1));
+    for (uint64_t v = 1; v <= 4; ++v) {
+        sim->poke("data", v);
+        tick(*sim);
+    }
+    EXPECT_EQ(sim->peekU64("full"), 1u);
+    // Read+write on a full FIFO: both succeed.
+    sim->poke("rdreq", uint64_t(1));
+    sim->poke("data", uint64_t(99));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("q"), 1u);
+    EXPECT_EQ(sim->peekU64("usedw"), 4u);
+    sim->poke("wrreq", uint64_t(0));
+    for (int i = 0; i < 4; ++i)
+        tick(*sim);
+    EXPECT_EQ(sim->peekU64("q"), 99u);
+}
+
+TEST(ScfifoTest, SyncClear)
+{
+    auto sim = makeSim(scfifo_harness);
+    sim->poke("wrreq", uint64_t(1));
+    sim->poke("data", uint64_t(42));
+    tick(*sim, 2);
+    sim->poke("wrreq", uint64_t(0));
+    sim->poke("sclr", uint64_t(1));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("empty"), 1u);
+    EXPECT_EQ(sim->peekU64("usedw"), 0u);
+}
+
+// Conservation property: pushes == pops + occupancy, across random
+// request sequences.
+class ScfifoConservation : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScfifoConservation, PushesEqualPopsPlusOccupancy)
+{
+    auto sim = makeSim(scfifo_harness);
+    std::mt19937 rng(GetParam());
+    uint64_t pushes = 0, pops = 0;
+    for (int step = 0; step < 200; ++step) {
+        bool wr = rng() & 1;
+        bool rd = rng() & 1;
+        bool full = sim->peekU64("full") != 0;
+        bool empty = sim->peekU64("empty") != 0;
+        sim->poke("wrreq", uint64_t(wr));
+        sim->poke("rdreq", uint64_t(rd));
+        sim->poke("data", uint64_t(rng() & 0xff));
+        bool pop_ok = rd && !empty;
+        bool push_ok = wr && (!full || pop_ok);
+        tick(*sim);
+        if (push_ok)
+            ++pushes;
+        if (pop_ok)
+            ++pops;
+        EXPECT_EQ(pushes, pops + sim->peekU64("usedw"));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScfifoConservation,
+                         ::testing::Values(1u, 2u, 3u, 17u, 99u));
+
+TEST(DcfifoTest, CrossesClockDomains)
+{
+    auto sim = makeSim(
+        "module m(input wire wclk, input wire rclk, input wire wrreq,\n"
+        "         input wire rdreq, input wire [7:0] data,\n"
+        "         output wire [7:0] q, output wire rdempty,\n"
+        "         output wire wrfull);\n"
+        "dcfifo #(.WIDTH(8), .DEPTH(4)) u_fifo (.wrclk(wclk),\n"
+        "  .rdclk(rclk), .data(data), .wrreq(wrreq), .rdreq(rdreq),\n"
+        "  .q(q), .rdempty(rdempty), .wrfull(wrfull));\nendmodule");
+    auto wtick = [&] {
+        sim->poke("wclk", uint64_t(0));
+        sim->eval();
+        sim->poke("wclk", uint64_t(1));
+        sim->eval();
+    };
+    auto rtick = [&] {
+        sim->poke("rclk", uint64_t(0));
+        sim->eval();
+        sim->poke("rclk", uint64_t(1));
+        sim->eval();
+    };
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("rdempty"), 1u);
+    sim->poke("wrreq", uint64_t(1));
+    sim->poke("data", uint64_t(0x5a));
+    wtick();
+    sim->poke("wrreq", uint64_t(0));
+    EXPECT_EQ(sim->peekU64("rdempty"), 0u);
+    sim->poke("rdreq", uint64_t(1));
+    rtick();
+    EXPECT_EQ(sim->peekU64("q"), 0x5au);
+    EXPECT_EQ(sim->peekU64("rdempty"), 1u);
+}
+
+TEST(AltsyncramTest, WriteThenReadLatencyOne)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire wren,\n"
+        "         input wire [3:0] wa, input wire [3:0] ra,\n"
+        "         input wire [15:0] wd, output wire [15:0] rd);\n"
+        "altsyncram #(.WIDTH(16), .NUMWORDS(16)) u_ram (.clock0(clk),\n"
+        "  .wren_a(wren), .address_a(wa), .data_a(wd), .address_b(ra),\n"
+        "  .q_b(rd));\nendmodule");
+    sim->poke("wren", uint64_t(1));
+    sim->poke("wa", uint64_t(3));
+    sim->poke("wd", uint64_t(0xbeef));
+    tick(*sim);
+    sim->poke("wren", uint64_t(0));
+    sim->poke("ra", uint64_t(3));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("rd"), 0xbeefu);
+}
+
+TEST(AltsyncramTest, ReadDuringWriteReturnsOldData)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire wren,\n"
+        "         input wire [3:0] wa, input wire [3:0] ra,\n"
+        "         input wire [15:0] wd, output wire [15:0] rd);\n"
+        "altsyncram #(.WIDTH(16), .NUMWORDS(16)) u_ram (.clock0(clk),\n"
+        "  .wren_a(wren), .address_a(wa), .data_a(wd), .address_b(ra),\n"
+        "  .q_b(rd));\nendmodule");
+    sim->poke("wren", uint64_t(1));
+    sim->poke("wa", uint64_t(7));
+    sim->poke("ra", uint64_t(7));
+    sim->poke("wd", uint64_t(0x1111));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("rd"), 0u); // old contents
+    sim->poke("wd", uint64_t(0x2222));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("rd"), 0x1111u);
+}
+
+TEST(RecorderTest, CapturesValidEntriesWithCycles)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire v, input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(4)) u_rec (.clk(clk),\n"
+        "  .arm(1'b1), .valid(v), .data(d));\nendmodule");
+    sim->poke("v", uint64_t(0));
+    tick(*sim, 2);
+    sim->poke("v", uint64_t(1));
+    sim->poke("d", uint64_t(0x42));
+    tick(*sim);
+    sim->poke("v", uint64_t(0));
+    tick(*sim, 2);
+
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    ASSERT_NE(rec, nullptr);
+    ASSERT_EQ(rec->entries().size(), 1u);
+    EXPECT_EQ(rec->entries()[0].data.toU64(), 0x42u);
+    EXPECT_EQ(rec->entries()[0].cycle, 3u);
+    EXPECT_FALSE(rec->overflowed());
+}
+
+TEST(RecorderTest, StopsAtDepthAndFlagsOverflow)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(3)) u_rec (.clk(clk),\n"
+        "  .arm(1'b1), .valid(1'b1), .data(d));\nendmodule");
+    for (uint64_t i = 1; i <= 5; ++i) {
+        sim->poke("d", i);
+        tick(*sim);
+    }
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    ASSERT_EQ(rec->entries().size(), 3u);
+    EXPECT_EQ(rec->entries()[0].data.toU64(), 1u);
+    EXPECT_EQ(rec->entries()[2].data.toU64(), 3u);
+    EXPECT_TRUE(rec->overflowed());
+}
+
+TEST(RecorderTest, ArmGatesRecording)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire arm, input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(8)) u_rec (.clk(clk),\n"
+        "  .arm(arm), .valid(1'b1), .data(d));\nendmodule");
+    sim->poke("arm", uint64_t(0));
+    sim->poke("d", uint64_t(1));
+    tick(*sim, 3);
+    sim->poke("arm", uint64_t(1));
+    sim->poke("d", uint64_t(2));
+    tick(*sim, 2);
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    ASSERT_EQ(rec->entries().size(), 2u);
+    EXPECT_EQ(rec->entries()[0].data.toU64(), 2u);
+}
+
+TEST(RecorderTest, RingModeKeepsMostRecentEntries)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(3), .MODE(1)) u_rec (\n"
+        "  .clk(clk), .arm(1'b1), .valid(1'b1), .data(d));\nendmodule");
+    for (uint64_t i = 1; i <= 7; ++i) {
+        sim->poke("d", i);
+        tick(*sim);
+    }
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    ASSERT_NE(rec, nullptr);
+    EXPECT_TRUE(rec->ringMode());
+    auto entries = rec->entries();
+    ASSERT_EQ(entries.size(), 3u);
+    // Oldest-first chronological order: 5, 6, 7.
+    EXPECT_EQ(entries[0].data.toU64(), 5u);
+    EXPECT_EQ(entries[1].data.toU64(), 6u);
+    EXPECT_EQ(entries[2].data.toU64(), 7u);
+    EXPECT_LT(entries[0].cycle, entries[2].cycle);
+    EXPECT_FALSE(rec->overflowed());
+}
+
+TEST(RecorderTest, StopEventFreezesTheWindow)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire halt,\n"
+        "         input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(8), .MODE(1)) u_rec (\n"
+        "  .clk(clk), .arm(1'b1), .valid(1'b1), .data(d),\n"
+        "  .stop(halt));\nendmodule");
+    for (uint64_t i = 1; i <= 4; ++i) {
+        sim->poke("d", i);
+        tick(*sim);
+    }
+    sim->poke("halt", uint64_t(1));
+    tick(*sim);
+    sim->poke("halt", uint64_t(0));
+    for (uint64_t i = 90; i <= 95; ++i) {
+        sim->poke("d", i);
+        tick(*sim);
+    }
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    EXPECT_TRUE(rec->stopped());
+    auto entries = rec->entries();
+    ASSERT_EQ(entries.size(), 4u);
+    EXPECT_EQ(entries.back().data.toU64(), 4u);
+}
+
+TEST(RecorderTest, RingModeWithoutWrapKeepsInsertionOrder)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire v, input wire [7:0] d);\n"
+        "signal_recorder #(.WIDTH(8), .DEPTH(8), .MODE(1)) u_rec (\n"
+        "  .clk(clk), .arm(1'b1), .valid(v), .data(d));\nendmodule");
+    sim->poke("v", uint64_t(1));
+    for (uint64_t i = 1; i <= 3; ++i) {
+        sim->poke("d", i);
+        tick(*sim);
+    }
+    auto *rec = dynamic_cast<SignalRecorder *>(sim->primitive("u_rec"));
+    auto entries = rec->entries();
+    ASSERT_EQ(entries.size(), 3u);
+    EXPECT_EQ(entries[0].data.toU64(), 1u);
+    EXPECT_EQ(entries[2].data.toU64(), 3u);
+}
