@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filtering.dir/ablation_filtering.cc.o"
+  "CMakeFiles/ablation_filtering.dir/ablation_filtering.cc.o.d"
+  "ablation_filtering"
+  "ablation_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_monitor_overhead.dir/fig2_monitor_overhead.cc.o"
+  "CMakeFiles/fig2_monitor_overhead.dir/fig2_monitor_overhead.cc.o.d"
+  "fig2_monitor_overhead"
+  "fig2_monitor_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_monitor_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

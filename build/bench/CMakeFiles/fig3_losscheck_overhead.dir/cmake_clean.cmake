@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_losscheck_overhead.dir/fig3_losscheck_overhead.cc.o"
+  "CMakeFiles/fig3_losscheck_overhead.dir/fig3_losscheck_overhead.cc.o.d"
+  "fig3_losscheck_overhead"
+  "fig3_losscheck_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_losscheck_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsm_accuracy.dir/fsm_accuracy.cc.o"
+  "CMakeFiles/fsm_accuracy.dir/fsm_accuracy.cc.o.d"
+  "fsm_accuracy"
+  "fsm_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsm_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_loc.dir/generated_loc.cc.o"
+  "CMakeFiles/generated_loc.dir/generated_loc.cc.o.d"
+  "generated_loc"
+  "generated_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

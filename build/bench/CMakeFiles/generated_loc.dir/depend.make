@@ -1,0 +1,2 @@
+# Empty dependencies file for generated_loc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/losscheck_effectiveness.dir/losscheck_effectiveness.cc.o"
+  "CMakeFiles/losscheck_effectiveness.dir/losscheck_effectiveness.cc.o.d"
+  "losscheck_effectiveness"
+  "losscheck_effectiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/losscheck_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for losscheck_effectiveness.
+# This may be replaced when dependencies are built.

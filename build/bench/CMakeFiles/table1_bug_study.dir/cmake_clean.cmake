@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bug_study.dir/table1_bug_study.cc.o"
+  "CMakeFiles/table1_bug_study.dir/table1_bug_study.cc.o.d"
+  "table1_bug_study"
+  "table1_bug_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bug_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_testbed.dir/table2_testbed.cc.o"
+  "CMakeFiles/table2_testbed.dir/table2_testbed.cc.o.d"
+  "table2_testbed"
+  "table2_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_closure.dir/timing_closure.cc.o"
+  "CMakeFiles/timing_closure.dir/timing_closure.cc.o.d"
+  "timing_closure"
+  "timing_closure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_closure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for timing_closure.
+# This may be replaced when dependencies are built.

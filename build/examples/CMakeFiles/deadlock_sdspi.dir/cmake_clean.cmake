@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_sdspi.dir/deadlock_sdspi.cpp.o"
+  "CMakeFiles/deadlock_sdspi.dir/deadlock_sdspi.cpp.o.d"
+  "deadlock_sdspi"
+  "deadlock_sdspi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_sdspi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for deadlock_sdspi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for deadlock_sdspi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grayscale_case_study.dir/grayscale_case_study.cpp.o"
+  "CMakeFiles/grayscale_case_study.dir/grayscale_case_study.cpp.o.d"
+  "grayscale_case_study"
+  "grayscale_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grayscale_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

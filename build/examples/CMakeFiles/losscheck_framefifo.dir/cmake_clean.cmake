@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/losscheck_framefifo.dir/losscheck_framefifo.cpp.o"
+  "CMakeFiles/losscheck_framefifo.dir/losscheck_framefifo.cpp.o.d"
+  "losscheck_framefifo"
+  "losscheck_framefifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/losscheck_framefifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for losscheck_framefifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for losscheck_framefifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validcheck_demo.dir/validcheck_demo.cpp.o"
+  "CMakeFiles/validcheck_demo.dir/validcheck_demo.cpp.o.d"
+  "validcheck_demo"
+  "validcheck_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validcheck_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg.dir/cli/main.cc.o"
+  "CMakeFiles/hwdbg.dir/cli/main.cc.o.d"
+  "hwdbg"
+  "hwdbg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/depgraph.cc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/depgraph.cc.o" "gcc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/depgraph.cc.o.d"
+  "/root/repo/src/analysis/exprutil.cc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/exprutil.cc.o" "gcc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/exprutil.cc.o.d"
+  "/root/repo/src/analysis/fsm_detect.cc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/fsm_detect.cc.o" "gcc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/fsm_detect.cc.o.d"
+  "/root/repo/src/analysis/guards.cc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/guards.cc.o" "gcc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/guards.cc.o.d"
+  "/root/repo/src/analysis/relations.cc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/relations.cc.o" "gcc" "src/CMakeFiles/hwdbg_analysis.dir/analysis/relations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

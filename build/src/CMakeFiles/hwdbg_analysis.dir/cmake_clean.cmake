@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_analysis.dir/analysis/depgraph.cc.o"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/depgraph.cc.o.d"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/exprutil.cc.o"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/exprutil.cc.o.d"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/fsm_detect.cc.o"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/fsm_detect.cc.o.d"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/guards.cc.o"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/guards.cc.o.d"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/relations.cc.o"
+  "CMakeFiles/hwdbg_analysis.dir/analysis/relations.cc.o.d"
+  "libhwdbg_analysis.a"
+  "libhwdbg_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

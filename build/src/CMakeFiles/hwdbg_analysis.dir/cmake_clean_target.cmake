@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhwdbg_analysis.a"
+)

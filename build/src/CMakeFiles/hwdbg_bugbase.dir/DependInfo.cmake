@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bugbase/designs.cc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/designs.cc.o" "gcc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/designs.cc.o.d"
+  "/root/repo/src/bugbase/fsm_zoo.cc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/fsm_zoo.cc.o" "gcc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/fsm_zoo.cc.o.d"
+  "/root/repo/src/bugbase/study.cc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/study.cc.o" "gcc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/study.cc.o.d"
+  "/root/repo/src/bugbase/testbed.cc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/testbed.cc.o" "gcc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/testbed.cc.o.d"
+  "/root/repo/src/bugbase/workloads.cc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/workloads.cc.o" "gcc" "src/CMakeFiles/hwdbg_bugbase.dir/bugbase/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

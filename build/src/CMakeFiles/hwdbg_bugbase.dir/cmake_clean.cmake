@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/designs.cc.o"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/designs.cc.o.d"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/fsm_zoo.cc.o"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/fsm_zoo.cc.o.d"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/study.cc.o"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/study.cc.o.d"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/testbed.cc.o"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/testbed.cc.o.d"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/workloads.cc.o"
+  "CMakeFiles/hwdbg_bugbase.dir/bugbase/workloads.cc.o.d"
+  "libhwdbg_bugbase.a"
+  "libhwdbg_bugbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_bugbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

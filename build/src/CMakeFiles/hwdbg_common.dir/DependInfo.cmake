@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bits.cc" "src/CMakeFiles/hwdbg_common.dir/common/bits.cc.o" "gcc" "src/CMakeFiles/hwdbg_common.dir/common/bits.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hwdbg_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hwdbg_common.dir/common/logging.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_common.dir/common/bits.cc.o"
+  "CMakeFiles/hwdbg_common.dir/common/bits.cc.o.d"
+  "CMakeFiles/hwdbg_common.dir/common/logging.cc.o"
+  "CMakeFiles/hwdbg_common.dir/common/logging.cc.o.d"
+  "libhwdbg_common.a"
+  "libhwdbg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dep_monitor.cc" "src/CMakeFiles/hwdbg_core.dir/core/dep_monitor.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/dep_monitor.cc.o.d"
+  "/root/repo/src/core/fsm_monitor.cc" "src/CMakeFiles/hwdbg_core.dir/core/fsm_monitor.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/fsm_monitor.cc.o.d"
+  "/root/repo/src/core/instrument.cc" "src/CMakeFiles/hwdbg_core.dir/core/instrument.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/instrument.cc.o.d"
+  "/root/repo/src/core/losscheck.cc" "src/CMakeFiles/hwdbg_core.dir/core/losscheck.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/losscheck.cc.o.d"
+  "/root/repo/src/core/signalcat.cc" "src/CMakeFiles/hwdbg_core.dir/core/signalcat.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/signalcat.cc.o.d"
+  "/root/repo/src/core/stats_monitor.cc" "src/CMakeFiles/hwdbg_core.dir/core/stats_monitor.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/stats_monitor.cc.o.d"
+  "/root/repo/src/core/validcheck.cc" "src/CMakeFiles/hwdbg_core.dir/core/validcheck.cc.o" "gcc" "src/CMakeFiles/hwdbg_core.dir/core/validcheck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

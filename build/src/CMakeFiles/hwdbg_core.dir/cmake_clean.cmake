@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_core.dir/core/dep_monitor.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/dep_monitor.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/fsm_monitor.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/fsm_monitor.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/instrument.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/instrument.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/losscheck.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/losscheck.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/signalcat.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/signalcat.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/stats_monitor.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/stats_monitor.cc.o.d"
+  "CMakeFiles/hwdbg_core.dir/core/validcheck.cc.o"
+  "CMakeFiles/hwdbg_core.dir/core/validcheck.cc.o.d"
+  "libhwdbg_core.a"
+  "libhwdbg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

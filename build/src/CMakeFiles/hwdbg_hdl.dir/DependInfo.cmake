@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/elab/elaborate.cc" "src/CMakeFiles/hwdbg_hdl.dir/elab/elaborate.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/elab/elaborate.cc.o.d"
+  "/root/repo/src/elab/ip_models.cc" "src/CMakeFiles/hwdbg_hdl.dir/elab/ip_models.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/elab/ip_models.cc.o.d"
+  "/root/repo/src/hdl/ast.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/ast.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/ast.cc.o.d"
+  "/root/repo/src/hdl/lexer.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/lexer.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/lexer.cc.o.d"
+  "/root/repo/src/hdl/parser.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/parser.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/parser.cc.o.d"
+  "/root/repo/src/hdl/preproc.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/preproc.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/preproc.cc.o.d"
+  "/root/repo/src/hdl/printer.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/printer.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/printer.cc.o.d"
+  "/root/repo/src/hdl/token.cc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/token.cc.o" "gcc" "src/CMakeFiles/hwdbg_hdl.dir/hdl/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

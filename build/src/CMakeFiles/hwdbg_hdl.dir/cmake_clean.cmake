@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_hdl.dir/elab/elaborate.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/elab/elaborate.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/elab/ip_models.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/elab/ip_models.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/ast.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/ast.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/lexer.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/lexer.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/parser.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/parser.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/preproc.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/preproc.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/printer.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/printer.cc.o.d"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/token.cc.o"
+  "CMakeFiles/hwdbg_hdl.dir/hdl/token.cc.o.d"
+  "libhwdbg_hdl.a"
+  "libhwdbg_hdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_hdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

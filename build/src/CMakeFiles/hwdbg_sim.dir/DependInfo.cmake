@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/design.cc" "src/CMakeFiles/hwdbg_sim.dir/sim/design.cc.o" "gcc" "src/CMakeFiles/hwdbg_sim.dir/sim/design.cc.o.d"
+  "/root/repo/src/sim/eval.cc" "src/CMakeFiles/hwdbg_sim.dir/sim/eval.cc.o" "gcc" "src/CMakeFiles/hwdbg_sim.dir/sim/eval.cc.o.d"
+  "/root/repo/src/sim/primitives.cc" "src/CMakeFiles/hwdbg_sim.dir/sim/primitives.cc.o" "gcc" "src/CMakeFiles/hwdbg_sim.dir/sim/primitives.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/hwdbg_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/hwdbg_sim.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/vcd.cc" "src/CMakeFiles/hwdbg_sim.dir/sim/vcd.cc.o" "gcc" "src/CMakeFiles/hwdbg_sim.dir/sim/vcd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

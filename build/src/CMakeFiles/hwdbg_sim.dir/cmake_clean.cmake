@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_sim.dir/sim/design.cc.o"
+  "CMakeFiles/hwdbg_sim.dir/sim/design.cc.o.d"
+  "CMakeFiles/hwdbg_sim.dir/sim/eval.cc.o"
+  "CMakeFiles/hwdbg_sim.dir/sim/eval.cc.o.d"
+  "CMakeFiles/hwdbg_sim.dir/sim/primitives.cc.o"
+  "CMakeFiles/hwdbg_sim.dir/sim/primitives.cc.o.d"
+  "CMakeFiles/hwdbg_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/hwdbg_sim.dir/sim/simulator.cc.o.d"
+  "CMakeFiles/hwdbg_sim.dir/sim/vcd.cc.o"
+  "CMakeFiles/hwdbg_sim.dir/sim/vcd.cc.o.d"
+  "libhwdbg_sim.a"
+  "libhwdbg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

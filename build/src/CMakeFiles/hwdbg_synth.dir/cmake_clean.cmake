@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwdbg_synth.dir/synth/platform.cc.o"
+  "CMakeFiles/hwdbg_synth.dir/synth/platform.cc.o.d"
+  "CMakeFiles/hwdbg_synth.dir/synth/resources.cc.o"
+  "CMakeFiles/hwdbg_synth.dir/synth/resources.cc.o.d"
+  "CMakeFiles/hwdbg_synth.dir/synth/timing.cc.o"
+  "CMakeFiles/hwdbg_synth.dir/synth/timing.cc.o.d"
+  "libhwdbg_synth.a"
+  "libhwdbg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwdbg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

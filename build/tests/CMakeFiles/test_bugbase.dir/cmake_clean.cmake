@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bugbase.dir/bugbase/test_bugbase.cc.o"
+  "CMakeFiles/test_bugbase.dir/bugbase/test_bugbase.cc.o.d"
+  "test_bugbase"
+  "test_bugbase.pdb"
+  "test_bugbase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bugbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_depgraph.dir/analysis/test_depgraph.cc.o"
+  "CMakeFiles/test_depgraph.dir/analysis/test_depgraph.cc.o.d"
+  "test_depgraph"
+  "test_depgraph.pdb"
+  "test_depgraph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_depgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

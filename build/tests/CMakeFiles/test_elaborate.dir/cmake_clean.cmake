@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elaborate.dir/elab/test_elaborate.cc.o"
+  "CMakeFiles/test_elaborate.dir/elab/test_elaborate.cc.o.d"
+  "test_elaborate"
+  "test_elaborate.pdb"
+  "test_elaborate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elaborate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

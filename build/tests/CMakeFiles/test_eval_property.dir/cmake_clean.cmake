@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_property.dir/sim/test_eval_property.cc.o"
+  "CMakeFiles/test_eval_property.dir/sim/test_eval_property.cc.o.d"
+  "test_eval_property"
+  "test_eval_property.pdb"
+  "test_eval_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_detect.dir/analysis/test_fsm_detect.cc.o"
+  "CMakeFiles/test_fsm_detect.dir/analysis/test_fsm_detect.cc.o.d"
+  "test_fsm_detect"
+  "test_fsm_detect.pdb"
+  "test_fsm_detect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

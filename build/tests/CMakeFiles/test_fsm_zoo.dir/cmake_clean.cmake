@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fsm_zoo.dir/bugbase/test_fsm_zoo.cc.o"
+  "CMakeFiles/test_fsm_zoo.dir/bugbase/test_fsm_zoo.cc.o.d"
+  "test_fsm_zoo"
+  "test_fsm_zoo.pdb"
+  "test_fsm_zoo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fsm_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guards.dir/analysis/test_guards.cc.o"
+  "CMakeFiles/test_guards.dir/analysis/test_guards.cc.o.d"
+  "test_guards"
+  "test_guards.pdb"
+  "test_guards[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

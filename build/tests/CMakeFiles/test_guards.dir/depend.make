@@ -1,0 +1,2 @@
+# Empty dependencies file for test_guards.
+# This may be replaced when dependencies are built.

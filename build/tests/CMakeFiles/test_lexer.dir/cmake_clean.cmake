@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lexer.dir/hdl/test_lexer.cc.o"
+  "CMakeFiles/test_lexer.dir/hdl/test_lexer.cc.o.d"
+  "test_lexer"
+  "test_lexer.pdb"
+  "test_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_losscheck.dir/core/test_losscheck.cc.o"
+  "CMakeFiles/test_losscheck.dir/core/test_losscheck.cc.o.d"
+  "test_losscheck"
+  "test_losscheck.pdb"
+  "test_losscheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_losscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_losscheck_property.dir/core/test_losscheck_property.cc.o"
+  "CMakeFiles/test_losscheck_property.dir/core/test_losscheck_property.cc.o.d"
+  "test_losscheck_property"
+  "test_losscheck_property.pdb"
+  "test_losscheck_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_losscheck_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_monitors.dir/core/test_monitors.cc.o"
+  "CMakeFiles/test_monitors.dir/core/test_monitors.cc.o.d"
+  "test_monitors"
+  "test_monitors.pdb"
+  "test_monitors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

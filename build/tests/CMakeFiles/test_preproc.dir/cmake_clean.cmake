@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preproc.dir/hdl/test_preproc.cc.o"
+  "CMakeFiles/test_preproc.dir/hdl/test_preproc.cc.o.d"
+  "test_preproc"
+  "test_preproc.pdb"
+  "test_preproc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_printer.dir/hdl/test_printer.cc.o"
+  "CMakeFiles/test_printer.dir/hdl/test_printer.cc.o.d"
+  "test_printer"
+  "test_printer.pdb"
+  "test_printer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_printer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signalcat.dir/core/test_signalcat.cc.o"
+  "CMakeFiles/test_signalcat.dir/core/test_signalcat.cc.o.d"
+  "test_signalcat"
+  "test_signalcat.pdb"
+  "test_signalcat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signalcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bugbase/test_study.cc" "tests/CMakeFiles/test_study.dir/bugbase/test_study.cc.o" "gcc" "tests/CMakeFiles/test_study.dir/bugbase/test_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hwdbg_bugbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_hdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hwdbg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_study.dir/bugbase/test_study.cc.o"
+  "CMakeFiles/test_study.dir/bugbase/test_study.cc.o.d"
+  "test_study"
+  "test_study.pdb"
+  "test_study[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

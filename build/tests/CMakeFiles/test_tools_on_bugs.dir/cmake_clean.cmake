@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tools_on_bugs.dir/bugbase/test_tools_on_bugs.cc.o"
+  "CMakeFiles/test_tools_on_bugs.dir/bugbase/test_tools_on_bugs.cc.o.d"
+  "test_tools_on_bugs"
+  "test_tools_on_bugs.pdb"
+  "test_tools_on_bugs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tools_on_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_validcheck.dir/core/test_validcheck.cc.o"
+  "CMakeFiles/test_validcheck.dir/core/test_validcheck.cc.o.d"
+  "test_validcheck"
+  "test_validcheck.pdb"
+  "test_validcheck[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_validcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,89 @@
+
+module frame_fifo (
+    input wire clk,
+    input wire rst,
+    input wire s_valid,
+    input wire [7:0] s_data,
+    input wire s_last,
+    input wire s_bad,
+    input wire m_ready,
+    output reg m_valid,
+    output reg [7:0] m_data,
+    output reg m_last,
+    output reg [7:0] m_len,
+    output reg len_valid
+);
+reg [7:0] memd [0:15];
+reg meml [0:15];
+reg [4:0] wr_ptr;
+reg [4:0] wr_cur;
+reg [4:0] rd_ptr;
+reg drop;
+reg [7:0] len_cnt;
+wire [4:0] occupancy = wr_cur - rd_ptr;
+wire space_ok = occupancy < 5'd16;
+
+always @(posedge clk) begin
+    len_valid <= 1'b0;
+    if (rst) begin
+        wr_ptr <= 5'd0;
+        wr_cur <= 5'd0;
+        rd_ptr <= 5'd0;
+        drop <= 1'b0;
+        len_cnt <= 8'd0;
+        m_valid <= 1'b0;
+    end else begin
+        if (s_valid) begin
+
+            memd[wr_cur[3:0]] <= s_data;
+            meml[wr_cur[3:0]] <= s_last;
+            wr_cur <= wr_cur + 5'd1;
+
+
+
+
+
+
+
+
+
+
+
+
+
+            len_cnt <= len_cnt + 8'd1;
+            if (s_last) begin
+
+                if (s_bad) begin
+
+
+
+                    wr_cur <= wr_ptr;
+                end else begin
+                    wr_ptr <= wr_cur + 5'd1;
+                    m_len <= len_cnt + 8'd1;
+                    len_valid <= 1'b1;
+                end
+
+
+                drop <= 1'b0;
+
+
+
+                len_cnt <= 8'd0;
+
+            end
+        end
+        if (!m_valid || m_ready) begin
+            if (rd_ptr != wr_ptr) begin
+                m_valid <= 1'b1;
+                m_data <= memd[rd_ptr[3:0]];
+                m_last <= meml[rd_ptr[3:0]];
+                rd_ptr <= rd_ptr + 5'd1;
+            end else begin
+                m_valid <= 1'b0;
+            end
+        end
+    end
+end
+endmodule
