@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Lint effectiveness over the Table 2 testbed: run every rule on the
+ * buggy and fixed form of each of the 20 bugs and report which rules
+ * fire on the buggy form only (a detection), on both forms (noise),
+ * and how many diagnostics the fixed designs draw in total.
+ *
+ * The static rules are keyed to Table 1 subclasses, so this is the
+ * static-analysis counterpart of the dynamic-tool effectiveness
+ * benches: it measures how far pattern matching alone gets before the
+ * monitors and LossCheck have to take over.
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "lint/lint.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+using namespace hwdbg::bench;
+
+namespace
+{
+
+std::multiset<std::string>
+ruleHits(const TestbedBug &bug, bool buggy)
+{
+    auto elaborated = buildDesign(bug, buggy);
+    std::multiset<std::string> hits;
+    for (const auto &diag : lint::runLint(*elaborated.mod))
+        hits.insert(diag.rule);
+    return hits;
+}
+
+std::string
+join(const std::set<std::string> &names)
+{
+    std::string out;
+    for (const auto &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out.empty() ? "-" : out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Static lint over the 20 Table 2 testbed bugs\n");
+    std::printf("%-4s %-27s %-38s %s\n", "Bug", "subclass",
+                "buggy-only rules (detections)", "both-forms rules");
+    std::printf("%s\n", std::string(100, '-').c_str());
+
+    int detected = 0;
+    int fixed_diags = 0;
+    std::map<std::string, int> perRule;
+
+    for (const auto &bug : testbedBugs()) {
+        auto buggy = ruleHits(bug, true);
+        auto fixed = ruleHits(bug, false);
+        fixed_diags += static_cast<int>(fixed.size());
+
+        std::set<std::string> buggy_only, both;
+        for (const auto &rule : std::set<std::string>(buggy.begin(),
+                                                      buggy.end())) {
+            if (fixed.count(rule))
+                both.insert(rule);
+            else
+                buggy_only.insert(rule);
+        }
+        if (!buggy_only.empty())
+            ++detected;
+        for (const auto &rule : buggy_only)
+            ++perRule[rule];
+
+        std::printf("%-4s %-27s %-38s %s\n", bug.id.c_str(),
+                    bug.subclass.c_str(), join(buggy_only).c_str(),
+                    join(both).c_str());
+    }
+
+    std::printf("%s\n", std::string(100, '-').c_str());
+    std::printf("Detections per rule:\n");
+    for (const auto &[rule, count] : perRule)
+        std::printf("  %-24s %d\n", rule.c_str(), count);
+    std::printf("Detected %d/20 bugs from the buggy source alone; "
+                "%d diagnostic(s) on the 20 fixed designs\n",
+                detected, fixed_diags);
+    std::printf("Expected: the 8 structural/protocol bugs (D3, D4, "
+                "D11, C1, C3, S1, S2, S3); timing-, value-, and "
+                "workload-dependent bugs need the dynamic tools\n");
+
+    bool ok = detected >= 5;
+    std::printf("Match: %s\n", ok ? "ok" : "FAIL");
+    return ok ? 0 : 1;
+}

@@ -1,5 +1,6 @@
 #include "analysis/depgraph.hh"
 
+#include <algorithm>
 #include <queue>
 
 #include "analysis/exprutil.hh"
@@ -171,6 +172,105 @@ DepGraph::statefulSources(const std::string &name) const
         }
     }
     return out;
+}
+
+std::vector<std::vector<std::string>>
+DepGraph::combCycles() const
+{
+    // Adjacency over Comb edges only, deduplicated.
+    std::map<std::string, std::set<std::string>> adj;
+    std::set<std::string> selfLoops;
+    for (const auto &edge : edges_) {
+        if (edge.kind != DepKind::Comb)
+            continue;
+        if (edge.src == edge.dst)
+            selfLoops.insert(edge.src);
+        else
+            adj[edge.src].insert(edge.dst);
+    }
+
+    // Iterative Tarjan SCC.
+    struct NodeState
+    {
+        int index = -1;
+        int lowlink = -1;
+        bool onStack = false;
+    };
+    std::map<std::string, NodeState> state;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> cycles;
+    int counter = 0;
+
+    struct Frame
+    {
+        std::string node;
+        std::set<std::string>::const_iterator next, end;
+    };
+
+    auto strongconnect = [&](const std::string &root) {
+        static const std::set<std::string> empty;
+        std::vector<Frame> frames;
+        auto open = [&](const std::string &node) {
+            auto &ns = state[node];
+            ns.index = ns.lowlink = counter++;
+            ns.onStack = true;
+            stack.push_back(node);
+            auto it = adj.find(node);
+            const auto &succ = it == adj.end() ? empty : it->second;
+            frames.push_back(Frame{node, succ.begin(), succ.end()});
+        };
+        open(root);
+        while (!frames.empty()) {
+            Frame &frame = frames.back();
+            if (frame.next != frame.end) {
+                const std::string &succ = *frame.next++;
+                auto it = state.find(succ);
+                if (it == state.end() || it->second.index < 0) {
+                    open(succ);
+                } else if (it->second.onStack) {
+                    auto &ns = state[frame.node];
+                    ns.lowlink =
+                        std::min(ns.lowlink, it->second.index);
+                }
+                continue;
+            }
+            auto &ns = state[frame.node];
+            if (ns.lowlink == ns.index) {
+                std::vector<std::string> scc;
+                while (true) {
+                    std::string member = stack.back();
+                    stack.pop_back();
+                    state[member].onStack = false;
+                    scc.push_back(member);
+                    if (member == frame.node)
+                        break;
+                }
+                if (scc.size() > 1) {
+                    std::sort(scc.begin(), scc.end());
+                    cycles.push_back(std::move(scc));
+                }
+            }
+            std::string done = frame.node;
+            frames.pop_back();
+            if (!frames.empty()) {
+                auto &parent = state[frames.back().node];
+                parent.lowlink =
+                    std::min(parent.lowlink, state[done].lowlink);
+            }
+        }
+    };
+
+    for (const auto &[node, succ] : adj) {
+        (void)succ;
+        auto it = state.find(node);
+        if (it == state.end() || it->second.index < 0)
+            strongconnect(node);
+    }
+    for (const auto &node : selfLoops)
+        cycles.push_back({node});
+
+    std::sort(cycles.begin(), cycles.end());
+    return cycles;
 }
 
 std::map<std::string, int>

@@ -71,6 +71,16 @@ class DepGraph
     std::set<std::string> statefulSources(const std::string &name) const;
 
     /**
+     * Combinational cycles: strongly connected components of the
+     * subgraph restricted to Comb edges (data and control), plus
+     * single-node self-loops. Each cycle lists its members in a
+     * deterministic order; the cycle list itself is sorted by first
+     * member. A zero-delay loop like this oscillates or deadlocks in
+     * hardware, so the linter reports every occurrence.
+     */
+    std::vector<std::vector<std::string>> combCycles() const;
+
+    /**
      * Registers in the dependency chain of @p name within @p cycles
      * sequential steps, following both data and control dependencies
      * (configurable). Includes @p name itself when it is a register.

@@ -5,6 +5,8 @@
  * Exposes the library's debugging tools over Verilog files:
  *
  *   hwdbg parse      <file> [--top M] [--define NAME]...
+ *   hwdbg lint       <file> [--top M] [--format text|json]
+ *                    [--rule ID]...
  *   hwdbg fsm        <file> [--top M]
  *   hwdbg deps       <file> --var V [--cycles K] [--top M]
  *   hwdbg signalcat  <file> [--depth N] [--arm SIG] [--stop SIG]
@@ -38,6 +40,7 @@
 #include "hdl/parser.hh"
 #include "hdl/preproc.hh"
 #include "hdl/printer.hh"
+#include "lint/lint.hh"
 #include "synth/platform.hh"
 #include "synth/resources.hh"
 #include "synth/timing.hh"
@@ -54,6 +57,7 @@ struct Args
     std::map<std::string, std::string> options;
     std::vector<std::string> positional;
     std::map<std::string, std::string> defines;
+    std::vector<std::string> rules;
     bool flag(const std::string &name) const
     {
         return options.count(name) != 0;
@@ -74,6 +78,9 @@ usage()
         "\n"
         "commands:\n"
         "  parse <file>                      check and pretty-print\n"
+        "  lint <file> [--format text|json] [--rule ID]...\n"
+        "                                    static bug-pattern check\n"
+        "                                    (exit 1 when errors)\n"
         "  fsm <file>                        detect state machines\n"
         "  deps <file> --var V [--cycles K]  dependency chain of V\n"
         "  signalcat <file> [--depth N] [--arm SIG] [--stop SIG]\n"
@@ -109,7 +116,8 @@ parseArgs(int argc, char **argv)
                 name == "depth" || name == "arm" || name == "stop" ||
                 name == "source" || name == "valid" || name == "sink" ||
                 name == "platform" || name == "target" ||
-                name == "define";
+                name == "define" || name == "format" ||
+                name == "rule";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -118,6 +126,8 @@ parseArgs(int argc, char **argv)
             }
             if (name == "define")
                 args.defines[value] = "";
+            else if (name == "rule")
+                args.rules.push_back(value);
             else
                 args.options[name] = value;
         } else if (args.file.empty() && args.command != "testbed") {
@@ -160,6 +170,26 @@ cmdParse(const Args &args)
                                                args.defines, args.file);
     std::fputs(hdl::printDesign(design).c_str(), stdout);
     return 0;
+}
+
+int
+cmdLint(const Args &args)
+{
+    auto elaborated = load(args);
+    lint::LintOptions opts;
+    opts.rules.insert(args.rules.begin(), args.rules.end());
+    auto diags = lint::runLint(*elaborated.mod, opts);
+    std::string format = args.opt("format", "text");
+    if (format == "json")
+        std::fputs(lint::renderJson(diags).c_str(), stdout);
+    else if (format == "text")
+        std::fputs(lint::renderText(diags).c_str(), stdout);
+    else
+        fatal("unknown lint output format '%s'", format.c_str());
+    if (format == "text")
+        std::fprintf(stderr, "lint: %zu diagnostic%s\n", diags.size(),
+                     diags.size() == 1 ? "" : "s");
+    return lint::hasErrors(diags) ? 1 : 0;
 }
 
 int
@@ -331,6 +361,8 @@ main(int argc, char **argv)
         Args args = parseArgs(argc, argv);
         if (args.command == "parse")
             return cmdParse(args);
+        if (args.command == "lint")
+            return cmdLint(args);
         if (args.command == "fsm")
             return cmdFsm(args);
         if (args.command == "deps")

@@ -1,0 +1,493 @@
+#include "lint/context.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <optional>
+
+#include "analysis/exprutil.hh"
+#include "common/logging.hh"
+#include "elab/ip_models.hh"
+#include "sim/design.hh"
+
+namespace hwdbg::lint
+{
+
+using namespace hdl;
+
+namespace
+{
+
+std::string
+lowered(const std::string &name)
+{
+    std::string out = name;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
+}
+
+bool
+nameContains(const std::string &name, const char *needle)
+{
+    return lowered(name).find(needle) != std::string::npos;
+}
+
+/** Constant value of @p expr, or nullopt for non-constant trees. */
+std::optional<uint64_t>
+tryConstU64(const ExprPtr &expr)
+{
+    if (!expr)
+        return std::nullopt;
+    try {
+        return sim::constU64(expr);
+    } catch (const HdlError &) {
+        return std::nullopt;
+    }
+}
+
+/** Signals whose values an lvalue reads (dynamic indices, bounds). */
+void
+collectLvalueReads(const ExprPtr &lhs, std::set<std::string> &reads)
+{
+    if (!lhs)
+        return;
+    switch (lhs->kind) {
+      case ExprKind::Index:
+        for (const auto &name :
+             analysis::collectSignals(lhs->as<IndexExpr>()->index))
+            reads.insert(name);
+        break;
+      case ExprKind::Range:
+        for (const auto &part : {lhs->as<RangeExpr>()->msb,
+                                 lhs->as<RangeExpr>()->lsb})
+            for (const auto &name : analysis::collectSignals(part))
+                reads.insert(name);
+        break;
+      case ExprKind::Concat:
+        for (const auto &part : lhs->as<ConcatExpr>()->parts)
+            collectLvalueReads(part, reads);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+collectStmtReads(const StmtPtr &stmt, std::set<std::string> &reads)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            collectStmtReads(sub, reads);
+        break;
+      case StmtKind::If: {
+        const auto *branch = stmt->as<IfStmt>();
+        for (const auto &name : analysis::collectSignals(branch->cond))
+            reads.insert(name);
+        collectStmtReads(branch->thenStmt, reads);
+        collectStmtReads(branch->elseStmt, reads);
+        break;
+      }
+      case StmtKind::Case: {
+        const auto *sel = stmt->as<CaseStmt>();
+        for (const auto &name :
+             analysis::collectSignals(sel->selector))
+            reads.insert(name);
+        for (const auto &item : sel->items) {
+            for (const auto &label : item.labels)
+                for (const auto &name :
+                     analysis::collectSignals(label))
+                    reads.insert(name);
+            collectStmtReads(item.body, reads);
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto *assign = stmt->as<AssignStmt>();
+        for (const auto &name : analysis::collectSignals(assign->rhs))
+            reads.insert(name);
+        collectLvalueReads(assign->lhs, reads);
+        break;
+      }
+      case StmtKind::Display:
+        for (const auto &arg : stmt->as<DisplayStmt>()->args)
+            for (const auto &name : analysis::collectSignals(arg))
+                reads.insert(name);
+        break;
+      default:
+        break;
+    }
+}
+
+} // namespace
+
+LintContext::LintContext(const Module &mod) : mod_(&mod)
+{
+    scanDecls();
+    scanReadsAndDrivers();
+    graph_ = std::make_unique<analysis::DepGraph>(mod);
+    assigns_ = analysis::collectAssigns(mod);
+    fsms_ = analysis::detectFsms(mod);
+    scanResetPolarity();
+}
+
+void
+LintContext::scanResetPolarity()
+{
+    // A reset is active-high when some guard asserts it as a bare
+    // positive conjunct (the `if (rst)` branch); otherwise every
+    // reset branch must test it inverted, i.e. active-low.
+    for (const auto &ga : assigns_) {
+        for (const auto &conj : conjuncts(ga.guard)) {
+            if (conj->kind == ExprKind::Id &&
+                resets_.count(conj->as<IdExpr>()->name))
+                activeHighResets_.insert(conj->as<IdExpr>()->name);
+        }
+    }
+}
+
+void
+LintContext::scanDecls()
+{
+    for (const auto &item : mod_->items) {
+        if (item->kind != ItemKind::Net)
+            continue;
+        const auto *net = item->as<NetItem>();
+        NetFacts facts;
+        facts.dir = net->dir;
+        facts.kind = net->net;
+        facts.memory = net->array.has_value();
+        facts.loc = net->loc;
+        if (net->range) {
+            auto msb = tryConstU64(net->range->msb);
+            auto lsb = tryConstU64(net->range->lsb);
+            if (msb && lsb && *msb >= *lsb)
+                facts.width = static_cast<uint32_t>(*msb - *lsb + 1);
+        }
+        if (!nets_.count(net->name))
+            order_.push_back(net->name);
+        nets_[net->name] = facts;
+        if (net->dir == PortDir::Input &&
+            (nameContains(net->name, "rst") ||
+             nameContains(net->name, "reset")))
+            resets_.insert(net->name);
+        if (nameContains(net->name, "clk") ||
+            nameContains(net->name, "clock"))
+            clocks_.insert(net->name);
+    }
+}
+
+void
+LintContext::scanReadsAndDrivers()
+{
+    auto add_driver = [&](const ExprPtr &lhs, const Item *item) {
+        for (const auto &target : analysis::lvalueTargets(lhs)) {
+            auto &sites = drivers_[target];
+            if (!sites.empty() && sites.back().item == item)
+                continue; // one site per (signal, item)
+            sites.push_back(DriverSite{item, item->loc});
+        }
+    };
+
+    for (const auto &item : mod_->items) {
+        switch (item->kind) {
+          case ItemKind::ContAssign: {
+            const auto *cont = item->as<ContAssignItem>();
+            add_driver(cont->lhs, item.get());
+            for (const auto &name :
+                 analysis::collectSignals(cont->rhs))
+                reads_.insert(name);
+            collectLvalueReads(cont->lhs, reads_);
+            break;
+          }
+          case ItemKind::Always: {
+            const auto *proc = item->as<AlwaysItem>();
+            for (const auto &sens : proc->sens) {
+                reads_.insert(sens.signal);
+                clocks_.insert(sens.signal);
+            }
+            collectStmtReads(proc->body, reads_);
+            // Drivers: every assignment target in this process.
+            std::function<void(const StmtPtr &)> scan =
+                [&](const StmtPtr &stmt) {
+                    if (!stmt)
+                        return;
+                    switch (stmt->kind) {
+                      case StmtKind::Block:
+                        for (const auto &sub :
+                             stmt->as<BlockStmt>()->stmts)
+                            scan(sub);
+                        break;
+                      case StmtKind::If:
+                        scan(stmt->as<IfStmt>()->thenStmt);
+                        scan(stmt->as<IfStmt>()->elseStmt);
+                        break;
+                      case StmtKind::Case:
+                        for (const auto &ci :
+                             stmt->as<CaseStmt>()->items)
+                            scan(ci.body);
+                        break;
+                      case StmtKind::Assign:
+                        add_driver(stmt->as<AssignStmt>()->lhs,
+                                   item.get());
+                        break;
+                      default:
+                        break;
+                    }
+                };
+            scan(proc->body);
+            break;
+          }
+          case ItemKind::Instance: {
+            const auto *inst = item->as<InstanceItem>();
+            const elab::IpModel *model =
+                elab::lookupIpModel(inst->moduleName);
+            for (const auto &conn : inst->conns) {
+                if (!conn.actual)
+                    continue;
+                bool is_output =
+                    model && model->outputs.count(conn.formal);
+                if (is_output) {
+                    add_driver(conn.actual, item.get());
+                    collectLvalueReads(conn.actual, reads_);
+                } else {
+                    for (const auto &name :
+                         analysis::collectSignals(conn.actual))
+                        reads_.insert(name);
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+uint32_t
+LintContext::widthOf(const std::string &name) const
+{
+    auto it = nets_.find(name);
+    return it == nets_.end() ? 0 : it->second.width;
+}
+
+bool
+LintContext::isMemory(const std::string &name) const
+{
+    auto it = nets_.find(name);
+    return it != nets_.end() && it->second.memory;
+}
+
+bool
+LintContext::isDeclared(const std::string &name) const
+{
+    return nets_.count(name) != 0;
+}
+
+PortDir
+LintContext::dirOf(const std::string &name) const
+{
+    auto it = nets_.find(name);
+    return it == nets_.end() ? PortDir::None : it->second.dir;
+}
+
+bool
+LintContext::isReg(const std::string &name) const
+{
+    auto it = nets_.find(name);
+    return it != nets_.end() && it->second.kind == NetKind::Reg;
+}
+
+const SourceLoc &
+LintContext::declLoc(const std::string &name) const
+{
+    static const SourceLoc none;
+    auto it = nets_.find(name);
+    return it == nets_.end() ? none : it->second.loc;
+}
+
+bool
+LintContext::isRead(const std::string &name) const
+{
+    return reads_.count(name) != 0;
+}
+
+const std::vector<DriverSite> &
+LintContext::driversOf(const std::string &name) const
+{
+    static const std::vector<DriverSite> none;
+    auto it = drivers_.find(name);
+    return it == drivers_.end() ? none : it->second;
+}
+
+bool
+LintContext::isResetName(const std::string &name) const
+{
+    return resets_.count(name) != 0;
+}
+
+bool
+LintContext::isClockName(const std::string &name) const
+{
+    return clocks_.count(name) != 0;
+}
+
+bool
+LintContext::mentionsReset(const ExprPtr &expr) const
+{
+    bool found = false;
+    forEachIdent(expr, [&](const std::string &name) {
+        if (resets_.count(name))
+            found = true;
+    });
+    return found;
+}
+
+bool
+LintContext::isResetBranchGuard(const ExprPtr &guard) const
+{
+    for (const auto &conj : conjuncts(guard)) {
+        if (conj->kind == ExprKind::Id) {
+            const auto &name = conj->as<IdExpr>()->name;
+            if (resets_.count(name) && activeHighResets_.count(name))
+                return true;
+        } else if (conj->kind == ExprKind::Unary) {
+            const auto *inv = conj->as<UnaryExpr>();
+            if ((inv->op == UnaryOp::LogNot ||
+                 inv->op == UnaryOp::BitNot) &&
+                inv->arg->kind == ExprKind::Id) {
+                const auto &name = inv->arg->as<IdExpr>()->name;
+                if (resets_.count(name) &&
+                    !activeHighResets_.count(name))
+                    return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+LintContext::mentions(const ExprPtr &expr, const std::string &name)
+{
+    bool found = false;
+    forEachIdent(expr, [&](const std::string &id) {
+        if (id == name)
+            found = true;
+    });
+    return found;
+}
+
+std::vector<ExprPtr>
+LintContext::conjuncts(const ExprPtr &expr)
+{
+    std::vector<ExprPtr> out;
+    std::vector<ExprPtr> work{expr};
+    while (!work.empty()) {
+        ExprPtr cur = work.back();
+        work.pop_back();
+        if (cur && cur->kind == ExprKind::Binary &&
+            cur->as<BinaryExpr>()->op == BinaryOp::LogAnd) {
+            work.push_back(cur->as<BinaryExpr>()->lhs);
+            work.push_back(cur->as<BinaryExpr>()->rhs);
+        } else if (cur) {
+            out.push_back(cur);
+        }
+    }
+    return out;
+}
+
+uint32_t
+LintContext::explicitWidth(const ExprPtr &expr) const
+{
+    if (!expr)
+        return 0;
+    switch (expr->kind) {
+      case ExprKind::Number: {
+        const auto *num = expr->as<NumberExpr>();
+        return num->sized ? num->value.width() : 0;
+      }
+      case ExprKind::Id: {
+        const auto &name = expr->as<IdExpr>()->name;
+        return isMemory(name) ? 0 : widthOf(name);
+      }
+      case ExprKind::Index: {
+        const auto *idx = expr->as<IndexExpr>();
+        return isMemory(idx->base) ? widthOf(idx->base) : 1;
+      }
+      case ExprKind::Range: {
+        const auto *range = expr->as<RangeExpr>();
+        auto msb = tryConstU64(range->msb);
+        auto lsb = tryConstU64(range->lsb);
+        if (msb && lsb && *msb >= *lsb)
+            return static_cast<uint32_t>(*msb - *lsb + 1);
+        return 0;
+      }
+      case ExprKind::Concat: {
+        uint32_t total = 0;
+        for (const auto &part : expr->as<ConcatExpr>()->parts) {
+            uint32_t w = explicitWidth(part);
+            if (w == 0)
+                return 0;
+            total += w;
+        }
+        return total;
+      }
+      case ExprKind::Repeat: {
+        const auto *rep = expr->as<RepeatExpr>();
+        auto count = tryConstU64(rep->count);
+        uint32_t inner = explicitWidth(rep->inner);
+        if (!count || inner == 0)
+            return 0;
+        return static_cast<uint32_t>(*count) * inner;
+      }
+      default:
+        return 0;
+    }
+}
+
+uint32_t
+LintContext::lvalueWidth(const ExprPtr &lhs) const
+{
+    if (!lhs)
+        return 0;
+    switch (lhs->kind) {
+      case ExprKind::Id: {
+        const auto &name = lhs->as<IdExpr>()->name;
+        return isMemory(name) ? 0 : widthOf(name);
+      }
+      case ExprKind::Index:
+      case ExprKind::Range:
+      case ExprKind::Concat:
+        return explicitWidth(lhs);
+      default:
+        return 0;
+    }
+}
+
+void
+LintContext::report(const SourceLoc &loc, std::string message,
+                    std::vector<std::string> signals)
+{
+    Diagnostic diag;
+    if (currentRule_) {
+        diag.rule = currentRule_->id;
+        diag.severity = currentRule_->severity;
+        diag.subclass = currentRule_->subclass;
+    }
+    diag.loc = loc;
+    diag.message = std::move(message);
+    diag.signals = std::move(signals);
+    diags_.push_back(std::move(diag));
+}
+
+std::vector<Diagnostic>
+LintContext::takeDiagnostics()
+{
+    sortDiagnostics(diags_);
+    return std::move(diags_);
+}
+
+} // namespace hwdbg::lint

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared per-module facts the lint rules consume.
+ *
+ * The context is built once per runLint() call from the elaborated
+ * module: declaration facts (widths, directions, memories), a read/drive
+ * census, the guarded-assignment list, the dependency graph, and the
+ * detected FSMs. Rules stay cheap because everything expensive is
+ * computed here exactly once.
+ */
+
+#ifndef HWDBG_LINT_CONTEXT_HH
+#define HWDBG_LINT_CONTEXT_HH
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/depgraph.hh"
+#include "analysis/fsm_detect.hh"
+#include "analysis/guards.hh"
+#include "lint/diagnostic.hh"
+#include "lint/lint.hh"
+
+namespace hwdbg::lint
+{
+
+/** One driving site of a signal, for multi-drive reporting. */
+struct DriverSite
+{
+    /** The always block, continuous assign, or instance. */
+    const hdl::Item *item = nullptr;
+    hdl::SourceLoc loc;
+};
+
+class LintContext
+{
+  public:
+    explicit LintContext(const hdl::Module &mod);
+
+    const hdl::Module &mod() const { return *mod_; }
+    const analysis::DepGraph &graph() const { return *graph_; }
+    const std::vector<analysis::GuardedAssign> &assigns() const
+    {
+        return assigns_;
+    }
+    const std::vector<analysis::FsmInfo> &fsms() const { return fsms_; }
+
+    /** Declared signal names, in declaration order. */
+    const std::vector<std::string> &signalNames() const
+    {
+        return order_;
+    }
+
+    /** Vector width of a declared signal (memories: element width). */
+    uint32_t widthOf(const std::string &name) const;
+    bool isMemory(const std::string &name) const;
+    bool isDeclared(const std::string &name) const;
+    hdl::PortDir dirOf(const std::string &name) const;
+    bool isReg(const std::string &name) const;
+    const hdl::SourceLoc &declLoc(const std::string &name) const;
+
+    /** True when the signal's value is read anywhere in the module
+     *  (expressions, guards, lvalue indices, instance inputs, or a
+     *  sensitivity list). Output ports are not implicitly "read". */
+    bool isRead(const std::string &name) const;
+
+    /** Driving sites (always blocks, assigns, instance outputs). */
+    const std::vector<DriverSite> &driversOf(const std::string &name) const;
+
+    /** Inputs that look like reset/clock infrastructure. */
+    bool isResetName(const std::string &name) const;
+    bool isClockName(const std::string &name) const;
+    /** True when @p expr references a reset signal anywhere. */
+    bool mentionsReset(const hdl::ExprPtr &expr) const;
+    /**
+     * True when the guard selects the reset branch of a process: it
+     * has a conjunct asserting a reset signal with the polarity the
+     * design actually resets on (a bare `rst` conjunct for active-high
+     * designs, `!rst_n` for active-low ones). Guards that merely carry
+     * the negated reset (every non-reset branch does) return false.
+     */
+    bool isResetBranchGuard(const hdl::ExprPtr &guard) const;
+    /** True when @p expr references @p name anywhere. */
+    static bool mentions(const hdl::ExprPtr &expr,
+                         const std::string &name);
+
+    /** Flatten a guard's && tree into its conjuncts. */
+    static std::vector<hdl::ExprPtr> conjuncts(const hdl::ExprPtr &expr);
+
+    /**
+     * Self-determined width of an explicit-width expression: sized
+     * literals, identifiers, part/bit selects, and concats/repeats of
+     * those. 0 when the width is context-determined or unknown
+     * (arithmetic, comparisons, unsized literals).
+     */
+    uint32_t explicitWidth(const hdl::ExprPtr &expr) const;
+    /** Width of an assignment target; 0 when unknown. */
+    uint32_t lvalueWidth(const hdl::ExprPtr &lhs) const;
+
+    /** Set the rule whose metadata report() stamps on diagnostics. */
+    void beginRule(const LintRule &rule) { currentRule_ = &rule; }
+
+    /** Append a diagnostic under the current rule. */
+    void report(const hdl::SourceLoc &loc, std::string message,
+                std::vector<std::string> signals = {});
+    std::vector<Diagnostic> takeDiagnostics();
+
+  private:
+    void scanDecls();
+    void scanReadsAndDrivers();
+    void scanResetPolarity();
+
+    const hdl::Module *mod_;
+    std::unique_ptr<analysis::DepGraph> graph_;
+    std::vector<analysis::GuardedAssign> assigns_;
+    std::vector<analysis::FsmInfo> fsms_;
+
+    struct NetFacts
+    {
+        uint32_t width = 1;
+        bool memory = false;
+        hdl::PortDir dir = hdl::PortDir::None;
+        hdl::NetKind kind = hdl::NetKind::Wire;
+        hdl::SourceLoc loc;
+    };
+    std::map<std::string, NetFacts> nets_;
+    std::vector<std::string> order_;
+    std::set<std::string> reads_;
+    std::map<std::string, std::vector<DriverSite>> drivers_;
+    std::set<std::string> resets_;
+    /** Resets observed asserted as a bare positive guard conjunct. */
+    std::set<std::string> activeHighResets_;
+    std::set<std::string> clocks_;
+    const LintRule *currentRule_ = nullptr;
+    std::vector<Diagnostic> diags_;
+};
+
+} // namespace hwdbg::lint
+
+#endif // HWDBG_LINT_CONTEXT_HH

@@ -1,0 +1,110 @@
+#include "lint/lint.hh"
+
+#include "common/logging.hh"
+#include "lint/context.hh"
+#include "lint/rules.hh"
+
+namespace hwdbg::lint
+{
+
+const std::vector<LintRule> &
+lintRules()
+{
+    // Each rule targets one Table 1 bug subclass from the paper's bug
+    // study; the DESIGN.md lint section documents the mapping.
+    static const std::vector<LintRule> rules = {
+        {"incomplete-case", Severity::Warning,
+         "Incomplete Implementation",
+         "case in a combinational process covers neither all selector "
+         "values nor a default",
+         checkIncompleteCase},
+        {"inferred-latch", Severity::Warning,
+         "Failure-to-Update",
+         "combinational process leaves a target unassigned on some "
+         "path, inferring a latch",
+         checkInferredLatch},
+        {"blocking-in-seq", Severity::Warning, "Signal Asynchrony",
+         "blocking assignment inside a clocked process",
+         checkBlockingInSeq},
+        {"nonblocking-in-comb", Severity::Warning, "Signal Asynchrony",
+         "nonblocking assignment inside a combinational process",
+         checkNonblockingInComb},
+        {"width-trunc", Severity::Warning, "Bit Truncation",
+         "assignment silently truncates a wider value",
+         checkWidthTruncation},
+        {"multi-driven", Severity::Error, "Signal Asynchrony",
+         "signal driven from more than one process or assignment",
+         checkMultiDriven},
+        {"comb-loop", Severity::Error, "Deadlock",
+         "zero-delay combinational feedback loop", checkCombLoop},
+        {"undriven", Severity::Error, "Failure-to-Update",
+         "signal is read (or exported) but nothing ever drives it",
+         checkUndriven},
+        {"unused-signal", Severity::Warning,
+         "Incomplete Implementation",
+         "internal signal is driven but its value is never read",
+         checkUnusedSignal},
+        {"unused-input", Severity::Warning,
+         "Incomplete Implementation",
+         "input port is never read", checkUnusedInput},
+        {"fifo-no-backpressure", Severity::Error, "Buffer Overflow",
+         "FIFO request ignores the primitive's full/empty flag",
+         checkFifoNoBackpressure},
+        {"fsm-unreachable", Severity::Warning,
+         "Incomplete Implementation",
+         "FSM state is unreachable from the reset state",
+         checkFsmUnreachable},
+        {"fsm-no-exit", Severity::Warning, "Deadlock",
+         "FSM state has no outgoing transition", checkFsmNoExit},
+        {"sticky-flag", Severity::Warning, "Failure-to-Update",
+         "flag set during operation is only ever cleared by reset",
+         checkStickyFlag},
+        {"enable-deadlock", Severity::Error, "Deadlock",
+         "flags that reset to 0 require each other to ever assert",
+         checkEnableDeadlock},
+        {"handshake-drop", Severity::Error, "Protocol Violation",
+         "valid deasserted without consulting ready",
+         checkHandshakeDrop},
+        {"handshake-unstable", Severity::Error, "Protocol Violation",
+         "data changes while valid is high and ready is low",
+         checkHandshakeUnstable},
+    };
+    return rules;
+}
+
+const LintRule *
+ruleById(const std::string &id)
+{
+    for (const auto &rule : lintRules())
+        if (rule.id == id)
+            return &rule;
+    return nullptr;
+}
+
+std::vector<Diagnostic>
+runLint(const hdl::Module &mod, const LintOptions &opts)
+{
+    for (const auto &id : opts.rules)
+        if (!ruleById(id))
+            fatal("unknown lint rule '%s'", id.c_str());
+
+    LintContext ctx(mod);
+    for (const auto &rule : lintRules()) {
+        if (!opts.rules.empty() && !opts.rules.count(rule.id))
+            continue;
+        ctx.beginRule(rule);
+        rule.check(ctx);
+    }
+    return ctx.takeDiagnostics();
+}
+
+bool
+hasErrors(const std::vector<Diagnostic> &diags)
+{
+    for (const auto &diag : diags)
+        if (diag.severity == Severity::Error)
+            return true;
+    return false;
+}
+
+} // namespace hwdbg::lint

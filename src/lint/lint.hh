@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Static lint over the elaborated Verilog AST.
+ *
+ * The linter is a registry of rules keyed to the paper's Table 1 bug
+ * subclasses: each rule statically matches one of the code patterns the
+ * bug study found in real FPGA projects (inferred latches, multiple
+ * drivers, combinational loops, dead FSM states, bit truncation,
+ * sticky flags, circular enables, FIFO pushes without backpressure,
+ * and valid/ready handshake violations). Running the linter before
+ * simulation complements the dynamic tools (SignalCat, the monitors,
+ * LossCheck): the rules flag the bug pattern, the dynamic tools then
+ * localize the failing instance.
+ */
+
+#ifndef HWDBG_LINT_LINT_HH
+#define HWDBG_LINT_LINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "lint/diagnostic.hh"
+
+namespace hwdbg::lint
+{
+
+class LintContext;
+
+struct LintRule
+{
+    std::string id;
+    Severity severity = Severity::Warning;
+    /** Table 1 subclass the rule targets. */
+    std::string subclass;
+    std::string description;
+    void (*check)(LintContext &ctx) = nullptr;
+};
+
+/** The full rule registry, in presentation order. */
+const std::vector<LintRule> &lintRules();
+
+/** Registry entry for @p id, or nullptr. */
+const LintRule *ruleById(const std::string &id);
+
+struct LintOptions
+{
+    /** Rule ids to run; empty means every registered rule. */
+    std::set<std::string> rules;
+};
+
+/**
+ * Run the (selected) rules over an elaborated module and return the
+ * diagnostics in stable (location, rule) order.
+ */
+std::vector<Diagnostic> runLint(const hdl::Module &mod,
+                                const LintOptions &opts = {});
+
+/** True when any diagnostic has Error severity (CLI exit status). */
+bool hasErrors(const std::vector<Diagnostic> &diags);
+
+} // namespace hwdbg::lint
+
+#endif // HWDBG_LINT_LINT_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Rule check entry points, grouped by the module file implementing them.
+ * Each function scans the LintContext and reports any findings; the
+ * registry in lint.cc stamps rule id/severity/subclass metadata.
+ */
+
+#ifndef HWDBG_LINT_RULES_HH
+#define HWDBG_LINT_RULES_HH
+
+namespace hwdbg::lint
+{
+
+class LintContext;
+
+// rules_style.cc — coding-style rules over process bodies.
+void checkIncompleteCase(LintContext &ctx);
+void checkInferredLatch(LintContext &ctx);
+void checkBlockingInSeq(LintContext &ctx);
+void checkNonblockingInComb(LintContext &ctx);
+void checkWidthTruncation(LintContext &ctx);
+
+// rules_structure.cc — netlist-structure rules.
+void checkMultiDriven(LintContext &ctx);
+void checkCombLoop(LintContext &ctx);
+void checkUndriven(LintContext &ctx);
+void checkUnusedSignal(LintContext &ctx);
+void checkUnusedInput(LintContext &ctx);
+void checkFifoNoBackpressure(LintContext &ctx);
+
+// rules_state.cc — FSM and state-flag rules.
+void checkFsmUnreachable(LintContext &ctx);
+void checkFsmNoExit(LintContext &ctx);
+void checkStickyFlag(LintContext &ctx);
+void checkEnableDeadlock(LintContext &ctx);
+
+// rules_handshake.cc — valid/ready protocol rules.
+void checkHandshakeDrop(LintContext &ctx);
+void checkHandshakeUnstable(LintContext &ctx);
+
+} // namespace hwdbg::lint
+
+#endif // HWDBG_LINT_RULES_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Coding-style rules over process bodies: incomplete case statements,
+ * latch inference in combinational processes, assignment-operator
+ * misuse, and width truncation.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+
+#include "analysis/exprutil.hh"
+#include "common/logging.hh"
+#include "lint/context.hh"
+#include "lint/rules.hh"
+
+namespace hwdbg::lint
+{
+
+using namespace hdl;
+
+namespace
+{
+
+/** Walk every statement of @p stmt, leaves included. */
+void
+forEachStmt(const StmtPtr &stmt,
+            const std::function<void(const Stmt &)> &fn)
+{
+    if (!stmt)
+        return;
+    fn(*stmt);
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            forEachStmt(sub, fn);
+        break;
+      case StmtKind::If:
+        forEachStmt(stmt->as<IfStmt>()->thenStmt, fn);
+        forEachStmt(stmt->as<IfStmt>()->elseStmt, fn);
+        break;
+      case StmtKind::Case:
+        for (const auto &item : stmt->as<CaseStmt>()->items)
+            forEachStmt(item.body, fn);
+        break;
+      default:
+        break;
+    }
+}
+
+/** True when @p stmt assigns @p name on every execution path. */
+bool
+assignsOnAllPaths(const StmtPtr &stmt, const std::string &name)
+{
+    if (!stmt)
+        return false;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            if (assignsOnAllPaths(sub, name))
+                return true;
+        return false;
+      case StmtKind::If: {
+        const auto *branch = stmt->as<IfStmt>();
+        return assignsOnAllPaths(branch->thenStmt, name) &&
+               assignsOnAllPaths(branch->elseStmt, name);
+      }
+      case StmtKind::Case: {
+        const auto *sel = stmt->as<CaseStmt>();
+        bool has_default = false;
+        for (const auto &item : sel->items) {
+            if (item.labels.empty())
+                has_default = true;
+            if (!assignsOnAllPaths(item.body, name))
+                return false;
+        }
+        return has_default && !sel->items.empty();
+      }
+      case StmtKind::Assign:
+        return analysis::lvalueTargets(stmt->as<AssignStmt>()->lhs)
+            .count(name) != 0;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+checkIncompleteCase(LintContext &ctx)
+{
+    for (const auto &item : ctx.mod().items) {
+        if (item->kind != ItemKind::Always ||
+            !item->as<AlwaysItem>()->isComb)
+            continue;
+        forEachStmt(item->as<AlwaysItem>()->body, [&](const Stmt &stmt) {
+            if (stmt.kind != StmtKind::Case)
+                return;
+            const auto *sel = stmt.as<CaseStmt>();
+            uint64_t labels = 0;
+            for (const auto &ci : sel->items) {
+                if (ci.labels.empty())
+                    return; // default item: complete
+                labels += ci.labels.size();
+            }
+            uint32_t width = ctx.explicitWidth(sel->selector);
+            // Coverage is decidable only for narrow selectors; wider
+            // ones can't enumerate 2^w labels anyway.
+            if (width > 0 && width < 16 &&
+                labels >= (uint64_t{1} << width))
+                return;
+            std::string msg;
+            if (width > 0 && width < 16)
+                msg = csprintf("case statement in combinational "
+                               "process covers %llu of %llu selector "
+                               "values and has no default",
+                               (unsigned long long)labels,
+                               (unsigned long long)(uint64_t{1}
+                                                    << width));
+            else
+                msg = "case statement in combinational process has "
+                      "no default";
+            ctx.report(stmt.loc, std::move(msg));
+        });
+    }
+}
+
+void
+checkInferredLatch(LintContext &ctx)
+{
+    for (const auto &item : ctx.mod().items) {
+        if (item->kind != ItemKind::Always ||
+            !item->as<AlwaysItem>()->isComb)
+            continue;
+        const auto *proc = item->as<AlwaysItem>();
+        std::set<std::string> targets;
+        forEachStmt(proc->body, [&](const Stmt &stmt) {
+            if (stmt.kind != StmtKind::Assign)
+                return;
+            for (const auto &t :
+                 analysis::lvalueTargets(stmt.as<AssignStmt>()->lhs))
+                targets.insert(t);
+        });
+        for (const auto &target : targets) {
+            if (assignsOnAllPaths(proc->body, target))
+                continue;
+            ctx.report(proc->loc,
+                       csprintf("'%s' is not assigned on every path "
+                                "of this combinational process; a "
+                                "latch is inferred",
+                                target.c_str()),
+                       {target});
+        }
+    }
+}
+
+void
+checkBlockingInSeq(LintContext &ctx)
+{
+    for (const auto &ga : ctx.assigns()) {
+        if (!ga.proc || ga.proc->isComb || !ga.stmt)
+            continue;
+        if (ga.stmt->nonblocking)
+            continue;
+        const auto targets = analysis::lvalueTargets(ga.stmt->lhs);
+        ctx.report(ga.stmt->loc,
+                   "blocking assignment in clocked process "
+                   "(use '<=')",
+                   {targets.begin(), targets.end()});
+    }
+}
+
+void
+checkNonblockingInComb(LintContext &ctx)
+{
+    for (const auto &ga : ctx.assigns()) {
+        if (!ga.proc || !ga.proc->isComb || !ga.stmt)
+            continue;
+        if (!ga.stmt->nonblocking)
+            continue;
+        const auto targets = analysis::lvalueTargets(ga.stmt->lhs);
+        ctx.report(ga.stmt->loc,
+                   "nonblocking assignment in combinational process "
+                   "(use '=')",
+                   {targets.begin(), targets.end()});
+    }
+}
+
+void
+checkWidthTruncation(LintContext &ctx)
+{
+    for (const auto &ga : ctx.assigns()) {
+        uint32_t lhs_w = ctx.lvalueWidth(ga.lhs);
+        uint32_t rhs_w = ctx.explicitWidth(ga.rhs);
+        if (lhs_w == 0 || rhs_w == 0 || rhs_w <= lhs_w)
+            continue;
+        SourceLoc loc = ga.stmt ? ga.stmt->loc
+                                : (ga.cont ? ga.cont->loc : SourceLoc{});
+        const auto targets = analysis::lvalueTargets(ga.lhs);
+        ctx.report(loc,
+                   csprintf("assignment truncates a %u-bit value to "
+                            "%u bits",
+                            rhs_w, lhs_w),
+                   {targets.begin(), targets.end()});
+    }
+}
+
+} // namespace hwdbg::lint

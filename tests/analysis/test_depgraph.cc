@@ -276,3 +276,41 @@ TEST(IpModelTest, UserRegisteredModelDrivesAnalysis)
     EXPECT_TRUE(path.count("staged"));
     EXPECT_TRUE(path.count("delayed"));
 }
+
+TEST(DepGraphTest, CombCycles)
+{
+    auto mod = flat(
+        "module m(input wire clk, input wire d, output wire y);\n"
+        "wire a;\nwire b;\nreg q;\n"
+        "assign a = b & d;\nassign b = a;\nassign y = a;\n"
+        "always @(posedge clk) q <= y;\nendmodule");
+    DepGraph graph(*mod);
+    auto cycles = graph.combCycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DepGraphTest, CombCyclesSelfLoopAndSeqFreedom)
+{
+    // A register feeding itself through a clocked process is NOT a
+    // combinational loop; a wire feeding itself is.
+    auto mod = flat(
+        "module m(input wire clk, input wire d, output wire y);\n"
+        "wire a;\nreg q;\n"
+        "assign a = a | d;\n"
+        "always @(posedge clk) q <= q ^ d;\n"
+        "assign y = a & q;\nendmodule");
+    DepGraph graph(*mod);
+    auto cycles = graph.combCycles();
+    ASSERT_EQ(cycles.size(), 1u);
+    EXPECT_EQ(cycles[0], (std::vector<std::string>{"a"}));
+}
+
+TEST(DepGraphTest, CombCyclesEmptyOnAcyclicDesign)
+{
+    auto mod = flat(
+        "module m(input wire clk, input wire d, output wire y);\n"
+        "wire a;\nassign a = d;\nassign y = a;\nendmodule");
+    DepGraph graph(*mod);
+    EXPECT_TRUE(graph.combCycles().empty());
+}
