@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Fuzzing throughput and worker-pool scaling.
+ *
+ * Runs the same fixed seed range through the full oracle stack at
+ * increasing --jobs counts and reports seeds/second plus the speedup
+ * over one worker. Seeds are independent and results are sorted before
+ * rendering, so the reports must be byte-identical across rows — the
+ * bench asserts that while it measures.
+ *
+ * The interesting number is the parallel efficiency at the machine's
+ * core count: the worker pool pulls seeds from an atomic counter with
+ * no shared mutable state, so scaling should stay near-linear until
+ * the cores run out (on a single-core container every row collapses to
+ * the same throughput, which the report makes visible rather than
+ * hiding).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fuzz/runner.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::fuzz;
+
+namespace
+{
+
+struct Row
+{
+    uint32_t jobs;
+    double seconds;
+    double seedsPerSec;
+};
+
+double
+runOnce(uint32_t jobs, uint64_t seeds, std::string *report)
+{
+    FuzzConfig config;
+    config.seeds = seeds;
+    config.jobs = jobs;
+    auto begin = std::chrono::steady_clock::now();
+    FuzzReport result = runFuzz(config);
+    auto end = std::chrono::steady_clock::now();
+    *report = renderReport(result, config);
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seeds = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                              : 200;
+    uint32_t cores = std::max(1u, std::thread::hardware_concurrency());
+
+    std::vector<uint32_t> jobCounts{1};
+    for (uint32_t j = 2; j <= cores; j *= 2)
+        jobCounts.push_back(j);
+    if (jobCounts.back() != cores)
+        jobCounts.push_back(cores);
+
+    std::printf("Fuzz throughput: %llu seeds, all oracles, "
+                "%u hardware thread(s)\n",
+                static_cast<unsigned long long>(seeds), cores);
+    std::printf("%-6s %-10s %-12s %-10s %s\n", "jobs", "seconds",
+                "seeds/sec", "speedup", "report");
+
+    std::vector<Row> rows;
+    std::string baseline;
+    for (uint32_t jobs : jobCounts) {
+        std::string report;
+        double secs = runOnce(jobs, seeds, &report);
+        if (baseline.empty())
+            baseline = report;
+        Row row{jobs, secs,
+                secs > 0 ? static_cast<double>(seeds) / secs : 0};
+        rows.push_back(row);
+        std::printf("%-6u %-10.2f %-12.1f %-10.2f %s\n", jobs, secs,
+                    row.seedsPerSec,
+                    rows.front().seconds > 0
+                        ? rows.front().seconds / secs
+                        : 0,
+                    report == baseline ? "identical" : "DIVERGED");
+        if (report != baseline) {
+            std::fprintf(stderr,
+                         "FATAL: report at jobs=%u differs from "
+                         "jobs=%u\n",
+                         jobs, rows.front().jobs);
+            return 1;
+        }
+    }
+
+    double eff = rows.back().seedsPerSec /
+                 (rows.front().seedsPerSec *
+                  static_cast<double>(rows.back().jobs));
+    std::printf("\nparallel efficiency at jobs=%u: %.0f%%"
+                " (100%% = linear scaling; 1-core containers pin every"
+                " row to the same rate)\n",
+                rows.back().jobs, 100.0 * eff);
+    return 0;
+}

@@ -39,6 +39,7 @@
 #include "elab/elaborate.hh"
 #include "hdl/parser.hh"
 #include "hdl/preproc.hh"
+#include "fuzz/runner.hh"
 #include "hdl/printer.hh"
 #include "lint/lint.hh"
 #include "synth/platform.hh"
@@ -58,6 +59,7 @@ struct Args
     std::vector<std::string> positional;
     std::map<std::string, std::string> defines;
     std::vector<std::string> rules;
+    std::vector<std::string> oracles;
     bool flag(const std::string &name) const
     {
         return options.count(name) != 0;
@@ -93,6 +95,14 @@ usage()
         "  timing <file> [--target MHZ]      estimate Fmax\n"
         "  testbed list                      list the 20 testbed bugs\n"
         "  testbed emit <id> [--fixed]       print a testbed design\n"
+        "  fuzz [--seeds N] [--start S] [--jobs J] [--cycles C]\n"
+        "       [--oracle NAME]... [--replay SEED] [--self-check]\n"
+        "       [--format text|json]\n"
+        "                                    randomized differential\n"
+        "                                    testing (exit 1 on any\n"
+        "                                    oracle failure); oracles:\n"
+        "                                    roundtrip, differential,\n"
+        "                                    lint, instrument\n"
         "\n"
         "common options:\n"
         "  --top M          top module (default: the only/first one)\n"
@@ -117,7 +127,9 @@ parseArgs(int argc, char **argv)
                 name == "source" || name == "valid" || name == "sink" ||
                 name == "platform" || name == "target" ||
                 name == "define" || name == "format" ||
-                name == "rule";
+                name == "rule" || name == "seeds" ||
+                name == "start" || name == "jobs" ||
+                name == "oracle" || name == "replay";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -128,9 +140,12 @@ parseArgs(int argc, char **argv)
                 args.defines[value] = "";
             else if (name == "rule")
                 args.rules.push_back(value);
+            else if (name == "oracle")
+                args.oracles.push_back(value);
             else
                 args.options[name] = value;
-        } else if (args.file.empty() && args.command != "testbed") {
+        } else if (args.file.empty() && args.command != "testbed" &&
+                   args.command != "fuzz") {
             args.file = arg;
         } else {
             args.positional.push_back(arg);
@@ -352,6 +367,50 @@ cmdTestbed(const Args &args)
           args.positional[0].c_str());
 }
 
+uint64_t
+parseU64(const std::string &text, const char *what)
+{
+    char *end = nullptr;
+    uint64_t value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        fatal("invalid %s '%s'", what, text.c_str());
+    return value;
+}
+
+int
+cmdFuzz(const Args &args)
+{
+    fuzz::FuzzConfig config;
+    config.seeds = parseU64(args.opt("seeds", "100"), "--seeds");
+    config.start = parseU64(args.opt("start", "0"), "--start");
+    config.jobs = static_cast<uint32_t>(
+        parseU64(args.opt("jobs", "1"), "--jobs"));
+    config.cycles = static_cast<uint32_t>(
+        parseU64(args.opt("cycles", "24"), "--cycles"));
+    if (!args.oracles.empty()) {
+        config.mask = 0;
+        for (const auto &name : args.oracles) {
+            fuzz::Oracle oracle;
+            if (!fuzz::oracleFromName(name, &oracle))
+                fatal("unknown oracle '%s' (roundtrip, differential, "
+                      "lint, instrument)",
+                      name.c_str());
+            config.mask |= fuzz::oracleBit(oracle);
+        }
+    }
+    std::string format = args.opt("format", "text");
+    if (format != "text" && format != "json")
+        fatal("unknown format '%s' (expected text or json)",
+              format.c_str());
+    config.json = format == "json";
+    config.selfCheck = args.flag("self-check");
+    if (args.options.count("replay")) {
+        config.replay = true;
+        config.replaySeed = parseU64(args.opt("replay"), "--replay");
+    }
+    return fuzz::fuzzMain(config);
+}
+
 } // namespace
 
 int
@@ -377,6 +436,8 @@ main(int argc, char **argv)
             return cmdTiming(args);
         if (args.command == "testbed")
             return cmdTestbed(args);
+        if (args.command == "fuzz")
+            return cmdFuzz(args);
         usage();
     } catch (const HdlError &err) {
         std::fprintf(stderr, "hwdbg: %s\n", err.what());

@@ -1,0 +1,52 @@
+#include "common/testhooks.hh"
+
+namespace hwdbg
+{
+
+int activeMutation = MUT_NONE;
+
+const std::vector<MutationInfo> &
+mutationCatalog()
+{
+    static const std::vector<MutationInfo> catalog = {
+        {MUT_SIM_ADD_AS_SUB, "sim/eval.cc",
+         "binary + evaluates as -", "differential"},
+        {MUT_SIM_SHR_OFF_BY_ONE, "sim/eval.cc",
+         ">> shifts one position too far", "differential"},
+        {MUT_SIM_TERNARY_SWAP, "sim/eval.cc",
+         "?: selects the wrong arm", "differential"},
+        {MUT_SIM_XOR_AS_OR, "sim/eval.cc",
+         "binary ^ evaluates as |", "differential"},
+        {MUT_SIM_LT_AS_LE, "sim/eval.cc",
+         "binary < evaluates as <=", "differential"},
+        {MUT_SIM_CMP_CTX_WIDTH, "sim/eval.cc",
+         "comparison operands widened to the context width",
+         "differential"},
+        {MUT_SIM_CASE_SEL_WIDTH, "sim/simulator.cc",
+         "case labels truncated to the selector width", "differential"},
+        {MUT_PRINT_SHL_AS_SHR, "hdl/printer.cc",
+         "<< printed as >>", "roundtrip"},
+        {MUT_PRINT_DROP_PARENS, "hdl/printer.cc",
+         "needed parentheses dropped around same-precedence operands",
+         "roundtrip"},
+        {MUT_PRINT_UNSIZED_NUM, "hdl/printer.cc",
+         "sized literal printed as a bare decimal", "roundtrip"},
+        {MUT_LINT_UNUSED_PARITY, "lint/rules_structure.cc",
+         "unused-signal skips signals with even-length names", "lint"},
+        {MUT_LINT_TRUNC_INDEX, "lint/rules_style.cc",
+         "width-trunc skips even-indexed assignments", "lint"},
+        {MUT_INSTR_WRONG_EDGE, "core/instrument.cc",
+         "generated monitor blocks sample on negedge instead of posedge",
+         "instrument"},
+        {MUT_INSTR_SIGNALCAT_SLICE, "core/signalcat.cc",
+         "SignalCat entry slices shifted by one bit", "instrument"},
+        {MUT_INSTR_FSM_SWAP, "core/fsm_monitor.cc",
+         "FSM monitor logs transitions as to -> from", "instrument"},
+        {MUT_INSTR_STAT_INVERT, "core/stats_monitor.cc",
+         "stats monitor counts cycles where the event is low",
+         "instrument"},
+    };
+    return catalog;
+}
+
+} // namespace hwdbg

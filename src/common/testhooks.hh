@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Mutation hooks for validating the fuzz harness.
+ *
+ * The fuzz oracles (src/fuzz) are only trustworthy if they demonstrably
+ * catch bugs. `hwdbg fuzz --self-check` flips one mutation at a time and
+ * reruns the oracles; a harness that misses most mutations is broken.
+ *
+ * Each mutation is a small, deliberate semantic change guarded by
+ * mutationOn(id) at its site (simulator evaluation, printer, lint rules,
+ * instrumentation passes). With activeMutation == 0 — the only value any
+ * production code path ever sees — every site compiles down to a single
+ * integer compare against a never-written global, so the hooks cost
+ * nothing in normal operation.
+ */
+
+#ifndef HWDBG_COMMON_TESTHOOKS_HH
+#define HWDBG_COMMON_TESTHOOKS_HH
+
+#include <vector>
+
+namespace hwdbg
+{
+
+/**
+ * Identifiers for the injectable mutations. Values are stable: the
+ * self-check report and the regression tests refer to them by number.
+ */
+enum Mutation : int
+{
+    MUT_NONE = 0,
+
+    // Simulator semantics (caught by the differential oracle).
+    MUT_SIM_ADD_AS_SUB = 1,        ///< a + b computes a - b
+    MUT_SIM_SHR_OFF_BY_ONE = 2,    ///< a >> b computes a >> (b + 1)
+    MUT_SIM_TERNARY_SWAP = 3,      ///< c ? t : e picks the wrong arm
+    MUT_SIM_XOR_AS_OR = 4,         ///< a ^ b computes a | b
+    MUT_SIM_LT_AS_LE = 5,          ///< a < b computes a <= b
+    MUT_SIM_CMP_CTX_WIDTH = 6,     ///< comparisons at context width
+    MUT_SIM_CASE_SEL_WIDTH = 7,    ///< case labels compared at selector
+                                   ///  width only (truncates labels)
+
+    // Printer (caught by the round-trip oracle's structural compare and
+    // by the differential oracle, which simulates the printed text).
+    MUT_PRINT_SHL_AS_SHR = 8,      ///< << printed as >>
+    MUT_PRINT_DROP_PARENS = 9,     ///< equal-precedence rhs unparenthesized
+    MUT_PRINT_UNSIZED_NUM = 10,    ///< sized literal printed as bare decimal
+
+    // Lint rules (caught by the metamorphic oracle: alpha-renaming and
+    // declaration reordering must not change the diagnostic set).
+    MUT_LINT_UNUSED_PARITY = 11,   ///< unused-signal skips even-length names
+    MUT_LINT_TRUNC_INDEX = 12,     ///< width-trunc skips even assign indices
+
+    // Instrumentation passes (caught by the instrumentation oracle).
+    MUT_INSTR_WRONG_EDGE = 13,     ///< monitors sample on negedge
+    MUT_INSTR_SIGNALCAT_SLICE = 14, ///< SignalCat entry slices off by one
+    MUT_INSTR_FSM_SWAP = 15,       ///< FSM monitor swaps from/to states
+    MUT_INSTR_STAT_INVERT = 16,    ///< stats monitor counts event-low edges
+
+    MUT_COUNT_SENTINEL,            ///< one past the last valid id
+};
+
+/**
+ * The active mutation id, MUT_NONE in production. Written only by the
+ * fuzz self-check driver (single-threaded by design: self-check runs
+ * seeds sequentially while a mutation is live).
+ */
+extern int activeMutation;
+
+inline bool
+mutationOn(int id)
+{
+    return activeMutation == id;
+}
+
+/** Catalog entry describing one injectable mutation. */
+struct MutationInfo
+{
+    int id;
+    const char *site;        ///< source file holding the hook
+    const char *description; ///< what the mutation breaks
+    const char *oracle;      ///< oracle expected to catch it
+};
+
+/** All injectable mutations, ordered by id. */
+const std::vector<MutationInfo> &mutationCatalog();
+
+} // namespace hwdbg
+
+#endif // HWDBG_COMMON_TESTHOOKS_HH

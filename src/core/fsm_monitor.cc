@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 #include "core/instrument.hh"
 #include "sim/design.hh"
 
@@ -50,8 +51,13 @@ applyFsmMonitor(const Module &mod, const FsmMonitorOptions &opts)
 
         auto disp = std::make_shared<DisplayStmt>();
         disp->format = "[FSMMonitor] " + var + ": %d -> %d";
-        disp->args.push_back(mkId(prev));
-        disp->args.push_back(mkId(var));
+        if (mutationOn(MUT_INSTR_FSM_SWAP)) {
+            disp->args.push_back(mkId(var));
+            disp->args.push_back(mkId(prev));
+        } else {
+            disp->args.push_back(mkId(prev));
+            disp->args.push_back(mkId(var));
+        }
 
         auto branch = std::make_shared<IfStmt>();
         branch->cond =

@@ -1,5 +1,7 @@
 #include "core/instrument.hh"
 
+#include "common/testhooks.hh"
+
 #include "analysis/guards.hh"
 #include "common/logging.hh"
 #include "hdl/printer.hh"
@@ -92,13 +94,27 @@ InstrumentBuilder::finish()
     if (finished_)
         return;
     finished_ = true;
+    // Generated monitor processes go BEFORE the design's own clocked
+    // processes: triggered processes execute in item order, and a
+    // monitor placed after a user process would observe post-edge
+    // values of registers the user code updates with blocking
+    // assignments. A hardware monitor samples flip-flop outputs as
+    // they were before the edge; running first preserves that view.
+    auto pos = mod_->items.begin();
+    while (pos != mod_->items.end() &&
+           !((*pos)->kind == ItemKind::Always &&
+             !(*pos)->as<AlwaysItem>()->isComb))
+        ++pos;
     for (auto &[clock, stmts] : clockedStmts_) {
         auto always = std::make_shared<AlwaysItem>();
-        always->sens.push_back(SensItem{EdgeKind::Posedge, clock});
+        always->sens.push_back(
+            SensItem{mutationOn(MUT_INSTR_WRONG_EDGE) ? EdgeKind::Negedge
+                                                      : EdgeKind::Posedge,
+                     clock});
         auto block = std::make_shared<BlockStmt>();
         block->stmts = std::move(stmts);
         always->body = block;
-        mod_->items.push_back(always);
+        pos = std::next(mod_->items.insert(pos, always));
     }
     clockedStmts_.clear();
 }

@@ -1,7 +1,10 @@
 #include "core/signalcat.hh"
 
+#include <set>
+
 #include "analysis/guards.hh"
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 #include "core/instrument.hh"
 #include "sim/design.hh"
 #include "sim/eval.hh"
@@ -60,7 +63,123 @@ stripDisplays(const StmtPtr &stmt)
     }
 }
 
+/** Edge on which a display's process samples its clock. */
+EdgeKind
+displayEdge(const analysis::GuardedDisplay &gd)
+{
+    for (const auto &sens : gd.proc->sens)
+        if (sens.signal == gd.clock)
+            return sens.edge;
+    return EdgeKind::Posedge;
+}
+
+bool
+refsAny(const ExprPtr &expr, const std::set<std::string> &dirty)
+{
+    if (!expr)
+        return false;
+    bool hit = false;
+    renameIdents(expr, [&](const std::string &name) {
+        if (dirty.count(name))
+            hit = true;
+        return name;
+    });
+    return hit;
+}
+
+/**
+ * Walk @p stmt in execution order tracking which variables blocking
+ * assignments have written so far (@p dirty). The recorder taps nets,
+ * so it always sees pre-edge register values; a $display whose
+ * arguments or path condition read a variable a blocking assignment
+ * already updated this edge would print the post-write value instead,
+ * and no net tap can reproduce that. Returns false on such a display.
+ * Branch-insensitive on purpose: both arms of an If feed one dirty
+ * set, over-approximating the race.
+ */
+bool
+scanRaces(const StmtPtr &stmt, std::set<std::string> &dirty,
+          bool cond_dirty)
+{
+    if (!stmt)
+        return true;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            if (!scanRaces(sub, dirty, cond_dirty))
+                return false;
+        return true;
+      case StmtKind::If: {
+        const auto *branch = stmt->as<IfStmt>();
+        bool cd = cond_dirty || refsAny(branch->cond, dirty);
+        return scanRaces(branch->thenStmt, dirty, cd) &&
+               scanRaces(branch->elseStmt, dirty, cd);
+      }
+      case StmtKind::Case: {
+        const auto *sel = stmt->as<CaseStmt>();
+        bool cd = cond_dirty || refsAny(sel->selector, dirty);
+        for (const auto &item : sel->items)
+            if (!scanRaces(item.body, dirty, cd))
+                return false;
+        return true;
+      }
+      case StmtKind::Assign: {
+        const auto *assign = stmt->as<AssignStmt>();
+        if (!assign->nonblocking)
+            renameIdents(assign->lhs, [&](const std::string &name) {
+                dirty.insert(name);
+                return name;
+            });
+        return true;
+      }
+      case StmtKind::Display: {
+        if (cond_dirty)
+            return false;
+        for (const auto &arg : stmt->as<DisplayStmt>()->args)
+            if (refsAny(arg, dirty))
+                return false;
+        return true;
+      }
+      default:
+        return true;
+    }
+}
+
+/** True when some $display races an earlier blocking assignment.
+ *  Clocked processes execute in item order, so the dirty set carries
+ *  across processes on the same sweep. */
+bool
+displaysRaceBlocking(const Module &mod)
+{
+    std::set<std::string> dirty;
+    for (const auto &item : mod.items) {
+        if (item->kind != ItemKind::Always)
+            continue;
+        const auto *proc = item->as<AlwaysItem>();
+        if (proc->isComb)
+            continue;
+        if (!scanRaces(proc->body, dirty, false))
+            return true;
+    }
+    return false;
+}
+
 } // namespace
+
+bool
+signalCatSupported(const Module &mod)
+{
+    auto displays = analysis::collectDisplays(mod);
+    if (displays.empty())
+        return true;
+    if (displays[0].clock.empty())
+        return false;
+    for (const auto &gd : displays)
+        if (gd.clock != displays[0].clock ||
+            displayEdge(gd) != displayEdge(displays[0]))
+            return false;
+    return !displaysRaceBlocking(mod);
+}
 
 SignalCatResult
 applySignalCat(const Module &mod, const SignalCatOptions &opts)
@@ -87,6 +206,18 @@ applySignalCat(const Module &mod, const SignalCatOptions &opts)
 
     uint32_t num_stmts = static_cast<uint32_t>(displays.size());
     std::string clock = displays[0].clock;
+    EdgeKind edge = displayEdge(displays[0]);
+    for (const auto &gd : displays)
+        if (gd.clock != clock || displayEdge(gd) != edge)
+            fatal("SignalCat: $display statements mix clocks or edges "
+                  "('%s' vs '%s'); one recording clock domain is "
+                  "supported",
+                  clock.c_str(), gd.clock.c_str());
+    if (displaysRaceBlocking(*work))
+        fatal("SignalCat: a $display reads a variable a blocking "
+              "assignment updates earlier in the same edge; the "
+              "recorder taps nets pre-edge and cannot reproduce that "
+              "value - use nonblocking assignments");
 
     // Per-statement enable wires carrying the path constraints.
     std::vector<std::string> enable_wires;
@@ -117,7 +248,10 @@ applySignalCat(const Module &mod, const SignalCatOptions &opts)
             uint32_t width = arg->width;
             if (width == 0)
                 panic("SignalCat: display argument missing width");
-            stmt.argSlices.emplace_back(offset + width - 1, offset);
+            uint32_t skew =
+                mutationOn(MUT_INSTR_SIGNALCAT_SLICE) ? 1 : 0;
+            stmt.argSlices.emplace_back(offset + width - 1 + skew,
+                                        offset + skew);
             parts_lsb_first.push_back(cloneExpr(arg));
             offset += width;
         }
@@ -150,7 +284,14 @@ applySignalCat(const Module &mod, const SignalCatOptions &opts)
         "DEPTH", mkNum(Bits(32, opts.bufferDepth), false));
     rec->paramOverrides.emplace_back(
         "MODE", mkNum(Bits(32, opts.preTrigger ? 1 : 0), false));
-    rec->conns.push_back(PortConn{"clk", mkId(clock)});
+    // The recorder IP samples on rising edges of its clk port. For
+    // displays living in @(negedge ...) processes, feed it the
+    // inverted clock so captures line up with when the statements
+    // actually execute (their arguments change half a cycle later).
+    ExprPtr rec_clk = mkId(clock);
+    if (edge == EdgeKind::Negedge)
+        rec_clk = mkNot(rec_clk);
+    rec->conns.push_back(PortConn{"clk", std::move(rec_clk)});
     rec->conns.push_back(PortConn{
         "arm",
         opts.armSignal.empty() ? mkTrue() : mkId(opts.armSignal)});

@@ -80,6 +80,14 @@ struct SignalCatResult
 };
 
 /**
+ * True when @p mod's clocked $display statements all live in one clock
+ * domain sampling on one edge (or there are none). applySignalCat
+ * raises HdlError on modules where this is false: the single recording
+ * IP instance has one sampling clock.
+ */
+bool signalCatSupported(const hdl::Module &mod);
+
+/**
  * Instrument @p mod for on-FPGA logging. All $display statements in
  * clocked processes are converted; the result simulates with an empty
  * $display log and a populated recorder instead.

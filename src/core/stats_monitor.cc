@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 #include "core/instrument.hh"
 
 namespace hwdbg::core
@@ -52,7 +53,9 @@ applyStatsMonitor(const Module &mod, const StatsMonitorOptions &opts)
         }
 
         auto branch = std::make_shared<IfStmt>();
-        branch->cond = cloneExpr(event.signal);
+        branch->cond = mutationOn(MUT_INSTR_STAT_INVERT)
+                           ? mkNot(cloneExpr(event.signal))
+                           : cloneExpr(event.signal);
         branch->thenStmt = block;
         builder.addClockedStmt(clock, branch);
     }

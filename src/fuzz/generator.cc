@@ -1,0 +1,881 @@
+#include "fuzz/generator.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "fuzz/rng.hh"
+
+namespace hwdbg::fuzz
+{
+
+using namespace hdl;
+
+namespace
+{
+
+/** Vector widths, weighted toward the word-boundary cases. */
+const uint32_t kWidths[] = {1,  2,  3,  4,  5,  8,  8,  12, 16, 16,
+                            24, 31, 32, 33, 48, 63, 64, 65, 96, 128};
+
+struct Sig
+{
+    std::string name;
+    uint32_t width;
+};
+
+struct Mem
+{
+    std::string name;
+    uint32_t width;
+    uint32_t depth;
+};
+
+class Generator
+{
+  public:
+    Generator(uint64_t seed, const GeneratorOptions &opts)
+        : rng_(seed), opts_(opts)
+    {
+    }
+
+    GeneratedDesign run();
+
+  private:
+    // -- declarations -------------------------------------------------
+    NetItem *declare(const std::string &name, uint32_t width, NetKind net,
+                     PortDir dir = PortDir::None);
+    void declareMem(const std::string &name, uint32_t width,
+                    uint32_t depth);
+    ExprPtr lit(uint32_t width, const Bits &value);
+    ExprPtr litU(uint32_t width, uint64_t value);
+
+    // -- expression generation ---------------------------------------
+    ExprPtr genLeaf();
+    ExprPtr genNarrowLeaf();
+    ExprPtr genExpr(uint32_t depth);
+    ExprPtr genBool(uint32_t depth);
+
+    // -- statement generation ----------------------------------------
+    StmtPtr genDisplay();
+    StmtPtr genSeqAssign(const Sig &target);
+    StmtPtr genSeqTargets(std::vector<Sig> targets);
+    StmtPtr wrapReset(const std::vector<Sig> &targets, StmtPtr body);
+
+    // -- structure ---------------------------------------------------
+    void genInputs();
+    void genSeqRegDecls();
+    void genMemory();
+    void genCombChain();
+    void genSubmodule();
+    void genFifo();
+    void genFsm();
+    void genClockedBlocks();
+    void genOutputs();
+
+    void addContAssign(ExprPtr lhs, ExprPtr rhs);
+    void addAlways(std::vector<SensItem> sens, bool comb, StmtPtr body);
+
+    Rng rng_;
+    GeneratorOptions opts_;
+    GeneratedDesign out_;
+
+    ModulePtr top_ = std::make_shared<Module>();
+    /** Declarations come first so reordering can permute them freely. */
+    std::vector<ItemPtr> decls_;
+    std::vector<ItemPtr> logic_;
+
+    /** Value signals readable by newly generated expressions. */
+    std::vector<Sig> pool_;
+    std::vector<Mem> mems_;
+    /** Clocked registers awaiting a driving block. */
+    std::vector<Sig> seqRegs_;
+    bool hasRst_ = false;
+    int nameCounter_ = 0;
+};
+
+NetItem *
+Generator::declare(const std::string &name, uint32_t width, NetKind net,
+                   PortDir dir)
+{
+    auto item = std::make_shared<NetItem>();
+    item->net = net;
+    item->dir = dir;
+    item->name = name;
+    if (width > 1)
+        item->range = AstRange{litU(32, width - 1), litU(32, 0)};
+    decls_.push_back(item);
+    if (dir != PortDir::None)
+        top_->ports.push_back(name);
+    return item.get();
+}
+
+void
+Generator::declareMem(const std::string &name, uint32_t width,
+                      uint32_t depth)
+{
+    auto item = std::make_shared<NetItem>();
+    item->net = NetKind::Reg;
+    item->name = name;
+    if (width > 1)
+        item->range = AstRange{litU(32, width - 1), litU(32, 0)};
+    item->array = AstRange{litU(32, depth - 1), litU(32, 0)};
+    decls_.push_back(item);
+    mems_.push_back(Mem{name, width, depth});
+}
+
+ExprPtr
+Generator::lit(uint32_t width, const Bits &value)
+{
+    return mkNum(value.resized(width), true);
+}
+
+ExprPtr
+Generator::litU(uint32_t width, uint64_t value)
+{
+    return mkNum(Bits(width, value), true);
+}
+
+ExprPtr
+Generator::genLeaf()
+{
+    uint64_t roll = rng_.below(100);
+    if (!mems_.empty() && roll < 12) {
+        // Memory element read.
+        const Mem &mem = rng_.pick(mems_);
+        auto idx = std::make_shared<IndexExpr>();
+        idx->base = mem.name;
+        idx->index = rng_.chance(60)
+                         ? litU(8, rng_.below(mem.depth + 2))
+                         : genExpr(0);
+        return idx;
+    }
+    if (!pool_.empty() && roll < 30) {
+        const Sig &sig = rng_.pick(pool_);
+        if (sig.width >= 2 && rng_.chance(50)) {
+            // Bit select, occasionally out of range on purpose.
+            auto idx = std::make_shared<IndexExpr>();
+            idx->base = sig.name;
+            idx->index = rng_.chance(70)
+                             ? litU(8, rng_.below(sig.width + 1))
+                             : genExpr(0);
+            return idx;
+        }
+        if (sig.width >= 2) {
+            // Constant part select.
+            uint32_t lsb =
+                static_cast<uint32_t>(rng_.below(sig.width));
+            uint32_t msb = lsb + static_cast<uint32_t>(rng_.below(
+                                     sig.width - lsb));
+            auto range = std::make_shared<RangeExpr>();
+            range->base = sig.name;
+            range->msb = litU(32, msb);
+            range->lsb = litU(32, lsb);
+            return range;
+        }
+    }
+    if (!pool_.empty() && roll < 75)
+        return mkId(rng_.pick(pool_).name);
+    uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+    return lit(width, rng_.bits(width));
+}
+
+/**
+ * A leaf at most 4 bits wide: a narrow signal, a low slice of a wide
+ * one, or a small literal. Width-rule probes (comparison and case
+ * widths) need operands strictly narrower than their context; leaves
+ * drawn from the full pool are usually as wide as any target, which
+ * turns those probes into no-ops.
+ */
+ExprPtr
+Generator::genNarrowLeaf()
+{
+    if (!pool_.empty() && rng_.chance(80)) {
+        const Sig &sig = rng_.pick(pool_);
+        if (sig.width <= 4)
+            return mkId(sig.name);
+        auto range = std::make_shared<RangeExpr>();
+        range->base = sig.name;
+        range->msb = litU(32, static_cast<uint32_t>(rng_.below(4)));
+        range->lsb = litU(32, 0);
+        return range;
+    }
+    return litU(4, rng_.below(16));
+}
+
+ExprPtr
+Generator::genExpr(uint32_t depth)
+{
+    if (depth == 0 || rng_.chance(20))
+        return genLeaf();
+    uint64_t roll = rng_.below(100);
+    if (roll < 45) {
+        static const BinaryOp kOps[] = {
+            BinaryOp::Add,    BinaryOp::Add,    BinaryOp::Sub,
+            BinaryOp::Mul,    BinaryOp::Div,    BinaryOp::Mod,
+            BinaryOp::BitAnd, BinaryOp::BitOr,  BinaryOp::BitXor,
+            BinaryOp::LogAnd, BinaryOp::LogOr,  BinaryOp::Eq,
+            BinaryOp::Ne,     BinaryOp::Lt,     BinaryOp::Le,
+            BinaryOp::Gt,     BinaryOp::Ge,     BinaryOp::Shl,
+            BinaryOp::Shr,
+        };
+        BinaryOp op = kOps[rng_.below(std::size(kOps))];
+        bool cmp = op == BinaryOp::Eq || op == BinaryOp::Ne ||
+                   op == BinaryOp::Lt || op == BinaryOp::Le ||
+                   op == BinaryOp::Gt || op == BinaryOp::Ge;
+        ExprPtr lhs = genExpr(depth - 1);
+        ExprPtr rhs;
+        // Comparisons over wrap-sensitive NARROW operands: a - b wraps
+        // at the evaluation width, so when both sides are narrower
+        // than the surrounding context the comparison-width rules
+        // actually matter (wide operands make any widening a no-op).
+        if (cmp && rng_.chance(50)) {
+            lhs = mkBinary(BinaryOp::Sub, genNarrowLeaf(),
+                           genNarrowLeaf());
+            rhs = genNarrowLeaf();
+            return mkBinary(op, lhs, rhs);
+        }
+        if (op == BinaryOp::Shl || op == BinaryOp::Shr) {
+            // Shift amounts near (and often below) typical operand
+            // widths; amount 0 is included deliberately - it turns a
+            // shift into the identity, the sharpest probe for
+            // off-by-one shift bugs.
+            rhs = rng_.chance(70) ? litU(7, rng_.below(9))
+                                  : genExpr(0);
+        } else {
+            rhs = genExpr(depth - 1);
+        }
+        return mkBinary(op, lhs, rhs);
+    }
+    if (roll < 60) {
+        static const UnaryOp kOps[] = {UnaryOp::Neg,    UnaryOp::LogNot,
+                                       UnaryOp::BitNot, UnaryOp::RedAnd,
+                                       UnaryOp::RedOr,  UnaryOp::RedXor};
+        return mkUnary(kOps[rng_.below(std::size(kOps))],
+                       genExpr(depth - 1));
+    }
+    if (roll < 72)
+        return mkTernary(genBool(depth - 1), genExpr(depth - 1),
+                         genExpr(depth - 1));
+    if (roll < 86) {
+        auto cat = std::make_shared<ConcatExpr>();
+        size_t parts = 2 + rng_.below(2);
+        for (size_t i = 0; i < parts; ++i)
+            cat->parts.push_back(genExpr(depth - 1));
+        return cat;
+    }
+    auto rep = std::make_shared<RepeatExpr>();
+    rep->count = litU(32, 1 + rng_.below(3));
+    rep->inner = genExpr(depth - 1);
+    return rep;
+}
+
+ExprPtr
+Generator::genBool(uint32_t depth)
+{
+    ExprPtr expr = genExpr(depth);
+    switch (rng_.below(3)) {
+      case 0:
+        return mkUnary(UnaryOp::RedOr, expr);
+      case 1:
+        return mkBinary(rng_.chance(50) ? BinaryOp::Ne : BinaryOp::Gt,
+                        expr, genExpr(0));
+      default:
+        return expr; // any nonzero value is true
+    }
+}
+
+StmtPtr
+Generator::genDisplay()
+{
+    auto disp = std::make_shared<DisplayStmt>();
+    static const char *kSpecs[] = {"%d", "%h", "%b", "%0d", "%x"};
+    size_t nargs = 1 + rng_.below(2);
+    disp->format = "[fz]";
+    for (size_t i = 0; i < nargs; ++i) {
+        const Sig &sig = rng_.pick(pool_);
+        disp->format += " " + sig.name + "=" +
+                        kSpecs[rng_.below(std::size(kSpecs))];
+        disp->args.push_back(mkId(sig.name));
+    }
+    return disp;
+}
+
+/** One driving statement for @p target inside a clocked block. */
+StmtPtr
+Generator::genSeqAssign(const Sig &target)
+{
+    uint64_t roll = rng_.below(100);
+    auto assign = std::make_shared<AssignStmt>();
+    assign->nonblocking = !rng_.chance(10);
+    if (roll < 10 && target.width >= 2) {
+        // Single-bit update, occasionally out of range.
+        auto idx = std::make_shared<IndexExpr>();
+        idx->base = target.name;
+        idx->index = litU(8, rng_.below(target.width + 1));
+        assign->lhs = idx;
+        assign->rhs = genExpr(1);
+        return assign;
+    }
+    if (roll < 18 && target.width >= 3) {
+        uint32_t lsb = static_cast<uint32_t>(
+            rng_.below(target.width - 1));
+        uint32_t msb = lsb + 1 + static_cast<uint32_t>(rng_.below(
+                                     target.width - lsb - 1));
+        auto range = std::make_shared<RangeExpr>();
+        range->base = target.name;
+        range->msb = litU(32, msb);
+        range->lsb = litU(32, lsb);
+        assign->lhs = range;
+        assign->rhs = genExpr(2);
+        return assign;
+    }
+    assign->lhs = mkId(target.name);
+    assign->rhs = genExpr(opts_.maxExprDepth);
+    if (roll < 40) {
+        auto branch = std::make_shared<IfStmt>();
+        branch->cond = genBool(1);
+        branch->thenStmt = assign;
+        if (rng_.chance(70)) {
+            auto other = std::make_shared<AssignStmt>();
+            other->nonblocking = assign->nonblocking;
+            other->lhs = mkId(target.name);
+            other->rhs = genExpr(2);
+            branch->elseStmt = other;
+        }
+        return branch;
+    }
+    if (roll < 55) {
+        // case over a narrow selector.
+        std::vector<const Sig *> narrow;
+        for (const auto &sig : pool_)
+            if (sig.width >= 2 && sig.width <= 6)
+                narrow.push_back(&sig);
+        if (!narrow.empty()) {
+            const Sig *sel = narrow[rng_.below(narrow.size())];
+            auto stmt = std::make_shared<CaseStmt>();
+            stmt->selector = mkId(sel->name);
+            // Decoy pair: an over-wide label whose LOW bits collide
+            // with a later exact-width label. Correct max-width
+            // matching never takes the decoy (its high bits are set);
+            // a simulator that truncates labels to the selector width
+            // takes it first and runs the wrong body.
+            if (rng_.chance(40)) {
+                uint64_t v = rng_.below(
+                    std::min<uint64_t>(4, uint64_t(1) << sel->width));
+                uint32_t lw = sel->width + 2;
+                CaseItem decoy;
+                decoy.labels.push_back(
+                    litU(lw, (uint64_t(1) << sel->width) | v));
+                auto dbody = std::make_shared<AssignStmt>();
+                dbody->lhs = mkId(target.name);
+                dbody->rhs = genExpr(1);
+                decoy.body = dbody;
+                stmt->items.push_back(std::move(decoy));
+                CaseItem hit;
+                hit.labels.push_back(litU(sel->width, v));
+                auto hbody = std::make_shared<AssignStmt>();
+                hbody->lhs = mkId(target.name);
+                hbody->rhs = genExpr(1);
+                hit.body = hbody;
+                stmt->items.push_back(std::move(hit));
+            }
+            size_t nitems = 2 + rng_.below(3);
+            for (size_t i = 0; i < nitems; ++i) {
+                CaseItem item;
+                // Label width sometimes exceeds the selector width,
+                // exercising the max-width comparison rule.
+                uint32_t lw = rng_.chance(75) ? sel->width
+                                              : sel->width + 2;
+                item.labels.push_back(lit(lw, rng_.bits(lw)));
+                auto body = std::make_shared<AssignStmt>();
+                body->lhs = mkId(target.name);
+                body->rhs = genExpr(2);
+                item.body = body;
+                stmt->items.push_back(std::move(item));
+            }
+            if (rng_.chance(80)) {
+                CaseItem dflt;
+                auto body = std::make_shared<AssignStmt>();
+                body->lhs = mkId(target.name);
+                body->rhs = genExpr(1);
+                dflt.body = body;
+                stmt->items.push_back(std::move(dflt));
+            }
+            return stmt;
+        }
+    }
+    return assign;
+}
+
+StmtPtr
+Generator::genSeqTargets(std::vector<Sig> targets)
+{
+    auto block = std::make_shared<BlockStmt>();
+    while (!targets.empty()) {
+        if (targets.size() >= 2 && rng_.chance(15)) {
+            // Concat lvalue consuming two targets.
+            auto assign = std::make_shared<AssignStmt>();
+            auto cat = std::make_shared<ConcatExpr>();
+            cat->parts.push_back(mkId(targets[0].name));
+            cat->parts.push_back(mkId(targets[1].name));
+            assign->lhs = cat;
+            assign->rhs = genExpr(opts_.maxExprDepth);
+            assign->nonblocking = true;
+            block->stmts.push_back(assign);
+            targets.erase(targets.begin(), targets.begin() + 2);
+            continue;
+        }
+        block->stmts.push_back(genSeqAssign(targets.front()));
+        targets.erase(targets.begin());
+    }
+    if (!pool_.empty() && rng_.chance(opts_.displayChance))
+        block->stmts.push_back(genDisplay());
+    return block;
+}
+
+StmtPtr
+Generator::wrapReset(const std::vector<Sig> &targets, StmtPtr body)
+{
+    if (!hasRst_ || !rng_.chance(60))
+        return body;
+    auto branch = std::make_shared<IfStmt>();
+    branch->cond = mkId("rst");
+    auto clear = std::make_shared<BlockStmt>();
+    for (const auto &target : targets) {
+        auto assign = std::make_shared<AssignStmt>();
+        assign->lhs = mkId(target.name);
+        assign->rhs = litU(target.width, 0);
+        assign->nonblocking = true;
+        clear->stmts.push_back(assign);
+    }
+    branch->thenStmt = clear;
+    branch->elseStmt = std::move(body);
+    return branch;
+}
+
+void
+Generator::addContAssign(ExprPtr lhs, ExprPtr rhs)
+{
+    auto item = std::make_shared<ContAssignItem>();
+    item->lhs = std::move(lhs);
+    item->rhs = std::move(rhs);
+    logic_.push_back(item);
+}
+
+void
+Generator::addAlways(std::vector<SensItem> sens, bool comb, StmtPtr body)
+{
+    auto item = std::make_shared<AlwaysItem>();
+    item->sens = std::move(sens);
+    item->isComb = comb;
+    item->body = std::move(body);
+    logic_.push_back(item);
+}
+
+void
+Generator::genInputs()
+{
+    declare("clk", 1, NetKind::Wire, PortDir::Input);
+    hasRst_ = rng_.chance(70);
+    if (hasRst_)
+        declare("rst", 1, NetKind::Wire, PortDir::Input);
+    out_.hasRst = hasRst_;
+
+    size_t nin = 2 + rng_.below(3);
+    for (size_t i = 0; i < nin; ++i) {
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        std::string name = "in" + std::to_string(i);
+        declare(name, width, NetKind::Wire, PortDir::Input);
+        pool_.push_back(Sig{name, width});
+        out_.inputs.push_back(StimulusPort{name, width});
+    }
+}
+
+void
+Generator::genSeqRegDecls()
+{
+    size_t nreg = 2 + rng_.below(4);
+    for (size_t i = 0; i < nreg; ++i) {
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        std::string name = "q" + std::to_string(i);
+        declare(name, width, NetKind::Reg);
+        pool_.push_back(Sig{name, width});
+        seqRegs_.push_back(Sig{name, width});
+    }
+}
+
+void
+Generator::genMemory()
+{
+    if (!rng_.chance(opts_.memChance))
+        return;
+    static const uint32_t kDepths[] = {4, 5, 8, 12, 16};
+    uint32_t depth = kDepths[rng_.below(std::size(kDepths))];
+    uint32_t width = 2 + static_cast<uint32_t>(rng_.below(15));
+    declareMem("mem0", width, depth);
+}
+
+void
+Generator::genSubmodule()
+{
+    if (!rng_.chance(opts_.submoduleChance))
+        return;
+    uint32_t pw = 4 + static_cast<uint32_t>(rng_.below(13));
+
+    auto sub = std::make_shared<Module>();
+    sub->name = "fz_sub";
+    sub->ports = {"sa", "sb", "sy"};
+    auto param = std::make_shared<ParamItem>();
+    param->name = "PW";
+    param->value = litU(32, 8);
+    param->inHeader = true;
+    sub->items.push_back(param);
+    auto mkPort = [&](const std::string &name, PortDir dir) {
+        auto net = std::make_shared<NetItem>();
+        net->name = name;
+        net->dir = dir;
+        net->range = AstRange{
+            mkBinary(BinaryOp::Sub, mkId("PW"), litU(32, 1)),
+            litU(32, 0)};
+        sub->items.push_back(net);
+    };
+    mkPort("sa", PortDir::Input);
+    mkPort("sb", PortDir::Input);
+    mkPort("sy", PortDir::Output);
+    auto body = std::make_shared<ContAssignItem>();
+    body->lhs = mkId("sy");
+    static const BinaryOp kSubOps[] = {BinaryOp::Add, BinaryOp::BitXor,
+                                       BinaryOp::Sub, BinaryOp::BitAnd,
+                                       BinaryOp::Mul};
+    body->rhs = mkBinary(
+        kSubOps[rng_.below(std::size(kSubOps))], mkId("sa"),
+        mkBinary(kSubOps[rng_.below(std::size(kSubOps))], mkId("sb"),
+                 lit(8, rng_.bits(8))));
+    sub->items.push_back(body);
+    out_.design.modules.push_back(sub);
+
+    std::string wire = "sw0";
+    declare(wire, pw, NetKind::Wire);
+    auto inst = std::make_shared<InstanceItem>();
+    inst->moduleName = "fz_sub";
+    inst->instName = "u_sub0";
+    inst->paramOverrides.emplace_back("PW", litU(32, pw));
+    inst->conns.push_back(PortConn{"sa", genExpr(1)});
+    inst->conns.push_back(PortConn{"sb", genExpr(1)});
+    inst->conns.push_back(PortConn{"sy", mkId(wire)});
+    logic_.push_back(inst);
+    pool_.push_back(Sig{wire, pw});
+}
+
+void
+Generator::genFifo()
+{
+    if (!rng_.chance(opts_.fifoChance))
+        return;
+    uint32_t pbits = 2 + static_cast<uint32_t>(rng_.below(2)); // 4 or 8
+    uint32_t depth = 1u << pbits;
+    uint32_t width = 4 + static_cast<uint32_t>(rng_.below(13));
+
+    declareMem("fmem0", width, depth);
+    declare("fwp0", pbits + 1, NetKind::Reg);
+    declare("frp0", pbits + 1, NetKind::Reg);
+    declare("fful0", 1, NetKind::Wire);
+    declare("femp0", 1, NetKind::Wire);
+    declare("fpsh0", 1, NetKind::Wire);
+    declare("fpop0", 1, NetKind::Wire);
+    declare("fq0", width, NetKind::Wire);
+
+    addContAssign(mkId("femp0"),
+                  mkEq(mkId("fwp0"), mkId("frp0")));
+    addContAssign(mkId("fful0"),
+                  mkEq(mkBinary(BinaryOp::Sub, mkId("fwp0"),
+                                mkId("frp0")),
+                       litU(pbits + 1, depth)));
+    addContAssign(mkId("fpsh0"),
+                  mkAnd(genBool(1), mkNot(mkId("fful0"))));
+    addContAssign(mkId("fpop0"),
+                  mkAnd(genBool(1), mkNot(mkId("femp0"))));
+
+    auto ptrSlice = [&](const std::string &ptr) {
+        auto range = std::make_shared<RangeExpr>();
+        range->base = ptr;
+        range->msb = litU(32, pbits - 1);
+        range->lsb = litU(32, 0);
+        return range;
+    };
+
+    auto body = std::make_shared<BlockStmt>();
+    {
+        auto push = std::make_shared<IfStmt>();
+        push->cond = mkId("fpsh0");
+        auto seq = std::make_shared<BlockStmt>();
+        auto write = std::make_shared<AssignStmt>();
+        auto slot = std::make_shared<IndexExpr>();
+        slot->base = "fmem0";
+        slot->index = ptrSlice("fwp0");
+        write->lhs = slot;
+        write->rhs = genExpr(2);
+        seq->stmts.push_back(write);
+        auto bump = std::make_shared<AssignStmt>();
+        bump->lhs = mkId("fwp0");
+        bump->rhs = mkBinary(BinaryOp::Add, mkId("fwp0"),
+                             litU(1, 1));
+        seq->stmts.push_back(bump);
+        push->thenStmt = seq;
+        body->stmts.push_back(push);
+    }
+    {
+        auto pop = std::make_shared<IfStmt>();
+        pop->cond = mkId("fpop0");
+        auto bump = std::make_shared<AssignStmt>();
+        bump->lhs = mkId("frp0");
+        bump->rhs = mkBinary(BinaryOp::Add, mkId("frp0"),
+                             litU(1, 1));
+        pop->thenStmt = bump;
+        body->stmts.push_back(pop);
+    }
+    std::vector<Sig> ptrs = {Sig{"fwp0", pbits + 1},
+                             Sig{"frp0", pbits + 1}};
+    StmtPtr wrapped =
+        hasRst_ ? wrapReset(ptrs, body) : StmtPtr(body);
+    addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false, wrapped);
+
+    auto read = std::make_shared<IndexExpr>();
+    read->base = "fmem0";
+    read->index = ptrSlice("frp0");
+    addContAssign(mkId("fq0"), read);
+
+    pool_.push_back(Sig{"fwp0", pbits + 1});
+    pool_.push_back(Sig{"frp0", pbits + 1});
+    pool_.push_back(Sig{"fful0", 1});
+    pool_.push_back(Sig{"femp0", 1});
+    pool_.push_back(Sig{"fpsh0", 1});
+    pool_.push_back(Sig{"fpop0", 1});
+    pool_.push_back(Sig{"fq0", width});
+}
+
+void
+Generator::genFsm()
+{
+    if (!rng_.chance(opts_.fsmChance))
+        return;
+    uint32_t width = 2;
+    uint64_t nstates = 3 + rng_.below(2);
+    declare("st0", width, NetKind::Reg);
+    out_.fsmStateVar = "st0";
+
+    auto stmt = std::make_shared<CaseStmt>();
+    stmt->selector = mkId("st0");
+    for (uint64_t s = 0; s < nstates; ++s) {
+        CaseItem item;
+        item.labels.push_back(litU(width, s));
+        uint64_t target = (s + 1) % nstates;
+        auto go = std::make_shared<AssignStmt>();
+        go->lhs = mkId("st0");
+        go->rhs = litU(width, target);
+        if (rng_.chance(70)) {
+            auto branch = std::make_shared<IfStmt>();
+            branch->cond = genBool(1);
+            branch->thenStmt = go;
+            if (rng_.chance(50)) {
+                auto stay = std::make_shared<AssignStmt>();
+                stay->lhs = mkId("st0");
+                stay->rhs = litU(width, rng_.below(nstates));
+                branch->elseStmt = stay;
+            }
+            item.body = branch;
+        } else {
+            item.body = go;
+        }
+        stmt->items.push_back(std::move(item));
+    }
+    CaseItem dflt;
+    auto home = std::make_shared<AssignStmt>();
+    home->lhs = mkId("st0");
+    home->rhs = litU(width, 0);
+    dflt.body = home;
+    stmt->items.push_back(std::move(dflt));
+
+    std::vector<Sig> st = {Sig{"st0", width}};
+    StmtPtr body = stmt;
+    if (hasRst_) {
+        auto branch = std::make_shared<IfStmt>();
+        branch->cond = mkId("rst");
+        auto clear = std::make_shared<AssignStmt>();
+        clear->lhs = mkId("st0");
+        clear->rhs = litU(width, 0);
+        branch->thenStmt = clear;
+        branch->elseStmt = body;
+        body = branch;
+    }
+    addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false, body);
+    // st0 is deliberately kept out of pool_: referencing it from
+    // arithmetic would defeat the FSM detection heuristics.
+}
+
+void
+Generator::genCombChain()
+{
+    size_t nwire = 1 + rng_.below(4);
+    for (size_t i = 0; i < nwire; ++i) {
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        std::string name = "w" + std::to_string(i);
+        declare(name, width, NetKind::Wire);
+        if (width >= 4 && rng_.chance(12)) {
+            // Partial drive: only the low bits get a value.
+            uint32_t split = 1 + static_cast<uint32_t>(
+                                 rng_.below(width - 1));
+            auto range = std::make_shared<RangeExpr>();
+            range->base = name;
+            range->msb = litU(32, split - 1);
+            range->lsb = litU(32, 0);
+            addContAssign(range, genExpr(opts_.maxExprDepth));
+        } else {
+            addContAssign(mkId(name), genExpr(opts_.maxExprDepth));
+        }
+        pool_.push_back(Sig{name, width});
+    }
+
+    size_t ncomb = rng_.below(3);
+    for (size_t i = 0; i < ncomb; ++i) {
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        std::string name = "cr" + std::to_string(i);
+        declare(name, width, NetKind::Reg);
+        auto body = std::make_shared<BlockStmt>();
+        auto dflt = std::make_shared<AssignStmt>();
+        dflt->nonblocking = false;
+        dflt->lhs = mkId(name);
+        dflt->rhs = genExpr(2);
+        body->stmts.push_back(dflt);
+        if (rng_.chance(60)) {
+            auto branch = std::make_shared<IfStmt>();
+            branch->cond = genBool(1);
+            auto retake = std::make_shared<AssignStmt>();
+            retake->nonblocking = false;
+            retake->lhs = mkId(name);
+            retake->rhs = genExpr(2);
+            branch->thenStmt = retake;
+            body->stmts.push_back(branch);
+        }
+        addAlways({}, true, body);
+        pool_.push_back(Sig{name, width});
+    }
+
+    if (rng_.chance(30)) {
+        // A driven-but-never-read wire; keeps the unused-signal lint
+        // rule active on generated designs.
+        std::string name = "dw" + std::to_string(rng_.below(20));
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        declare(name, width, NetKind::Wire);
+        addContAssign(mkId(name), genExpr(2));
+    }
+}
+
+void
+Generator::genClockedBlocks()
+{
+    // Memory write port (when a plain memory exists).
+    for (const auto &mem : mems_) {
+        if (mem.name != "mem0")
+            continue;
+        auto write = std::make_shared<AssignStmt>();
+        auto slot = std::make_shared<IndexExpr>();
+        slot->base = mem.name;
+        slot->index = genExpr(1);
+        write->lhs = slot;
+        write->rhs = genExpr(2);
+        auto branch = std::make_shared<IfStmt>();
+        branch->cond = genBool(1);
+        branch->thenStmt = write;
+        addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false, branch);
+    }
+
+    // Split the plain registers over one or two clocked blocks.
+    std::vector<Sig> first = seqRegs_;
+    std::vector<Sig> second;
+    if (first.size() >= 3 && rng_.chance(50)) {
+        size_t cut = 1 + rng_.below(first.size() - 2);
+        second.assign(first.begin() + static_cast<long>(cut),
+                      first.end());
+        first.resize(cut);
+    }
+    EdgeKind second_edge = rng_.chance(15) ? EdgeKind::Negedge
+                                           : EdgeKind::Posedge;
+    addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false,
+              wrapReset(first, genSeqTargets(first)));
+    if (!second.empty())
+        addAlways({SensItem{second_edge, "clk"}}, false,
+                  wrapReset(second, genSeqTargets(second)));
+}
+
+void
+Generator::genOutputs()
+{
+    size_t nout = 1 + rng_.below(3);
+    for (size_t i = 0; i < nout; ++i) {
+        uint32_t width = kWidths[rng_.below(std::size(kWidths))];
+        std::string name = "out" + std::to_string(i);
+        declare(name, width, NetKind::Wire, PortDir::Output);
+        addContAssign(mkId(name), genExpr(opts_.maxExprDepth));
+        out_.outputs.push_back(name);
+    }
+}
+
+GeneratedDesign
+Generator::run()
+{
+    top_->name = "fz_top";
+    genInputs();
+    genSeqRegDecls();
+    genMemory();
+    genSubmodule();
+    genCombChain();
+    genFifo();
+    genFsm();
+    genClockedBlocks();
+    genOutputs();
+
+    // Parser-normal item order: port declarations first, in header
+    // order, then internal declarations, then logic. This makes
+    // parse(print(ast)) structurally identical to ast, which the
+    // roundtrip oracle relies on. Declaration order is semantically
+    // neutral, so the simulator and reference evaluator don't care.
+    top_->items.reserve(decls_.size() + logic_.size());
+    for (const auto &pname : top_->ports) {
+        for (auto &item : decls_) {
+            if (!item)
+                continue;
+            const auto *net = item->as<NetItem>();
+            if (net && net->name == pname) {
+                top_->items.push_back(std::move(item));
+                item = nullptr;
+                break;
+            }
+        }
+    }
+    for (auto &item : decls_)
+        if (item)
+            top_->items.push_back(std::move(item));
+    for (auto &item : logic_)
+        top_->items.push_back(std::move(item));
+    out_.design.modules.push_back(top_);
+    out_.top = top_->name;
+
+    for (const auto &sig : pool_)
+        if (sig.width == 1 && out_.eventSignals.size() < 4)
+            out_.eventSignals.push_back(sig.name);
+    return out_;
+}
+
+} // namespace
+
+GeneratedDesign
+generateDesign(uint64_t seed, const GeneratorOptions &opts)
+{
+    Generator gen(seed, opts);
+    return gen.run();
+}
+
+} // namespace hwdbg::fuzz

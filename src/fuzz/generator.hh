@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Seeded random generator of subset-Verilog designs.
+ *
+ * Each seed deterministically produces one synthesizable design drawn
+ * from the constructs the testbed exercises: continuous assigns over
+ * random expression trees, combinational and clocked always blocks,
+ * if/case control flow, concat/range lvalues, memories with
+ * hardware-overflow addressing, $display statements, and optional FSM-
+ * and FIFO-shaped templates plus a parameterized submodule instance.
+ *
+ * Generated designs obey the simulator's structural rules by
+ * construction (single 1-bit "clk" input, wires driven by assigns, regs
+ * by processes, DAG-ordered combinational logic so settling is
+ * guaranteed) and avoid the name substrings ("clk", "rst", "valid",
+ * "ready", "data") that the lint heuristics key on, so the metamorphic
+ * lint oracle can rename signals freely.
+ */
+
+#ifndef HWDBG_FUZZ_GENERATOR_HH
+#define HWDBG_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+
+namespace hwdbg::fuzz
+{
+
+struct GeneratorOptions
+{
+    uint32_t maxExprDepth = 3;
+    /** Percent chance of the optional templates. */
+    uint32_t fsmChance = 40;
+    uint32_t fifoChance = 30;
+    uint32_t memChance = 35;
+    uint32_t submoduleChance = 25;
+    uint32_t displayChance = 60;
+};
+
+/** One top-level input the stimulus driver must toggle. */
+struct StimulusPort
+{
+    std::string name;
+    uint32_t width;
+};
+
+struct GeneratedDesign
+{
+    hdl::Design design;
+    std::string top;
+
+    /** Data inputs (excluding clk and rst). */
+    std::vector<StimulusPort> inputs;
+    /** Output ports compared by the differential oracle. */
+    std::vector<std::string> outputs;
+    bool hasRst = false;
+
+    /** FSM template state register, empty when absent. */
+    std::string fsmStateVar;
+    /** 1-bit signals usable as stats-monitor events. */
+    std::vector<std::string> eventSignals;
+};
+
+/** Generate the design for @p seed. Same seed, same design, always. */
+GeneratedDesign generateDesign(uint64_t seed,
+                               const GeneratorOptions &opts = {});
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_GENERATOR_HH

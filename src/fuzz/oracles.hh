@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The four fuzzing oracles.
+ *
+ * Each oracle takes one generated design plus the seed that made it and
+ * returns the first divergence it finds (or nothing). They are pure
+ * functions of (design, seed): a failing seed replays byte-identically.
+ *
+ *  - Roundtrip: parse(print(ast)) must be structurally identical to ast
+ *    and printing must be a fixpoint (print(parse(print(ast))) ==
+ *    print(ast)).
+ *  - Differential: the table-driven cycle simulator (fed through the
+ *    printer and parser, so the whole front end is on the hook) must
+ *    agree with the independent big-int reference evaluator on every
+ *    output at every clock phase, plus logs, cycle counts, and $finish.
+ *  - Lint: metamorphic invariance — alpha-renaming all signals and
+ *    permuting independent declarations must not change the diagnostic
+ *    set (modulo the renaming itself).
+ *  - Instrument: applying SignalCat / FSM and stats monitors / DepMonitor
+ *    / LossCheck / ValidCheck must preserve user-visible behaviour:
+ *    outputs match cycle-for-cycle, the user's $display log is
+ *    unchanged (SignalCat: reconstructable from the recorder), and the
+ *    monitors' own reports match ground truth recorded from the
+ *    uninstrumented run.
+ */
+
+#ifndef HWDBG_FUZZ_ORACLES_HH
+#define HWDBG_FUZZ_ORACLES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/generator.hh"
+
+namespace hwdbg::fuzz
+{
+
+enum class Oracle : uint32_t
+{
+    Roundtrip = 0,
+    Differential = 1,
+    Lint = 2,
+    Instrument = 3,
+};
+
+constexpr uint32_t kOracleCount = 4;
+
+/** Stable short name ("roundtrip", "differential", "lint",
+ *  "instrument") used by --oracle and in reports. */
+const char *oracleName(Oracle oracle);
+
+/** Parse an --oracle argument; returns false for unknown names. */
+bool oracleFromName(const std::string &name, Oracle *out);
+
+/** One oracle violation. */
+struct Failure
+{
+    Oracle oracle = Oracle::Roundtrip;
+    /** Human-readable description of the first divergence. */
+    std::string detail;
+};
+
+struct OracleOptions
+{
+    /** Clock cycles of random stimulus for the dynamic oracles. */
+    uint32_t cycles = 24;
+    /** Bitmask over Oracle values; bit (1 << oracle) enables it. */
+    uint32_t mask = 0xF;
+};
+
+constexpr uint32_t
+oracleBit(Oracle oracle)
+{
+    return 1u << static_cast<uint32_t>(oracle);
+}
+
+std::optional<Failure> runRoundtrip(const GeneratedDesign &gd);
+std::optional<Failure> runDifferential(const GeneratedDesign &gd,
+                                       uint64_t seed, uint32_t cycles);
+std::optional<Failure> runLintMeta(const GeneratedDesign &gd,
+                                   uint64_t seed);
+std::optional<Failure> runInstrument(const GeneratedDesign &gd,
+                                     uint64_t seed, uint32_t cycles);
+
+/**
+ * Run every enabled oracle in order; internal HdlErrors are reported as
+ * failures of the oracle that raised them (generated designs are valid
+ * by construction, so an elaboration or simulation error IS a bug).
+ */
+std::vector<Failure> runOracles(const GeneratedDesign &gd, uint64_t seed,
+                                const OracleOptions &opts);
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_ORACLES_HH

@@ -1,0 +1,708 @@
+#include "fuzz/refeval.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/eval.hh"
+
+namespace hwdbg::fuzz
+{
+
+using namespace hdl;
+
+namespace
+{
+
+/**
+ * Hardware-overflow addressing: truncate the index to the physical
+ * address width; accesses landing past a non-power-of-two memory are
+ * dropped (-1).
+ */
+int64_t
+refEffectiveIndex(uint64_t index, uint32_t size)
+{
+    uint32_t addr_bits = 0;
+    while ((uint64_t(1) << addr_bits) < size)
+        ++addr_bits;
+    uint64_t masked = addr_bits >= 64
+                          ? index
+                          : index & ((uint64_t(1) << addr_bits) - 1);
+    if (masked >= size)
+        return -1;
+    return static_cast<int64_t>(masked);
+}
+
+} // namespace
+
+RefEval::RefEval(ModulePtr flat) : mod_(std::move(flat))
+{
+    for (const auto &item : mod_->items) {
+        switch (item->kind) {
+          case ItemKind::Param: {
+            const auto *param = item->as<ParamItem>();
+            params_[param->name] = constEval(param->value);
+            break;
+          }
+          case ItemKind::Net: {
+            const auto *net = item->as<NetItem>();
+            if (byName_.count(net->name))
+                fatal("refeval: duplicate declaration of '%s'",
+                      net->name.c_str());
+            Sig sig;
+            sig.name = net->name;
+            sig.isReg = net->net == NetKind::Reg;
+            sig.dir = net->dir;
+            if (net->range) {
+                uint64_t msb = constEval(net->range->msb).toU64();
+                uint64_t lsb = constEval(net->range->lsb).toU64();
+                if (lsb != 0 || msb > 1u << 20)
+                    fatal("refeval: unsupported range on '%s'",
+                          net->name.c_str());
+                sig.width = static_cast<uint32_t>(msb) + 1;
+            }
+            if (net->array) {
+                uint64_t msb = constEval(net->array->msb).toU64();
+                uint64_t lsb = constEval(net->array->lsb).toU64();
+                if (lsb != 0 || !sig.isReg)
+                    fatal("refeval: unsupported memory bounds on '%s'",
+                          net->name.c_str());
+                sig.arraySize = static_cast<uint32_t>(msb) + 1;
+            }
+            byName_[sig.name] = static_cast<int>(sigs_.size());
+            sigs_.push_back(std::move(sig));
+            break;
+          }
+          case ItemKind::ContAssign:
+            assigns_.push_back(item->as<ContAssignItem>());
+            break;
+          case ItemKind::Always: {
+            const auto *proc = item->as<AlwaysItem>();
+            if (proc->isComb)
+                combProcs_.push_back(proc);
+            else
+                clockedProcs_.push_back(proc);
+            break;
+          }
+          case ItemKind::Instance:
+            fatal("refeval: module instances are not supported");
+        }
+    }
+
+    values_.reserve(sigs_.size());
+    arrays_.resize(sigs_.size());
+    for (size_t i = 0; i < sigs_.size(); ++i) {
+        values_.emplace_back(sigs_[i].width, 0);
+        if (sigs_[i].arraySize != 0)
+            arrays_[i].assign(sigs_[i].arraySize,
+                              Bits(sigs_[i].width, 0));
+    }
+
+    for (const auto *proc : clockedProcs_)
+        for (const auto &sens : proc->sens) {
+            int id = requireId(sens.signal);
+            if (sigs_[id].width != 1 || sigs_[id].arraySize != 0)
+                fatal("refeval: clock '%s' is not a 1-bit scalar",
+                      sens.signal.c_str());
+            prevClocks_[sens.signal] = false;
+        }
+
+    settle();
+}
+
+int
+RefEval::idOf(const std::string &name) const
+{
+    auto it = byName_.find(name);
+    return it == byName_.end() ? -1 : it->second;
+}
+
+int
+RefEval::requireId(const std::string &name) const
+{
+    int id = idOf(name);
+    if (id < 0)
+        fatal("refeval: unknown signal '%s'", name.c_str());
+    return id;
+}
+
+Bits
+RefEval::constEval(const ExprPtr &expr) const
+{
+    if (!expr)
+        fatal("refeval: null constant expression");
+    switch (expr->kind) {
+      case ExprKind::Number:
+        return expr->as<NumberExpr>()->value;
+      case ExprKind::Id: {
+        auto it = params_.find(expr->as<IdExpr>()->name);
+        if (it == params_.end())
+            fatal("refeval: '%s' is not a constant",
+                  expr->as<IdExpr>()->name.c_str());
+        return it->second;
+      }
+      case ExprKind::Binary: {
+        const auto *bin = expr->as<BinaryExpr>();
+        Bits lhs = constEval(bin->lhs);
+        Bits rhs = constEval(bin->rhs);
+        switch (bin->op) {
+          case BinaryOp::Add: return lhs.add(rhs);
+          case BinaryOp::Sub: return lhs.sub(rhs);
+          case BinaryOp::Mul: return lhs.mul(rhs);
+          case BinaryOp::Shl: return lhs.shl(rhs.toU64());
+          case BinaryOp::Shr: return lhs.shr(rhs.toU64());
+          default:
+            break;
+        }
+        fatal("refeval: unsupported constant operator");
+      }
+      default:
+        fatal("refeval: expression is not constant");
+    }
+}
+
+uint32_t
+RefEval::selfWidth(const ExprPtr &expr)
+{
+    auto it = widths_.find(expr.get());
+    if (it != widths_.end())
+        return it->second;
+
+    uint32_t width = 0;
+    switch (expr->kind) {
+      case ExprKind::Number: {
+        const auto *num = expr->as<NumberExpr>();
+        width = num->sized
+                    ? num->value.width()
+                    : std::max<uint32_t>(32, num->value.width());
+        break;
+      }
+      case ExprKind::Id: {
+        const auto *id = expr->as<IdExpr>();
+        int sig = idOf(id->name);
+        if (sig < 0) {
+            auto param = params_.find(id->name);
+            if (param == params_.end())
+                fatal("refeval: unknown identifier '%s'",
+                      id->name.c_str());
+            width = param->second.width();
+            break;
+        }
+        if (sigs_[sig].arraySize != 0)
+            fatal("refeval: memory '%s' referenced without an index",
+                  id->name.c_str());
+        width = sigs_[sig].width;
+        break;
+      }
+      case ExprKind::Unary: {
+        const auto *un = expr->as<UnaryExpr>();
+        uint32_t arg = selfWidth(un->arg);
+        width = (un->op == UnaryOp::Neg || un->op == UnaryOp::BitNot)
+                    ? arg
+                    : 1;
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto *bin = expr->as<BinaryExpr>();
+        uint32_t lhs = selfWidth(bin->lhs);
+        uint32_t rhs = selfWidth(bin->rhs);
+        switch (bin->op) {
+          case BinaryOp::Add:
+          case BinaryOp::Sub:
+          case BinaryOp::Mul:
+          case BinaryOp::Div:
+          case BinaryOp::Mod:
+          case BinaryOp::BitAnd:
+          case BinaryOp::BitOr:
+          case BinaryOp::BitXor:
+            width = std::max(lhs, rhs);
+            break;
+          case BinaryOp::Shl:
+          case BinaryOp::Shr:
+            width = lhs;
+            break;
+          default:
+            width = 1;
+            break;
+        }
+        break;
+      }
+      case ExprKind::Ternary: {
+        const auto *tern = expr->as<TernaryExpr>();
+        selfWidth(tern->cond);
+        width = std::max(selfWidth(tern->thenExpr),
+                         selfWidth(tern->elseExpr));
+        break;
+      }
+      case ExprKind::Concat: {
+        for (const auto &part : expr->as<ConcatExpr>()->parts)
+            width += selfWidth(part);
+        break;
+      }
+      case ExprKind::Repeat: {
+        const auto *rep = expr->as<RepeatExpr>();
+        uint64_t count = constEval(rep->count).toU64();
+        width = selfWidth(rep->inner) *
+                static_cast<uint32_t>(count);
+        break;
+      }
+      case ExprKind::Index: {
+        const auto *idx = expr->as<IndexExpr>();
+        int sig = requireId(idx->base);
+        selfWidth(idx->index);
+        width = sigs_[sig].arraySize != 0 ? sigs_[sig].width : 1;
+        break;
+      }
+      case ExprKind::Range: {
+        const auto *range = expr->as<RangeExpr>();
+        requireId(range->base);
+        uint64_t msb = constEval(range->msb).toU64();
+        uint64_t lsb = constEval(range->lsb).toU64();
+        if (lsb > msb)
+            fatal("refeval: reversed part select on '%s'",
+                  range->base.c_str());
+        width = static_cast<uint32_t>(msb - lsb) + 1;
+        break;
+      }
+    }
+    if (width == 0)
+        fatal("refeval: zero-width expression");
+    widths_[expr.get()] = width;
+    return width;
+}
+
+Bits
+RefEval::evalE(const ExprPtr &expr, uint32_t ctx_width)
+{
+    uint32_t self = selfWidth(expr);
+    uint32_t w = std::max(ctx_width, self);
+
+    switch (expr->kind) {
+      case ExprKind::Number:
+        return expr->as<NumberExpr>()->value.resized(w);
+      case ExprKind::Id: {
+        const auto *id = expr->as<IdExpr>();
+        int sig = idOf(id->name);
+        if (sig < 0)
+            return params_.at(id->name).resized(w);
+        return values_[sig].resized(w);
+      }
+      case ExprKind::Unary: {
+        const auto *un = expr->as<UnaryExpr>();
+        switch (un->op) {
+          case UnaryOp::Neg:
+            return evalE(un->arg, w).negate();
+          case UnaryOp::BitNot:
+            return evalE(un->arg, w).bitNot();
+          case UnaryOp::LogNot:
+            return Bits(w, evalE(un->arg, 0).isZero() ? 1 : 0);
+          case UnaryOp::RedAnd:
+            return Bits(w, evalE(un->arg, 0).redAnd() ? 1 : 0);
+          case UnaryOp::RedOr:
+            return Bits(w, evalE(un->arg, 0).redOr() ? 1 : 0);
+          case UnaryOp::RedXor:
+            return Bits(w, evalE(un->arg, 0).redXor() ? 1 : 0);
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        const auto *bin = expr->as<BinaryExpr>();
+        switch (bin->op) {
+          case BinaryOp::Add:
+            return evalE(bin->lhs, w).add(evalE(bin->rhs, w))
+                .resized(w);
+          case BinaryOp::Sub:
+            return evalE(bin->lhs, w).sub(evalE(bin->rhs, w))
+                .resized(w);
+          case BinaryOp::Mul:
+            return evalE(bin->lhs, w).mul(evalE(bin->rhs, w))
+                .resized(w);
+          case BinaryOp::Div:
+            return evalE(bin->lhs, w).divu(evalE(bin->rhs, w))
+                .resized(w);
+          case BinaryOp::Mod:
+            return evalE(bin->lhs, w).modu(evalE(bin->rhs, w))
+                .resized(w);
+          case BinaryOp::BitAnd:
+            return evalE(bin->lhs, w).bitAnd(evalE(bin->rhs, w));
+          case BinaryOp::BitOr:
+            return evalE(bin->lhs, w).bitOr(evalE(bin->rhs, w));
+          case BinaryOp::BitXor:
+            return evalE(bin->lhs, w).bitXor(evalE(bin->rhs, w));
+          case BinaryOp::Shl:
+            return evalE(bin->lhs, w)
+                .shl(evalE(bin->rhs, 0).toU64());
+          case BinaryOp::Shr:
+            return evalE(bin->lhs, w)
+                .shr(evalE(bin->rhs, 0).toU64());
+          case BinaryOp::LogAnd:
+            return Bits(w, (!evalE(bin->lhs, 0).isZero() &&
+                            !evalE(bin->rhs, 0).isZero())
+                               ? 1 : 0);
+          case BinaryOp::LogOr:
+            return Bits(w, (!evalE(bin->lhs, 0).isZero() ||
+                            !evalE(bin->rhs, 0).isZero())
+                               ? 1 : 0);
+          default: {
+            uint32_t cmp_w = std::max(selfWidth(bin->lhs),
+                                      selfWidth(bin->rhs));
+            int cmp = evalE(bin->lhs, cmp_w)
+                          .compare(evalE(bin->rhs, cmp_w));
+            bool result = false;
+            switch (bin->op) {
+              case BinaryOp::Eq: result = cmp == 0; break;
+              case BinaryOp::Ne: result = cmp != 0; break;
+              case BinaryOp::Lt: result = cmp < 0; break;
+              case BinaryOp::Le: result = cmp <= 0; break;
+              case BinaryOp::Gt: result = cmp > 0; break;
+              case BinaryOp::Ge: result = cmp >= 0; break;
+              default:
+                fatal("refeval: bad comparison operator");
+            }
+            return Bits(w, result ? 1 : 0);
+          }
+        }
+        break;
+      }
+      case ExprKind::Ternary: {
+        const auto *tern = expr->as<TernaryExpr>();
+        bool cond = !evalE(tern->cond, 0).isZero();
+        return evalE(cond ? tern->thenExpr : tern->elseExpr, w)
+            .resized(w);
+      }
+      case ExprKind::Concat: {
+        const auto *cat = expr->as<ConcatExpr>();
+        Bits out(0);
+        bool first = true;
+        for (const auto &part : cat->parts) {
+            Bits val = evalE(part, 0);
+            out = first ? val : out.concat(val);
+            first = false;
+        }
+        return out.resized(w);
+      }
+      case ExprKind::Repeat: {
+        const auto *rep = expr->as<RepeatExpr>();
+        uint32_t count = self / selfWidth(rep->inner);
+        return evalE(rep->inner, 0).replicate(count).resized(w);
+      }
+      case ExprKind::Index: {
+        const auto *idx = expr->as<IndexExpr>();
+        int sig = requireId(idx->base);
+        uint64_t index = evalE(idx->index, 0).toU64();
+        if (sigs_[sig].arraySize != 0) {
+            int64_t elem =
+                refEffectiveIndex(index, sigs_[sig].arraySize);
+            if (elem < 0)
+                return Bits(w, 0);
+            return arrays_[sig][static_cast<size_t>(elem)].resized(w);
+        }
+        return Bits(w, values_[sig].bit(
+                           static_cast<uint32_t>(index)) ? 1 : 0);
+      }
+      case ExprKind::Range: {
+        const auto *range = expr->as<RangeExpr>();
+        int sig = requireId(range->base);
+        uint32_t msb =
+            static_cast<uint32_t>(constEval(range->msb).toU64());
+        uint32_t lsb =
+            static_cast<uint32_t>(constEval(range->lsb).toU64());
+        return values_[sig].slice(msb, lsb).resized(w);
+      }
+    }
+    fatal("refeval: unreachable expression kind");
+}
+
+bool
+RefEval::evalB(const ExprPtr &expr)
+{
+    return !evalE(expr, 0).isZero();
+}
+
+RefEval::Target
+RefEval::resolveSimple(const ExprPtr &lhs)
+{
+    Target target;
+    switch (lhs->kind) {
+      case ExprKind::Id: {
+        const auto *id = lhs->as<IdExpr>();
+        target.sig = requireId(id->name);
+        target.whole = true;
+        break;
+      }
+      case ExprKind::Index: {
+        const auto *idx = lhs->as<IndexExpr>();
+        target.sig = requireId(idx->base);
+        const Sig &sig = sigs_[target.sig];
+        uint64_t index = evalE(idx->index, 0).toU64();
+        if (sig.arraySize != 0) {
+            target.element = refEffectiveIndex(index, sig.arraySize);
+            target.dropped = target.element < 0;
+            target.whole = true;
+        } else if (index >= sig.width) {
+            target.dropped = true;
+        } else {
+            target.whole = false;
+            target.msb = target.lsb = static_cast<uint32_t>(index);
+        }
+        break;
+      }
+      case ExprKind::Range: {
+        const auto *range = lhs->as<RangeExpr>();
+        target.sig = requireId(range->base);
+        target.whole = false;
+        target.msb =
+            static_cast<uint32_t>(constEval(range->msb).toU64());
+        target.lsb =
+            static_cast<uint32_t>(constEval(range->lsb).toU64());
+        break;
+      }
+      default:
+        fatal("refeval: expression is not assignable");
+    }
+    return target;
+}
+
+void
+RefEval::applyTarget(const Target &target, const Bits &value)
+{
+    if (target.dropped)
+        return;
+    const Sig &sig = sigs_[target.sig];
+    if (target.element >= 0) {
+        Bits &slot =
+            arrays_[target.sig][static_cast<size_t>(target.element)];
+        Bits next = value.resized(sig.width);
+        if (slot != next) {
+            slot = std::move(next);
+            changed_ = true;
+        }
+        return;
+    }
+    if (target.whole) {
+        Bits next = value.resized(sig.width);
+        if (values_[target.sig] != next) {
+            values_[target.sig] = std::move(next);
+            changed_ = true;
+        }
+        return;
+    }
+    Bits before = values_[target.sig];
+    values_[target.sig].setSlice(target.msb, target.lsb, value);
+    if (values_[target.sig] != before)
+        changed_ = true;
+}
+
+void
+RefEval::assignInto(const ExprPtr &lhs, const Bits &value,
+                    bool buffer_nba)
+{
+    uint32_t total = selfWidth(lhs);
+    if (lhs->kind == ExprKind::Concat) {
+        uint32_t consumed = 0;
+        for (const auto &part : lhs->as<ConcatExpr>()->parts) {
+            Target target = resolveSimple(part);
+            uint32_t pw = selfWidth(part);
+            Bits piece = value.slice(total - consumed - 1,
+                                     total - consumed - pw);
+            if (buffer_nba)
+                nba_.push_back(Pending{target, std::move(piece)});
+            else
+                applyTarget(target, piece);
+            consumed += pw;
+        }
+        return;
+    }
+    Target target = resolveSimple(lhs);
+    Bits piece = value.slice(total - 1, 0);
+    if (buffer_nba)
+        nba_.push_back(Pending{target, std::move(piece)});
+    else
+        applyTarget(target, piece);
+}
+
+void
+RefEval::store(const ExprPtr &lhs, const Bits &value)
+{
+    assignInto(lhs, value, false);
+}
+
+void
+RefEval::settle()
+{
+    // A pass is stable when its end state equals its start state;
+    // transient intra-pass toggles (default-then-override processes)
+    // are not progress. Mirrors Simulator::settleComb.
+    size_t max_iters = assigns_.size() + combProcs_.size() + 4;
+    for (size_t iter = 0; iter < max_iters; ++iter) {
+        std::vector<Bits> before_values = values_;
+        std::vector<std::vector<Bits>> before_arrays = arrays_;
+        changed_ = false;
+        for (const auto *assign : assigns_) {
+            uint32_t lw = selfWidth(assign->lhs);
+            uint32_t cw = std::max(lw, selfWidth(assign->rhs));
+            Bits value = evalE(assign->rhs, cw).resized(lw);
+            store(assign->lhs, value);
+        }
+        for (const auto *proc : combProcs_)
+            exec(proc->body, false);
+        if (!changed_)
+            return;
+        auto same = [](const Bits &a, const Bits &b) {
+            return a.width() == b.width() && a.compare(b) == 0;
+        };
+        bool stable = true;
+        for (size_t i = 0; stable && i < values_.size(); ++i)
+            stable = same(before_values[i], values_[i]);
+        for (size_t i = 0; stable && i < arrays_.size(); ++i)
+            for (size_t j = 0; stable && j < arrays_[i].size(); ++j)
+                stable = same(before_arrays[i][j], arrays_[i][j]);
+        if (stable)
+            return;
+    }
+    fatal("refeval: combinational logic failed to settle");
+}
+
+void
+RefEval::exec(const StmtPtr &stmt, bool clocked)
+{
+    if (!stmt)
+        return;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+            exec(sub, clocked);
+        break;
+      case StmtKind::If: {
+        const auto *branch = stmt->as<IfStmt>();
+        if (evalB(branch->cond))
+            exec(branch->thenStmt, clocked);
+        else
+            exec(branch->elseStmt, clocked);
+        break;
+      }
+      case StmtKind::Case: {
+        const auto *sel = stmt->as<CaseStmt>();
+        Bits value = evalE(sel->selector, 0);
+        uint32_t sel_w = selfWidth(sel->selector);
+        const CaseItem *chosen = nullptr;
+        const CaseItem *dflt = nullptr;
+        for (const auto &item : sel->items) {
+            if (item.labels.empty()) {
+                dflt = &item;
+                continue;
+            }
+            for (const auto &label : item.labels) {
+                uint32_t cmp_w = std::max(sel_w, selfWidth(label));
+                if (evalE(label, cmp_w) == value.resized(cmp_w)) {
+                    chosen = &item;
+                    break;
+                }
+            }
+            if (chosen)
+                break;
+        }
+        if (!chosen)
+            chosen = dflt;
+        if (chosen)
+            exec(chosen->body, clocked);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto *assign = stmt->as<AssignStmt>();
+        uint32_t lw = selfWidth(assign->lhs);
+        uint32_t cw = std::max(lw, selfWidth(assign->rhs));
+        Bits value = evalE(assign->rhs, cw).resized(lw);
+        assignInto(assign->lhs, value,
+                   clocked && assign->nonblocking);
+        break;
+      }
+      case StmtKind::Display: {
+        const auto *disp = stmt->as<DisplayStmt>();
+        if (!clocked)
+            break; // comb $display is ignored, matching the simulator
+        std::vector<Bits> args;
+        args.reserve(disp->args.size());
+        for (const auto &arg : disp->args)
+            args.push_back(evalE(arg, 0));
+        log_.push_back(
+            LogLine{cycle_, sim::formatDisplay(disp->format, args)});
+        break;
+      }
+      case StmtKind::Finish:
+        finished_ = true;
+        break;
+      case StmtKind::Null:
+        break;
+    }
+}
+
+void
+RefEval::poke(const std::string &signal, const Bits &value)
+{
+    int id = requireId(signal);
+    if (sigs_[id].dir != PortDir::Input)
+        fatal("refeval poke: '%s' is not a top-level input",
+              signal.c_str());
+    values_[id] = value.resized(sigs_[id].width);
+}
+
+Bits
+RefEval::peek(const std::string &signal) const
+{
+    return values_[requireId(signal)];
+}
+
+void
+RefEval::eval()
+{
+    settle();
+
+    std::map<std::string, std::pair<bool, bool>> edges;
+    for (auto &[name, prev] : prevClocks_) {
+        bool now = !values_[requireId(name)].isZero();
+        edges[name] = {prev, now};
+    }
+
+    std::vector<const AlwaysItem *> triggered;
+    for (const auto *proc : clockedProcs_) {
+        for (const auto &sens : proc->sens) {
+            auto [before, after] = edges[sens.signal];
+            bool rising = !before && after;
+            bool falling = before && !after;
+            if ((sens.edge == EdgeKind::Posedge && rising) ||
+                (sens.edge == EdgeKind::Negedge && falling)) {
+                triggered.push_back(proc);
+                break;
+            }
+        }
+    }
+
+    int clk_id = idOf("clk");
+    bool primary_rose = false;
+    if (clk_id >= 0) {
+        auto it = prevClocks_.find("clk");
+        bool now = !values_[clk_id].isZero();
+        bool before =
+            it != prevClocks_.end() ? it->second : primaryRaw_;
+        primary_rose = !before && now;
+        primaryRaw_ = now;
+    }
+    if (primary_rose)
+        ++cycle_;
+
+    for (auto &[name, prev] : prevClocks_)
+        prev = edges[name].second;
+
+    if (triggered.empty())
+        return;
+
+    for (const auto *proc : triggered)
+        exec(proc->body, true);
+    for (const auto &write : nba_)
+        applyTarget(write.target, write.value);
+    nba_.clear();
+
+    settle();
+}
+
+} // namespace hwdbg::fuzz

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Reference evaluator: an independent big-int AST-walking simulator.
+ *
+ * RefEval implements the documented semantics of the cycle simulator
+ * (sim/simulator.hh) from scratch: two-state logic, zero-initialized
+ * registers, bounded-fixpoint combinational settling with assigns
+ * before comb processes in item order, pre-edge execution of clocked
+ * processes, buffered nonblocking assignments, self-determined and
+ * context width rules, and hardware-overflow memory addressing.
+ *
+ * It deliberately shares no evaluation code with src/sim — widths,
+ * expression evaluation, and lvalue stores are all reimplemented — so
+ * the differential oracle compares two independent interpretations of
+ * the same spec. The only shared substrate is Bits (arbitrary-width
+ * arithmetic) and formatDisplay (printf-style formatting), which the
+ * Bits width-boundary tests and the printer tests cover separately.
+ *
+ * Unlike the simulator it has no primitive models and no VCD hook; it
+ * raises HdlError on instances, which the oracles treat as
+ * "inapplicable" rather than as a failure.
+ */
+
+#ifndef HWDBG_FUZZ_REFEVAL_HH
+#define HWDBG_FUZZ_REFEVAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.hh"
+#include "hdl/ast.hh"
+
+namespace hwdbg::fuzz
+{
+
+class RefEval
+{
+  public:
+    /** Build over an elaborated (flat) module; settles comb logic. */
+    explicit RefEval(hdl::ModulePtr flat);
+
+    void poke(const std::string &signal, const Bits &value);
+    Bits peek(const std::string &signal) const;
+
+    /** Settle logic and process any clock edges since the last eval. */
+    void eval();
+
+    uint64_t cycle() const { return cycle_; }
+    bool finished() const { return finished_; }
+
+    struct LogLine
+    {
+        uint64_t cycle;
+        std::string text;
+    };
+    const std::vector<LogLine> &log() const { return log_; }
+
+  private:
+    struct Sig
+    {
+        std::string name;
+        uint32_t width = 1;
+        uint32_t arraySize = 0;
+        bool isReg = false;
+        hdl::PortDir dir = hdl::PortDir::None;
+    };
+
+    /** Resolved store destination (mirror of the spec, not the code). */
+    struct Target
+    {
+        int sig = -1;
+        bool whole = true;
+        bool dropped = false;
+        int64_t element = -1;
+        uint32_t msb = 0;
+        uint32_t lsb = 0;
+    };
+
+    int idOf(const std::string &name) const;
+    int requireId(const std::string &name) const;
+
+    Bits constEval(const hdl::ExprPtr &expr) const;
+    uint32_t selfWidth(const hdl::ExprPtr &expr);
+    Bits evalE(const hdl::ExprPtr &expr, uint32_t ctx_width);
+    bool evalB(const hdl::ExprPtr &expr);
+
+    Target resolveSimple(const hdl::ExprPtr &lhs);
+    void applyTarget(const Target &target, const Bits &value);
+    void store(const hdl::ExprPtr &lhs, const Bits &value);
+    void assignInto(const hdl::ExprPtr &lhs, const Bits &value,
+                    bool buffer_nba);
+
+    void settle();
+    void exec(const hdl::StmtPtr &stmt, bool clocked);
+
+    hdl::ModulePtr mod_;
+    std::vector<Sig> sigs_;
+    std::map<std::string, int> byName_;
+    std::map<std::string, Bits> params_;
+
+    std::vector<const hdl::ContAssignItem *> assigns_;
+    std::vector<const hdl::AlwaysItem *> combProcs_;
+    std::vector<const hdl::AlwaysItem *> clockedProcs_;
+
+    std::vector<Bits> values_;
+    std::vector<std::vector<Bits>> arrays_;
+    std::unordered_map<const hdl::Expr *, uint32_t> widths_;
+
+    struct Pending
+    {
+        Target target;
+        Bits value;
+    };
+    std::vector<Pending> nba_;
+
+    std::map<std::string, bool> prevClocks_;
+    bool primaryRaw_ = false;
+    bool changed_ = false;
+    bool finished_ = false;
+    uint64_t cycle_ = 0;
+    std::vector<LogLine> log_;
+};
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_REFEVAL_HH

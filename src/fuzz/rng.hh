@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for the fuzzer.
+ *
+ * SplitMix64: tiny, fast, and — unlike <random> distributions — fully
+ * specified, so a seed produces the identical design and stimulus on
+ * every platform and standard library. Single-seed replay depends on
+ * this.
+ */
+
+#ifndef HWDBG_FUZZ_RNG_HH
+#define HWDBG_FUZZ_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hh"
+
+namespace hwdbg::fuzz
+{
+
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform in [0, n); returns 0 when n == 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        return n == 0 ? 0 : next() % n;
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    uint64_t
+    range(uint64_t lo, uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** True with probability @p percent / 100. */
+    bool
+    chance(uint32_t percent)
+    {
+        return below(100) < percent;
+    }
+
+    /** A random element of @p pool (which must be non-empty). */
+    template <typename T>
+    const T &
+    pick(const std::vector<T> &pool)
+    {
+        return pool[below(pool.size())];
+    }
+
+    /** A uniformly random value of the given bit width. */
+    Bits
+    bits(uint32_t width)
+    {
+        Bits out(width, 0);
+        for (uint32_t lo = 0; lo < width; lo += 32) {
+            Bits chunk(width, next() & 0xffffffffULL);
+            out = out.shl(32).bitOr(chunk);
+        }
+        return out;
+    }
+
+  private:
+    uint64_t state_;
+};
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_RNG_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fuzzing campaign driver: seed scheduling, the worker pool, report
+ * rendering, and the mutation self-check.
+ *
+ * Seeds are independent, so the driver fans them out over a pool of
+ * worker threads pulling from an atomic counter. All results are
+ * collected and sorted by seed before rendering: the report for a given
+ * configuration is byte-identical no matter how many workers ran it or
+ * how they interleaved (timing goes to stderr, never into the report).
+ *
+ * --self-check mode validates the harness itself: it activates the
+ * known mutations from common/testhooks.hh one at a time (sequentially,
+ * single-threaded — the mutation switch is a global) and sweeps seeds
+ * until an oracle catches each one, then reports the catch rate. The
+ * build is considered sound when at least 80% of mutations are caught.
+ */
+
+#ifndef HWDBG_FUZZ_RUNNER_HH
+#define HWDBG_FUZZ_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.hh"
+
+namespace hwdbg::fuzz
+{
+
+struct FuzzConfig
+{
+    uint64_t seeds = 100;
+    uint64_t start = 0;
+    uint32_t jobs = 1;
+    uint32_t cycles = 24;
+    /** Oracle bitmask (oracleBit). */
+    uint32_t mask = 0xF;
+    bool json = false;
+    /** Run exactly one seed (reports it even when clean). */
+    bool replay = false;
+    uint64_t replaySeed = 0;
+    /** Validate the harness against the mutation catalog instead of
+     *  hunting for new bugs. */
+    bool selfCheck = false;
+    uint32_t shrinkBudget = 600;
+};
+
+/** One failing seed, with its shrunk reproducer. */
+struct SeedFailure
+{
+    uint64_t seed = 0;
+    Oracle oracle = Oracle::Roundtrip;
+    std::string detail;
+    /** Verilog text of the shrunk design. */
+    std::string reproducer;
+    uint32_t itemsBefore = 0;
+    uint32_t itemsAfter = 0;
+    uint32_t shrinkAttempts = 0;
+};
+
+/** Outcome of one injected mutation during --self-check. */
+struct MutationOutcome
+{
+    int id = 0;
+    std::string description;
+    std::string expectedOracle;
+    bool caught = false;
+    uint64_t seed = 0;
+    std::string caughtBy;
+    std::string detail;
+    std::string reproducer;
+    /** Seeds tried before the catch (or the full budget). */
+    uint64_t seedsTried = 0;
+};
+
+struct FuzzReport
+{
+    uint64_t seedsRun = 0;
+    std::vector<SeedFailure> failures;
+    bool selfCheck = false;
+    std::vector<MutationOutcome> mutations;
+};
+
+/** True when the report means exit code 0. */
+bool reportOk(const FuzzReport &report);
+
+/** Run the configured campaign. Pure: no output, deterministic. */
+FuzzReport runFuzz(const FuzzConfig &config);
+
+/** Deterministic report text (text or JSON per config.json). */
+std::string renderReport(const FuzzReport &report,
+                         const FuzzConfig &config);
+
+/**
+ * CLI entry: run, print the report to stdout and wall-clock/throughput
+ * to stderr. Returns the process exit code (0 ok, 1 failures).
+ */
+int fuzzMain(const FuzzConfig &config);
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_RUNNER_HH

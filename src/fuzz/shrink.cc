@@ -1,0 +1,399 @@
+#include "fuzz/shrink.hh"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "elab/elaborate.hh"
+#include "sim/simulator.hh"
+
+namespace hwdbg::fuzz
+{
+
+using namespace hdl;
+
+namespace
+{
+
+/** Deep copy of the whole generated design, metadata included. */
+GeneratedDesign
+cloneGenerated(const GeneratedDesign &gd)
+{
+    GeneratedDesign out = gd;
+    out.design.modules.clear();
+    for (const auto &mod : gd.design.modules)
+        out.design.modules.push_back(cloneModule(*mod));
+    return out;
+}
+
+ModulePtr
+topOf(GeneratedDesign &gd)
+{
+    for (const auto &mod : gd.design.modules)
+        if (mod->name == gd.top)
+            return mod;
+    return nullptr;
+}
+
+/** Drop metadata referring to signals a reduction removed. */
+void
+refreshMeta(GeneratedDesign &gd)
+{
+    auto top = topOf(gd);
+    if (!top)
+        return;
+    if (!gd.fsmStateVar.empty() && !top->findNet(gd.fsmStateVar))
+        gd.fsmStateVar.clear();
+    std::vector<std::string> kept;
+    for (const auto &name : gd.eventSignals)
+        if (top->findNet(name))
+            kept.push_back(name);
+    gd.eventSignals = kept;
+}
+
+// ------------------------------------------------------- statement edits
+
+/**
+ * Statement reductions are enumerated in a fixed pre-order walk; edit
+ * @p target counts (slot, edit) pairs across that walk. Returns true
+ * when the edit was applied, false when target is past the end.
+ */
+bool
+applyStmtEdit(StmtPtr &slot, long &target)
+{
+    if (!slot)
+        return false;
+    switch (slot->kind) {
+      case StmtKind::Block: {
+        auto *block = slot->as<BlockStmt>();
+        if (target < static_cast<long>(block->stmts.size())) {
+            block->stmts.erase(block->stmts.begin() + target);
+            return true;
+        }
+        target -= static_cast<long>(block->stmts.size());
+        for (auto &sub : block->stmts)
+            if (applyStmtEdit(sub, target))
+                return true;
+        return false;
+      }
+      case StmtKind::If: {
+        auto *branch = slot->as<IfStmt>();
+        if (target == 0) {
+            slot = branch->thenStmt;
+            return true;
+        }
+        --target;
+        if (branch->elseStmt) {
+            if (target == 0) {
+                slot = branch->elseStmt;
+                return true;
+            }
+            --target;
+            if (target == 0) {
+                branch->elseStmt = nullptr;
+                return true;
+            }
+            --target;
+        }
+        if (applyStmtEdit(branch->thenStmt, target))
+            return true;
+        if (branch->elseStmt &&
+            applyStmtEdit(branch->elseStmt, target))
+            return true;
+        return false;
+      }
+      case StmtKind::Case: {
+        auto *sel = slot->as<CaseStmt>();
+        if (target < static_cast<long>(sel->items.size())) {
+            slot = sel->items[target].body;
+            return true;
+        }
+        target -= static_cast<long>(sel->items.size());
+        for (auto &item : sel->items)
+            if (applyStmtEdit(item.body, target))
+                return true;
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+// ------------------------------------------------------ expression edits
+
+/**
+ * Expression reductions per slot: promote each child, then replace the
+ * slot with 1'h0 (unless it already is a literal). Same fixed-order
+ * counting scheme as statements.
+ */
+bool
+applyExprEdit(ExprPtr &slot, long &target)
+{
+    if (!slot)
+        return false;
+    std::vector<ExprPtr *> children;
+    switch (slot->kind) {
+      case ExprKind::Unary:
+        children.push_back(&slot->as<UnaryExpr>()->arg);
+        break;
+      case ExprKind::Binary: {
+        auto *bin = slot->as<BinaryExpr>();
+        children.push_back(&bin->lhs);
+        children.push_back(&bin->rhs);
+        break;
+      }
+      case ExprKind::Ternary: {
+        auto *ter = slot->as<TernaryExpr>();
+        children.push_back(&ter->thenExpr);
+        children.push_back(&ter->elseExpr);
+        break;
+      }
+      case ExprKind::Concat: {
+        auto *cat = slot->as<ConcatExpr>();
+        for (auto &part : cat->parts)
+            children.push_back(&part);
+        break;
+      }
+      case ExprKind::Repeat:
+        children.push_back(&slot->as<RepeatExpr>()->inner);
+        break;
+      default:
+        break;
+    }
+    if (target < static_cast<long>(children.size())) {
+        slot = *children[target];
+        return true;
+    }
+    target -= static_cast<long>(children.size());
+    if (slot->kind != ExprKind::Number) {
+        if (target == 0) {
+            slot = mkNum(Bits(1, 0));
+            return true;
+        }
+        --target;
+    }
+    // Recurse into sub-expressions (skip index/range operands: they
+    // must stay constant for the design to elaborate).
+    switch (slot->kind) {
+      case ExprKind::Unary:
+        return applyExprEdit(slot->as<UnaryExpr>()->arg, target);
+      case ExprKind::Binary: {
+        auto *bin = slot->as<BinaryExpr>();
+        return applyExprEdit(bin->lhs, target) ||
+               applyExprEdit(bin->rhs, target);
+      }
+      case ExprKind::Ternary: {
+        auto *ter = slot->as<TernaryExpr>();
+        return applyExprEdit(ter->cond, target) ||
+               applyExprEdit(ter->thenExpr, target) ||
+               applyExprEdit(ter->elseExpr, target);
+      }
+      case ExprKind::Concat: {
+        auto *cat = slot->as<ConcatExpr>();
+        for (auto &part : cat->parts)
+            if (applyExprEdit(part, target))
+                return true;
+        return false;
+      }
+      case ExprKind::Repeat:
+        return applyExprEdit(slot->as<RepeatExpr>()->inner, target);
+      default:
+        return false;
+    }
+}
+
+/** Walk rhs/cond/selector/display-arg slots of a statement tree. */
+bool
+applyStmtExprEdit(const StmtPtr &stmt, long &target)
+{
+    if (!stmt)
+        return false;
+    switch (stmt->kind) {
+      case StmtKind::Block:
+        for (auto &sub : stmt->as<BlockStmt>()->stmts)
+            if (applyStmtExprEdit(sub, target))
+                return true;
+        return false;
+      case StmtKind::If: {
+        auto *branch = stmt->as<IfStmt>();
+        return applyExprEdit(branch->cond, target) ||
+               applyStmtExprEdit(branch->thenStmt, target) ||
+               applyStmtExprEdit(branch->elseStmt, target);
+      }
+      case StmtKind::Case: {
+        auto *sel = stmt->as<CaseStmt>();
+        if (applyExprEdit(sel->selector, target))
+            return true;
+        for (auto &item : sel->items)
+            if (applyStmtExprEdit(item.body, target))
+                return true;
+        return false;
+      }
+      case StmtKind::Assign:
+        // Left-hand sides stay intact: most replacements would not be
+        // valid assignment targets.
+        return applyExprEdit(stmt->as<AssignStmt>()->rhs, target);
+      case StmtKind::Display: {
+        auto *disp = stmt->as<DisplayStmt>();
+        for (auto &arg : disp->args)
+            if (applyExprEdit(arg, target))
+                return true;
+        return false;
+      }
+      default:
+        return false;
+    }
+}
+
+/** Apply module-level edit @p target: statement edits of every always
+ *  body first, then expression edits of assigns and bodies. */
+bool
+applyModuleEdit(Module &mod, long target)
+{
+    for (auto &item : mod.items)
+        if (item->kind == ItemKind::Always)
+            if (applyStmtEdit(item->as<AlwaysItem>()->body, target))
+                return true;
+    for (auto &item : mod.items) {
+        if (item->kind == ItemKind::ContAssign) {
+            if (applyExprEdit(item->as<ContAssignItem>()->rhs, target))
+                return true;
+        } else if (item->kind == ItemKind::Always) {
+            if (applyStmtExprEdit(item->as<AlwaysItem>()->body, target))
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkDesign(const GeneratedDesign &gd, uint64_t seed, Oracle kind,
+             const OracleOptions &opts, uint32_t maxAttempts)
+{
+    ShrinkResult result;
+    result.design = cloneGenerated(gd);
+
+    OracleOptions one = opts;
+    one.mask = oracleBit(kind);
+
+    bool origInternal = false;
+    std::string origDetail;
+    {
+        auto failures = runOracles(result.design, seed, one);
+        if (failures.empty())
+            // Caller error: nothing to shrink. Return the input as-is.
+            return result;
+        origDetail = failures.front().detail;
+        origInternal = origDetail.rfind("internal error:", 0) == 0;
+    }
+
+    auto stillFails = [&](const GeneratedDesign &cand) {
+        if (result.attempts >= maxAttempts)
+            return false;
+        ++result.attempts;
+        // A reduction must leave a well-formed design behind so the
+        // reproducer is debuggable — unless the original failure was
+        // itself an internal error, in which case candidates that
+        // throw are exactly what we are chasing.
+        if (!origInternal) {
+            try {
+                auto flat = elab::elaborate(cand.design, cand.top).mod;
+                sim::Simulator probe(flat);
+            } catch (const HdlError &) {
+                return false;
+            }
+        }
+        auto failures = runOracles(cand, seed, one);
+        if (failures.empty())
+            return false;
+        // An internal-error failure must stay the SAME error: without
+        // this, reductions drift into unrelated errors (e.g. from
+        // "failed to settle" to "unknown signal" once a declaration is
+        // gone) and the reproducer stops demonstrating the bug.
+        if (origInternal)
+            return failures.front().detail == origDetail;
+        return failures.front().detail.rfind("internal error:", 0) != 0;
+    };
+
+    auto top = topOf(result.design);
+    if (!top)
+        return result;
+    result.itemsBefore = static_cast<uint32_t>(top->items.size());
+
+    bool changed = true;
+    while (changed && result.attempts < maxAttempts) {
+        changed = false;
+
+        // Pass 1: drop whole items (never port declarations).
+        for (size_t i = 0; i < top->items.size();) {
+            const auto &item = top->items[i];
+            bool isPort = item->kind == ItemKind::Net &&
+                          item->as<NetItem>()->dir != PortDir::None;
+            if (isPort) {
+                ++i;
+                continue;
+            }
+            GeneratedDesign cand = cloneGenerated(result.design);
+            auto candTop = topOf(cand);
+            candTop->items.erase(candTop->items.begin() +
+                                 static_cast<long>(i));
+            refreshMeta(cand);
+            if (stillFails(cand)) {
+                result.design = std::move(cand);
+                top = topOf(result.design);
+                changed = true;
+            } else {
+                ++i;
+            }
+            if (result.attempts >= maxAttempts)
+                break;
+        }
+
+        // Pass 2: statement and expression reductions, fixed order.
+        for (long target = 0; result.attempts < maxAttempts;) {
+            GeneratedDesign cand = cloneGenerated(result.design);
+            auto candTop = topOf(cand);
+            if (!applyModuleEdit(*candTop, target))
+                break;
+            refreshMeta(cand);
+            if (stillFails(cand)) {
+                result.design = std::move(cand);
+                top = topOf(result.design);
+                changed = true;
+                // Edits shifted; retry the same position.
+            } else {
+                ++target;
+            }
+        }
+    }
+
+    // Drop a submodule that no remaining instance references.
+    if (result.design.design.modules.size() > 1) {
+        bool instantiated = false;
+        for (const auto &item : top->items)
+            if (item->kind == ItemKind::Instance)
+                instantiated = true;
+        if (!instantiated) {
+            GeneratedDesign cand = cloneGenerated(result.design);
+            auto &mods = cand.design.modules;
+            for (size_t i = 0; i < mods.size();) {
+                if (mods[i]->name != cand.top)
+                    mods.erase(mods.begin() + static_cast<long>(i));
+                else
+                    ++i;
+            }
+            if (stillFails(cand))
+                result.design = std::move(cand);
+        }
+    }
+
+    top = topOf(result.design);
+    result.itemsAfter =
+        top ? static_cast<uint32_t>(top->items.size()) : 0;
+    return result;
+}
+
+} // namespace hwdbg::fuzz

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Delta-debugging shrinker for failing fuzz designs.
+ *
+ * Given a design on which one oracle fails, the shrinker greedily
+ * removes module items, simplifies statements (promoting if/case arms,
+ * deleting block entries), and simplifies expressions (promoting
+ * operands, substituting zero) while the SAME oracle kind keeps
+ * failing and the candidate stays a valid design (it must still
+ * elaborate and simulate). Port declarations are never touched: the
+ * printer treats a port without a declaration as a fatal internal
+ * error, and keeping the interface stable lets the stimulus replay
+ * unchanged.
+ *
+ * The process is deterministic (fixed traversal order, no randomness)
+ * and bounded by a predicate-evaluation budget, so a shrunk reproducer
+ * for a seed is itself reproducible.
+ */
+
+#ifndef HWDBG_FUZZ_SHRINK_HH
+#define HWDBG_FUZZ_SHRINK_HH
+
+#include <cstdint>
+
+#include "fuzz/generator.hh"
+#include "fuzz/oracles.hh"
+
+namespace hwdbg::fuzz
+{
+
+struct ShrinkResult
+{
+    GeneratedDesign design;
+    /** Predicate evaluations spent. */
+    uint32_t attempts = 0;
+    /** Top-level items in the original / shrunk design. */
+    uint32_t itemsBefore = 0;
+    uint32_t itemsAfter = 0;
+};
+
+/**
+ * Shrink @p gd with respect to the oracle @p kind (which must currently
+ * fail on it). @p seed and @p opts must be the values the failure was
+ * found with so the stimulus replays identically.
+ */
+ShrinkResult shrinkDesign(const GeneratedDesign &gd, uint64_t seed,
+                          Oracle kind, const OracleOptions &opts,
+                          uint32_t maxAttempts = 600);
+
+} // namespace hwdbg::fuzz
+
+#endif // HWDBG_FUZZ_SHRINK_HH

@@ -566,4 +566,173 @@ exprEquals(const ExprPtr &a, const ExprPtr &b)
     return false;
 }
 
+bool
+stmtEquals(const StmtPtr &a, const StmtPtr &b)
+{
+    if (!a || !b)
+        return a == b;
+    if (a->kind != b->kind)
+        return false;
+    switch (a->kind) {
+      case StmtKind::Block: {
+        const auto &sa = a->as<BlockStmt>()->stmts;
+        const auto &sb = b->as<BlockStmt>()->stmts;
+        if (sa.size() != sb.size())
+            return false;
+        for (size_t i = 0; i < sa.size(); ++i)
+            if (!stmtEquals(sa[i], sb[i]))
+                return false;
+        return true;
+      }
+      case StmtKind::If:
+        return exprEquals(a->as<IfStmt>()->cond, b->as<IfStmt>()->cond) &&
+               stmtEquals(a->as<IfStmt>()->thenStmt,
+                          b->as<IfStmt>()->thenStmt) &&
+               stmtEquals(a->as<IfStmt>()->elseStmt,
+                          b->as<IfStmt>()->elseStmt);
+      case StmtKind::Case: {
+        const auto *ca = a->as<CaseStmt>();
+        const auto *cb = b->as<CaseStmt>();
+        if (ca->isCasez != cb->isCasez ||
+            !exprEquals(ca->selector, cb->selector) ||
+            ca->items.size() != cb->items.size())
+            return false;
+        for (size_t i = 0; i < ca->items.size(); ++i) {
+            const auto &ia = ca->items[i];
+            const auto &ib = cb->items[i];
+            if (ia.labels.size() != ib.labels.size())
+                return false;
+            for (size_t j = 0; j < ia.labels.size(); ++j)
+                if (!exprEquals(ia.labels[j], ib.labels[j]))
+                    return false;
+            if (!stmtEquals(ia.body, ib.body))
+                return false;
+        }
+        return true;
+      }
+      case StmtKind::Assign:
+        return a->as<AssignStmt>()->nonblocking ==
+                   b->as<AssignStmt>()->nonblocking &&
+               exprEquals(a->as<AssignStmt>()->lhs,
+                          b->as<AssignStmt>()->lhs) &&
+               exprEquals(a->as<AssignStmt>()->rhs,
+                          b->as<AssignStmt>()->rhs);
+      case StmtKind::Display: {
+        const auto *da = a->as<DisplayStmt>();
+        const auto *db = b->as<DisplayStmt>();
+        if (da->format != db->format || da->args.size() != db->args.size())
+            return false;
+        for (size_t i = 0; i < da->args.size(); ++i)
+            if (!exprEquals(da->args[i], db->args[i]))
+                return false;
+        return true;
+      }
+      case StmtKind::Finish:
+      case StmtKind::Null:
+        return true;
+    }
+    return false;
+}
+
+namespace
+{
+
+bool
+rangeEquals(const std::optional<AstRange> &a,
+            const std::optional<AstRange> &b)
+{
+    if (a.has_value() != b.has_value())
+        return false;
+    if (!a)
+        return true;
+    return exprEquals(a->msb, b->msb) && exprEquals(a->lsb, b->lsb);
+}
+
+} // namespace
+
+bool
+itemEquals(const ItemPtr &a, const ItemPtr &b)
+{
+    if (!a || !b)
+        return a == b;
+    if (a->kind != b->kind)
+        return false;
+    switch (a->kind) {
+      case ItemKind::Param: {
+        const auto *pa = a->as<ParamItem>();
+        const auto *pb = b->as<ParamItem>();
+        return pa->name == pb->name && pa->isLocal == pb->isLocal &&
+               pa->inHeader == pb->inHeader &&
+               exprEquals(pa->value, pb->value);
+      }
+      case ItemKind::Net: {
+        const auto *na = a->as<NetItem>();
+        const auto *nb = b->as<NetItem>();
+        return na->net == nb->net && na->dir == nb->dir &&
+               na->name == nb->name && rangeEquals(na->range, nb->range) &&
+               rangeEquals(na->array, nb->array);
+      }
+      case ItemKind::ContAssign:
+        return exprEquals(a->as<ContAssignItem>()->lhs,
+                          b->as<ContAssignItem>()->lhs) &&
+               exprEquals(a->as<ContAssignItem>()->rhs,
+                          b->as<ContAssignItem>()->rhs);
+      case ItemKind::Always: {
+        const auto *aa = a->as<AlwaysItem>();
+        const auto *ab = b->as<AlwaysItem>();
+        if (aa->isComb != ab->isComb || aa->sens.size() != ab->sens.size())
+            return false;
+        for (size_t i = 0; i < aa->sens.size(); ++i)
+            if (aa->sens[i].edge != ab->sens[i].edge ||
+                aa->sens[i].signal != ab->sens[i].signal)
+                return false;
+        return stmtEquals(aa->body, ab->body);
+      }
+      case ItemKind::Instance: {
+        const auto *ia = a->as<InstanceItem>();
+        const auto *ib = b->as<InstanceItem>();
+        if (ia->moduleName != ib->moduleName ||
+            ia->instName != ib->instName ||
+            ia->paramOverrides.size() != ib->paramOverrides.size() ||
+            ia->conns.size() != ib->conns.size())
+            return false;
+        for (size_t i = 0; i < ia->paramOverrides.size(); ++i)
+            if (ia->paramOverrides[i].first !=
+                    ib->paramOverrides[i].first ||
+                !exprEquals(ia->paramOverrides[i].second,
+                            ib->paramOverrides[i].second))
+                return false;
+        for (size_t i = 0; i < ia->conns.size(); ++i)
+            if (ia->conns[i].formal != ib->conns[i].formal ||
+                !exprEquals(ia->conns[i].actual, ib->conns[i].actual))
+                return false;
+        return true;
+      }
+    }
+    return false;
+}
+
+bool
+moduleEquals(const Module &a, const Module &b)
+{
+    if (a.name != b.name || a.ports != b.ports ||
+        a.items.size() != b.items.size())
+        return false;
+    for (size_t i = 0; i < a.items.size(); ++i)
+        if (!itemEquals(a.items[i], b.items[i]))
+            return false;
+    return true;
+}
+
+bool
+designEquals(const Design &a, const Design &b)
+{
+    if (a.modules.size() != b.modules.size())
+        return false;
+    for (size_t i = 0; i < a.modules.size(); ++i)
+        if (!moduleEquals(*a.modules[i], *b.modules[i]))
+            return false;
+    return true;
+}
+
 } // namespace hwdbg::hdl

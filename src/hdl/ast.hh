@@ -473,6 +473,18 @@ void renameIdents(
 /** True if the two expressions are structurally identical. */
 bool exprEquals(const ExprPtr &a, const ExprPtr &b);
 
+/**
+ * Structural equality over statements, items, modules, and designs.
+ * Source locations and width annotations are ignored; everything the
+ * printer is responsible for reproducing (names, operators, statement
+ * shape, port order, declaration order) is compared. The fuzz
+ * round-trip oracle uses these to check parse(print(d)) == d.
+ */
+bool stmtEquals(const StmtPtr &a, const StmtPtr &b);
+bool itemEquals(const ItemPtr &a, const ItemPtr &b);
+bool moduleEquals(const Module &a, const Module &b);
+bool designEquals(const Design &a, const Design &b);
+
 } // namespace hwdbg::hdl
 
 #endif // HWDBG_HDL_AST_HH

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 
 namespace hwdbg::hdl
 {
@@ -62,7 +63,8 @@ binOpText(BinaryOp op)
       case BinaryOp::Le: return "<=";
       case BinaryOp::Gt: return ">";
       case BinaryOp::Ge: return ">=";
-      case BinaryOp::Shl: return "<<";
+      case BinaryOp::Shl:
+        return mutationOn(MUT_PRINT_SHL_AS_SHR) ? ">>" : "<<";
       case BinaryOp::Shr: return ">>";
     }
     return "?";
@@ -127,7 +129,7 @@ printExpr(const ExprPtr &expr)
     switch (expr->kind) {
       case ExprKind::Number: {
         const auto *num = expr->as<NumberExpr>();
-        if (!num->sized)
+        if (!num->sized || mutationOn(MUT_PRINT_UNSIZED_NUM))
             return num->value.toDecString();
         return num->value.toVerilog();
       }
@@ -148,8 +150,10 @@ printExpr(const ExprPtr &expr)
       case ExprKind::Binary: {
         const auto *bin = expr->as<BinaryExpr>();
         int prec = precedence(bin->op);
+        int rhs_prec = mutationOn(MUT_PRINT_DROP_PARENS) ? prec
+                                                          : prec + 1;
         return printPrec(bin->lhs, prec) + " " + binOpText(bin->op) + " " +
-               printPrec(bin->rhs, prec + 1);
+               printPrec(bin->rhs, rhs_prec);
       }
       case ExprKind::Ternary: {
         const auto *tern = expr->as<TernaryExpr>();

@@ -12,6 +12,7 @@
 
 #include "analysis/exprutil.hh"
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 #include "elab/ip_models.hh"
 #include "lint/context.hh"
 #include "lint/rules.hh"
@@ -85,6 +86,8 @@ checkUnusedSignal(LintContext &ctx)
         if (ctx.dirOf(name) != PortDir::None)
             continue;
         if (ctx.isRead(name))
+            continue;
+        if (mutationOn(MUT_LINT_UNUSED_PARITY) && name.size() % 2 == 0)
             continue;
         if (!ctx.driversOf(name).empty()) {
             ctx.report(ctx.declLoc(name),

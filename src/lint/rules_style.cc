@@ -13,6 +13,7 @@
 
 #include "analysis/exprutil.hh"
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 #include "lint/context.hh"
 #include "lint/rules.hh"
 
@@ -191,7 +192,11 @@ checkNonblockingInComb(LintContext &ctx)
 void
 checkWidthTruncation(LintContext &ctx)
 {
+    size_t assign_idx = 0;
     for (const auto &ga : ctx.assigns()) {
+        size_t idx = assign_idx++;
+        if (mutationOn(MUT_LINT_TRUNC_INDEX) && idx % 2 == 0)
+            continue;
         uint32_t lhs_w = ctx.lvalueWidth(ga.lhs);
         uint32_t rhs_w = ctx.explicitWidth(ga.rhs);
         if (lhs_w == 0 || rhs_w == 0 || rhs_w <= lhs_w)

@@ -4,6 +4,7 @@
 #include <cctype>
 
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 
 namespace hwdbg::sim
 {
@@ -82,6 +83,10 @@ evalExpr(const ExprPtr &expr, EvalContext &ctx, uint32_t ctx_width)
         const auto *bin = expr->as<BinaryExpr>();
         switch (bin->op) {
           case BinaryOp::Add:
+            if (mutationOn(MUT_SIM_ADD_AS_SUB))
+                return evalExpr(bin->lhs, ctx, w)
+                    .sub(evalExpr(bin->rhs, ctx, w))
+                    .resized(w);
             return evalExpr(bin->lhs, ctx, w)
                 .add(evalExpr(bin->rhs, ctx, w))
                 .resized(w);
@@ -108,6 +113,9 @@ evalExpr(const ExprPtr &expr, EvalContext &ctx, uint32_t ctx_width)
             return evalExpr(bin->lhs, ctx, w)
                 .bitOr(evalExpr(bin->rhs, ctx, w));
           case BinaryOp::BitXor:
+            if (mutationOn(MUT_SIM_XOR_AS_OR))
+                return evalExpr(bin->lhs, ctx, w)
+                    .bitOr(evalExpr(bin->rhs, ctx, w));
             return evalExpr(bin->lhs, ctx, w)
                 .bitXor(evalExpr(bin->rhs, ctx, w));
           case BinaryOp::Shl:
@@ -115,7 +123,8 @@ evalExpr(const ExprPtr &expr, EvalContext &ctx, uint32_t ctx_width)
                 .shl(evalExpr(bin->rhs, ctx).toU64());
           case BinaryOp::Shr:
             return evalExpr(bin->lhs, ctx, w)
-                .shr(evalExpr(bin->rhs, ctx).toU64());
+                .shr(evalExpr(bin->rhs, ctx).toU64() +
+                     (mutationOn(MUT_SIM_SHR_OFF_BY_ONE) ? 1 : 0));
           case BinaryOp::LogAnd:
             return Bits(w, (!evalExpr(bin->lhs, ctx).isZero() &&
                             !evalExpr(bin->rhs, ctx).isZero())
@@ -128,13 +137,18 @@ evalExpr(const ExprPtr &expr, EvalContext &ctx, uint32_t ctx_width)
             // Comparisons: operands at the larger self-determined width.
             uint32_t cmp_w =
                 std::max(bin->lhs->width, bin->rhs->width);
+            if (mutationOn(MUT_SIM_CMP_CTX_WIDTH))
+                cmp_w = std::max(cmp_w, ctx_width);
             int cmp = evalExpr(bin->lhs, ctx, cmp_w)
                           .compare(evalExpr(bin->rhs, ctx, cmp_w));
             bool result = false;
             switch (bin->op) {
               case BinaryOp::Eq: result = cmp == 0; break;
               case BinaryOp::Ne: result = cmp != 0; break;
-              case BinaryOp::Lt: result = cmp < 0; break;
+              case BinaryOp::Lt:
+                result = mutationOn(MUT_SIM_LT_AS_LE) ? cmp <= 0
+                                                      : cmp < 0;
+                break;
               case BinaryOp::Le: result = cmp <= 0; break;
               case BinaryOp::Gt: result = cmp > 0; break;
               case BinaryOp::Ge: result = cmp >= 0; break;
@@ -148,6 +162,8 @@ evalExpr(const ExprPtr &expr, EvalContext &ctx, uint32_t ctx_width)
       case ExprKind::Ternary: {
         const auto *tern = expr->as<TernaryExpr>();
         bool cond = !evalExpr(tern->cond, ctx).isZero();
+        if (mutationOn(MUT_SIM_TERNARY_SWAP))
+            cond = !cond;
         return evalExpr(cond ? tern->thenExpr : tern->elseExpr, ctx, w)
             .resized(w);
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/testhooks.hh"
 
 namespace hwdbg::sim
 {
@@ -35,6 +36,15 @@ Simulator::Simulator(ModulePtr elaborated)
     for (auto &prim : prims_)
         prim->reset(ctx_);
     settleComb();
+
+    // Seed edge detection with the clock expressions' actual initial
+    // values: a primitive clocked on an inverting expression (e.g.
+    // ~clk, as SignalCat generates for negedge displays) starts with
+    // the expression already high, and a blanket "previously low"
+    // assumption would manufacture a phantom first edge.
+    for (size_t i = 0; i < primClocks_.size(); ++i)
+        prevPrimClocks_[i] =
+            !evalExpr(primClocks_[i].expr, ctx_).isZero();
 }
 
 Simulator::~Simulator() = default;
@@ -95,11 +105,17 @@ void
 Simulator::settleComb()
 {
     // Bounded fixpoint: small designs settle in a handful of passes.
-    // Store sites flag value changes, so a stable pass is detected
-    // without snapshotting the whole state.
+    // Store sites flag value changes as a cheap stability fast path,
+    // but a pass is only UNstable when its end state differs from its
+    // start state: a comb process that writes a default and then
+    // overrides it ("next = 0; if (c) next = 1;") toggles values
+    // transiently inside every pass, and those transient store events
+    // must not count as progress or the loop never terminates.
     size_t work = design_.assigns().size() + design_.combProcs().size();
     size_t max_iters = work + 4;
     for (size_t iter = 0; iter < max_iters; ++iter) {
+        std::vector<Bits> before_values = ctx_.values;
+        std::vector<std::vector<Bits>> before_arrays = ctx_.arrays;
         ctx_.valuesChanged = false;
         for (const auto *assign : design_.assigns()) {
             uint32_t lw = assign->lhs->width;
@@ -110,6 +126,22 @@ Simulator::settleComb()
         for (const auto *proc : design_.combProcs())
             execStmt(proc->body, false);
         if (!ctx_.valuesChanged)
+            return;
+        auto same = [](const Bits &a, const Bits &b) {
+            return a.width() == b.width() && a.compare(b) == 0;
+        };
+        bool stable = true;
+        for (size_t i = 0; stable && i < ctx_.values.size(); ++i)
+            stable = same(before_values[i], ctx_.values[i]);
+        for (size_t i = 0; stable && i < ctx_.arrays.size(); ++i) {
+            if (before_arrays[i].size() != ctx_.arrays[i].size()) {
+                stable = false;
+                break;
+            }
+            for (size_t j = 0; stable && j < ctx_.arrays[i].size(); ++j)
+                stable = same(before_arrays[i][j], ctx_.arrays[i][j]);
+        }
+        if (stable)
             return;
     }
     fatal("combinational logic failed to settle (combinational loop?)");
@@ -146,7 +178,13 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
             for (const auto &label : item.labels) {
                 uint32_t cmp_w =
                     std::max(sel->selector->width, label->width);
-                if (evalExpr(label, ctx_, cmp_w) == value.resized(cmp_w)) {
+                if (mutationOn(MUT_SIM_CASE_SEL_WIDTH))
+                    cmp_w = sel->selector->width;
+                // evalExpr never evaluates below the label's own
+                // width; resize forces the comparison width so the
+                // seeded truncation bug actually truncates.
+                if (evalExpr(label, ctx_, cmp_w).resized(cmp_w) ==
+                    value.resized(cmp_w)) {
                     chosen = &item;
                     break;
                 }

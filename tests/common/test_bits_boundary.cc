@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Bits arithmetic at machine-word width boundaries.
+ *
+ * The big-int layer stores values in 64-bit words; the interesting
+ * widths are therefore 1 (degenerate), 63/64 (just inside / exactly
+ * one word), 65 (first carry into a second word) and 128 (two full
+ * words). Each case here pins carry/borrow propagation, shifts across
+ * the word seam, ordering, and truncating resizes at those widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace hwdbg
+{
+namespace
+{
+
+TEST(BitsBoundary, AddCarryWrapsAtEachWidth)
+{
+    for (uint32_t w : {1u, 63u, 64u, 65u, 128u}) {
+        Bits ones = Bits::allOnes(w);
+        Bits sum = ones.add(Bits(w, 1));
+        EXPECT_TRUE(sum.isZero()) << "width " << w;
+        EXPECT_EQ(sum.width(), w);
+    }
+}
+
+TEST(BitsBoundary, AddCarryCrossesTheWordSeam)
+{
+    // 2^64 - 1 + 1 = 2^64: representable from width 65 up.
+    Bits low64 = Bits::allOnes(64).resized(65);
+    Bits sum = low64.add(Bits(65, 1));
+    EXPECT_FALSE(sum.isZero());
+    EXPECT_TRUE(sum.bit(64));
+    for (uint32_t i = 0; i < 64; ++i)
+        EXPECT_FALSE(sum.bit(i)) << "bit " << i;
+
+    Bits wide = Bits::allOnes(64).resized(128);
+    Bits wsum = wide.add(Bits(128, 1));
+    EXPECT_TRUE(wsum.bit(64));
+    EXPECT_EQ(wsum.slice(63, 0), Bits(64, 0));
+}
+
+TEST(BitsBoundary, SubBorrowsAcrossTheWordSeam)
+{
+    // 2^64 - 1 at width 65/128: borrow must ripple into word 1.
+    Bits big(65, 0);
+    big.setBit(64, true);
+    Bits diff = big.sub(Bits(65, 1));
+    EXPECT_EQ(diff, Bits::allOnes(64).resized(65));
+
+    Bits big128(128, 0);
+    big128.setBit(64, true);
+    EXPECT_EQ(big128.sub(Bits(128, 1)),
+              Bits::allOnes(64).resized(128));
+
+    // 0 - 1 wraps to all ones at every boundary width.
+    for (uint32_t w : {1u, 63u, 64u, 65u, 128u})
+        EXPECT_EQ(Bits(w, 0).sub(Bits(w, 1)), Bits::allOnes(w))
+            << "width " << w;
+}
+
+TEST(BitsBoundary, ShiftsAtAmounts63To65)
+{
+    Bits one128(128, 1);
+    EXPECT_TRUE(one128.shl(63).bit(63));
+    EXPECT_TRUE(one128.shl(64).bit(64));
+    EXPECT_TRUE(one128.shl(65).bit(65));
+    EXPECT_EQ(one128.shl(63).shr(63), one128);
+    EXPECT_EQ(one128.shl(65).shr(65), one128);
+
+    // Shifting a width-64 value left by its width clears it.
+    EXPECT_TRUE(Bits(64, 1).shl(64).isZero());
+    EXPECT_TRUE(Bits(63, 1).shl(63).isZero());
+
+    // Right shift across the seam pulls word-1 bits into word 0.
+    Bits top(128, 0);
+    top.setBit(64, true);
+    EXPECT_EQ(top.shr(64), Bits(128, 1));
+    EXPECT_EQ(top.shr(1).toU64(), uint64_t(1) << 63);
+
+    // Shift amounts at/above the width never leave residue.
+    for (uint32_t w : {1u, 63u, 64u, 65u, 128u}) {
+        EXPECT_TRUE(Bits::allOnes(w).shl(w).isZero()) << "width " << w;
+        EXPECT_TRUE(Bits::allOnes(w).shr(w).isZero()) << "width " << w;
+    }
+}
+
+TEST(BitsBoundary, CompareIsNumericAcrossWidths)
+{
+    // A high bit in word 1 dominates anything in word 0.
+    Bits high(65, 0);
+    high.setBit(64, true);
+    EXPECT_GT(high.compare(Bits::allOnes(64).resized(65)), 0);
+    EXPECT_LT(Bits::allOnes(64).resized(65).compare(high), 0);
+
+    // Zero-extension does not change the value.
+    EXPECT_EQ(Bits(63, 42).compare(Bits(128, 42)), 0);
+    EXPECT_EQ(Bits(1, 1).compare(Bits(65, 1)), 0);
+    EXPECT_LT(Bits(64, 7).compare(Bits(65, 8)), 0);
+}
+
+TEST(BitsBoundary, TruncatingResizeMasksHighWords)
+{
+    Bits wide = Bits::allOnes(128);
+    EXPECT_EQ(wide.resized(65), Bits::allOnes(65));
+    EXPECT_EQ(wide.resized(64), Bits::allOnes(64));
+    EXPECT_EQ(wide.resized(63), Bits::allOnes(63));
+    EXPECT_EQ(wide.resized(1), Bits(1, 1));
+
+    // Truncation then extension zeroes everything above the cut.
+    Bits cut = wide.resized(65).resized(128);
+    EXPECT_TRUE(cut.bit(64));
+    for (uint32_t i = 65; i < 128; ++i)
+        EXPECT_FALSE(cut.bit(i)) << "bit " << i;
+
+    // A 64-bit truncating assign of a 65-bit carry drops the carry.
+    Bits sum = Bits::allOnes(64).resized(65).add(Bits(65, 1));
+    EXPECT_TRUE(sum.resized(64).isZero());
+}
+
+} // namespace
+} // namespace hwdbg

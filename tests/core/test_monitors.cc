@@ -265,3 +265,32 @@ TEST(StatsMonitorTest, SilentModeKeepsCountersOnly)
     EXPECT_TRUE(sim->log().empty());
     EXPECT_EQ(sim->peekU64(StatsMonitorResult::counterSignal("e")), 4u);
 }
+
+TEST(StatsMonitorTest, BlockingWrittenEventsAreSampledPreEdge)
+{
+    // Regression (found by fuzzing): generated monitor processes used
+    // to be appended after the user's clocked processes, so a blocking
+    // assignment to the event register in the same edge was counted one
+    // cycle early. Monitors sample the pre-edge view of the design.
+    auto elaborated = flatWithConsts(
+        "module m(input wire clk, input wire x, output reg ev);\n"
+        "always @(posedge clk) ev = x;\nendmodule");
+    StatsMonitorOptions opts;
+    opts.events.push_back(statsEvent("ev", "ev"));
+    opts.logChanges = false;
+    StatsMonitorResult mon = applyStatsMonitor(*elaborated.mod, opts);
+    auto sim = simulate(mon.module);
+    sim->poke("x", uint64_t(1));
+    tick(*sim);
+    // The pulse is written by a blocking assign during this edge; the
+    // pre-edge view the monitor samples is still low.
+    EXPECT_EQ(sim->peekU64(StatsMonitorResult::counterSignal("ev")),
+              0u);
+    sim->poke("x", uint64_t(0));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64(StatsMonitorResult::counterSignal("ev")),
+              1u);
+    tick(*sim, 3);
+    EXPECT_EQ(sim->peekU64(StatsMonitorResult::counterSignal("ev")),
+              1u);
+}

@@ -214,3 +214,84 @@ TEST(SignalCatTest, PreTriggerWindowCapturesTheTailOfTheRun)
     EXPECT_EQ(log[0].text, "n=16");
     EXPECT_EQ(log[3].text, "n=19");
 }
+
+TEST(SignalCatTest, NegedgeDisplaysRecordOnTheFallingEdge)
+{
+    // Regression (found by fuzzing): the recorder primitive only
+    // triggers on rising edges of its clock pin, so a negedge display
+    // group must feed it the inverted clock — and the simulator must
+    // not see a phantom first rising edge on that inverted clock.
+    const char *src =
+        "module m(input wire clk, input wire [3:0] a,\n"
+        "         output reg [3:0] q);\n"
+        "always @(negedge clk) begin\n"
+        "  q <= a;\n"
+        "  $display(\"q=%d a=%d\", q, a);\n"
+        "end\nendmodule";
+
+    Simulator base(flat(src));
+    base.poke("a", uint64_t(5));
+    tick(base, 3);
+    base.poke("a", uint64_t(12));
+    tick(base, 3);
+    ASSERT_FALSE(base.log().empty());
+
+    ASSERT_TRUE(signalCatSupported(*flat(src)));
+    SignalCatResult cat = applySignalCat(*flat(src));
+    Simulator sim(elab::elaborate(parse(printModule(*cat.module)),
+                                  "m").mod);
+    sim.poke("a", uint64_t(5));
+    tick(sim, 3);
+    sim.poke("a", uint64_t(12));
+    tick(sim, 3);
+    EXPECT_TRUE(sim.log().empty());
+
+    auto *recorder = dynamic_cast<SignalRecorder *>(
+        sim.primitive(cat.plan.recorderInstance));
+    ASSERT_NE(recorder, nullptr);
+    auto log = reconstructLog(*recorder, cat.plan);
+    ASSERT_EQ(log.size(), base.log().size());
+    for (size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(log[i].text, base.log()[i].text) << "line " << i;
+        EXPECT_EQ(log[i].cycle, base.log()[i].cycle) << "line " << i;
+    }
+}
+
+TEST(SignalCatTest, RefusesMixedEdgeDisplayGroups)
+{
+    auto mod = flat(
+        "module m(input wire clk, output reg [3:0] n);\n"
+        "always @(posedge clk) begin\n"
+        "  n <= n + 1;\n  $display(\"p=%d\", n);\nend\n"
+        "always @(negedge clk) $display(\"m=%d\", n);\n"
+        "endmodule");
+    EXPECT_FALSE(signalCatSupported(*mod));
+    EXPECT_THROW(applySignalCat(*mod), HdlError);
+}
+
+TEST(SignalCatTest, RefusesDisplaysRacingBlockingAssignments)
+{
+    // Regression (found by fuzzing): a $display that reads a variable
+    // a blocking assignment updated earlier in the same edge prints the
+    // post-write value; a net-tap recorder can only see pre-edge
+    // values, so the module is rejected rather than mis-recorded.
+    auto mod = flat(
+        "module m(input wire clk, input wire [3:0] a,\n"
+        "         output reg [3:0] q);\n"
+        "always @(posedge clk) begin\n"
+        "  q = a;\n"
+        "  $display(\"q=%d\", q);\n"
+        "end\nendmodule");
+    EXPECT_FALSE(signalCatSupported(*mod));
+    EXPECT_THROW(applySignalCat(*mod), HdlError);
+
+    // The nonblocking form of the same module is recordable.
+    auto ok = flat(
+        "module m(input wire clk, input wire [3:0] a,\n"
+        "         output reg [3:0] q);\n"
+        "always @(posedge clk) begin\n"
+        "  q <= a;\n"
+        "  $display(\"q=%d\", q);\n"
+        "end\nendmodule");
+    EXPECT_TRUE(signalCatSupported(*ok));
+}

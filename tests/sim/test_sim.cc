@@ -405,3 +405,69 @@ TEST(SimTest, HierarchicalDesignSimulates)
     tick(*sim, 4);
     EXPECT_EQ(sim->peekU64("acc"), 20u);
 }
+
+// Regression (found by fuzzing): a comb process that assigns a default
+// and then conditionally overrides it changes the net's value inside
+// every settling pass; the pass is stable when its END state matches
+// its START state, not when no assignment executed.
+TEST(SimTest, DefaultThenOverrideCombSettles)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire c,\n"
+        "         output reg r, output reg q);\n"
+        "always @* begin\n"
+        "  r = 0;\n"
+        "  if (c) r = 1;\n"
+        "end\n"
+        "always @(posedge clk) q <= r;\nendmodule");
+    sim->poke("c", uint64_t(1));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("r"), 1u);
+    EXPECT_EQ(sim->peekU64("q"), 1u);
+    sim->poke("c", uint64_t(0));
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("r"), 0u);
+}
+
+// Regression (found by fuzzing): case labels compare at the max of the
+// selector and label widths. A wider label with high bits set must not
+// alias the narrow label below it.
+TEST(SimTest, CaseLabelsCompareAtMaxWidth)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire [1:0] s,\n"
+        "         output reg [7:0] y);\n"
+        "always @(posedge clk) begin\n"
+        "  case (s)\n"
+        "    4'b0101: y <= 8'h11;\n"
+        "    2'b01:   y <= 8'h22;\n"
+        "    default: y <= 8'h33;\n"
+        "  endcase\nend\nendmodule");
+    sim->poke("s", uint64_t(1));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("y"), 0x22u);
+    sim->poke("s", uint64_t(3));
+    tick(*sim);
+    EXPECT_EQ(sim->peekU64("y"), 0x33u);
+}
+
+// Regression (found by fuzzing): a primitive clocked by ~clk used to
+// see a phantom rising edge on the very first eval because the
+// previous-clock baseline defaulted to 0 while ~clk evaluated to 1.
+// The baseline must be seeded from the settled initial values.
+TEST(SimTest, NoPhantomEdgeOnInvertedClocks)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, input wire [3:0] a,\n"
+        "         output reg [3:0] q);\n"
+        "always @(negedge clk) q <= a;\nendmodule");
+    sim->poke("a", uint64_t(9));
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("q"), 0u) << "phantom negedge at startup";
+    sim->poke("clk", uint64_t(1));
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("q"), 0u);
+    sim->poke("clk", uint64_t(0));
+    sim->eval();
+    EXPECT_EQ(sim->peekU64("q"), 9u);
+}
