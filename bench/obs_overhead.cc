@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Overhead budget check for the observability layer (DESIGN.md §10).
+ *
+ * Every HWDBG_STAT_* macro and ObsSpan stays compiled into the tier-1
+ * build, so the cost that matters is the DISABLED path: one relaxed
+ * atomic load and a branch per hit. This benchmark
+ *
+ *  1. calibrates the ns cost of a disabled macro and a disabled span
+ *     in a tight loop,
+ *  2. measures the simulator's ns/cycle on a testbed design and counts
+ *     how many macro sites fire per cycle (from the counters
+ *     themselves, with metrics on),
+ *  3. computes the implied disabled-path overhead per simulated cycle
+ *     and FAILS (exit 1) when it exceeds 1%.
+ *
+ * It also reports the enabled-path cost (metrics on vs off) for
+ * EXPERIMENTS.md; that number is informational, not asserted.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bugbase/designs.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/preproc.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+nsSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                    begin)
+        .count();
+}
+
+/** ns per disabled HWDBG_STAT_INC hit. */
+double
+calibrateDisabledMacro()
+{
+    constexpr uint64_t kIters = 20'000'000;
+    auto begin = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i)
+        HWDBG_STAT_INC("bench.calibration", 1);
+    double ns = nsSince(begin);
+    if (obs::counterValue("bench.calibration") != 0)
+        std::fprintf(stderr, "calibration ran with metrics enabled!\n");
+    return ns / static_cast<double>(kIters);
+}
+
+/** ns per disabled ObsSpan construct+destruct. */
+double
+calibrateDisabledSpan()
+{
+    constexpr uint64_t kIters = 5'000'000;
+    auto begin = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i)
+        obs::ObsSpan span("bench.span");
+    return nsSince(begin) / static_cast<double>(kIters);
+}
+
+std::unique_ptr<sim::Simulator>
+makeWorkload()
+{
+    // The RSD decoder testbed design: a realistic mix of clocked
+    // processes, continuous assigns, and a memory.
+    std::string src =
+        hdl::preprocess(bugs::designSource("rsd"), {}, "rsd.v");
+    hdl::Design design = hdl::parse(src, "rsd.v");
+    return std::make_unique<sim::Simulator>(
+        elab::elaborate(design, "rsd").mod);
+}
+
+/** ns per simulated cycle with the current metrics state. */
+double
+simNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    auto begin = Clock::now();
+    for (uint32_t t = 0; t < cycles; ++t) {
+        sim.poke("rst", Bits(1, t < 2 ? 1 : 0));
+        sim.poke("in_valid", Bits(1, t & 1));
+        sim.poke("in_data", Bits(8, t * 7));
+        sim.poke("clk", Bits(1, 0));
+        sim.eval();
+        sim.poke("clk", Bits(1, 1));
+        sim.eval();
+    }
+    return nsSince(begin) / cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    obs::enableMetrics(false);
+    double macro_ns = calibrateDisabledMacro();
+    double span_ns = calibrateDisabledSpan();
+
+    // Warm up, then measure the disabled-path simulator throughput.
+    constexpr uint32_t kCycles = 20000;
+    auto sim = makeWorkload();
+    (void)simNsPerCycle(*sim, 2000);
+    double off_ns = simNsPerCycle(*sim, kCycles);
+
+    // Count macro executions per cycle from the instruments: with
+    // metrics on, settle_calls and cycles count their own macro's
+    // executions exactly. noteSettle() fires 4 macros per settle call;
+    // eval() fires 1 per eval (process_evals) + 1 per posedge (cycles)
+    // + 1 per $display record.
+    obs::resetMetrics();
+    obs::enableMetrics(true);
+    double on_ns = simNsPerCycle(*sim, kCycles);
+    obs::enableMetrics(false);
+    double settle_per_cycle =
+        static_cast<double>(obs::counterValue("sim.settle_calls")) /
+        kCycles;
+    double displays_per_cycle =
+        static_cast<double>(obs::counterValue("sim.display_records")) /
+        kCycles;
+    // evals/cycle = 2 (clk low + clk high), posedges/cycle = 1.
+    double hits_per_cycle =
+        4 * settle_per_cycle + 2 + 1 + displays_per_cycle;
+
+    double implied_ns = hits_per_cycle * macro_ns;
+    double overhead_pct = 100.0 * implied_ns / off_ns;
+    double enabled_pct = 100.0 * (on_ns - off_ns) / off_ns;
+
+    std::printf("obs_overhead: disabled-path budget check\n");
+    std::printf("  disabled macro        : %.3f ns/hit\n", macro_ns);
+    std::printf("  disabled span         : %.3f ns/span\n", span_ns);
+    std::printf("  sim throughput (off)  : %.1f ns/cycle\n", off_ns);
+    std::printf("  sim throughput (on)   : %.1f ns/cycle (%+.2f%%)\n",
+                on_ns, enabled_pct);
+    std::printf("  macro hits per cycle  : %.2f\n", hits_per_cycle);
+    std::printf("  implied disabled cost : %.2f ns/cycle = %.3f%%\n",
+                implied_ns, overhead_pct);
+
+    if (overhead_pct >= 1.0) {
+        std::printf("FAIL: disabled-path overhead %.3f%% >= 1%%\n",
+                    overhead_pct);
+        return 1;
+    }
+    std::printf("PASS: disabled-path overhead %.3f%% < 1%%\n",
+                overhead_pct);
+    return 0;
+}

@@ -15,9 +15,15 @@
  *   hwdbg resources  <file> [--platform HARP|KC705] [--top M]
  *   hwdbg timing     <file> [--target MHZ] [--top M]
  *   hwdbg testbed    list | emit <bug-id> [--fixed]
+ *   hwdbg profile    <file> [--cycles N] [--seed S] [--rank time|evals]
+ *   hwdbg obscheck   <file>...
  *
  * Instrumentation commands print the instrumented Verilog on stdout so
  * it can be fed to a simulator or synthesis flow.
+ *
+ * Global options, valid with every command: --trace FILE records a
+ * Chrome trace of the run, --metrics FILE snapshots the metrics
+ * registry, --quiet silences warn()/inform().
  */
 
 #include <cstdio>
@@ -42,6 +48,10 @@
 #include "fuzz/runner.hh"
 #include "hdl/printer.hh"
 #include "lint/lint.hh"
+#include "obs/jsoncheck.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/profiler.hh"
 #include "synth/platform.hh"
 #include "synth/resources.hh"
 #include "synth/timing.hh"
@@ -103,10 +113,21 @@ usage()
         "                                    oracle failure); oracles:\n"
         "                                    roundtrip, differential,\n"
         "                                    lint, instrument\n"
+        "  profile <file> [--cycles N] [--seed S] [--rank time|evals]\n"
+        "          [--limit N] [--signals N] [--format text|json]\n"
+        "                                    simulate under random\n"
+        "                                    stimulus and rank hot\n"
+        "                                    processes and signals\n"
+        "  obscheck <file>...                validate --trace/--metrics\n"
+        "                                    output files (exit 1 on\n"
+        "                                    schema violations)\n"
         "\n"
         "common options:\n"
         "  --top M          top module (default: the only/first one)\n"
-        "  --define NAME    preprocessor define (repeatable)\n");
+        "  --define NAME    preprocessor define (repeatable)\n"
+        "  --trace FILE     write a Chrome/Perfetto trace of this run\n"
+        "  --metrics FILE   write a metrics snapshot (.json or text)\n"
+        "  --quiet          silence warn()/inform() messages\n");
     std::exit(2);
 }
 
@@ -129,7 +150,10 @@ parseArgs(int argc, char **argv)
                 name == "define" || name == "format" ||
                 name == "rule" || name == "seeds" ||
                 name == "start" || name == "jobs" ||
-                name == "oracle" || name == "replay";
+                name == "oracle" || name == "replay" ||
+                name == "trace" || name == "metrics" ||
+                name == "seed" || name == "rank" ||
+                name == "limit" || name == "signals";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -145,7 +169,8 @@ parseArgs(int argc, char **argv)
             else
                 args.options[name] = value;
         } else if (args.file.empty() && args.command != "testbed" &&
-                   args.command != "fuzz") {
+                   args.command != "fuzz" &&
+                   args.command != "obscheck") {
             args.file = arg;
         } else {
             args.positional.push_back(arg);
@@ -411,36 +436,135 @@ cmdFuzz(const Args &args)
     return fuzz::fuzzMain(config);
 }
 
+int
+cmdProfile(const Args &args)
+{
+    auto elaborated = load(args);
+    sim::ProfileOptions opts;
+    opts.cycles = static_cast<uint32_t>(
+        parseU64(args.opt("cycles", "2000"), "--cycles"));
+    opts.seed = parseU64(args.opt("seed", "1"), "--seed");
+    std::string rank = args.opt("rank", "time");
+    if (rank == "time")
+        opts.rank = sim::ProfileOptions::Rank::Time;
+    else if (rank == "evals")
+        opts.rank = sim::ProfileOptions::Rank::Evals;
+    else
+        fatal("unknown rank '%s' (expected time or evals)",
+              rank.c_str());
+    opts.limit = static_cast<uint32_t>(
+        parseU64(args.opt("limit", "20"), "--limit"));
+    opts.signalLimit = static_cast<uint32_t>(
+        parseU64(args.opt("signals", "10"), "--signals"));
+    sim::ProfileReport report =
+        sim::profileDesign(elaborated.mod, opts);
+    std::string format = args.opt("format", "text");
+    if (format == "json")
+        std::fputs(sim::renderProfileJson(report, opts).c_str(),
+                   stdout);
+    else if (format == "text")
+        std::fputs(sim::renderProfileText(report, opts).c_str(),
+                   stdout);
+    else
+        fatal("unknown format '%s' (expected text or json)",
+              format.c_str());
+    return 0;
+}
+
+int
+cmdObscheck(const Args &args)
+{
+    std::vector<std::string> files = args.positional;
+    if (!args.file.empty())
+        files.insert(files.begin(), args.file);
+    if (files.empty())
+        fatal("obscheck requires at least one file");
+    int rc = 0;
+    for (const auto &path : files) {
+        std::string text = readFile(path);
+        // Sniff the snapshot kind from the content so one command
+        // covers both --trace and --metrics output.
+        std::string error;
+        obs::JsonPtr root = obs::parseJson(text, &error);
+        std::string verdict;
+        const char *kind = "metrics";
+        if (!root) {
+            verdict = error;
+        } else if (root->isObject() && root->get("traceEvents")) {
+            kind = "trace";
+            verdict = obs::checkTraceJson(text);
+        } else {
+            verdict = obs::checkMetricsJson(text);
+        }
+        if (verdict.empty()) {
+            std::printf("%s: ok (%s)\n", path.c_str(), kind);
+        } else {
+            std::printf("%s: INVALID: %s\n", path.c_str(),
+                        verdict.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+int
+dispatch(const Args &args)
+{
+    if (args.command == "parse")
+        return cmdParse(args);
+    if (args.command == "lint")
+        return cmdLint(args);
+    if (args.command == "fsm")
+        return cmdFsm(args);
+    if (args.command == "deps")
+        return cmdDeps(args);
+    if (args.command == "signalcat")
+        return cmdSignalcat(args);
+    if (args.command == "losscheck")
+        return cmdLosscheck(args);
+    if (args.command == "resources")
+        return cmdResources(args);
+    if (args.command == "timing")
+        return cmdTiming(args);
+    if (args.command == "testbed")
+        return cmdTestbed(args);
+    if (args.command == "fuzz")
+        return cmdFuzz(args);
+    if (args.command == "profile")
+        return cmdProfile(args);
+    if (args.command == "obscheck")
+        return cmdObscheck(args);
+    usage();
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    std::string trace_path;
+    std::string metrics_path;
+    int rc;
     try {
         Args args = parseArgs(argc, argv);
-        if (args.command == "parse")
-            return cmdParse(args);
-        if (args.command == "lint")
-            return cmdLint(args);
-        if (args.command == "fsm")
-            return cmdFsm(args);
-        if (args.command == "deps")
-            return cmdDeps(args);
-        if (args.command == "signalcat")
-            return cmdSignalcat(args);
-        if (args.command == "losscheck")
-            return cmdLosscheck(args);
-        if (args.command == "resources")
-            return cmdResources(args);
-        if (args.command == "timing")
-            return cmdTiming(args);
-        if (args.command == "testbed")
-            return cmdTestbed(args);
-        if (args.command == "fuzz")
-            return cmdFuzz(args);
-        usage();
+        if (args.flag("quiet"))
+            setQuiet(true);
+        trace_path = args.opt("trace");
+        metrics_path = args.opt("metrics");
+        if (!trace_path.empty())
+            obs::startTrace();
+        if (!metrics_path.empty())
+            obs::enableMetrics(true);
+        rc = dispatch(args);
     } catch (const HdlError &err) {
         std::fprintf(stderr, "hwdbg: %s\n", err.what());
-        return 1;
+        rc = 1;
     }
+    // Snapshots are written even when the command failed: the trace of
+    // a failing run is exactly the one worth looking at.
+    if (!trace_path.empty() && !obs::writeTrace(trace_path))
+        rc = rc ? rc : 1;
+    if (!metrics_path.empty() && !obs::writeMetrics(metrics_path))
+        rc = rc ? rc : 1;
+    return rc;
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 namespace hwdbg
@@ -9,7 +11,24 @@ namespace hwdbg
 
 namespace
 {
+
 bool quietMode = false;
+
+std::mutex sinkMutex;
+LogSink logSink;
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (logSink) {
+        logSink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n",
+                 level == LogLevel::Warn ? "warn" : "info", msg.c_str());
+}
+
 } // namespace
 
 std::string
@@ -66,7 +85,7 @@ warn(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(LogLevel::Warn, msg);
 }
 
 void
@@ -78,13 +97,22 @@ inform(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vcsprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    emit(LogLevel::Inform, msg);
 }
 
 void
 setQuiet(bool quiet)
 {
     quietMode = quiet;
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    LogSink previous = std::move(logSink);
+    logSink = std::move(sink);
+    return previous;
 }
 
 } // namespace hwdbg

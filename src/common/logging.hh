@@ -13,6 +13,7 @@
 #define HWDBG_COMMON_LOGGING_HH
 
 #include <cstdarg>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -52,6 +53,25 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Globally silence warn()/inform() (used by benchmarks). */
 void setQuiet(bool quiet);
+
+/** Severity class of a message routed through the log sink. */
+enum class LogLevel { Warn, Inform };
+
+/**
+ * Destination for warn()/inform() messages. The message has no trailing
+ * newline and no "warn: "/"info: " prefix; the sink chooses both. Sinks
+ * may be invoked concurrently from fuzz worker threads, but calls are
+ * serialized by the logging layer, so a sink needs no locking of its own.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the warn()/inform() destination (default: stderr). Passing an
+ * empty function restores the default. Returns the previous sink (empty
+ * when the default stderr sink was active). Quiet mode still suppresses
+ * messages before they reach any sink.
+ */
+LogSink setLogSink(LogSink sink);
 
 } // namespace hwdbg
 

@@ -3,6 +3,8 @@
 #include "analysis/depgraph.hh"
 #include "common/logging.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/design.hh"
 
 namespace hwdbg::core
@@ -13,6 +15,8 @@ using namespace hdl;
 DepMonitorResult
 applyDepMonitor(const Module &mod, const DepMonitorOptions &opts)
 {
+    obs::ObsSpan span("instrument.dep_monitor");
+    HWDBG_STAT_INC("instrument.dep_monitor.runs", 1);
     if (opts.variable.empty())
         fatal("Dependency Monitor: no variable specified");
     if (!mod.findNet(opts.variable))

@@ -7,6 +7,8 @@
 #include "common/logging.hh"
 #include "common/testhooks.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/design.hh"
 
 namespace hwdbg::core
@@ -17,6 +19,8 @@ using namespace hdl;
 FsmMonitorResult
 applyFsmMonitor(const Module &mod, const FsmMonitorOptions &opts)
 {
+    obs::ObsSpan span("instrument.fsm_monitor");
+    HWDBG_STAT_INC("instrument.fsm_monitor.runs", 1);
     FsmMonitorResult result;
     result.fsms = analysis::detectFsms(mod);
 

@@ -5,6 +5,8 @@
 #include "analysis/relations.hh"
 #include "common/logging.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "hdl/printer.hh"
 
 namespace hwdbg::core
@@ -15,6 +17,8 @@ using namespace hdl;
 LossCheckResult
 applyLossCheck(const Module &mod, const LossCheckOptions &opts)
 {
+    obs::ObsSpan span("instrument.losscheck");
+    HWDBG_STAT_INC("instrument.losscheck.runs", 1);
     if (!mod.findNet(opts.source))
         fatal("LossCheck: no signal named '%s'", opts.source.c_str());
     if (!mod.findNet(opts.sink))

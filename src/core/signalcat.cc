@@ -6,6 +6,8 @@
 #include "common/logging.hh"
 #include "common/testhooks.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/design.hh"
 #include "sim/eval.hh"
 
@@ -184,6 +186,8 @@ signalCatSupported(const Module &mod)
 SignalCatResult
 applySignalCat(const Module &mod, const SignalCatOptions &opts)
 {
+    obs::ObsSpan span("instrument.signalcat");
+    HWDBG_STAT_INC("instrument.signalcat.runs", 1);
     InstrumentBuilder builder(mod);
     ModulePtr work = builder.module();
 

@@ -5,6 +5,8 @@
 #include "common/logging.hh"
 #include "common/testhooks.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::core
 {
@@ -26,6 +28,8 @@ StatsMonitorResult::counterSignal(const std::string &event_name)
 StatsMonitorResult
 applyStatsMonitor(const Module &mod, const StatsMonitorOptions &opts)
 {
+    obs::ObsSpan span("instrument.stats_monitor");
+    HWDBG_STAT_INC("instrument.stats_monitor.runs", 1);
     InstrumentBuilder builder(mod);
     std::string clock = designClock(mod);
 

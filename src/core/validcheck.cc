@@ -6,6 +6,8 @@
 #include "analysis/guards.hh"
 #include "common/logging.hh"
 #include "core/instrument.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::core
 {
@@ -15,6 +17,8 @@ using namespace hdl;
 ValidCheckResult
 applyValidCheck(const Module &mod, const ValidCheckOptions &opts)
 {
+    obs::ObsSpan span("instrument.validcheck");
+    HWDBG_STAT_INC("instrument.validcheck.runs", 1);
     for (const auto &pair : opts.pairs) {
         if (!mod.findNet(pair.data))
             fatal("ValidCheck: no signal named '%s'", pair.data.c_str());

@@ -4,6 +4,8 @@
 
 #include "common/logging.hh"
 #include "elab/ip_models.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::elab
 {
@@ -340,6 +342,7 @@ class Elaborator
                  const std::map<std::string, Bits> &env,
                  const std::string &prefix)
     {
+        HWDBG_STAT_INC("elab.instances", 1);
         auto flatten = [&](const std::string &name) {
             return prefix + name;
         };
@@ -448,7 +451,12 @@ ElabResult
 elaborate(const Design &design, const std::string &top,
           const std::map<std::string, Bits> &overrides)
 {
-    return Elaborator(design).run(top, overrides);
+    obs::ObsSpan span("elaborate");
+    ElabResult result = Elaborator(design).run(top, overrides);
+    HWDBG_STAT_INC("elab.runs", 1);
+    HWDBG_STAT_INC("elab.ports", result.mod->ports.size());
+    HWDBG_STAT_INC("elab.items", result.mod->items.size());
+    return result;
 }
 
 } // namespace hwdbg::elab

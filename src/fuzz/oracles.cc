@@ -21,6 +21,8 @@
 #include "hdl/printer.hh"
 #include "lint/diagnostic.hh"
 #include "lint/lint.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace hwdbg::fuzz
@@ -755,12 +757,22 @@ runOracles(const GeneratedDesign &gd, uint64_t seed,
     auto guard = [&](Oracle oracle, auto &&fn) {
         if (!enabled(oracle))
             return;
+        obs::ObsSpan span(std::string("oracle.") + oracleName(oracle));
+        size_t before = failures.size();
         try {
             if (auto failure = fn())
                 failures.push_back(*failure);
         } catch (const HdlError &err) {
             failures.push_back(Failure{
                 oracle, std::string("internal error: ") + err.what()});
+        }
+        if (obs::metricsEnabled()) {
+            // Verdict counters have per-oracle names, so they skip the
+            // cached-site macro and pay the registry lookup.
+            bool failed = failures.size() != before;
+            obs::counter(std::string("fuzz.oracle.") +
+                         oracleName(oracle) +
+                         (failed ? ".fail" : ".pass")).inc();
         }
     };
     guard(Oracle::Roundtrip, [&] { return runRoundtrip(gd); });

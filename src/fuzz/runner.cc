@@ -14,6 +14,8 @@
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
 #include "hdl/printer.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::fuzz
 {
@@ -72,12 +74,22 @@ runCampaign(const FuzzConfig &config)
             uint64_t idx = next.fetch_add(1);
             if (idx >= count)
                 return;
-            auto failures = runSeed(first + idx, config);
-            if (!failures.empty()) {
-                std::lock_guard<std::mutex> lock(collect);
-                for (auto &failure : failures)
-                    report.failures.push_back(std::move(failure));
+            uint64_t seed = first + idx;
+            auto t0 = std::chrono::steady_clock::now();
+            std::vector<SeedFailure> failures;
+            {
+                obs::ObsSpan span("seed " + std::to_string(seed));
+                failures = runSeed(seed, config);
             }
+            auto t1 = std::chrono::steady_clock::now();
+            HWDBG_STAT_INC("fuzz.seeds", 1);
+            HWDBG_STAT_INC("fuzz.failures", failures.size());
+            std::lock_guard<std::mutex> lock(collect);
+            report.seedLatenciesMs.push_back(
+                std::chrono::duration<double, std::milli>(t1 - t0)
+                    .count());
+            for (auto &failure : failures)
+                report.failures.push_back(std::move(failure));
         }
     };
 
@@ -87,7 +99,11 @@ runCampaign(const FuzzConfig &config)
     } else {
         std::vector<std::thread> pool;
         for (uint32_t i = 0; i < jobs; ++i)
-            pool.emplace_back(worker);
+            pool.emplace_back([&worker, i] {
+                obs::setTraceThreadName("fuzz-worker-" +
+                                        std::to_string(i));
+                worker();
+            });
         for (auto &thread : pool)
             thread.join();
     }
@@ -390,6 +406,18 @@ fuzzMain(const FuzzConfig &config)
                  "[fuzz] %llu seed(s) in %.1f ms (%.1f seeds/s, jobs=%u)\n",
                  static_cast<unsigned long long>(report.seedsRun), ms,
                  rate, std::max<uint32_t>(1, config.jobs));
+    if (!report.seedLatenciesMs.empty()) {
+        std::vector<double> sorted = report.seedLatenciesMs;
+        std::sort(sorted.begin(), sorted.end());
+        auto pct = [&](double p) {
+            size_t idx = static_cast<size_t>(p * (sorted.size() - 1));
+            return sorted[idx];
+        };
+        std::fprintf(stderr,
+                     "[fuzz] seed latency p50=%.2f ms p95=%.2f ms "
+                     "max=%.2f ms\n",
+                     pct(0.50), pct(0.95), sorted.back());
+    }
     return reportOk(report) ? 0 : 1;
 }
 

@@ -80,6 +80,12 @@ struct FuzzReport
     std::vector<SeedFailure> failures;
     bool selfCheck = false;
     std::vector<MutationOutcome> mutations;
+    /**
+     * Wall-clock latency of each completed seed, in completion order.
+     * Timing is nondeterministic, so this never reaches the rendered
+     * report: fuzzMain() summarizes it (p50/p95) on stderr only.
+     */
+    std::vector<double> seedLatenciesMs;
 };
 
 /** True when the report means exit code 0. */

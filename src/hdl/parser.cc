@@ -1,8 +1,12 @@
 #include "hdl/parser.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "hdl/lexer.hh"
 #include "hdl/preproc.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::hdl
 {
@@ -657,7 +661,13 @@ class Parser
 Design
 parse(const std::string &source, const std::string &file)
 {
-    return Parser(tokenize(source, file)).run();
+    obs::ObsSpan span("parse");
+    std::vector<Token> tokens = tokenize(source, file);
+    HWDBG_STAT_INC("parser.tokens", tokens.size());
+    HWDBG_STAT_INC("parser.lines",
+                   1 + std::count(source.begin(), source.end(), '\n'));
+    HWDBG_STAT_INC("parser.runs", 1);
+    return Parser(std::move(tokens)).run();
 }
 
 Design
@@ -665,7 +675,12 @@ parseWithDefines(const std::string &source,
                  const std::map<std::string, std::string> &defines,
                  const std::string &file)
 {
-    return parse(preprocess(source, defines, file), file);
+    std::string preprocessed;
+    {
+        obs::ObsSpan span("preprocess");
+        preprocessed = preprocess(source, defines, file);
+    }
+    return parse(preprocessed, file);
 }
 
 ExprPtr

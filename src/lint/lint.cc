@@ -3,6 +3,8 @@
 #include "common/logging.hh"
 #include "lint/context.hh"
 #include "lint/rules.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::lint
 {
@@ -88,6 +90,7 @@ runLint(const hdl::Module &mod, const LintOptions &opts)
         if (!ruleById(id))
             fatal("unknown lint rule '%s'", id.c_str());
 
+    obs::ObsSpan span("lint");
     LintContext ctx(mod);
     for (const auto &rule : lintRules()) {
         if (!opts.rules.empty() && !opts.rules.count(rule.id))
@@ -95,7 +98,16 @@ runLint(const hdl::Module &mod, const LintOptions &opts)
         ctx.beginRule(rule);
         rule.check(ctx);
     }
-    return ctx.takeDiagnostics();
+    std::vector<Diagnostic> diags = ctx.takeDiagnostics();
+    HWDBG_STAT_INC("lint.runs", 1);
+    HWDBG_STAT_INC("lint.diagnostics", diags.size());
+    if (obs::metricsEnabled()) {
+        // Per-rule hit counters need dynamic names, so they bypass the
+        // cached-site macro and pay the registry lookup per diagnostic.
+        for (const auto &diag : diags)
+            obs::counter("lint.hits." + diag.rule).inc();
+    }
+    return diags;
 }
 
 bool

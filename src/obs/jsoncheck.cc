@@ -1,0 +1,440 @@
+#include "obs/jsoncheck.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace hwdbg::obs
+{
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return value.get();
+    return nullptr;
+}
+
+namespace
+{
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonPtr
+    run(std::string *error)
+    {
+        error_.clear();
+        JsonPtr root = value();
+        skipWs();
+        if (root && pos_ != text_.size())
+            fail("trailing characters after document");
+        if (!error_.empty()) {
+            *error = "offset " + std::to_string(pos_) + ": " + error_;
+            return nullptr;
+        }
+        error->clear();
+        return root;
+    }
+
+  private:
+    void
+    fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = why;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    eat(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = 0;
+        while (word[n])
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    JsonPtr
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return nullptr;
+        }
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f' || c == 'n')
+            return keyword();
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return numberValue();
+        fail(std::string("unexpected character '") + c + "'");
+        return nullptr;
+    }
+
+    JsonPtr
+    object()
+    {
+        ++pos_; // '{'
+        auto out = std::make_shared<JsonValue>();
+        out->kind = JsonValue::Kind::Object;
+        if (eat('}'))
+            return out;
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key string");
+                return nullptr;
+            }
+            JsonPtr key = string();
+            if (!key)
+                return nullptr;
+            if (!eat(':')) {
+                fail("expected ':' after object key");
+                return nullptr;
+            }
+            JsonPtr val = value();
+            if (!val)
+                return nullptr;
+            out->members.emplace_back(key->text, std::move(val));
+            if (eat(','))
+                continue;
+            if (eat('}'))
+                return out;
+            fail("expected ',' or '}' in object");
+            return nullptr;
+        }
+    }
+
+    JsonPtr
+    array()
+    {
+        ++pos_; // '['
+        auto out = std::make_shared<JsonValue>();
+        out->kind = JsonValue::Kind::Array;
+        if (eat(']'))
+            return out;
+        for (;;) {
+            JsonPtr val = value();
+            if (!val)
+                return nullptr;
+            out->elems.push_back(std::move(val));
+            if (eat(','))
+                continue;
+            if (eat(']'))
+                return out;
+            fail("expected ',' or ']' in array");
+            return nullptr;
+        }
+    }
+
+    JsonPtr
+    string()
+    {
+        ++pos_; // '"'
+        auto out = std::make_shared<JsonValue>();
+        out->kind = JsonValue::Kind::String;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+                return nullptr;
+            }
+            if (c != '\\') {
+                out->text += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->text += '"'; break;
+              case '\\': out->text += '\\'; break;
+              case '/': out->text += '/'; break;
+              case 'b': out->text += '\b'; break;
+              case 'f': out->text += '\f'; break;
+              case 'n': out->text += '\n'; break;
+              case 'r': out->text += '\r'; break;
+              case 't': out->text += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size()) {
+                    fail("truncated \\u escape");
+                    return nullptr;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape digit");
+                        return nullptr;
+                    }
+                }
+                // Validation only: fold to a byte, no UTF-8 encoding.
+                out->text += static_cast<char>(code & 0xFF);
+                break;
+              }
+              default:
+                fail("unknown escape in string");
+                return nullptr;
+            }
+        }
+        fail("unterminated string");
+        return nullptr;
+    }
+
+    JsonPtr
+    keyword()
+    {
+        auto out = std::make_shared<JsonValue>();
+        if (literal("true")) {
+            out->kind = JsonValue::Kind::Bool;
+            out->boolean = true;
+            return out;
+        }
+        if (literal("false")) {
+            out->kind = JsonValue::Kind::Bool;
+            return out;
+        }
+        if (literal("null"))
+            return out;
+        fail("unknown keyword");
+        return nullptr;
+    }
+
+    JsonPtr
+    numberValue()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        std::string body = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        double v = std::strtod(body.c_str(), &end);
+        if (end != body.c_str() + body.size() || body.empty()) {
+            fail("malformed number");
+            return nullptr;
+        }
+        auto out = std::make_shared<JsonValue>();
+        out->kind = JsonValue::Kind::Number;
+        out->number = v;
+        return out;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // namespace
+
+JsonPtr
+parseJson(const std::string &text, std::string *error)
+{
+    return JsonParser(text).run(error);
+}
+
+std::string
+checkTraceJson(const std::string &text)
+{
+    std::string error;
+    JsonPtr root = parseJson(text, &error);
+    if (!root)
+        return "not JSON: " + error;
+    if (!root->isObject())
+        return "trace root is not an object";
+    const JsonValue *events = root->get("traceEvents");
+    if (!events || !events->isArray())
+        return "missing \"traceEvents\" array";
+
+    struct TidState
+    {
+        int depth = 0;
+        double lastTs = -1;
+    };
+    std::map<double, TidState> perTid;
+    size_t spans = 0;
+    for (size_t i = 0; i < events->elems.size(); ++i) {
+        const JsonValue &event = *events->elems[i];
+        std::string at = "event " + std::to_string(i) + ": ";
+        if (!event.isObject())
+            return at + "not an object";
+        const JsonValue *ph = event.get("ph");
+        if (!ph || !ph->isString() || ph->text.size() != 1)
+            return at + "missing one-character \"ph\"";
+        const JsonValue *name = event.get("name");
+        if (!name || !name->isString())
+            return at + "missing \"name\" string";
+        if (ph->text == "M") {
+            if (name->text == "thread_name") {
+                const JsonValue *args = event.get("args");
+                if (!args || !args->isObject() || !args->get("name") ||
+                    !args->get("name")->isString())
+                    return at + "thread_name without args.name";
+            }
+            continue;
+        }
+        if (ph->text != "B" && ph->text != "E")
+            return at + "unexpected ph \"" + ph->text + "\"";
+        const JsonValue *ts = event.get("ts");
+        const JsonValue *pid = event.get("pid");
+        const JsonValue *tid = event.get("tid");
+        if (!ts || !ts->isNumber())
+            return at + "missing numeric \"ts\"";
+        if (!pid || !pid->isNumber() || !tid || !tid->isNumber())
+            return at + "missing numeric \"pid\"/\"tid\"";
+        TidState &state = perTid[tid->number];
+        if (ts->number < state.lastTs)
+            return at + "timestamps not monotonic on tid " +
+                   std::to_string(static_cast<long long>(tid->number));
+        state.lastTs = ts->number;
+        if (ph->text == "B") {
+            ++state.depth;
+            ++spans;
+            if (name->text.empty())
+                return at + "B event with empty name";
+        } else {
+            if (--state.depth < 0)
+                return at + "E event without a matching B on tid " +
+                       std::to_string(static_cast<long long>(tid->number));
+        }
+    }
+    for (const auto &[tid, state] : perTid)
+        if (state.depth != 0)
+            return "unbalanced spans on tid " +
+                   std::to_string(static_cast<long long>(tid)) + " (" +
+                   std::to_string(state.depth) + " unclosed)";
+    if (spans == 0)
+        return "trace contains no spans";
+    return "";
+}
+
+namespace
+{
+
+std::string
+checkNumberMap(const JsonValue *group, const char *what)
+{
+    if (!group || !group->isObject())
+        return std::string("missing \"") + what + "\" object";
+    for (const auto &[name, value] : group->members) {
+        if (!value->isNumber())
+            return std::string(what) + "." + name + " is not a number";
+        if (value->number < 0)
+            return std::string(what) + "." + name + " is negative";
+    }
+    return "";
+}
+
+} // namespace
+
+std::string
+checkMetricsJson(const std::string &text)
+{
+    std::string error;
+    JsonPtr root = parseJson(text, &error);
+    if (!root)
+        return "not JSON: " + error;
+    if (!root->isObject())
+        return "metrics root is not an object";
+    if (std::string err = checkNumberMap(root->get("counters"),
+                                         "counters");
+        !err.empty())
+        return err;
+    if (std::string err = checkNumberMap(root->get("gauges"), "gauges");
+        !err.empty())
+        return err;
+    const JsonValue *hists = root->get("histograms");
+    if (!hists || !hists->isObject())
+        return "missing \"histograms\" object";
+    for (const auto &[name, hist] : hists->members) {
+        std::string at = "histograms." + name + ": ";
+        if (!hist->isObject())
+            return at + "not an object";
+        const JsonValue *buckets = hist->get("buckets");
+        const JsonValue *count = hist->get("count");
+        if (!buckets || !buckets->isArray())
+            return at + "missing \"buckets\" array";
+        if (!count || !count->isNumber())
+            return at + "missing numeric \"count\"";
+        for (const char *field : {"sum", "min", "max"}) {
+            const JsonValue *v = hist->get(field);
+            if (!v || !v->isNumber())
+                return at + "missing numeric \"" + field + "\"";
+        }
+        double total = 0;
+        double lastBound = -1;
+        for (size_t i = 0; i < buckets->elems.size(); ++i) {
+            const JsonValue &pair = *buckets->elems[i];
+            if (!pair.isArray() || pair.elems.size() != 2)
+                return at + "bucket " + std::to_string(i) +
+                       " is not a [bound, count] pair";
+            const JsonValue &bound = *pair.elems[0];
+            const JsonValue &n = *pair.elems[1];
+            bool lastBucket = i + 1 == buckets->elems.size();
+            if (lastBucket) {
+                if (bound.kind != JsonValue::Kind::Null)
+                    return at + "final bucket bound must be null (+inf)";
+            } else {
+                if (!bound.isNumber())
+                    return at + "bucket bound is not a number";
+                if (bound.number <= lastBound)
+                    return at + "bucket bounds not increasing";
+                lastBound = bound.number;
+            }
+            if (!n.isNumber() || n.number < 0)
+                return at + "bucket count invalid";
+            total += n.number;
+        }
+        if (total != count->number)
+            return at + "bucket counts do not sum to \"count\"";
+    }
+    return "";
+}
+
+} // namespace hwdbg::obs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal JSON parser and schema checks for the obs output formats.
+ *
+ * CI and the tests validate every --trace / --metrics file against
+ * these checks (`hwdbg obscheck`), so a malformed emitter fails fast
+ * instead of producing a file Perfetto silently rejects.
+ *
+ * The parser handles the full JSON grammar (objects, arrays, strings
+ * with escapes, numbers, booleans, null) with no external dependency;
+ * it exists for validation, not speed.
+ */
+
+#ifndef HWDBG_OBS_JSONCHECK_HH
+#define HWDBG_OBS_JSONCHECK_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hwdbg::obs
+{
+
+struct JsonValue;
+using JsonPtr = std::shared_ptr<JsonValue>;
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+
+    bool boolean = false;
+    double number = 0;
+    std::string text;
+    std::vector<JsonPtr> elems;
+    /** Insertion-ordered object members. */
+    std::vector<std::pair<std::string, JsonPtr>> members;
+
+    /** Member by key, or nullptr. */
+    const JsonValue *get(const std::string &key) const;
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+};
+
+/**
+ * Parse @p text. On success returns the root and clears @p error; on
+ * failure returns nullptr and sets @p error to "offset N: reason".
+ */
+JsonPtr parseJson(const std::string &text, std::string *error);
+
+/**
+ * Check that @p text is a Chrome trace-event file our tools emitted:
+ * an object with a "traceEvents" array whose B/E events carry
+ * name/ts/pid/tid, balance per tid, and have non-decreasing
+ * timestamps per tid. Returns "" when valid, else the first violation.
+ */
+std::string checkTraceJson(const std::string &text);
+
+/**
+ * Check that @p text is a metrics snapshot: an object with "counters",
+ * "gauges" (number-valued objects) and "histograms" (objects whose
+ * bucket counts sum to "count"). Returns "" when valid.
+ */
+std::string checkMetricsJson(const std::string &text);
+
+} // namespace hwdbg::obs
+
+#endif // HWDBG_OBS_JSONCHECK_HH

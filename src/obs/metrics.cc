@@ -1,0 +1,248 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hwdbg::obs
+{
+
+namespace
+{
+
+std::atomic<bool> metricsOn{false};
+
+std::vector<uint64_t>
+defaultBounds()
+{
+    std::vector<uint64_t> bounds;
+    for (uint64_t b = 1; b <= 65536; b *= 2)
+        bounds.push_back(b);
+    return bounds;
+}
+
+/**
+ * The registry is a leaked singleton: instruments are never removed, so
+ * references handed out to call-site statics stay valid through process
+ * exit (including exit-time destructors of other globals).
+ */
+struct Registry
+{
+    std::mutex lock;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry;
+    return *r;
+}
+
+} // namespace
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(bounds.empty() ? defaultBounds() : std::move(bounds)),
+      counts_(bounds_.size() + 1)
+{
+    for (size_t i = 1; i < bounds_.size(); ++i)
+        if (bounds_[i] <= bounds_[i - 1])
+            panic("histogram bounds must be strictly increasing");
+}
+
+void
+Histogram::record(uint64_t v)
+{
+    size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), v) -
+               bounds_.begin();
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+uint64_t
+Histogram::min() const
+{
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+bool
+metricsEnabled()
+{
+    return metricsOn.load(std::memory_order_relaxed);
+}
+
+void
+enableMetrics(bool on)
+{
+    metricsOn.store(on, std::memory_order_relaxed);
+}
+
+void
+resetMetrics()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    for (auto &[name, c] : r.counters)
+        c->reset();
+    for (auto &[name, g] : r.gauges)
+        g->reset();
+    for (auto &[name, h] : r.histograms)
+        h->reset();
+}
+
+Counter &
+counter(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    auto &slot = r.counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+gauge(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    auto &slot = r.gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+histogram(const std::string &name, const std::vector<uint64_t> &bounds)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    auto &slot = r.histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>(bounds);
+    return *slot;
+}
+
+uint64_t
+counterValue(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    auto it = r.counters.find(name);
+    return it == r.counters.end() ? 0 : it->second->value();
+}
+
+std::string
+metricsJson()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, c] : r.counters) {
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << c->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, g] : r.gauges) {
+        out << (first ? "" : ",") << "\n    \"" << name
+            << "\": " << g->value();
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : r.histograms) {
+        out << (first ? "" : ",") << "\n    \"" << name << "\": {";
+        out << "\"buckets\": [";
+        const auto &bounds = h->bounds();
+        for (size_t i = 0; i <= bounds.size(); ++i) {
+            if (i)
+                out << ", ";
+            if (i < bounds.size())
+                out << "[" << bounds[i] << ", " << h->bucketCount(i)
+                    << "]";
+            else
+                out << "[null, " << h->bucketCount(i) << "]";
+        }
+        out << "], \"count\": " << h->count() << ", \"sum\": "
+            << h->sum() << ", \"min\": " << h->min()
+            << ", \"max\": " << h->max() << "}";
+        first = false;
+    }
+    out << (first ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+std::string
+metricsText()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    std::ostringstream out;
+    for (const auto &[name, c] : r.counters)
+        out << name << " " << c->value() << "\n";
+    for (const auto &[name, g] : r.gauges)
+        out << name << " " << g->value() << "\n";
+    for (const auto &[name, h] : r.histograms) {
+        out << name << " count=" << h->count() << " sum=" << h->sum()
+            << " min=" << h->min() << " max=" << h->max() << " buckets=";
+        const auto &bounds = h->bounds();
+        for (size_t i = 0; i <= bounds.size(); ++i) {
+            if (i)
+                out << ",";
+            if (i < bounds.size())
+                out << "le" << bounds[i] << ":" << h->bucketCount(i);
+            else
+                out << "inf:" << h->bucketCount(i);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+bool
+writeMetrics(const std::string &path)
+{
+    bool json = path.size() >= 5 &&
+                path.compare(path.size() - 5, 5, ".json") == 0;
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write metrics file '%s'", path.c_str());
+        return false;
+    }
+    out << (json ? metricsJson() : metricsText());
+    return static_cast<bool>(out);
+}
+
+} // namespace hwdbg::obs

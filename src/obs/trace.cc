@@ -1,0 +1,257 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hwdbg::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent
+{
+    std::string name;
+    char ph; ///< 'B' or 'E'
+    double ts; ///< microseconds since session start
+};
+
+/** One per thread, owned by the registry, alive for the process. */
+struct TraceBuffer
+{
+    std::mutex lock;
+    uint32_t tid;
+    std::string threadName;
+    std::vector<TraceEvent> events;
+    /** Session generation the buffered events belong to. */
+    uint64_t session = 0;
+};
+
+struct TraceRegistry
+{
+    std::mutex lock;
+    std::vector<std::unique_ptr<TraceBuffer>> buffers;
+    Clock::time_point start;
+};
+
+/** Session generation: 0 = disarmed; each startTrace() bumps it. */
+std::atomic<uint64_t> currentSession{0};
+std::atomic<bool> armed{false};
+std::atomic<uint64_t> sessionCounter{0};
+
+TraceRegistry &
+traceRegistry()
+{
+    static TraceRegistry *r = new TraceRegistry;
+    return *r;
+}
+
+TraceBuffer &
+myBuffer()
+{
+    thread_local TraceBuffer *buf = nullptr;
+    if (!buf) {
+        TraceRegistry &r = traceRegistry();
+        std::lock_guard<std::mutex> guard(r.lock);
+        r.buffers.push_back(std::make_unique<TraceBuffer>());
+        buf = r.buffers.back().get();
+        buf->tid = static_cast<uint32_t>(r.buffers.size());
+    }
+    return *buf;
+}
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               Clock::now() - traceRegistry().start)
+        .count();
+}
+
+void
+append(TraceBuffer &buf, TraceEvent event, uint64_t session)
+{
+    std::lock_guard<std::mutex> guard(buf.lock);
+    if (buf.session != session) {
+        // First event of a new session: drop leftovers from the old one.
+        buf.events.clear();
+        buf.session = session;
+    }
+    buf.events.push_back(std::move(event));
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char hex[8];
+            std::snprintf(hex, sizeof hex, "\\u%04x", c);
+            out += hex;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    return armed.load(std::memory_order_relaxed);
+}
+
+void
+startTrace()
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    r.start = Clock::now();
+    uint64_t session = sessionCounter.fetch_add(1) + 1;
+    currentSession.store(session, std::memory_order_relaxed);
+    armed.store(true, std::memory_order_release);
+}
+
+std::string
+stopTrace()
+{
+    armed.store(false, std::memory_order_release);
+    uint64_t session = currentSession.load(std::memory_order_relaxed);
+    double endTs = nowUs();
+
+    struct Flat
+    {
+        uint32_t tid;
+        TraceEvent event;
+    };
+    std::vector<Flat> all;
+    std::vector<std::pair<uint32_t, std::string>> names;
+
+    TraceRegistry &r = traceRegistry();
+    {
+        std::lock_guard<std::mutex> guard(r.lock);
+        for (auto &buf : r.buffers) {
+            std::lock_guard<std::mutex> bufGuard(buf->lock);
+            if (buf->session != session) {
+                buf->events.clear();
+                continue;
+            }
+            // Balance spans the session cut off mid-flight.
+            int depth = 0;
+            for (const auto &event : buf->events)
+                depth += event.ph == 'B' ? 1 : -1;
+            for (; depth > 0; --depth)
+                buf->events.push_back(
+                    TraceEvent{"<unfinished>", 'E', endTs});
+            if (!buf->threadName.empty())
+                names.emplace_back(buf->tid, buf->threadName);
+            else if (buf->tid == 1)
+                names.emplace_back(buf->tid, "main");
+            for (auto &event : buf->events)
+                all.push_back(Flat{buf->tid, std::move(event)});
+            buf->events.clear();
+        }
+    }
+    // Stable: events of one tid come from one buffer in program order,
+    // so equal timestamps never reorder a thread's B/E nesting.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const Flat &a, const Flat &b) {
+                         return a.event.ts < b.event.ts;
+                     });
+
+    std::ostringstream out;
+    out << "{\"traceEvents\": [\n";
+    bool first = true;
+    for (const auto &[tid, name] : names) {
+        out << (first ? "" : ",\n")
+            << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+               "\"tid\": "
+            << tid << ", \"args\": {\"name\": \"" << jsonEscape(name)
+            << "\"}}";
+        first = false;
+    }
+    for (const auto &flat : all) {
+        char ts[32];
+        std::snprintf(ts, sizeof ts, "%.3f", flat.event.ts);
+        out << (first ? "" : ",\n") << "{\"name\": \""
+            << jsonEscape(flat.event.name) << "\", \"cat\": \"hwdbg\", "
+            << "\"ph\": \"" << flat.event.ph << "\", \"ts\": " << ts
+            << ", \"pid\": 1, \"tid\": " << flat.tid << "}";
+        first = false;
+    }
+    out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return out.str();
+}
+
+bool
+writeTrace(const std::string &path)
+{
+    std::string json = stopTrace();
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write trace file '%s'", path.c_str());
+        return false;
+    }
+    out << json;
+    return static_cast<bool>(out);
+}
+
+void
+setTraceThreadName(const std::string &name)
+{
+    TraceBuffer &buf = myBuffer();
+    std::lock_guard<std::mutex> guard(buf.lock);
+    buf.threadName = name;
+}
+
+void
+ObsSpan::begin(const char *name)
+{
+    if (!armed.load(std::memory_order_relaxed))
+        return;
+    uint64_t session = currentSession.load(std::memory_order_relaxed);
+    append(myBuffer(), TraceEvent{name, 'B', nowUs()}, session);
+    session_ = session;
+}
+
+ObsSpan::ObsSpan(const char *name)
+{
+    begin(name);
+}
+
+ObsSpan::ObsSpan(const std::string &name)
+{
+    begin(name.c_str());
+}
+
+ObsSpan::~ObsSpan()
+{
+    if (!session_)
+        return;
+    // Only close the span if the session it opened in is still live;
+    // stopTrace() balances anything it cut off.
+    if (!armed.load(std::memory_order_relaxed) ||
+        currentSession.load(std::memory_order_relaxed) != session_)
+        return;
+    append(myBuffer(), TraceEvent{"", 'E', nowUs()}, session_);
+}
+
+} // namespace hwdbg::obs

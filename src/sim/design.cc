@@ -2,6 +2,8 @@
 
 #include "common/logging.hh"
 #include "elab/elaborate.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::sim
 {
@@ -16,7 +18,10 @@ constU64(const ExprPtr &expr)
 
 LoweredDesign::LoweredDesign(ModulePtr mod) : mod_(std::move(mod))
 {
+    obs::ObsSpan span("lower");
     collectSignals();
+    HWDBG_STAT_INC("sim.lowered_designs", 1);
+    HWDBG_STAT_INC("sim.lowered_signals", signals_.size());
 
     for (const auto &item : mod_->items) {
         switch (item->kind) {

@@ -304,6 +304,8 @@ applyStore(const StoreTarget &target, const Bits &value, EvalContext &ctx)
         if (slot != next) {
             slot = std::move(next);
             ctx.valuesChanged = true;
+            if (ctx.toggles)
+                ++(*ctx.toggles)[target.sig];
         }
         return;
     }
@@ -312,13 +314,18 @@ applyStore(const StoreTarget &target, const Bits &value, EvalContext &ctx)
         if (ctx.values[target.sig] != next) {
             ctx.values[target.sig] = std::move(next);
             ctx.valuesChanged = true;
+            if (ctx.toggles)
+                ++(*ctx.toggles)[target.sig];
         }
         return;
     }
     Bits before = ctx.values[target.sig];
     ctx.values[target.sig].setSlice(target.msb, target.lsb, value);
-    if (ctx.values[target.sig] != before)
+    if (ctx.values[target.sig] != before) {
         ctx.valuesChanged = true;
+        if (ctx.toggles)
+            ++(*ctx.toggles)[target.sig];
+    }
 }
 
 void

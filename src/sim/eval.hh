@@ -40,6 +40,11 @@ struct EvalContext
      *  simulator's combinational settle loop clears and polls it. */
     bool valuesChanged = false;
 
+    /** When non-null (profiling), applyStore() bumps the changed
+     *  signal's slot on every value-changing store (toggle counting).
+     *  Must be sized to numSignals(). */
+    std::vector<uint64_t> *toggles = nullptr;
+
     /** $finish seen. */
     bool finished = false;
 

@@ -1,9 +1,12 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "common/testhooks.hh"
+#include "obs/metrics.hh"
+#include "sim/profiler.hh"
 
 namespace hwdbg::sim
 {
@@ -48,6 +51,26 @@ Simulator::Simulator(ModulePtr elaborated)
 }
 
 Simulator::~Simulator() = default;
+
+void
+Simulator::enableProfiling(SimCounters *counters)
+{
+    prof_ = counters;
+    if (!prof_) {
+        ctx_.toggles = nullptr;
+        return;
+    }
+    prof_->assignEvals.assign(design_.assigns().size(), 0);
+    prof_->assignNs.assign(design_.assigns().size(), 0);
+    prof_->combEvals.assign(design_.combProcs().size(), 0);
+    prof_->combNs.assign(design_.combProcs().size(), 0);
+    prof_->clockedEvals.assign(design_.clockedProcs().size(), 0);
+    prof_->clockedNs.assign(design_.clockedProcs().size(), 0);
+    prof_->toggles.assign(design_.numSignals(), 0);
+    if (prof_->settleHist.empty())
+        prof_->settleHist.assign(65, 0);
+    ctx_.toggles = &prof_->toggles;
+}
 
 void
 Simulator::poke(const std::string &signal, const Bits &value)
@@ -111,22 +134,51 @@ Simulator::settleComb()
     // overrides it ("next = 0; if (c) next = 1;") toggles values
     // transiently inside every pass, and those transient store events
     // must not count as progress or the loop never terminates.
-    size_t work = design_.assigns().size() + design_.combProcs().size();
+    using ProfClock = std::chrono::steady_clock;
+    const auto &assigns = design_.assigns();
+    const auto &combs = design_.combProcs();
+    size_t work = assigns.size() + combs.size();
     size_t max_iters = work + 4;
+    size_t iters_used = 0;
     for (size_t iter = 0; iter < max_iters; ++iter) {
+        iters_used = iter + 1;
         std::vector<Bits> before_values = ctx_.values;
         std::vector<std::vector<Bits>> before_arrays = ctx_.arrays;
         ctx_.valuesChanged = false;
-        for (const auto *assign : design_.assigns()) {
+        for (size_t i = 0; i < assigns.size(); ++i) {
+            const auto *assign = assigns[i];
+            ProfClock::time_point t0;
+            if (prof_)
+                t0 = ProfClock::now();
             uint32_t lw = assign->lhs->width;
             uint32_t cw = std::max(lw, assign->rhs->width);
             Bits value = evalExpr(assign->rhs, ctx_, cw).resized(lw);
             storeLValue(assign->lhs, value, ctx_);
+            if (prof_) {
+                ++prof_->assignEvals[i];
+                prof_->assignNs[i] +=
+                    std::chrono::duration<double, std::nano>(
+                        ProfClock::now() - t0)
+                        .count();
+            }
         }
-        for (const auto *proc : design_.combProcs())
-            execStmt(proc->body, false);
-        if (!ctx_.valuesChanged)
+        for (size_t i = 0; i < combs.size(); ++i) {
+            ProfClock::time_point t0;
+            if (prof_)
+                t0 = ProfClock::now();
+            execStmt(combs[i]->body, false);
+            if (prof_) {
+                ++prof_->combEvals[i];
+                prof_->combNs[i] +=
+                    std::chrono::duration<double, std::nano>(
+                        ProfClock::now() - t0)
+                        .count();
+            }
+        }
+        if (!ctx_.valuesChanged) {
+            noteSettle(iters_used, work);
             return;
+        }
         auto same = [](const Bits &a, const Bits &b) {
             return a.width() == b.width() && a.compare(b) == 0;
         };
@@ -141,10 +193,29 @@ Simulator::settleComb()
             for (size_t j = 0; stable && j < ctx_.arrays[i].size(); ++j)
                 stable = same(before_arrays[i][j], ctx_.arrays[i][j]);
         }
-        if (stable)
+        if (stable) {
+            noteSettle(iters_used, work);
             return;
+        }
     }
     fatal("combinational logic failed to settle (combinational loop?)");
+}
+
+void
+Simulator::noteSettle(size_t iters, size_t work)
+{
+    HWDBG_STAT_INC("sim.settle_calls", 1);
+    HWDBG_STAT_INC("sim.process_evals", iters * work);
+    HWDBG_STAT_HIST("sim.settle_iters", iters);
+    HWDBG_STAT_MAX("sim.max_settle_iters", iters);
+    if (!prof_)
+        return;
+    ++prof_->settleCalls;
+    prof_->maxSettleDepth =
+        std::max<uint32_t>(prof_->maxSettleDepth,
+                           static_cast<uint32_t>(iters));
+    size_t slot = std::min(iters, prof_->settleHist.size() - 1);
+    ++prof_->settleHist[slot];
 }
 
 void
@@ -229,6 +300,7 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
             args.push_back(evalExpr(arg, ctx_));
         ctx_.log.push_back(EvalContext::LogLine{
             ctx_.cycle, formatDisplay(disp->format, args)});
+        HWDBG_STAT_INC("sim.display_records", 1);
         break;
       }
       case StmtKind::Finish:
@@ -259,15 +331,17 @@ Simulator::eval()
         edges[name] = {prev, now};
     }
 
-    std::vector<const AlwaysItem *> triggered;
-    for (const auto *proc : design_.clockedProcs()) {
+    std::vector<size_t> triggered;
+    const auto &clocked = design_.clockedProcs();
+    for (size_t pi = 0; pi < clocked.size(); ++pi) {
+        const auto *proc = clocked[pi];
         for (const auto &sens : proc->sens) {
             auto [before, after] = edges[sens.signal];
             bool rising = !before && after;
             bool falling = before && !after;
             if ((sens.edge == EdgeKind::Posedge && rising) ||
                 (sens.edge == EdgeKind::Negedge && falling)) {
-                triggered.push_back(proc);
+                triggered.push_back(pi);
                 break;
             }
         }
@@ -292,8 +366,10 @@ Simulator::eval()
         primary_rose = !before && now;
         primaryClockRaw_ = now;
     }
-    if (primary_rose)
+    if (primary_rose) {
         ++ctx_.cycle;
+        HWDBG_STAT_INC("sim.cycles", 1);
+    }
 
     for (auto &[name, prev] : prevClocks_)
         prev = edges[name].second;
@@ -303,8 +379,21 @@ Simulator::eval()
 
     // Execute processes with pre-edge (settled) values; NBAs commit
     // together afterwards. Primitives also sample inputs pre-edge.
-    for (const auto *proc : triggered)
-        execStmt(proc->body, true);
+    HWDBG_STAT_INC("sim.process_evals", triggered.size());
+    using ProfClock = std::chrono::steady_clock;
+    for (size_t pi : triggered) {
+        ProfClock::time_point t0;
+        if (prof_)
+            t0 = ProfClock::now();
+        execStmt(clocked[pi]->body, true);
+        if (prof_) {
+            ++prof_->clockedEvals[pi];
+            prof_->clockedNs[pi] +=
+                std::chrono::duration<double, std::nano>(
+                    ProfClock::now() - t0)
+                    .count();
+        }
+    }
     for (const auto &[idx, port] : prim_triggered)
         prims_[idx]->clockEdge(port, ctx_);
     commitNba();

@@ -29,12 +29,21 @@
 namespace hwdbg::sim
 {
 
+struct SimCounters;
+
 class Simulator
 {
   public:
     /** Build a simulator over an elaborated (flat) module. */
     explicit Simulator(hdl::ModulePtr elaborated);
     ~Simulator();
+
+    /**
+     * Attribute eval counts, per-construct wall time, and signal
+     * toggles into @p counters (sized here) until detached with
+     * nullptr. The unprofiled path costs one branch per construct.
+     */
+    void enableProfiling(SimCounters *counters);
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
@@ -71,12 +80,14 @@ class Simulator
 
   private:
     void settleComb();
+    void noteSettle(size_t iters, size_t work);
     void execStmt(const hdl::StmtPtr &stmt, bool clocked);
     void commitNba();
 
     hdl::ModulePtr mod_;
     LoweredDesign design_;
     EvalContext ctx_;
+    SimCounters *prof_ = nullptr;
 
     std::vector<std::unique_ptr<Primitive>> prims_;
 

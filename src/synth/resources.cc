@@ -6,6 +6,8 @@
 #include "analysis/guards.hh"
 #include "common/logging.hh"
 #include "elab/elaborate.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/design.hh"
 
 namespace hwdbg::synth
@@ -240,6 +242,8 @@ normalize(const ResourceUsage &usage, const Platform &platform)
 ResourceUsage
 estimateResources(const Module &mod)
 {
+    obs::ObsSpan span("synth.resources");
+    HWDBG_STAT_INC("synth.resource_estimates", 1);
     ResourceUsage usage;
     std::map<std::string, uint32_t> widths;
 

@@ -7,6 +7,8 @@
 #include "analysis/exprutil.hh"
 #include "analysis/guards.hh"
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/design.hh"
 
 namespace hwdbg::synth
@@ -189,6 +191,8 @@ struct DelayModel
 TimingReport
 estimateTiming(const Module &mod)
 {
+    obs::ObsSpan span("synth.timing");
+    HWDBG_STAT_INC("synth.timing_estimates", 1);
     DelayModel model{mod, {}, {}};
 
     // Fanout census: every identifier occurrence in an expression is a

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Observability under the fuzz worker pool: metric snapshots must be
+ * byte-identical whatever --jobs was (metrics record work, never
+ * timing), and a traced multi-job campaign must produce a valid event
+ * stream with one named track per worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fuzz/runner.hh"
+#include "obs/jsoncheck.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hwdbg::fuzz
+{
+namespace
+{
+
+FuzzConfig
+smallCampaign(uint32_t jobs)
+{
+    FuzzConfig config;
+    config.seeds = 8;
+    config.cycles = 12;
+    config.jobs = jobs;
+    return config;
+}
+
+TEST(FuzzObs, MetricTotalsIndependentOfJobs)
+{
+    obs::resetMetrics();
+    obs::enableMetrics(true);
+    (void)runFuzz(smallCampaign(1));
+    std::string jobs1 = obs::metricsJson();
+
+    obs::resetMetrics();
+    (void)runFuzz(smallCampaign(4));
+    std::string jobs4 = obs::metricsJson();
+    obs::enableMetrics(false);
+    obs::resetMetrics();
+
+    EXPECT_EQ(obs::checkMetricsJson(jobs1), "");
+    EXPECT_EQ(jobs1, jobs4)
+        << "metrics depend on the worker count; some instrument is "
+           "recording timing or interleaving";
+}
+
+TEST(FuzzObs, SeedCountersMatchTheCampaign)
+{
+    obs::resetMetrics();
+    obs::enableMetrics(true);
+    FuzzReport report = runFuzz(smallCampaign(2));
+    uint64_t seeds = obs::counterValue("fuzz.seeds");
+    uint64_t verdicts =
+        obs::counterValue("fuzz.oracle.roundtrip.pass") +
+        obs::counterValue("fuzz.oracle.roundtrip.fail");
+    obs::enableMetrics(false);
+    obs::resetMetrics();
+
+    EXPECT_EQ(seeds, report.seedsRun);
+    EXPECT_EQ(verdicts, report.seedsRun)
+        << "every seed must produce exactly one roundtrip verdict";
+    EXPECT_EQ(report.seedLatenciesMs.size(), report.seedsRun);
+}
+
+TEST(FuzzObs, TracedCampaignHasPerWorkerTracks)
+{
+    obs::startTrace();
+    (void)runFuzz(smallCampaign(4));
+    std::string json = obs::stopTrace();
+
+    // Per-tid balance + timestamp order is the corruption check.
+    EXPECT_EQ(obs::checkTraceJson(json), "");
+    for (int t = 0; t < 4; ++t)
+        EXPECT_NE(json.find("fuzz-worker-" + std::to_string(t)),
+                  std::string::npos)
+            << "missing track name for worker " << t;
+    EXPECT_NE(json.find("seed 0"), std::string::npos);
+    EXPECT_NE(json.find("oracle.roundtrip"), std::string::npos);
+    EXPECT_NE(json.find("oracle.differential"), std::string::npos);
+}
+
+} // namespace
+} // namespace hwdbg::fuzz

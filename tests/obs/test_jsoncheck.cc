@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The JSON parser and the trace/metrics schema checks that back
+ * `hwdbg obscheck`. A checker that accepts garbage would turn the CI
+ * validation step into a rubber stamp, so the rejection cases matter
+ * as much as the acceptance ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/jsoncheck.hh"
+
+namespace hwdbg::obs
+{
+namespace
+{
+
+JsonPtr
+parseOk(const std::string &text)
+{
+    std::string error;
+    JsonPtr root = parseJson(text, &error);
+    EXPECT_EQ(error, "") << text;
+    return root;
+}
+
+TEST(JsonCheck, ParsesScalarsAndNesting)
+{
+    JsonPtr root = parseOk(
+        "{\"a\": [1, -2.5, 1e3], \"b\": {\"c\": true, \"d\": null}, "
+        "\"s\": \"x\\n\\\"y\\\"\\u0041\"}");
+    ASSERT_TRUE(root && root->isObject());
+    const JsonValue *a = root->get("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->elems.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->elems[0]->number, 1);
+    EXPECT_DOUBLE_EQ(a->elems[1]->number, -2.5);
+    EXPECT_DOUBLE_EQ(a->elems[2]->number, 1000);
+    const JsonValue *b = root->get("b");
+    ASSERT_TRUE(b && b->isObject());
+    EXPECT_TRUE(b->get("c")->boolean);
+    EXPECT_EQ(b->get("d")->kind, JsonValue::Kind::Null);
+    EXPECT_EQ(root->get("s")->text, "x\n\"y\"A");
+    EXPECT_EQ(root->get("missing"), nullptr);
+}
+
+TEST(JsonCheck, RejectsMalformedInput)
+{
+    for (const char *bad :
+         {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru",
+          "\"unterminated", "{\"a\":1} trailing", "[1 2]"}) {
+        std::string error;
+        EXPECT_EQ(parseJson(bad, &error), nullptr) << bad;
+        EXPECT_NE(error, "") << bad;
+    }
+}
+
+TEST(JsonCheck, AcceptsMinimalValidTrace)
+{
+    std::string good =
+        "{\"traceEvents\": ["
+        "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+        "\"tid\": 1, \"args\": {\"name\": \"main\"}},"
+        "{\"name\": \"parse\", \"cat\": \"hwdbg\", \"ph\": \"B\", "
+        "\"ts\": 10, \"pid\": 1, \"tid\": 1},"
+        "{\"name\": \"\", \"ph\": \"E\", \"ts\": 20, \"pid\": 1, "
+        "\"tid\": 1}"
+        "]}";
+    EXPECT_EQ(checkTraceJson(good), "");
+}
+
+TEST(JsonCheck, RejectsBrokenTraces)
+{
+    // Unbalanced: B without E.
+    std::string unbalanced =
+        "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"B\", "
+        "\"ts\": 1, \"pid\": 1, \"tid\": 1}]}";
+    EXPECT_NE(checkTraceJson(unbalanced), "");
+
+    // E before any B on its tid.
+    std::string inverted =
+        "{\"traceEvents\": [{\"name\": \"\", \"ph\": \"E\", "
+        "\"ts\": 1, \"pid\": 1, \"tid\": 1}]}";
+    EXPECT_NE(checkTraceJson(inverted), "");
+
+    // Timestamps running backwards on one tid.
+    std::string backwards =
+        "{\"traceEvents\": ["
+        "{\"name\": \"a\", \"ph\": \"B\", \"ts\": 9, \"pid\": 1, "
+        "\"tid\": 1},"
+        "{\"name\": \"\", \"ph\": \"E\", \"ts\": 5, \"pid\": 1, "
+        "\"tid\": 1}]}";
+    EXPECT_NE(checkTraceJson(backwards), "");
+
+    // Not a trace at all.
+    EXPECT_NE(checkTraceJson("{}"), "");
+    EXPECT_NE(checkTraceJson("{\"traceEvents\": 3}"), "");
+}
+
+TEST(JsonCheck, AcceptsMinimalValidMetrics)
+{
+    std::string good =
+        "{\"counters\": {\"sim.cycles\": 100}, "
+        "\"gauges\": {\"sim.max_settle_iters\": 3}, "
+        "\"histograms\": {\"sim.settle_iters\": "
+        "{\"buckets\": [[1, 2], [2, 1], [null, 0]], "
+        "\"count\": 3, \"sum\": 4, \"min\": 1, \"max\": 2}}}";
+    EXPECT_EQ(checkMetricsJson(good), "");
+}
+
+TEST(JsonCheck, RejectsBrokenMetrics)
+{
+    // Bucket counts that do not sum to the histogram count.
+    std::string bad_sum =
+        "{\"counters\": {}, \"gauges\": {}, \"histograms\": "
+        "{\"h\": {\"buckets\": [[1, 2], [null, 0]], \"count\": 3, "
+        "\"sum\": 2, \"min\": 1, \"max\": 1}}}";
+    EXPECT_NE(checkMetricsJson(bad_sum), "");
+
+    // Non-increasing bucket bounds.
+    std::string bad_bounds =
+        "{\"counters\": {}, \"gauges\": {}, \"histograms\": "
+        "{\"h\": {\"buckets\": [[4, 1], [2, 0], [null, 0]], "
+        "\"count\": 1, \"sum\": 3, \"min\": 3, \"max\": 3}}}";
+    EXPECT_NE(checkMetricsJson(bad_bounds), "");
+
+    // A counter that is not a number.
+    std::string bad_counter =
+        "{\"counters\": {\"x\": \"ten\"}, \"gauges\": {}, "
+        "\"histograms\": {}}";
+    EXPECT_NE(checkMetricsJson(bad_counter), "");
+
+    EXPECT_NE(checkMetricsJson("[]"), "");
+}
+
+} // namespace
+} // namespace hwdbg::obs

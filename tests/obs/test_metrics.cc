@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Metrics registry semantics: counter/gauge/histogram behavior, the
+ * disabled-path no-op guarantee, histogram bucket edges, and the
+ * validity + determinism of rendered snapshots.
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/jsoncheck.hh"
+#include "obs/metrics.hh"
+
+namespace hwdbg::obs
+{
+namespace
+{
+
+/** Every test starts from a clean, enabled registry and leaves the
+ *  recording flag off so other suites see the disabled fast path. */
+class MetricsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        resetMetrics();
+        enableMetrics(true);
+    }
+    void TearDown() override
+    {
+        enableMetrics(false);
+        resetMetrics();
+    }
+};
+
+TEST_F(MetricsTest, CounterAccumulates)
+{
+    counter("t.counter").inc();
+    counter("t.counter").inc(41);
+    EXPECT_EQ(counterValue("t.counter"), 42u);
+    EXPECT_EQ(counterValue("t.never-registered"), 0u);
+}
+
+TEST_F(MetricsTest, GaugeSetMaxIsOrderIndependent)
+{
+    Gauge &g = gauge("t.gauge");
+    g.setMax(7);
+    g.setMax(3);
+    g.setMax(9);
+    g.setMax(9);
+    EXPECT_EQ(g.value(), 9u);
+}
+
+TEST_F(MetricsTest, HistogramBucketEdges)
+{
+    // Bucket i counts v <= bounds[i]; the final bucket is +inf.
+    Histogram &h = histogram("t.hist", {10, 20, 30});
+    h.record(0);
+    h.record(10); // on the edge: still bucket 0
+    h.record(11); // first value past the edge: bucket 1
+    h.record(20);
+    h.record(30);
+    h.record(31); // overflow bucket
+    h.record(1000);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 2u);
+    EXPECT_EQ(h.bucketCount(2), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_EQ(h.count(), 7u);
+    EXPECT_EQ(h.sum(), 0u + 10 + 11 + 20 + 30 + 31 + 1000);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST_F(MetricsTest, HistogramDefaultBoundsArePowersOfTwo)
+{
+    Histogram &h = histogram("t.hist.default");
+    ASSERT_FALSE(h.bounds().empty());
+    EXPECT_EQ(h.bounds().front(), 1u);
+    EXPECT_EQ(h.bounds().back(), 65536u);
+    for (size_t i = 1; i < h.bounds().size(); ++i)
+        EXPECT_EQ(h.bounds()[i], h.bounds()[i - 1] * 2);
+}
+
+TEST_F(MetricsTest, DisabledMacrosRecordNothing)
+{
+    HWDBG_STAT_INC("t.disabled", 5);
+    EXPECT_EQ(counterValue("t.disabled"), 5u);
+    enableMetrics(false);
+    HWDBG_STAT_INC("t.disabled", 5);
+    HWDBG_STAT_MAX("t.disabled.gauge", 100);
+    HWDBG_STAT_HIST("t.disabled.hist", 100);
+    enableMetrics(true);
+    EXPECT_EQ(counterValue("t.disabled"), 5u);
+    EXPECT_EQ(gauge("t.disabled.gauge").value(), 0u);
+    EXPECT_EQ(histogram("t.disabled.hist").count(), 0u);
+}
+
+TEST_F(MetricsTest, ResetKeepsInstrumentReferencesValid)
+{
+    Counter &c = counter("t.reset");
+    c.inc(3);
+    resetMetrics();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc(); // the pre-reset reference must still be the live one
+    EXPECT_EQ(counterValue("t.reset"), 1u);
+}
+
+TEST_F(MetricsTest, ConcurrentIncrementsAreLossless)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([] {
+            for (int i = 0; i < kPerThread; ++i) {
+                HWDBG_STAT_INC("t.mt.counter", 1);
+                HWDBG_STAT_HIST("t.mt.hist", (uint64_t)i);
+            }
+        });
+    for (auto &thread : pool)
+        thread.join();
+    EXPECT_EQ(counterValue("t.mt.counter"),
+              uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(histogram("t.mt.hist").count(),
+              uint64_t(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, JsonSnapshotPassesSchemaCheckAndIsSorted)
+{
+    counter("b.second").inc(2);
+    counter("a.first").inc(1);
+    gauge("g.depth").set(4);
+    histogram("h.iters", {1, 2, 4}).record(3);
+    std::string json = metricsJson();
+    EXPECT_EQ(checkMetricsJson(json), "");
+    EXPECT_LT(json.find("a.first"), json.find("b.second"));
+    // Same registry, same snapshot: rendering is a pure function.
+    EXPECT_EQ(json, metricsJson());
+}
+
+TEST_F(MetricsTest, TextSnapshotMentionsEveryInstrument)
+{
+    counter("t.text.counter").inc(12);
+    gauge("t.text.gauge").set(7);
+    histogram("t.text.hist").record(5);
+    std::string text = metricsText();
+    EXPECT_NE(text.find("t.text.counter"), std::string::npos);
+    EXPECT_NE(text.find("12"), std::string::npos);
+    EXPECT_NE(text.find("t.text.gauge"), std::string::npos);
+    EXPECT_NE(text.find("t.text.hist"), std::string::npos);
+}
+
+} // namespace
+} // namespace hwdbg::obs

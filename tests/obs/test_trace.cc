@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Trace span semantics: session arming, JSON validity, balanced and
+ * correctly nested B/E events, named per-thread tracks, and the
+ * disabled-path no-op guarantee.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/jsoncheck.hh"
+#include "obs/trace.hh"
+
+namespace hwdbg::obs
+{
+namespace
+{
+
+/** Events of one kind, in stream order: {ph, name, tid}. */
+struct Ev
+{
+    std::string ph;
+    std::string name;
+    double tid;
+};
+
+std::vector<Ev>
+events(const std::string &json)
+{
+    std::string error;
+    JsonPtr root = parseJson(json, &error);
+    EXPECT_EQ(error, "");
+    std::vector<Ev> out;
+    if (!root)
+        return out;
+    const JsonValue *list = root->get("traceEvents");
+    if (!list)
+        return out;
+    for (const auto &event : list->elems) {
+        Ev ev;
+        if (const JsonValue *ph = event->get("ph"))
+            ev.ph = ph->text;
+        if (const JsonValue *name = event->get("name"))
+            ev.name = name->text;
+        if (const JsonValue *tid = event->get("tid"))
+            ev.tid = tid->number;
+        out.push_back(std::move(ev));
+    }
+    return out;
+}
+
+TEST(Trace, DisabledSpansAreInvisible)
+{
+    EXPECT_FALSE(traceEnabled());
+    {
+        ObsSpan span("never-recorded");
+    }
+    startTrace();
+    {
+        ObsSpan span("recorded");
+    }
+    std::string json = stopTrace();
+    EXPECT_EQ(json.find("never-recorded"), std::string::npos);
+    EXPECT_NE(json.find("recorded"), std::string::npos);
+    EXPECT_FALSE(traceEnabled());
+}
+
+TEST(Trace, NestedSpansBalanceAndOrder)
+{
+    startTrace();
+    {
+        ObsSpan outer("outer");
+        {
+            ObsSpan inner("inner");
+        }
+        {
+            ObsSpan sibling("sibling");
+        }
+    }
+    std::string json = stopTrace();
+    EXPECT_EQ(checkTraceJson(json), "");
+
+    std::vector<std::string> begins;
+    int depth = 0, max_depth = 0;
+    for (const auto &ev : events(json)) {
+        if (ev.ph == "B") {
+            begins.push_back(ev.name);
+            max_depth = std::max(max_depth, ++depth);
+        } else if (ev.ph == "E") {
+            --depth;
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_EQ(max_depth, 2);
+    ASSERT_EQ(begins.size(), 3u);
+    EXPECT_EQ(begins[0], "outer");
+    EXPECT_EQ(begins[1], "inner");
+    EXPECT_EQ(begins[2], "sibling");
+}
+
+TEST(Trace, SessionBoundaryDropsStaleEvents)
+{
+    startTrace();
+    {
+        ObsSpan span("first-session");
+    }
+    (void)stopTrace();
+    startTrace();
+    {
+        ObsSpan span("second-session");
+    }
+    std::string json = stopTrace();
+    EXPECT_EQ(json.find("first-session"), std::string::npos);
+    EXPECT_NE(json.find("second-session"), std::string::npos);
+}
+
+TEST(Trace, OpenSpanAtStopGetsSyntheticEnd)
+{
+    startTrace();
+    auto leaked = std::make_unique<ObsSpan>("left-open");
+    std::string json = stopTrace();
+    // The stream must still balance even though the span's destructor
+    // has not run yet; its eventual destruction must also be a no-op.
+    EXPECT_EQ(checkTraceJson(json), "");
+    leaked.reset();
+    // The stale destructor must not leak an E into the next session.
+    startTrace();
+    {
+        ObsSpan span("fresh");
+    }
+    std::string next = stopTrace();
+    EXPECT_EQ(checkTraceJson(next), "");
+    EXPECT_EQ(next.find("left-open"), std::string::npos);
+}
+
+TEST(Trace, WorkerThreadsGetNamedTracks)
+{
+    constexpr int kThreads = 4;
+    startTrace();
+    {
+        ObsSpan main_span("dispatch");
+        std::vector<std::thread> pool;
+        for (int t = 0; t < kThreads; ++t)
+            pool.emplace_back([t] {
+                setTraceThreadName("worker-" + std::to_string(t));
+                for (int i = 0; i < 50; ++i) {
+                    ObsSpan outer("unit " + std::to_string(i));
+                    ObsSpan inner("step");
+                }
+            });
+        for (auto &thread : pool)
+            thread.join();
+    }
+    std::string json = stopTrace();
+    // checkTraceJson enforces per-tid balance and timestamp order, so
+    // it is the real assertion that threads never corrupt each other.
+    EXPECT_EQ(checkTraceJson(json), "");
+    for (int t = 0; t < kThreads; ++t)
+        EXPECT_NE(json.find("worker-" + std::to_string(t)),
+                  std::string::npos)
+            << "missing named track for worker " << t;
+
+    // All spans of one worker must sit on one tid, distinct per worker.
+    std::vector<Ev> evs = events(json);
+    std::set<double> tids;
+    for (const auto &ev : evs)
+        if (ev.ph == "B" && ev.name == "step")
+            tids.insert(ev.tid);
+    EXPECT_EQ(tids.size(), size_t(kThreads));
+}
+
+} // namespace
+} // namespace hwdbg::obs

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Simulator profiler: attribution of eval counts, toggle counts, and
+ * settle depth to the right constructs, determinism of the eval-ranked
+ * report (the golden-test mode), and the shape of both renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "obs/jsoncheck.hh"
+#include "sim/profiler.hh"
+
+namespace hwdbg::sim
+{
+namespace
+{
+
+const char *kCounterSrc = R"(
+module m(input clk, input rst, input in, output reg [7:0] count);
+    wire gated;
+    assign gated = in & ~count[7];
+    always @(posedge clk) begin
+        if (rst)
+            count <= 8'd0;
+        else if (gated)
+            count <= count + 8'd1;
+    end
+endmodule
+)";
+
+hdl::ModulePtr
+elaborate(const char *src, const std::string &top = "m")
+{
+    hdl::Design design = hdl::parse(src);
+    return elab::elaborate(design, top).mod;
+}
+
+ProfileOptions
+evalRanked(uint32_t cycles = 100)
+{
+    ProfileOptions opts;
+    opts.cycles = cycles;
+    opts.rank = ProfileOptions::Rank::Evals;
+    return opts;
+}
+
+TEST(Profiler, AttributesEvalsToConstructs)
+{
+    ProfileReport report =
+        profileDesign(elaborate(kCounterSrc), evalRanked(100));
+    EXPECT_EQ(report.top, "m");
+    EXPECT_EQ(report.cyclesRun, 100u);
+    EXPECT_FALSE(report.finished);
+
+    ASSERT_EQ(report.rows.size(), 2u);
+    const ProfileRow *seq = nullptr;
+    const ProfileRow *assign = nullptr;
+    for (const auto &row : report.rows) {
+        if (row.kind == "seq")
+            seq = &row;
+        if (row.kind == "assign")
+            assign = &row;
+    }
+    ASSERT_NE(seq, nullptr);
+    ASSERT_NE(assign, nullptr);
+    // The clocked process runs once per posedge; the continuous assign
+    // re-settles at least once per eval.
+    EXPECT_EQ(seq->evals, 100u);
+    EXPECT_GE(assign->evals, 200u);
+    EXPECT_NE(seq->label.find("posedge clk"), std::string::npos);
+    EXPECT_NE(seq->label.find("count"), std::string::npos);
+    EXPECT_NE(seq->loc.find(":"), std::string::npos)
+        << "rows must carry a source location, got '" << seq->loc
+        << "'";
+
+    EXPECT_GT(report.settleCalls, 0u);
+    EXPECT_GE(report.maxSettleDepth, 1u);
+}
+
+TEST(Profiler, CountsSignalToggles)
+{
+    ProfileReport report =
+        profileDesign(elaborate(kCounterSrc), evalRanked(200));
+    uint64_t count_toggles = 0;
+    for (const auto &sig : report.signals) {
+        EXPECT_GT(sig.toggles, 0u) << sig.name
+            << ": zero-toggle signals must be dropped";
+        if (sig.name == "count")
+            count_toggles = sig.toggles;
+    }
+    // The counter increments on roughly half the cycles (whenever the
+    // random `in` is high); it cannot toggle more than once per cycle.
+    EXPECT_GT(count_toggles, 20u);
+    EXPECT_LE(count_toggles, 200u);
+}
+
+TEST(Profiler, EvalRankedReportIsDeterministic)
+{
+    ProfileOptions opts = evalRanked(150);
+    ProfileReport a = profileDesign(elaborate(kCounterSrc), opts);
+    ProfileReport b = profileDesign(elaborate(kCounterSrc), opts);
+    ASSERT_EQ(a.rows.size(), b.rows.size());
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].label, b.rows[i].label);
+        EXPECT_EQ(a.rows[i].evals, b.rows[i].evals);
+    }
+    ASSERT_EQ(a.signals.size(), b.signals.size());
+    for (size_t i = 0; i < a.signals.size(); ++i) {
+        EXPECT_EQ(a.signals[i].name, b.signals[i].name);
+        EXPECT_EQ(a.signals[i].toggles, b.signals[i].toggles);
+    }
+    EXPECT_EQ(a.settleCalls, b.settleCalls);
+    EXPECT_EQ(a.maxSettleDepth, b.maxSettleDepth);
+}
+
+TEST(Profiler, SeedChangesStimulus)
+{
+    ProfileOptions opts_a = evalRanked(200);
+    ProfileOptions opts_b = evalRanked(200);
+    opts_b.seed = 99;
+    ProfileReport a = profileDesign(elaborate(kCounterSrc), opts_a);
+    ProfileReport b = profileDesign(elaborate(kCounterSrc), opts_b);
+    uint64_t toggles_a = 0, toggles_b = 0;
+    for (const auto &sig : a.signals)
+        toggles_a += sig.toggles;
+    for (const auto &sig : b.signals)
+        toggles_b += sig.toggles;
+    EXPECT_NE(toggles_a, toggles_b)
+        << "different seeds should drive different input sequences";
+}
+
+TEST(Profiler, HonorsFinish)
+{
+    const char *src = R"(
+module m(input clk, input rst);
+    reg [3:0] t;
+    always @(posedge clk) begin
+        if (rst)
+            t <= 4'd0;
+        else begin
+            t <= t + 4'd1;
+            if (t == 4'd5)
+                $finish;
+        end
+    end
+endmodule
+)";
+    ProfileReport report =
+        profileDesign(elaborate(src), evalRanked(1000));
+    EXPECT_TRUE(report.finished);
+    EXPECT_LT(report.cyclesRun, 1000u);
+}
+
+TEST(Profiler, TextReportHasRankedTable)
+{
+    ProfileOptions opts = evalRanked(100);
+    ProfileReport report = profileDesign(elaborate(kCounterSrc), opts);
+    std::string text = renderProfileText(report, opts);
+    EXPECT_NE(text.find("ranked by evals"), std::string::npos);
+    EXPECT_NE(text.find("always @(posedge clk)"), std::string::npos);
+    EXPECT_NE(text.find("assign gated"), std::string::npos);
+    EXPECT_NE(text.find("hot signals"), std::string::npos);
+    EXPECT_NE(text.find("settle:"), std::string::npos);
+}
+
+TEST(Profiler, JsonReportParsesAndCarriesTheRows)
+{
+    ProfileOptions opts = evalRanked(100);
+    ProfileReport report = profileDesign(elaborate(kCounterSrc), opts);
+    std::string json = renderProfileJson(report, opts);
+    std::string error;
+    obs::JsonPtr root = obs::parseJson(json, &error);
+    ASSERT_EQ(error, "");
+    ASSERT_TRUE(root && root->isObject());
+    EXPECT_EQ(root->get("top")->text, "m");
+    EXPECT_DOUBLE_EQ(root->get("cycles_requested")->number, 100);
+    EXPECT_DOUBLE_EQ(root->get("cycles_run")->number, 100);
+    EXPECT_EQ(root->get("rank")->text, "evals");
+    const obs::JsonValue *constructs = root->get("constructs");
+    ASSERT_TRUE(constructs && constructs->isArray());
+    EXPECT_EQ(constructs->elems.size(), report.rows.size());
+    const obs::JsonValue *signals = root->get("signals");
+    ASSERT_TRUE(signals && signals->isArray());
+    EXPECT_EQ(signals->elems.size(), report.signals.size());
+    const obs::JsonValue *settle = root->get("settle");
+    ASSERT_TRUE(settle && settle->isObject());
+    EXPECT_TRUE(settle->get("calls")->isNumber());
+}
+
+} // namespace
+} // namespace hwdbg::sim
