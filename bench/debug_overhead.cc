@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Overhead budget check for the time-travel debug layer (DESIGN.md
+ * §11), mirroring obs_overhead.cc.
+ *
+ * Snapshot support stays compiled into sim::Simulator for every build:
+ * poke() and eval() each test one member pointer (the recording tape)
+ * on their way through. The cost that matters for non-debug users is
+ * that DISABLED path, so this benchmark
+ *
+ *  1. calibrates the ns cost of a never-taken pointer test + branch,
+ *  2. measures the simulator's ns/cycle on a testbed design with
+ *     recording off and counts hook executions per cycle (pokes +
+ *     evals, known from the stimulus shape),
+ *  3. computes the implied disabled-path overhead and FAILS (exit 1)
+ *     when it exceeds 1%.
+ *
+ * It also reports the enabled-path numbers the debugger actually pays —
+ * recording overhead, snapshot size and save/restore time, checkpoint
+ * ring footprint, and replay throughput — for EXPERIMENTS.md; those are
+ * informational, not asserted.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bugbase/designs.hh"
+#include "debug/checkpoint.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/preproc.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+nsSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                    begin)
+        .count();
+}
+
+/** ns per disabled recording hook: a load of a null tape pointer and
+ *  the never-taken branch on it, the exact shape poke()/eval() pay. */
+double
+calibrateDisabledHook()
+{
+    sim::StimulusTape *volatile tape = nullptr;
+    volatile uint64_t sink = 0;
+    constexpr uint64_t kIters = 50'000'000;
+    auto begin = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        if (tape)
+            sink = sink + i;
+    }
+    return nsSince(begin) / static_cast<double>(kIters);
+}
+
+std::unique_ptr<sim::Simulator>
+makeWorkload()
+{
+    std::string src =
+        hdl::preprocess(bugs::designSource("rsd"), {}, "rsd.v");
+    hdl::Design design = hdl::parse(src, "rsd.v");
+    return std::make_unique<sim::Simulator>(
+        elab::elaborate(design, "rsd").mod);
+}
+
+/** ns per simulated cycle; 5 pokes + 2 evals = 7 hook hits/cycle. */
+double
+simNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    auto begin = Clock::now();
+    for (uint32_t t = 0; t < cycles; ++t) {
+        sim.poke("rst", Bits(1, t < 2 ? 1 : 0));
+        sim.poke("in_valid", Bits(1, t & 1));
+        sim.poke("in_data", Bits(8, t * 7));
+        sim.poke("clk", Bits(1, 0));
+        sim.eval();
+        sim.poke("clk", Bits(1, 1));
+        sim.eval();
+    }
+    return nsSince(begin) / cycles;
+}
+
+constexpr double kHookHitsPerCycle = 7.0;
+
+} // namespace
+
+int
+main()
+{
+    double hook_ns = calibrateDisabledHook();
+
+    constexpr uint32_t kCycles = 20000;
+    auto sim = makeWorkload();
+    (void)simNsPerCycle(*sim, 2000); // warm up
+    double off_ns = simNsPerCycle(*sim, kCycles);
+
+    // Enabled path: the same workload while recording a tape.
+    sim::StimulusTape tape;
+    sim->recordStimulus(&tape);
+    double rec_ns = simNsPerCycle(*sim, kCycles);
+    sim->recordStimulus(nullptr);
+
+    // Snapshot cost and size on the warmed-up simulator.
+    constexpr int kSnaps = 200;
+    sim::SimSnapshot snap;
+    auto begin = Clock::now();
+    for (int i = 0; i < kSnaps; ++i)
+        snap = sim->saveState();
+    double save_us = nsSince(begin) / kSnaps / 1e3;
+    begin = Clock::now();
+    for (int i = 0; i < kSnaps; ++i)
+        sim->restoreState(snap);
+    double restore_us = nsSince(begin) / kSnaps / 1e3;
+
+    // Replay throughput: applyStep over the recorded tape on a fresh
+    // simulator — the speed goto-cycle travels at.
+    auto replayer = makeWorkload();
+    begin = Clock::now();
+    for (const auto &step : tape.steps)
+        replayer->applyStep(step);
+    double replay_ns = nsSince(begin) / tape.steps.size();
+    double replay_msteps =
+        1e3 / replay_ns; // steps/ns -> Msteps/s
+
+    // Checkpoint ring footprint at the debugger's default interval.
+    debug::CheckpointRing ring(128, 64);
+    ring.saveInitial(*replayer);
+    for (uint64_t pos = 0; pos < tape.steps.size(); ++pos)
+        ring.maybeSave(pos + 1, *replayer);
+    double ring_mb = ring.totalBytes() / (1024.0 * 1024.0);
+
+    double implied_ns = kHookHitsPerCycle * hook_ns;
+    double overhead_pct = 100.0 * implied_ns / off_ns;
+    double rec_pct = 100.0 * (rec_ns - off_ns) / off_ns;
+
+    std::printf("debug_overhead: snapshot-disabled budget check\n");
+    std::printf("  disabled hook         : %.3f ns/hit\n", hook_ns);
+    std::printf("  sim throughput (off)  : %.1f ns/cycle\n", off_ns);
+    std::printf("  sim throughput (rec)  : %.1f ns/cycle (%+.2f%%)\n",
+                rec_ns, rec_pct);
+    std::printf("  tape                  : %zu steps, %zu bytes\n",
+                tape.steps.size(), tape.sizeBytes());
+    std::printf("  snapshot              : %zu bytes, save %.1f us, "
+                "restore %.1f us\n",
+                snap.sizeBytes(), save_us, restore_us);
+    std::printf("  replay throughput     : %.1f ns/step "
+                "(%.2f Msteps/s)\n",
+                replay_ns, replay_msteps);
+    std::printf("  checkpoint ring       : %zu snapshots, %.2f MiB "
+                "(interval 128)\n",
+                ring.count(), ring_mb);
+    std::printf("  hook hits per cycle   : %.0f\n", kHookHitsPerCycle);
+    std::printf("  implied disabled cost : %.3f ns/cycle = %.4f%%\n",
+                implied_ns, overhead_pct);
+
+    if (overhead_pct >= 1.0) {
+        std::printf("FAIL: disabled-path overhead %.4f%% >= 1%%\n",
+                    overhead_pct);
+        return 1;
+    }
+    std::printf("PASS: disabled-path overhead %.4f%% < 1%%\n",
+                overhead_pct);
+    return 0;
+}

@@ -17,6 +17,12 @@
  *   hwdbg testbed    list | emit <bug-id> [--fixed]
  *   hwdbg profile    <file> [--cycles N] [--seed S] [--rank time|evals]
  *   hwdbg obscheck   <file>...
+ *   hwdbg debug      <file|--bug ID> [--machine] [--script FILE] ...
+ *   hwdbg help       [command]
+ *
+ * The command table below (kCommands) is the single source of truth for
+ * the top-level usage() listing and for `hwdbg help <command>`, so the
+ * help text can no longer drift from the dispatch table.
  *
  * Instrumentation commands print the instrumented Verilog on stdout so
  * it can be fed to a simulator or synthesis flow.
@@ -29,6 +35,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -42,6 +49,10 @@
 #include "core/fsm_monitor.hh"
 #include "core/losscheck.hh"
 #include "core/signalcat.hh"
+#include "bugbase/workloads.hh"
+#include "debug/engine.hh"
+#include "debug/protocol.hh"
+#include "debug/repl.hh"
 #include "elab/elaborate.hh"
 #include "hdl/parser.hh"
 #include "hdl/preproc.hh"
@@ -82,47 +93,45 @@ struct Args
     }
 };
 
+/**
+ * One row per CLI command: the usage()/`hwdbg help` text and the
+ * handler live side by side so they cannot drift apart.
+ */
+struct Command
+{
+    const char *name;
+    /** One-line synopsis shown in the top-level listing. */
+    const char *synopsis;
+    /** One-line description shown in the top-level listing. */
+    const char *summary;
+    /** Full option/semantics text for `hwdbg help <command>`. */
+    const char *detail;
+    int (*fn)(const Args &);
+};
+
+const std::vector<Command> &commands();
+
+const Command *
+findCommand(const std::string &name)
+{
+    for (const auto &cmd : commands())
+        if (name == cmd.name)
+            return &cmd;
+    return nullptr;
+}
+
 [[noreturn]] void
 usage()
 {
+    std::fprintf(stderr, "usage: hwdbg <command> [options]\n\n"
+                         "commands:\n");
+    for (const auto &cmd : commands())
+        std::fprintf(stderr, "  %-34s %s\n", cmd.synopsis, cmd.summary);
     std::fprintf(stderr,
-        "usage: hwdbg <command> [options]\n"
         "\n"
-        "commands:\n"
-        "  parse <file>                      check and pretty-print\n"
-        "  lint <file> [--format text|json] [--rule ID]...\n"
-        "                                    static bug-pattern check\n"
-        "                                    (exit 1 when errors)\n"
-        "  fsm <file>                        detect state machines\n"
-        "  deps <file> --var V [--cycles K]  dependency chain of V\n"
-        "  signalcat <file> [--depth N] [--arm SIG] [--stop SIG]\n"
-        "            [--pre-trigger]         convert $display to a\n"
-        "                                    recording IP\n"
-        "  losscheck <file> --source S --valid V --sink K\n"
-        "                                    instrument for data-loss\n"
-        "                                    localization\n"
-        "  resources <file> [--platform P]   estimate FPGA resources\n"
-        "  timing <file> [--target MHZ]      estimate Fmax\n"
-        "  testbed list                      list the 20 testbed bugs\n"
-        "  testbed emit <id> [--fixed]       print a testbed design\n"
-        "  fuzz [--seeds N] [--start S] [--jobs J] [--cycles C]\n"
-        "       [--oracle NAME]... [--replay SEED] [--self-check]\n"
-        "       [--format text|json]\n"
-        "                                    randomized differential\n"
-        "                                    testing (exit 1 on any\n"
-        "                                    oracle failure); oracles:\n"
-        "                                    roundtrip, differential,\n"
-        "                                    lint, instrument\n"
-        "  profile <file> [--cycles N] [--seed S] [--rank time|evals]\n"
-        "          [--limit N] [--signals N] [--format text|json]\n"
-        "                                    simulate under random\n"
-        "                                    stimulus and rank hot\n"
-        "                                    processes and signals\n"
-        "  obscheck <file>...                validate --trace/--metrics\n"
-        "                                    output files (exit 1 on\n"
-        "                                    schema violations)\n"
+        "'hwdbg help <command>' shows every option of one command.\n"
         "\n"
-        "common options:\n"
+        "common options (valid with every command):\n"
         "  --top M          top module (default: the only/first one)\n"
         "  --define NAME    preprocessor define (repeatable)\n"
         "  --trace FILE     write a Chrome/Perfetto trace of this run\n"
@@ -153,7 +162,11 @@ parseArgs(int argc, char **argv)
                 name == "oracle" || name == "replay" ||
                 name == "trace" || name == "metrics" ||
                 name == "seed" || name == "rank" ||
-                name == "limit" || name == "signals";
+                name == "limit" || name == "signals" ||
+                name == "bug" || name == "script" ||
+                name == "stimulus" || name == "dep" ||
+                name == "loss" || name == "checkpoint-interval" ||
+                name == "checkpoint-capacity";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -170,7 +183,8 @@ parseArgs(int argc, char **argv)
                 args.options[name] = value;
         } else if (args.file.empty() && args.command != "testbed" &&
                    args.command != "fuzz" &&
-                   args.command != "obscheck") {
+                   args.command != "obscheck" &&
+                   args.command != "help") {
             args.file = arg;
         } else {
             args.positional.push_back(arg);
@@ -472,6 +486,113 @@ cmdProfile(const Args &args)
 }
 
 int
+cmdDebug(const Args &args)
+{
+    debug::InstrumentConfig icfg;
+    hdl::ModulePtr base;
+    std::map<std::string, Bits> constants;
+    std::string bugId = args.opt("bug");
+
+    if (!bugId.empty()) {
+        const auto &bug = bugs::bugById(bugId);
+        auto elaborated = bugs::buildDesign(bug, !args.flag("fixed"));
+        base = elaborated.mod;
+        constants = elaborated.constants;
+        // Default to the bug's Fig. 2 monitor setup so the paper-tool
+        // events nearest the root cause are on by default.
+        icfg.fsm = bug.monitors.fsm;
+        icfg.depVariable = bug.monitors.depVariable;
+        icfg.depCycles = bug.monitors.depCycles;
+        icfg.lossCheck = bug.lossCheck;
+    } else {
+        auto elaborated = load(args);
+        base = elaborated.mod;
+        constants = elaborated.constants;
+    }
+
+    if (args.flag("fsm"))
+        icfg.fsm = true;
+    if (args.options.count("dep")) {
+        std::string spec = args.opt("dep");
+        auto colon = spec.rfind(':');
+        if (colon != std::string::npos) {
+            icfg.depCycles = static_cast<int>(
+                parseU64(spec.substr(colon + 1), "--dep cycle count"));
+            spec = spec.substr(0, colon);
+        }
+        icfg.depVariable = spec;
+    }
+    if (args.options.count("loss")) {
+        std::string spec = args.opt("loss");
+        auto c1 = spec.find(':');
+        auto c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+        if (c1 == std::string::npos || c2 == std::string::npos)
+            fatal("--loss expects SOURCE:VALID:SINK");
+        core::LossCheckOptions lc;
+        lc.source = spec.substr(0, c1);
+        lc.sourceValid = spec.substr(c1 + 1, c2 - c1 - 1);
+        lc.sink = spec.substr(c2 + 1);
+        icfg.lossCheck = lc;
+    }
+    icfg.constants = constants;
+    auto instr = debug::instrumentForDebug(*base, icfg);
+
+    sim::StimulusTape tape;
+    if (args.options.count("stimulus")) {
+        tape = debug::loadStimulusFile(args.opt("stimulus"));
+    } else if (!bugId.empty()) {
+        // Record the bug's trigger workload against the instrumented
+        // design; the engine replays it deterministically.
+        const auto &bug = bugs::bugById(bugId);
+        sim::Simulator recorder(instr.module);
+        recorder.recordStimulus(&tape);
+        bugs::runWorkload(bug, recorder);
+        recorder.recordStimulus(nullptr);
+    } else {
+        fatal("debug requires --bug ID or --stimulus FILE "
+              "(the replayable input source)");
+    }
+
+    debug::EngineOptions eopts;
+    eopts.checkpointInterval =
+        parseU64(args.opt("checkpoint-interval", "128"),
+                 "--checkpoint-interval");
+    eopts.checkpointCapacity = static_cast<size_t>(
+        parseU64(args.opt("checkpoint-capacity", "64"),
+                 "--checkpoint-capacity"));
+    eopts.constants = constants;
+    debug::Engine engine(instr.module, std::move(tape), eopts);
+
+    debug::SessionOptions sopts;
+    sopts.machine = args.flag("machine");
+    std::string script = args.opt("script");
+    if (!script.empty()) {
+        std::ifstream in(script);
+        if (!in)
+            fatal("cannot open script '%s'", script.c_str());
+        sopts.echo = !sopts.machine;
+        return debug::runSession(engine, in, std::cout, sopts) ? 1 : 0;
+    }
+    debug::runSession(engine, std::cin, std::cout, sopts);
+    return 0;
+}
+
+int
+cmdHelp(const Args &args)
+{
+    const std::vector<std::string> &names = args.positional;
+    if (names.empty())
+        usage();
+    const Command *cmd = findCommand(names[0]);
+    if (!cmd)
+        fatal("unknown command '%s' (run 'hwdbg' for the list)",
+              names[0].c_str());
+    std::printf("usage: hwdbg %s\n\n%s\n\n%s", cmd->synopsis,
+                cmd->summary, cmd->detail);
+    return 0;
+}
+
+int
 cmdObscheck(const Args &args)
 {
     std::vector<std::string> files = args.positional;
@@ -483,11 +604,29 @@ cmdObscheck(const Args &args)
     for (const auto &path : files) {
         std::string text = readFile(path);
         // Sniff the snapshot kind from the content so one command
-        // covers both --trace and --metrics output.
+        // covers --trace, --metrics, and debug --machine output.
+        // Debug transcripts are JSON-lines: detect them by the hello
+        // object on the first line before whole-file parsing.
+        std::string firstLine = text.substr(0, text.find('\n'));
         std::string error;
-        obs::JsonPtr root = obs::parseJson(text, &error);
         std::string verdict;
         const char *kind = "metrics";
+        obs::JsonPtr hello = obs::parseJson(firstLine, &error);
+        if (hello && hello->isObject() && hello->get("proto") &&
+            hello->get("proto")->isString() &&
+            hello->get("proto")->text == "hwdbg-debug") {
+            kind = "debug transcript";
+            verdict = debug::checkDebugTranscript(text);
+            if (verdict.empty()) {
+                std::printf("%s: ok (%s)\n", path.c_str(), kind);
+            } else {
+                std::printf("%s: INVALID: %s\n", path.c_str(),
+                            verdict.c_str());
+                rc = 1;
+            }
+            continue;
+        }
+        obs::JsonPtr root = obs::parseJson(text, &error);
         if (!root) {
             verdict = error;
         } else if (root->isObject() && root->get("traceEvents")) {
@@ -507,34 +646,126 @@ cmdObscheck(const Args &args)
     return rc;
 }
 
+const std::vector<Command> &
+commands()
+{
+    static const std::vector<Command> table = {
+        {"parse", "parse <file>", "check and pretty-print a design",
+         "options:\n"
+         "  --top M          top module (default: the only/first one)\n"
+         "  --define NAME    preprocessor define (repeatable)\n",
+         cmdParse},
+        {"lint", "lint <file> [--format F] [--rule ID]...",
+         "static bug-pattern check (exit 1 when errors)",
+         "options:\n"
+         "  --format text|json   diagnostic output format\n"
+         "  --rule ID            only run the named rule (repeatable)\n",
+         cmdLint},
+        {"fsm", "fsm <file>", "detect state machines",
+         "Prints each detected FSM with its clock, states, and guarded\n"
+         "transitions (symbolic state names where parameters allow).\n",
+         cmdFsm},
+        {"deps", "deps <file> --var V [--cycles K]",
+         "dependency chain of a variable",
+         "options:\n"
+         "  --var V       variable whose provenance is wanted\n"
+         "  --cycles K    cycle horizon (default 4)\n"
+         "Prints the chain, then the instrumented design on stdout.\n",
+         cmdDeps},
+        {"signalcat",
+         "signalcat <file> [--depth N] [--arm S] [--stop S]",
+         "convert $display to a recording IP",
+         "options:\n"
+         "  --depth N        recorder buffer depth (default 8192)\n"
+         "  --arm SIG        start-event signal\n"
+         "  --stop SIG       stop-event signal\n"
+         "  --pre-trigger    ring buffer holding the last N entries\n",
+         cmdSignalcat},
+        {"losscheck", "losscheck <file> --source S --valid V --sink K",
+         "instrument for data-loss localization",
+         "options:\n"
+         "  --source S    register/input carrying the tracked data\n"
+         "  --valid V     valid signal qualifying the source\n"
+         "  --sink K      register the data should reach\n",
+         cmdLosscheck},
+        {"resources", "resources <file> [--platform P]",
+         "estimate FPGA resources",
+         "options:\n"
+         "  --platform HARP|KC705    normalization target (KC705)\n",
+         cmdResources},
+        {"timing", "timing <file> [--target MHZ]", "estimate Fmax",
+         "options:\n"
+         "  --target MHZ    exit 1 when the estimate misses it\n",
+         cmdTiming},
+        {"testbed", "testbed list | emit <id> [--fixed]",
+         "the 20-bug reproduction testbed",
+         "subcommands:\n"
+         "  list         one line per bug with subclass and root cause\n"
+         "  emit <id>    print the bug's design (--fixed for the fix)\n",
+         cmdTestbed},
+        {"fuzz", "fuzz [--seeds N] [--oracle NAME]...",
+         "randomized differential testing (exit 1 on failure)",
+         "options:\n"
+         "  --seeds N / --start S    seed count and first seed\n"
+         "  --jobs J                 worker threads\n"
+         "  --cycles C               simulated cycles per seed\n"
+         "  --oracle NAME            roundtrip, differential, lint,\n"
+         "                           instrument (repeatable)\n"
+         "  --replay SEED            re-run one seed verbosely\n"
+         "  --self-check             corrupt a known design first\n"
+         "  --format text|json       report format\n",
+         cmdFuzz},
+        {"profile", "profile <file> [--cycles N] [--rank R]",
+         "rank hot processes and signals under random stimulus",
+         "options:\n"
+         "  --cycles N           simulated cycles (default 2000)\n"
+         "  --seed S             stimulus seed\n"
+         "  --rank time|evals    ordering for the process table\n"
+         "  --limit N            processes shown (default 20)\n"
+         "  --signals N          signals shown (default 10)\n"
+         "  --format text|json   report format\n",
+         cmdProfile},
+        {"obscheck", "obscheck <file>...",
+         "validate trace/metrics/debug-transcript files",
+         "Sniffs each file's kind (Chrome trace, metrics snapshot, or\n"
+         "hwdbg-debug machine transcript) and checks it against the\n"
+         "schema; exit 1 on the first violation per file.\n",
+         cmdObscheck},
+        {"debug", "debug <file|--bug ID> [--machine] [--script F]",
+         "interactive time-travel debugger",
+         "stimulus source (exactly one):\n"
+         "  --bug ID             record the testbed bug's trigger\n"
+         "                       workload (--fixed for the fixed design)\n"
+         "  --stimulus FILE      replay a stimulus vector file: one\n"
+         "                       line per eval step of signal=value\n"
+         "                       tokens ('-' = empty step, '#' comment)\n"
+         "monitors (default: the bug's own configuration):\n"
+         "  --fsm                FSM Monitor events (fsm:<var>)\n"
+         "  --dep VAR[:K]        Dependency Monitor events (dep:<var>)\n"
+         "  --loss SRC:VALID:SINK   LossCheck events (loss:<reg>)\n"
+         "session:\n"
+         "  --machine            JSON-lines protocol on stdout\n"
+         "  --script FILE        run commands from FILE, then exit\n"
+         "                       (exit 1 when any command failed)\n"
+         "  --checkpoint-interval N   steps between snapshots (128)\n"
+         "  --checkpoint-capacity N   ring size (64)\n"
+         "Inside the session, 'help' lists the debugger commands.\n",
+         cmdDebug},
+        {"help", "help [command]", "show command documentation",
+         "Without arguments, prints the top-level usage; with a\n"
+         "command name, prints that command's full option list.\n",
+         cmdHelp},
+    };
+    return table;
+}
+
 int
 dispatch(const Args &args)
 {
-    if (args.command == "parse")
-        return cmdParse(args);
-    if (args.command == "lint")
-        return cmdLint(args);
-    if (args.command == "fsm")
-        return cmdFsm(args);
-    if (args.command == "deps")
-        return cmdDeps(args);
-    if (args.command == "signalcat")
-        return cmdSignalcat(args);
-    if (args.command == "losscheck")
-        return cmdLosscheck(args);
-    if (args.command == "resources")
-        return cmdResources(args);
-    if (args.command == "timing")
-        return cmdTiming(args);
-    if (args.command == "testbed")
-        return cmdTestbed(args);
-    if (args.command == "fuzz")
-        return cmdFuzz(args);
-    if (args.command == "profile")
-        return cmdProfile(args);
-    if (args.command == "obscheck")
-        return cmdObscheck(args);
-    usage();
+    const Command *cmd = findCommand(args.command);
+    if (!cmd)
+        usage();
+    return cmd->fn(args);
 }
 
 } // namespace

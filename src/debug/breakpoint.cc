@@ -1,0 +1,131 @@
+#include "debug/breakpoint.hh"
+
+#include <algorithm>
+
+namespace hwdbg::debug
+{
+
+const char *
+breakpointKindName(Breakpoint::Kind kind)
+{
+    switch (kind) {
+      case Breakpoint::Kind::Expr:
+        return "break";
+      case Breakpoint::Kind::Watch:
+        return "watch";
+      case Breakpoint::Kind::Event:
+        return "event";
+    }
+    return "?";
+}
+
+int
+BreakpointSet::add(Breakpoint::Kind kind, const std::string &spec,
+                   hdl::ExprPtr expr, sim::EvalContext &ctx)
+{
+    Breakpoint bp;
+    bp.id = nextId_++;
+    bp.kind = kind;
+    bp.spec = spec;
+    bp.expr = std::move(expr);
+    if (bp.kind == Breakpoint::Kind::Expr)
+        bp.lastBool = sim::evalBool(bp.expr, ctx);
+    else if (bp.kind == Breakpoint::Kind::Watch)
+        bp.lastValue = sim::evalExpr(bp.expr, ctx);
+    bps_.push_back(std::move(bp));
+    return bps_.back().id;
+}
+
+bool
+BreakpointSet::remove(int id)
+{
+    auto it = std::find_if(bps_.begin(), bps_.end(),
+                           [&](const Breakpoint &bp) { return bp.id == id; });
+    if (it == bps_.end())
+        return false;
+    bps_.erase(it);
+    return true;
+}
+
+bool
+BreakpointSet::setEnabled(int id, bool enabled)
+{
+    for (auto &bp : bps_) {
+        if (bp.id == id) {
+            bp.enabled = enabled;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+BreakpointSet::eventMatches(const std::string &spec, const std::string &key)
+{
+    if (spec == key)
+        return true;
+    // Bare category ("fsm") matches "fsm:<anything>".
+    return spec.find(':') == std::string::npos &&
+           key.size() > spec.size() && key[spec.size()] == ':' &&
+           key.compare(0, spec.size(), spec) == 0;
+}
+
+std::vector<int>
+BreakpointSet::check(sim::EvalContext &ctx,
+                     const std::vector<DebugEvent> &events)
+{
+    std::vector<int> fired;
+    for (auto &bp : bps_) {
+        bool hit = false;
+        switch (bp.kind) {
+          case Breakpoint::Kind::Expr: {
+            bool now = sim::evalBool(bp.expr, ctx);
+            hit = now && !bp.lastBool;
+            bp.lastBool = now;
+            break;
+          }
+          case Breakpoint::Kind::Watch: {
+            Bits now = sim::evalExpr(bp.expr, ctx);
+            hit = now != bp.lastValue;
+            bp.lastValue = now;
+            break;
+          }
+          case Breakpoint::Kind::Event:
+            for (const auto &ev : events) {
+                if (eventMatches(bp.spec, ev.key)) {
+                    hit = true;
+                    break;
+                }
+            }
+            break;
+        }
+        if (hit && bp.enabled) {
+            ++bp.hits;
+            fired.push_back(bp.id);
+        }
+    }
+    return fired;
+}
+
+void
+BreakpointSet::rebase(sim::EvalContext &ctx)
+{
+    for (auto &bp : bps_) {
+        if (bp.kind == Breakpoint::Kind::Expr)
+            bp.lastBool = sim::evalBool(bp.expr, ctx);
+        else if (bp.kind == Breakpoint::Kind::Watch)
+            bp.lastValue = sim::evalExpr(bp.expr, ctx);
+    }
+}
+
+const Breakpoint *
+BreakpointSet::find(int id) const
+{
+    for (const auto &bp : bps_) {
+        if (bp.id == id)
+            return &bp;
+    }
+    return nullptr;
+}
+
+} // namespace hwdbg::debug

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Conditional breakpoints, watchpoints, and paper-tool event breaks.
+ *
+ * Three kinds, all checked after every stimulus step (sub-cycle
+ * granularity — both clock phases are visible):
+ *
+ *  - Expr: a Verilog boolean expression over design signals
+ *    (`state == 3 && fifo_full`); fires on the false -> true edge so a
+ *    condition that stays true does not re-trigger every step.
+ *  - Watch: any expression; fires whenever its value changes.
+ *  - Event: a named debugger event produced by the paper's monitors
+ *    (`fsm:ctrl_state`, `dep:req_data`, `loss:vm0_stage`); fires when
+ *    the step emits a matching event. The bare category (`fsm`, `dep`,
+ *    `loss`) matches every event of that kind.
+ *
+ * Edge/change baselines are rebased after time travel so a breakpoint
+ * never fires "on arrival" at a restored state.
+ */
+
+#ifndef HWDBG_DEBUG_BREAKPOINT_HH
+#define HWDBG_DEBUG_BREAKPOINT_HH
+
+#include <string>
+#include <vector>
+
+#include "hdl/ast.hh"
+#include "sim/eval.hh"
+
+namespace hwdbg::debug
+{
+
+/** A named occurrence surfaced from the paper's instrumentation. */
+struct DebugEvent
+{
+    /** "fsm:<var>", "dep:<var>", or "loss:<reg>". */
+    std::string key;
+    uint64_t cycle = 0;
+    /** Human-readable payload (transition, new value, ...). */
+    std::string detail;
+};
+
+struct Breakpoint
+{
+    enum class Kind { Expr, Watch, Event };
+
+    int id = 0;
+    Kind kind = Kind::Expr;
+    /** Source text of the condition / watched expr / event key. */
+    std::string spec;
+    /** Parsed + annotated expression (null for Event). */
+    hdl::ExprPtr expr;
+    bool enabled = true;
+    uint64_t hits = 0;
+
+    /** Edge baseline (Expr). */
+    bool lastBool = false;
+    /** Change baseline (Watch). */
+    Bits lastValue;
+};
+
+const char *breakpointKindName(Breakpoint::Kind kind);
+
+class BreakpointSet
+{
+  public:
+    /** Add a parsed breakpoint/watchpoint; baseline is taken from
+     *  @p ctx immediately. Returns the assigned id. */
+    int add(Breakpoint::Kind kind, const std::string &spec,
+            hdl::ExprPtr expr, sim::EvalContext &ctx);
+
+    bool remove(int id);
+    bool setEnabled(int id, bool enabled);
+
+    /**
+     * Evaluate every enabled breakpoint against post-step state and
+     * the step's events; returns the ids that fired (baselines
+     * updated). Disabled breakpoints still track baselines so enabling
+     * them later behaves like a fresh add.
+     */
+    std::vector<int> check(sim::EvalContext &ctx,
+                           const std::vector<DebugEvent> &events);
+
+    /** Re-take every baseline from @p ctx (after restore/goto). */
+    void rebase(sim::EvalContext &ctx);
+
+    const std::vector<Breakpoint> &all() const { return bps_; }
+    const Breakpoint *find(int id) const;
+
+  private:
+    static bool eventMatches(const std::string &spec,
+                             const std::string &key);
+
+    std::vector<Breakpoint> bps_;
+    int nextId_ = 1;
+};
+
+} // namespace hwdbg::debug
+
+#endif // HWDBG_DEBUG_BREAKPOINT_HH

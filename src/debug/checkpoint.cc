@@ -1,0 +1,72 @@
+#include "debug/checkpoint.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace hwdbg::debug
+{
+
+CheckpointRing::CheckpointRing(uint64_t interval, size_t capacity)
+    : interval_(interval), capacity_(capacity ? capacity : 1)
+{
+}
+
+void
+CheckpointRing::saveInitial(const sim::Simulator &sim)
+{
+    initial_.position = 0;
+    initial_.cycle = sim.cycle();
+    initial_.snap = sim.saveState();
+    haveInitial_ = true;
+    HWDBG_STAT_MAX("debug.checkpoint_bytes", totalBytes());
+}
+
+void
+CheckpointRing::maybeSave(uint64_t position, const sim::Simulator &sim)
+{
+    if (interval_ == 0 || position == 0 || position % interval_ != 0)
+        return;
+    for (const auto &cp : ring_) {
+        if (cp.position == position)
+            return;
+    }
+    Checkpoint cp;
+    cp.position = position;
+    cp.cycle = sim.cycle();
+    cp.snap = sim.saveState();
+    // Keep the deque sorted: replay re-saves arrive out of order
+    // relative to positions already present.
+    auto it = std::upper_bound(ring_.begin(), ring_.end(), position,
+                               [](uint64_t pos, const Checkpoint &c) {
+                                   return pos < c.position;
+                               });
+    ring_.insert(it, std::move(cp));
+    if (ring_.size() > capacity_)
+        ring_.pop_front();
+    HWDBG_STAT_INC("debug.checkpoints_saved", 1);
+    HWDBG_STAT_MAX("debug.checkpoint_bytes", totalBytes());
+}
+
+const Checkpoint *
+CheckpointRing::nearestAtOrBefore(uint64_t position) const
+{
+    const Checkpoint *best = haveInitial_ ? &initial_ : nullptr;
+    for (const auto &cp : ring_) {
+        if (cp.position > position)
+            break;
+        best = &cp;
+    }
+    return best;
+}
+
+size_t
+CheckpointRing::totalBytes() const
+{
+    size_t total = haveInitial_ ? initial_.snap.sizeBytes() : 0;
+    for (const auto &cp : ring_)
+        total += cp.snap.sizeBytes();
+    return total;
+}
+
+} // namespace hwdbg::debug

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Periodic checkpoint ring for time-travel debugging.
+ *
+ * The engine snapshots the simulator every N stimulus steps into a
+ * bounded ring. Travelling backwards restores the nearest checkpoint at
+ * or before the target position and deterministically replays the
+ * recorded stimulus from there — the classic checkpoint-and-replay
+ * scheme (gdb process record, Mozilla rr) applied to cycle simulation.
+ *
+ * The snapshot of position 0 (the freshly-constructed simulator) is
+ * pinned outside the ring so any position stays reachable even after
+ * eviction, at the cost of a longer replay.
+ */
+
+#ifndef HWDBG_DEBUG_CHECKPOINT_HH
+#define HWDBG_DEBUG_CHECKPOINT_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/simulator.hh"
+
+namespace hwdbg::debug
+{
+
+struct Checkpoint
+{
+    /** Stimulus steps applied when the snapshot was taken. */
+    uint64_t position = 0;
+    uint64_t cycle = 0;
+    sim::SimSnapshot snap;
+};
+
+class CheckpointRing
+{
+  public:
+    /**
+     * @param interval Steps between periodic snapshots (0 disables
+     *                 periodic checkpoints; only position 0 is kept).
+     * @param capacity Max periodic snapshots retained (oldest evicted).
+     */
+    CheckpointRing(uint64_t interval, size_t capacity);
+
+    /** Pin the position-0 snapshot (call once, before any step). */
+    void saveInitial(const sim::Simulator &sim);
+
+    /**
+     * Snapshot @p sim if @p position is on the periodic grid and not
+     * already present. Safe to call during replay: revisited positions
+     * are only re-saved after their checkpoint was evicted.
+     */
+    void maybeSave(uint64_t position, const sim::Simulator &sim);
+
+    /** Best restore point for travelling to @p position (never null
+     *  once saveInitial() ran). */
+    const Checkpoint *nearestAtOrBefore(uint64_t position) const;
+
+    uint64_t interval() const { return interval_; }
+    /** Periodic checkpoints currently held (excludes the pinned one). */
+    size_t count() const { return ring_.size(); }
+    /** Total footprint of every held snapshot, pinned one included. */
+    size_t totalBytes() const;
+
+  private:
+    uint64_t interval_;
+    size_t capacity_;
+    bool haveInitial_ = false;
+    Checkpoint initial_;
+    /** Sorted by position (saves always happen at increasing positions
+     *  within one forward pass; replay re-saves fill gaps in order). */
+    std::deque<Checkpoint> ring_;
+};
+
+} // namespace hwdbg::debug
+
+#endif // HWDBG_DEBUG_CHECKPOINT_HH

@@ -1,0 +1,288 @@
+#include "debug/protocol.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/jsoncheck.hh"
+
+namespace hwdbg::debug
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonObject::key(const std::string &k)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += jsonEscape(k);
+    body_ += "\":";
+}
+
+JsonObject &
+JsonObject::field(const std::string &k, const std::string &value)
+{
+    key(k);
+    body_ += '"';
+    body_ += jsonEscape(value);
+    body_ += '"';
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(const std::string &k, int64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(const std::string &k, uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+JsonObject &
+JsonObject::field(const std::string &k, bool value)
+{
+    key(k);
+    body_ += value ? "true" : "false";
+    return *this;
+}
+
+JsonObject &
+JsonObject::raw(const std::string &k, const std::string &json)
+{
+    key(k);
+    body_ += json;
+    return *this;
+}
+
+std::string
+jsonArray(const std::vector<std::string> &elems)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < elems.size(); ++i) {
+        if (i)
+            out += ",";
+        out += elems[i];
+    }
+    return out + "]";
+}
+
+Request
+parseRequestLine(const std::string &line)
+{
+    Request req;
+
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return req; // empty; caller skips empty cmd
+
+    if (line[first] == '{') {
+        std::string error;
+        obs::JsonPtr root = obs::parseJson(line, &error);
+        if (!root || !root->isObject()) {
+            req.error = "bad JSON request: " + error;
+            return req;
+        }
+        if (const auto *id = root->get("id"); id && id->isNumber()) {
+            req.hasId = true;
+            req.id = static_cast<int64_t>(id->number);
+        }
+        const auto *cmd = root->get("cmd");
+        if (!cmd || !cmd->isString()) {
+            req.error = "request is missing a string \"cmd\"";
+            return req;
+        }
+        req.cmd = cmd->text;
+        if (const auto *args = root->get("args")) {
+            if (!args->isArray()) {
+                req.error = "\"args\" must be an array of strings";
+                return req;
+            }
+            for (const auto &elem : args->elems) {
+                if (!elem->isString()) {
+                    req.error = "\"args\" must be an array of strings";
+                    return req;
+                }
+                // Multi-word argument strings normalize to the same
+                // token stream a bare command line produces.
+                std::istringstream toks(elem->text);
+                std::string tok;
+                while (toks >> tok)
+                    req.args.push_back(tok);
+            }
+        }
+        return req;
+    }
+
+    if (line[first] == '#')
+        return req; // comment line
+
+    std::istringstream toks(line);
+    toks >> req.cmd;
+    std::string tok;
+    while (toks >> tok)
+        req.args.push_back(tok);
+    return req;
+}
+
+namespace
+{
+
+std::string
+checkStateObject(const obs::JsonValue &state)
+{
+    if (state.kind != obs::JsonValue::Kind::Object)
+        return "\"state\" is not an object";
+    static const char *keys[] = {"cycle", "step", "finished", "end"};
+    if (state.members.size() != 4)
+        return "\"state\" must have exactly cycle/step/finished/end";
+    for (size_t i = 0; i < 4; ++i) {
+        if (state.members[i].first != keys[i])
+            return csprintf("state field %zu must be \"%s\"", i, keys[i]);
+        const auto &val = *state.members[i].second;
+        bool wantBool = i >= 2;
+        if (wantBool && val.kind != obs::JsonValue::Kind::Bool)
+            return csprintf("state.%s must be a boolean", keys[i]);
+        if (!wantBool && !val.isNumber())
+            return csprintf("state.%s must be a number", keys[i]);
+    }
+    return "";
+}
+
+std::string
+checkResponseObject(const obs::JsonValue &obj)
+{
+    const auto &m = obj.members;
+    size_t i = 0;
+    auto has = [&](const char *k) {
+        return i < m.size() && m[i].first == k;
+    };
+
+    if (!has("id"))
+        return "first field must be \"id\"";
+    if (!m[i].second->isNumber() &&
+        m[i].second->kind != obs::JsonValue::Kind::Null)
+        return "\"id\" must be a number or null";
+    ++i;
+
+    if (!has("ok"))
+        return "second field must be \"ok\"";
+    if (m[i].second->kind != obs::JsonValue::Kind::Bool)
+        return "\"ok\" must be a boolean";
+    bool ok = m[i].second->boolean;
+    ++i;
+
+    if (has("error")) {
+        if (ok)
+            return "\"error\" is only allowed when ok is false";
+        if (!m[i].second->isString())
+            return "\"error\" must be a string";
+        ++i;
+    } else if (!ok) {
+        return "failed responses must carry \"error\"";
+    }
+
+    if (!has("cmd"))
+        return "expected \"cmd\" after ok/error";
+    if (!m[i].second->isString())
+        return "\"cmd\" must be a string";
+    ++i;
+
+    if (has("payload")) {
+        if (m[i].second->kind != obs::JsonValue::Kind::Object)
+            return "\"payload\" must be an object";
+        ++i;
+    }
+
+    if (!has("state"))
+        return "expected \"state\" as the final field";
+    std::string err = checkStateObject(*m[i].second);
+    if (!err.empty())
+        return err;
+    ++i;
+
+    if (i != m.size())
+        return "unexpected field \"" + m[i].first + "\" after state";
+    return "";
+}
+
+} // namespace
+
+std::string
+checkDebugTranscript(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    bool sawHello = false;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            return csprintf("line %d: empty line", lineno);
+        std::string error;
+        obs::JsonPtr root = obs::parseJson(line, &error);
+        if (!root)
+            return csprintf("line %d: %s", lineno, error.c_str());
+        if (root->kind != obs::JsonValue::Kind::Object)
+            return csprintf("line %d: not a JSON object", lineno);
+        if (!sawHello) {
+            const auto &m = root->members;
+            if (m.size() < 2 || m[0].first != "proto" ||
+                !m[0].second->isString() ||
+                m[0].second->text != "hwdbg-debug")
+                return csprintf(
+                    "line %d: first line must be the hwdbg-debug hello",
+                    lineno);
+            if (m[1].first != "version" || !m[1].second->isNumber())
+                return csprintf("line %d: hello must carry a version",
+                                lineno);
+            sawHello = true;
+            continue;
+        }
+        std::string err = checkResponseObject(*root);
+        if (!err.empty())
+            return csprintf("line %d: %s", lineno, err.c_str());
+    }
+    if (!sawHello)
+        return "transcript is empty";
+    return "";
+}
+
+} // namespace hwdbg::debug

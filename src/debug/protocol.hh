@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The hwdbg debug machine protocol: JSON-lines request/response.
+ *
+ * Machine mode (`hwdbg debug --machine`) speaks one JSON object per
+ * line, synchronously: every request line yields exactly one response
+ * line, in order. The first output line is the hello object; no output
+ * is produced unprompted after it, so a transcript is a deterministic
+ * function of the session script (the golden-diff property
+ * tests/cli_debug.cmake relies on).
+ *
+ *   hello     {"proto":"hwdbg-debug","version":1,"design":...,
+ *              "steps":N,"signals":N}
+ *   response  {"id":<n|null>,"ok":true,["error":...,]"cmd":...,
+ *              ["payload":{...},]
+ *              "state":{"cycle":N,"step":N,"finished":b,"end":b}}
+ *
+ * Field order is fixed exactly as above; checkDebugTranscript()
+ * enforces it (the obscheck-style schema validation for this format).
+ * Requests are either JSON objects {"id":1,"cmd":"break",
+ * "args":["state == 3"]} or bare REPL command lines ("break state ==
+ * 3") — both forms normalize to the same Request, so the same script
+ * file drives human and machine sessions.
+ */
+
+#ifndef HWDBG_DEBUG_PROTOCOL_HH
+#define HWDBG_DEBUG_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwdbg::debug
+{
+
+/** A normalized request: a command word plus argument tokens. */
+struct Request
+{
+    bool hasId = false;
+    int64_t id = 0;
+    std::string cmd;
+    std::vector<std::string> args;
+    /** Non-empty when the line could not be parsed. */
+    std::string error;
+};
+
+/** Parse one input line (JSON object or bare command text). */
+Request parseRequestLine(const std::string &line);
+
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Ordered JSON object writer: fields appear exactly in call order,
+ * which is what gives machine transcripts their byte determinism.
+ */
+class JsonObject
+{
+  public:
+    JsonObject &field(const std::string &key, const std::string &value);
+    JsonObject &field(const std::string &key, int64_t value);
+    JsonObject &field(const std::string &key, uint64_t value);
+    JsonObject &field(const std::string &key, bool value);
+    /** Pre-rendered JSON (nested object/array/null). */
+    JsonObject &raw(const std::string &key, const std::string &json);
+
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    void key(const std::string &k);
+    std::string body_;
+};
+
+/** Render a JSON array from pre-rendered element strings. */
+std::string jsonArray(const std::vector<std::string> &elems);
+
+/**
+ * Validate a machine-mode transcript: hello line first, then response
+ * objects with the exact field order and state shape documented above.
+ * Returns "" when valid, else "line N: reason".
+ */
+std::string checkDebugTranscript(const std::string &text);
+
+} // namespace hwdbg::debug
+
+#endif // HWDBG_DEBUG_PROTOCOL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Debugger session driver: command dispatch plus the two frontends.
+ *
+ * One command set, two renderings: the human REPL prints gdb-flavored
+ * text, machine mode prints the protocol.hh JSON-lines format. Both
+ * read the same command language, so a --script file authored against
+ * the REPL drives machine-mode goldens unchanged.
+ *
+ * Commands (also printed by `help`):
+ *   run                      run until a breakpoint / $finish / tape end
+ *   step [n]                 advance n clock cycles (default 1)
+ *   run-until <expr>         run until the expression becomes true
+ *   break <expr>             conditional breakpoint (false -> true edge)
+ *   break event <key>        break on a paper-tool event (fsm:/dep:/loss:)
+ *   watch <expr>             stop whenever the expression changes value
+ *   delete <id>              remove a breakpoint
+ *   enable <id> | disable <id>
+ *   info breakpoints         list breakpoints with hit counts
+ *   info checkpoints         checkpoint ring and replay statistics
+ *   print <expr>             evaluate an expression against current state
+ *   backtrace <reg> [k]      k-cycle dependency chain with current values
+ *   reverse-step [n]         travel n cycles backwards (default 1)
+ *   goto-cycle <n>           travel to an absolute cycle
+ *   events                   paper-tool events seen up to this point
+ *   log [n]                  last n $display lines (default 10)
+ *   help [command]           command list / one command's usage
+ *   quit                     end the session
+ */
+
+#ifndef HWDBG_DEBUG_REPL_HH
+#define HWDBG_DEBUG_REPL_HH
+
+#include <iosfwd>
+
+#include "debug/engine.hh"
+
+namespace hwdbg::debug
+{
+
+struct SessionOptions
+{
+    /** Emit the JSON-lines protocol instead of human text. */
+    bool machine = false;
+    /** Echo each command before its output (script-driven human
+     *  sessions; machine responses carry the command instead). */
+    bool echo = false;
+};
+
+/**
+ * Drive a debugger session: read commands from @p in until EOF or
+ * `quit`, writing responses to @p out. Returns the number of commands
+ * that failed (0 for a clean session).
+ */
+int runSession(Engine &engine, std::istream &in, std::ostream &out,
+               const SessionOptions &opts);
+
+} // namespace hwdbg::debug
+
+#endif // HWDBG_DEBUG_REPL_HH

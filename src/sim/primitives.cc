@@ -31,6 +31,86 @@ Primitive::param(const std::string &name, int64_t def) const
           inst_->instName.c_str(), inst_->moduleName.c_str(), name.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Snapshot byte codec. Blobs are little-endian and self-delimiting;
+// each primitive reads back exactly what it wrote.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+}
+
+uint64_t
+getU64(const uint8_t *&cursor, const uint8_t *end)
+{
+    if (end - cursor < 8)
+        fatal("primitive snapshot blob is truncated");
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<uint64_t>(cursor[i]) << (8 * i);
+    cursor += 8;
+    return value;
+}
+
+void
+putBits(std::vector<uint8_t> &out, const Bits &bits)
+{
+    putU64(out, bits.width());
+    for (uint32_t lo = 0; lo < bits.width(); lo += 64)
+        putU64(out, bits.slice(lo + 63, lo).toU64());
+}
+
+Bits
+getBits(const uint8_t *&cursor, const uint8_t *end)
+{
+    uint32_t width = static_cast<uint32_t>(getU64(cursor, end));
+    Bits bits(width == 0 ? 1 : width, 0);
+    for (uint32_t lo = 0; lo < width; lo += 64) {
+        uint32_t hi = lo + 63 < width ? lo + 63 : width - 1;
+        bits.setSlice(hi, lo, Bits(64, getU64(cursor, end)));
+    }
+    return bits;
+}
+
+void
+putQueue(std::vector<uint8_t> &out, const std::deque<Bits> &queue)
+{
+    putU64(out, queue.size());
+    for (const auto &entry : queue)
+        putBits(out, entry);
+}
+
+std::deque<Bits>
+getQueue(const uint8_t *&cursor, const uint8_t *end)
+{
+    size_t count = getU64(cursor, end);
+    std::deque<Bits> queue;
+    for (size_t i = 0; i < count; ++i)
+        queue.push_back(getBits(cursor, end));
+    return queue;
+}
+
+} // namespace
+
+void
+Primitive::saveState(std::vector<uint8_t> &out) const
+{
+    (void)out;
+}
+
+void
+Primitive::restoreState(const uint8_t *&cursor, const uint8_t *end)
+{
+    (void)cursor;
+    (void)end;
+}
+
 bool
 Primitive::hasPort(const std::string &formal) const
 {
@@ -123,6 +203,20 @@ Scfifo::clockEdge(const std::string &clock_port, EvalContext &ctx)
     driveStatus(ctx);
 }
 
+void
+Scfifo::saveState(std::vector<uint8_t> &out) const
+{
+    putQueue(out, queue_);
+    putBits(out, qReg_);
+}
+
+void
+Scfifo::restoreState(const uint8_t *&cursor, const uint8_t *end)
+{
+    queue_ = getQueue(cursor, end);
+    qReg_ = getBits(cursor, end);
+}
+
 // ---------------------------------------------------------------------
 // Dcfifo
 // ---------------------------------------------------------------------
@@ -175,6 +269,20 @@ Dcfifo::clockEdge(const std::string &clock_port, EvalContext &ctx)
     writePort("rdempty", Bits(1, queue_.empty() ? 1 : 0), ctx);
 }
 
+void
+Dcfifo::saveState(std::vector<uint8_t> &out) const
+{
+    putQueue(out, queue_);
+    putBits(out, qReg_);
+}
+
+void
+Dcfifo::restoreState(const uint8_t *&cursor, const uint8_t *end)
+{
+    queue_ = getQueue(cursor, end);
+    qReg_ = getBits(cursor, end);
+}
+
 // ---------------------------------------------------------------------
 // Altsyncram
 // ---------------------------------------------------------------------
@@ -216,6 +324,26 @@ Altsyncram::clockEdge(const std::string &clock_port, EvalContext &ctx)
         mem_[addr_a] = data;
 
     writePort("q_b", qReg_, ctx);
+}
+
+void
+Altsyncram::saveState(std::vector<uint8_t> &out) const
+{
+    putU64(out, mem_.size());
+    for (const auto &word : mem_)
+        putBits(out, word);
+    putBits(out, qReg_);
+}
+
+void
+Altsyncram::restoreState(const uint8_t *&cursor, const uint8_t *end)
+{
+    size_t words = getU64(cursor, end);
+    mem_.clear();
+    mem_.reserve(words);
+    for (size_t i = 0; i < words; ++i)
+        mem_.push_back(getBits(cursor, end));
+    qReg_ = getBits(cursor, end);
 }
 
 // ---------------------------------------------------------------------
@@ -279,6 +407,36 @@ SignalRecorder::clockEdge(const std::string &clock_port, EvalContext &ctx)
     buffer_[next_] = std::move(entry);
     next_ = (next_ + 1) % depth_;
     wrappedAround_ = true;
+}
+
+void
+SignalRecorder::saveState(std::vector<uint8_t> &out) const
+{
+    putU64(out, buffer_.size());
+    for (const auto &entry : buffer_) {
+        putU64(out, entry.cycle);
+        putBits(out, entry.data);
+    }
+    putU64(out, next_);
+    putU64(out, (wrappedAround_ ? 1u : 0u) | (overflowed_ ? 2u : 0u) |
+                    (stopped_ ? 4u : 0u));
+}
+
+void
+SignalRecorder::restoreState(const uint8_t *&cursor, const uint8_t *end)
+{
+    size_t count = getU64(cursor, end);
+    buffer_.clear();
+    buffer_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        uint64_t cycle = getU64(cursor, end);
+        buffer_.push_back(Entry{cycle, getBits(cursor, end)});
+    }
+    next_ = getU64(cursor, end);
+    uint64_t flags = getU64(cursor, end);
+    wrappedAround_ = (flags & 1) != 0;
+    overflowed_ = (flags & 2) != 0;
+    stopped_ = (flags & 4) != 0;
 }
 
 std::vector<SignalRecorder::Entry>

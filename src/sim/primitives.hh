@@ -52,6 +52,19 @@ class Primitive
     /** Resolved parameter value (fatal when absent and no default). */
     uint64_t param(const std::string &name, int64_t def = -1) const;
 
+    /**
+     * Append the dynamic state (queues, memories, capture buffers) to
+     * @p out as an opaque blob; the base class has none. Snapshot
+     * support: Simulator::saveState() collects one blob per instance.
+     */
+    virtual void saveState(std::vector<uint8_t> &out) const;
+
+    /**
+     * Restore state written by saveState(); @p cursor advances past the
+     * consumed bytes (fatal on a truncated blob).
+     */
+    virtual void restoreState(const uint8_t *&cursor, const uint8_t *end);
+
   protected:
     bool hasPort(const std::string &formal) const;
     Bits readPort(const std::string &formal, EvalContext &ctx,
@@ -81,6 +94,9 @@ class Scfifo : public Primitive
 
     size_t occupancy() const { return queue_.size(); }
 
+    void saveState(std::vector<uint8_t> &out) const override;
+    void restoreState(const uint8_t *&cursor, const uint8_t *end) override;
+
   private:
     void driveStatus(EvalContext &ctx);
 
@@ -103,6 +119,9 @@ class Dcfifo : public Primitive
     void clockEdge(const std::string &clock_port, EvalContext &ctx)
         override;
 
+    void saveState(std::vector<uint8_t> &out) const override;
+    void restoreState(const uint8_t *&cursor, const uint8_t *end) override;
+
   private:
     uint32_t width_;
     uint32_t depth_;
@@ -124,6 +143,9 @@ class Altsyncram : public Primitive
     void reset(EvalContext &ctx) override;
     void clockEdge(const std::string &clock_port, EvalContext &ctx)
         override;
+
+    void saveState(std::vector<uint8_t> &out) const override;
+    void restoreState(const uint8_t *&cursor, const uint8_t *end) override;
 
   private:
     uint32_t width_;
@@ -169,6 +191,9 @@ class SignalRecorder : public Primitive
     bool stopped() const { return stopped_; }
     uint32_t dataWidth() const { return width_; }
     bool ringMode() const { return ring_; }
+
+    void saveState(std::vector<uint8_t> &out) const override;
+    void restoreState(const uint8_t *&cursor, const uint8_t *end) override;
 
   private:
     uint32_t width_;

@@ -52,6 +52,116 @@ Simulator::Simulator(ModulePtr elaborated)
 
 Simulator::~Simulator() = default;
 
+namespace
+{
+
+/** In-memory footprint of a Bits value (words + width header). */
+size_t
+bitsBytes(const Bits &bits)
+{
+    return 8 + ((bits.width() + 63) / 64) * 8;
+}
+
+} // namespace
+
+size_t
+StimulusTape::sizeBytes() const
+{
+    size_t total = sizeof(*this);
+    for (const auto &step : steps) {
+        total += sizeof(step);
+        for (const auto &[name, value] : step.pokes)
+            total += name.size() + bitsBytes(value);
+    }
+    return total;
+}
+
+size_t
+SimSnapshot::sizeBytes() const
+{
+    size_t total = sizeof(*this);
+    for (const auto &value : values)
+        total += bitsBytes(value);
+    for (const auto &array : arrays)
+        for (const auto &element : array)
+            total += bitsBytes(element);
+    for (const auto &line : log)
+        total += sizeof(line) + line.text.size();
+    for (const auto &[name, level] : prevClocks)
+        total += name.size() + sizeof(level);
+    total += prevPrimClocks.size() / 8 + 1;
+    for (const auto &write : nba)
+        total += sizeof(write.target) + bitsBytes(write.value);
+    for (const auto &blob : primStates)
+        total += blob.size();
+    return total;
+}
+
+void
+Simulator::recordStimulus(StimulusTape *tape)
+{
+    tape_ = tape;
+    pendingStep_.pokes.clear();
+}
+
+void
+Simulator::applyStep(const StimulusStep &step)
+{
+    for (const auto &[name, value] : step.pokes)
+        poke(name, value);
+    eval();
+}
+
+SimSnapshot
+Simulator::saveState() const
+{
+    SimSnapshot snap;
+    snap.values = ctx_.values;
+    snap.arrays = ctx_.arrays;
+    snap.cycle = ctx_.cycle;
+    snap.finished = ctx_.finished;
+    snap.log = ctx_.log;
+    snap.prevClocks = prevClocks_;
+    snap.prevPrimClocks = prevPrimClocks_;
+    snap.primaryClockRaw = primaryClockRaw_;
+    snap.nba.reserve(nba_.size());
+    for (const auto &write : nba_)
+        snap.nba.push_back(SimSnapshot::PendingNba{write.target,
+                                                   write.value});
+    snap.primStates.resize(prims_.size());
+    for (size_t i = 0; i < prims_.size(); ++i)
+        prims_[i]->saveState(snap.primStates[i]);
+    HWDBG_STAT_INC("sim.snapshots", 1);
+    return snap;
+}
+
+void
+Simulator::restoreState(const SimSnapshot &snap)
+{
+    if (snap.values.size() != ctx_.values.size() ||
+        snap.primStates.size() != prims_.size())
+        fatal("restoreState: snapshot is from a different design");
+    ctx_.values = snap.values;
+    ctx_.arrays = snap.arrays;
+    ctx_.cycle = snap.cycle;
+    ctx_.finished = snap.finished;
+    ctx_.log = snap.log;
+    ctx_.valuesChanged = false;
+    prevClocks_ = snap.prevClocks;
+    prevPrimClocks_ = snap.prevPrimClocks;
+    primaryClockRaw_ = snap.primaryClockRaw;
+    nba_.clear();
+    for (const auto &write : snap.nba)
+        nba_.push_back(PendingWrite{write.target, write.value});
+    for (size_t i = 0; i < prims_.size(); ++i) {
+        const auto &blob = snap.primStates[i];
+        const uint8_t *cursor = blob.data();
+        prims_[i]->restoreState(cursor, blob.data() + blob.size());
+    }
+    pendingStep_.pokes.clear();
+    HWDBG_STAT_INC("sim.restores", 1);
+}
+
 void
 Simulator::enableProfiling(SimCounters *counters)
 {
@@ -80,6 +190,8 @@ Simulator::poke(const std::string &signal, const Bits &value)
     if (sig.dir != PortDir::Input)
         fatal("poke: '%s' is not a top-level input", signal.c_str());
     ctx_.values[id] = value.resized(sig.width);
+    if (tape_)
+        pendingStep_.pokes.emplace_back(signal, ctx_.values[id]);
 }
 
 void
@@ -322,6 +434,10 @@ Simulator::commitNba()
 void
 Simulator::eval()
 {
+    if (tape_) {
+        tape_->steps.push_back(std::move(pendingStep_));
+        pendingStep_.pokes.clear();
+    }
     settleComb();
 
     // Detect clock edges on clocked processes.

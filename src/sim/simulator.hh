@@ -31,6 +31,60 @@ namespace hwdbg::sim
 
 struct SimCounters;
 
+/**
+ * One eval() step of recorded stimulus: the pokes applied since the
+ * previous eval, in poke order (later pokes of the same signal win,
+ * exactly as they did live).
+ */
+struct StimulusStep
+{
+    std::vector<std::pair<std::string, Bits>> pokes;
+};
+
+/**
+ * A replayable stimulus recording grouped by eval() call. Applying the
+ * steps in order to a freshly-constructed (or snapshot-restored)
+ * simulator of the same design reproduces the recorded trajectory
+ * bit-for-bit: the design is deterministic and the tape captures every
+ * external input.
+ */
+struct StimulusTape
+{
+    std::vector<StimulusStep> steps;
+    size_t sizeBytes() const;
+};
+
+/**
+ * A complete copy of simulator state at an eval() boundary: signal and
+ * memory values, the cycle counter, the $display log, clock-edge
+ * detection state, any pending nonblocking assignments, and the opaque
+ * per-primitive state blobs (FIFO queues, RAM contents, recorder
+ * buffers). restoreState() on the same-design simulator resumes
+ * execution as if the intervening evals never happened.
+ */
+struct SimSnapshot
+{
+    std::vector<Bits> values;
+    std::vector<std::vector<Bits>> arrays;
+    uint64_t cycle = 0;
+    bool finished = false;
+    std::vector<EvalContext::LogLine> log;
+    std::map<std::string, bool> prevClocks;
+    std::vector<bool> prevPrimClocks;
+    bool primaryClockRaw = false;
+    struct PendingNba
+    {
+        StoreTarget target;
+        Bits value;
+    };
+    std::vector<PendingNba> nba;
+    /** Serialized dynamic state, one blob per primitive instance. */
+    std::vector<std::vector<uint8_t>> primStates;
+
+    /** Approximate in-memory footprint (the bench/metrics currency). */
+    size_t sizeBytes() const;
+};
+
 class Simulator
 {
   public:
@@ -60,6 +114,26 @@ class Simulator
     /** Settle logic and process any clock edges since the last eval. */
     void eval();
 
+    /**
+     * Record every poke()/eval() into @p tape until detached with
+     * nullptr. Pokes are grouped into one StimulusStep per eval(). The
+     * detached path costs one pointer test per poke/eval.
+     */
+    void recordStimulus(StimulusTape *tape);
+
+    /** Replay one recorded step: apply its pokes, then eval(). */
+    void applyStep(const StimulusStep &step);
+
+    /** Copy the complete simulator state (checkpoint support). */
+    SimSnapshot saveState() const;
+
+    /**
+     * Restore a snapshot taken from a simulator of the same design.
+     * Deterministic replay of the original stimulus from here
+     * reproduces the original trajectory bit-for-bit.
+     */
+    void restoreState(const SimSnapshot &snap);
+
     bool finished() const { return ctx_.finished; }
 
     const std::vector<EvalContext::LogLine> &log() const
@@ -88,6 +162,9 @@ class Simulator
     LoweredDesign design_;
     EvalContext ctx_;
     SimCounters *prof_ = nullptr;
+    StimulusTape *tape_ = nullptr;
+    /** Pokes since the last eval() while recording. */
+    StimulusStep pendingStep_;
 
     std::vector<std::unique_ptr<Primitive>> prims_;
 

@@ -1,0 +1,124 @@
+# Golden tests for `hwdbg debug`: on three testbed bugs, a scripted
+# machine session breaks on the paper-tool event nearest the root
+# cause, travels backwards past it, and backtraces the offending
+# register — and two runs of the same script produce byte-identical
+# transcripts that pass `hwdbg obscheck`.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_debug_work)
+file(MAKE_DIRECTORY ${work})
+set(scripts ${CMAKE_CURRENT_LIST_DIR}/debug/scripts)
+
+function(run_debug_session bug script outvar)
+    execute_process(COMMAND ${HWDBG} debug --bug ${bug} --machine
+                    --script ${script}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "debug --bug ${bug} failed (rc=${rc}): ${out}${err}")
+    endif()
+    set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+# bug id -> (event key, backtraced register) per the Table 2 root
+# causes; a matching regex list asserts each session's content.
+foreach(spec "D3;fsm:bus_state;req_data" "D4;loss:memd;memd"
+        "D7;dep:sum;sum")
+    list(GET spec 0 bug)
+    list(GET spec 1 event)
+    list(GET spec 2 reg)
+    string(TOLOWER ${bug} lbug)
+    set(script ${scripts}/${lbug}.txt)
+
+    run_debug_session(${bug} ${script} first)
+    run_debug_session(${bug} ${script} second)
+    if(NOT first STREQUAL second)
+        message(FATAL_ERROR
+                "debug --bug ${bug} machine transcripts differ between "
+                "two runs of the same script:\n--- a\n${first}\n"
+                "--- b\n${second}")
+    endif()
+
+    foreach(pattern
+            "^{\"proto\":\"hwdbg-debug\",\"version\":1,"
+            "\"stop\":\"breakpoint\""
+            "\"key\":\"${event}\""
+            "\"cmd\":\"backtrace\""
+            "\"reg\":\"${reg}\""
+            "\"distance\":0"
+            "\"cmd\":\"quit\"")
+        if(NOT first MATCHES "${pattern}")
+            message(FATAL_ERROR
+                    "debug --bug ${bug} transcript is missing "
+                    "'${pattern}':\n${first}")
+        endif()
+    endforeach()
+
+    # The schema checker accepts the transcript byte-for-byte.
+    file(WRITE ${work}/${lbug}.jsonl "${first}")
+    execute_process(COMMAND ${HWDBG} obscheck ${work}/${lbug}.jsonl
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+    if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(debug transcript\\)")
+        message(FATAL_ERROR
+                "obscheck rejected the ${bug} transcript: ${out}")
+    endif()
+endforeach()
+
+# The same script drives a human-mode session (echoed); spot-check the
+# rendered forms of the break, the backtrace, and the travel.
+execute_process(COMMAND ${HWDBG} debug --bug D7
+                --script ${scripts}/d7.txt
+                RESULT_VARIABLE rc OUTPUT_VARIABLE human ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "human-mode debug session failed: ${human}")
+endif()
+foreach(pattern
+        "hwdbg debug: fadd,"
+        "breakpoint 1: event dep:sum"
+        "breakpoint 1: event dep:sum, cycle"
+        "\\[-0\\] sum ="
+        "event dep:sum")
+    if(NOT human MATCHES "${pattern}")
+        message(FATAL_ERROR
+                "human transcript is missing '${pattern}':\n${human}")
+    endif()
+endforeach()
+
+# A failing command inside a script surfaces as a non-zero exit (the
+# CI smoke step relies on this to catch schema or session breakage).
+file(WRITE ${work}/bad.txt "print no_such_signal\nquit\n")
+execute_process(COMMAND ${HWDBG} debug --bug D7 --machine
+                --script ${work}/bad.txt
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "a script with a failing command exited 0:\n${out}")
+endif()
+if(NOT out MATCHES "\"ok\":false,\"error\":")
+    message(FATAL_ERROR
+            "failed command did not produce an error response:\n${out}")
+endif()
+
+# --stimulus replays a vector file instead of a recorded workload.
+execute_process(COMMAND ${HWDBG} testbed emit D7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE design ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "testbed emit D7 failed (rc=${rc})")
+endif()
+file(WRITE ${work}/d7.v "${design}")
+file(WRITE ${work}/stim.txt "# four ticks\nclk=0\nclk=1\nclk=0\nclk=1
+clk=0\nclk=1\nclk=0\nclk=1\n")
+file(WRITE ${work}/steps.txt "run\nquit\n")
+execute_process(COMMAND ${HWDBG} debug ${work}/d7.v
+                --stimulus ${work}/stim.txt --machine
+                --script ${work}/steps.txt
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--stimulus session failed (rc=${rc}): ${out}")
+endif()
+if(NOT out MATCHES "\"steps\":8," OR
+   NOT out MATCHES "\"stop\":\"end-of-tape\"")
+    message(FATAL_ERROR "--stimulus session output is wrong:\n${out}")
+endif()
+
+message(STATUS "cli_debug golden checks passed")

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Breakpoint semantics: expression edges, watchpoints on multi-bit
+ * registers, event matching, and baseline rebasing after time travel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "debug/engine.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::debug;
+
+namespace
+{
+
+const char *kCounter =
+    "module m(input wire clk, output reg [7:0] count);\n"
+    "always @(posedge clk) count <= count + 1;\nendmodule";
+
+/** A tape of @p cycles clock ticks (two evals per tick). */
+sim::StimulusTape
+clockTape(int cycles)
+{
+    sim::StimulusTape tape;
+    for (int i = 0; i < cycles; ++i) {
+        sim::StimulusStep low, high;
+        low.pokes.emplace_back("clk", Bits(1, 0));
+        high.pokes.emplace_back("clk", Bits(1, 1));
+        tape.steps.push_back(low);
+        tape.steps.push_back(high);
+    }
+    return tape;
+}
+
+std::unique_ptr<Engine>
+makeEngine(const std::string &src, int cycles,
+           EngineOptions opts = {})
+{
+    hdl::Design design = hdl::parse(src);
+    return std::make_unique<Engine>(elab::elaborate(design, "m").mod,
+                                    clockTape(cycles), opts);
+}
+
+} // namespace
+
+TEST(BreakpointTest, ExpressionBreakFiresOnRisingEdgeOnly)
+{
+    auto eng = makeEngine(kCounter, 10);
+    int id = eng->breakpoints().add(Breakpoint::Kind::Expr, "count == 3",
+                                    eng->parseExpr("count == 3"),
+                                    eng->sim().context());
+    auto stop = eng->run();
+    ASSERT_EQ(stop.reason, Engine::StopReason::Breakpoint);
+    EXPECT_EQ(stop.breakpoints, std::vector<int>{id});
+    EXPECT_EQ(eng->evalNow("count").toU64(), 3u);
+    uint64_t hitCycle = eng->cycle();
+
+    // The condition stays true through the low phase of the next tick;
+    // edge semantics must not re-trigger until it goes false and back.
+    stop = eng->run();
+    EXPECT_EQ(stop.reason, Engine::StopReason::EndOfTape);
+    EXPECT_GT(eng->cycle(), hitCycle);
+    EXPECT_EQ(eng->breakpoints().find(id)->hits, 1u);
+}
+
+TEST(BreakpointTest, StickyConditionFiresOnce)
+{
+    auto eng = makeEngine(kCounter, 10);
+    eng->breakpoints().add(Breakpoint::Kind::Expr, "count >= 3",
+                           eng->parseExpr("count >= 3"),
+                           eng->sim().context());
+    auto stop = eng->run();
+    ASSERT_EQ(stop.reason, Engine::StopReason::Breakpoint);
+    EXPECT_EQ(eng->evalNow("count").toU64(), 3u);
+    // >= stays true for the rest of the run: no second stop.
+    stop = eng->run();
+    EXPECT_EQ(stop.reason, Engine::StopReason::EndOfTape);
+}
+
+TEST(BreakpointTest, BreakMissRunsToEnd)
+{
+    auto eng = makeEngine(kCounter, 5);
+    eng->breakpoints().add(Breakpoint::Kind::Expr, "count == 99",
+                           eng->parseExpr("count == 99"),
+                           eng->sim().context());
+    auto stop = eng->run();
+    EXPECT_EQ(stop.reason, Engine::StopReason::EndOfTape);
+    EXPECT_EQ(eng->cycle(), 5u);
+}
+
+TEST(BreakpointTest, WatchpointOnMultiBitRegister)
+{
+    auto eng = makeEngine(kCounter, 5);
+    int id = eng->breakpoints().add(Breakpoint::Kind::Watch, "count",
+                                    eng->parseExpr("count"),
+                                    eng->sim().context());
+    // The 8-bit register changes once per clock tick: 5 stops.
+    for (uint64_t expect = 1; expect <= 5; ++expect) {
+        auto stop = eng->run();
+        ASSERT_EQ(stop.reason, Engine::StopReason::Breakpoint)
+            << "at expected value " << expect;
+        EXPECT_EQ(stop.breakpoints, std::vector<int>{id});
+        EXPECT_EQ(eng->evalNow("count").toU64(), expect);
+    }
+    EXPECT_EQ(eng->run().reason, Engine::StopReason::EndOfTape);
+    EXPECT_EQ(eng->breakpoints().find(id)->hits, 5u);
+}
+
+TEST(BreakpointTest, WatchExpressionNotJustSignals)
+{
+    auto eng = makeEngine(kCounter, 8);
+    // Watch a derived expression: bit 2 of the counter.
+    eng->breakpoints().add(Breakpoint::Kind::Watch, "count[2]",
+                           eng->parseExpr("count[2]"),
+                           eng->sim().context());
+    auto stop = eng->run();
+    ASSERT_EQ(stop.reason, Engine::StopReason::Breakpoint);
+    EXPECT_EQ(eng->evalNow("count").toU64(), 4u);
+}
+
+TEST(BreakpointTest, DisabledBreakpointDoesNotFire)
+{
+    auto eng = makeEngine(kCounter, 6);
+    int id = eng->breakpoints().add(Breakpoint::Kind::Expr, "count == 2",
+                                    eng->parseExpr("count == 2"),
+                                    eng->sim().context());
+    ASSERT_TRUE(eng->breakpoints().setEnabled(id, false));
+    EXPECT_EQ(eng->run().reason, Engine::StopReason::EndOfTape);
+    EXPECT_EQ(eng->breakpoints().find(id)->hits, 0u);
+    EXPECT_FALSE(eng->breakpoints().remove(id + 1));
+    EXPECT_TRUE(eng->breakpoints().remove(id));
+}
+
+TEST(BreakpointTest, RebaseAfterTimeTravelPreventsSpuriousHit)
+{
+    auto eng = makeEngine(kCounter, 10);
+    // Travel forward past count==4, then backwards before it; the
+    // breakpoint must fire again on the re-approach, not on arrival.
+    eng->gotoCycle(6);
+    int id = eng->breakpoints().add(Breakpoint::Kind::Expr, "count == 4",
+                                    eng->parseExpr("count == 4"),
+                                    eng->sim().context());
+    auto stop = eng->gotoCycle(2);
+    EXPECT_EQ(stop.reason, Engine::StopReason::None);
+    EXPECT_EQ(eng->breakpoints().find(id)->hits, 0u);
+    stop = eng->run();
+    ASSERT_EQ(stop.reason, Engine::StopReason::Breakpoint);
+    EXPECT_EQ(stop.breakpoints, std::vector<int>{id});
+    EXPECT_EQ(eng->evalNow("count").toU64(), 4u);
+}
+
+TEST(BreakpointTest, EventKeyAndCategoryMatching)
+{
+    sim::EvalContext *nullctx = nullptr;
+    (void)nullctx;
+    BreakpointSet set;
+    // Event breakpoints never evaluate expressions, so a context is
+    // only needed for baselines of Expr/Watch kinds; reuse a dummy
+    // design-backed context via a tiny engine.
+    auto eng = makeEngine(kCounter, 1);
+    auto &ctx = eng->sim().context();
+    int exact = set.add(Breakpoint::Kind::Event, "fsm:ctrl", nullptr, ctx);
+    int cat = set.add(Breakpoint::Kind::Event, "loss", nullptr, ctx);
+
+    std::vector<DebugEvent> events = {{"fsm:ctrl", 3, ""}};
+    auto fired = set.check(ctx, events);
+    EXPECT_EQ(fired, std::vector<int>{exact});
+
+    events = {{"loss:memd", 4, ""}};
+    fired = set.check(ctx, events);
+    EXPECT_EQ(fired, std::vector<int>{cat});
+
+    // "fsm:ctrl" must not match "fsm:ctrl_state" nor category "fs".
+    events = {{"fsm:ctrl_state", 5, ""}};
+    EXPECT_TRUE(set.check(ctx, events).empty());
+    int fs = set.add(Breakpoint::Kind::Event, "fs", nullptr, ctx);
+    events = {{"fsm:ctrl", 6, ""}};
+    fired = set.check(ctx, events);
+    EXPECT_EQ(fired, std::vector<int>{exact});
+    (void)fs;
+}
