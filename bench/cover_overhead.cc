@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Overhead budget check for the coverage hooks (DESIGN.md §12),
+ * mirroring debug_overhead.cc.
+ *
+ * Coverage support stays compiled into sim::Simulator for every build:
+ * execStmt, the If/Case arm selection, the three value-changing store
+ * paths, poke(), and eval()'s FSM sampling each test one member
+ * pointer on their way through. This benchmark asserts both sides of
+ * the budget:
+ *
+ *  1. calibrates the ns cost of a never-taken pointer test + branch,
+ *  2. measures the simulator's ns/cycle on a testbed design with
+ *     coverage detached, counts hook executions per cycle from an
+ *     attached collector's events() counter, and FAILS (exit 1) when
+ *     the implied disabled-path overhead reaches 1%;
+ *  3. measures the same workload with a collector attached and FAILS
+ *     when the enabled-path slowdown reaches 10%.
+ *
+ * Throughput numbers are min-of-3 runs: the budget is about the cost
+ * the hooks add, not about scheduler noise.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bugbase/designs.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/preproc.hh"
+#include "sim/coverage.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+nsSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                    begin)
+        .count();
+}
+
+/** ns per disabled coverage hook: a load of a null collector pointer
+ *  and the never-taken branch on it, the exact shape every site pays. */
+double
+calibrateDisabledHook()
+{
+    sim::CoverageCollector *volatile collector = nullptr;
+    volatile uint64_t sink = 0;
+    constexpr uint64_t kIters = 50'000'000;
+    auto begin = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        if (collector)
+            sink = sink + i;
+    }
+    return nsSince(begin) / static_cast<double>(kIters);
+}
+
+std::unique_ptr<sim::Simulator>
+makeWorkload()
+{
+    std::string src =
+        hdl::preprocess(bugs::designSource("rsd"), {}, "rsd.v");
+    hdl::Design design = hdl::parse(src, "rsd.v");
+    return std::make_unique<sim::Simulator>(
+        elab::elaborate(design, "rsd").mod);
+}
+
+double
+simNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    auto begin = Clock::now();
+    for (uint32_t t = 0; t < cycles; ++t) {
+        sim.poke("rst", Bits(1, t < 2 ? 1 : 0));
+        sim.poke("in_valid", Bits(1, t & 1));
+        sim.poke("in_data", Bits(8, t * 7));
+        sim.poke("clk", Bits(1, 0));
+        sim.eval();
+        sim.poke("clk", Bits(1, 1));
+        sim.eval();
+    }
+    return nsSince(begin) / cycles;
+}
+
+/** Min of three timed runs, shaving scheduler noise. */
+double
+bestNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    double best = simNsPerCycle(sim, cycles);
+    for (int run = 1; run < 3; ++run)
+        best = std::min(best, simNsPerCycle(sim, cycles));
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    double hook_ns = calibrateDisabledHook();
+
+    constexpr uint32_t kCycles = 20000;
+    auto sim = makeWorkload();
+    (void)simNsPerCycle(*sim, 2000); // warm up
+    double off_ns = bestNsPerCycle(*sim, kCycles);
+
+    // Enabled path: same workload with a collector attached. events()
+    // counts every mark-hook execution, giving hooks/cycle for the
+    // implied-disabled-cost computation below.
+    sim::CoverageItems items = sim::buildCoverageItems(sim->design());
+    sim::CoverageCollector collector(items);
+    sim->enableCoverage(&collector);
+    double on_ns = bestNsPerCycle(*sim, kCycles);
+    double hits_per_cycle =
+        static_cast<double>(collector.events()) / (3.0 * kCycles);
+    sim->enableCoverage(nullptr);
+
+    sim::CoverageTotals totals = collector.totals();
+
+    double implied_ns = hits_per_cycle * hook_ns;
+    double disabled_pct = 100.0 * implied_ns / off_ns;
+    double enabled_pct = 100.0 * (on_ns - off_ns) / off_ns;
+
+    std::printf("cover_overhead: coverage hook budget check\n");
+    std::printf("  disabled hook         : %.3f ns/hit\n", hook_ns);
+    std::printf("  sim throughput (off)  : %.1f ns/cycle\n", off_ns);
+    std::printf("  sim throughput (on)   : %.1f ns/cycle (%+.2f%%)\n",
+                on_ns, enabled_pct);
+    std::printf("  hook hits per cycle   : %.1f\n", hits_per_cycle);
+    std::printf("  goals covered         : %llu/%llu\n",
+                static_cast<unsigned long long>(totals.covered()),
+                static_cast<unsigned long long>(totals.total()));
+    std::printf("  implied disabled cost : %.3f ns/cycle = %.4f%%\n",
+                implied_ns, disabled_pct);
+
+    bool ok = true;
+    if (disabled_pct >= 1.0) {
+        std::printf("FAIL: disabled-path overhead %.4f%% >= 1%%\n",
+                    disabled_pct);
+        ok = false;
+    }
+    if (enabled_pct >= 10.0) {
+        std::printf("FAIL: enabled-path overhead %.2f%% >= 10%%\n",
+                    enabled_pct);
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("PASS: disabled %.4f%% < 1%%, enabled %.2f%% < 10%%\n",
+                disabled_pct, enabled_pct);
+    return 0;
+}

@@ -16,8 +16,10 @@
  *   hwdbg timing     <file> [--target MHZ] [--top M]
  *   hwdbg testbed    list | emit <bug-id> [--fixed]
  *   hwdbg profile    <file> [--cycles N] [--seed S] [--rank time|evals]
+ *   hwdbg cover      <file|--bug ID> [--out F] | cover merge <f>...
  *   hwdbg obscheck   <file>...
  *   hwdbg debug      <file|--bug ID> [--machine] [--script FILE] ...
+ *   hwdbg version    (also --version)
  *   hwdbg help       [command]
  *
  * The command table below (kCommands) is the single source of truth for
@@ -50,6 +52,9 @@
 #include "core/losscheck.hh"
 #include "core/signalcat.hh"
 #include "bugbase/workloads.hh"
+#include "cover/report.hh"
+#include "cover/run.hh"
+#include "cover/snapshot.hh"
 #include "debug/engine.hh"
 #include "debug/protocol.hh"
 #include "debug/repl.hh"
@@ -59,6 +64,7 @@
 #include "fuzz/runner.hh"
 #include "hdl/printer.hh"
 #include "lint/lint.hh"
+#include "obs/json.hh"
 #include "obs/jsoncheck.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -147,6 +153,8 @@ parseArgs(int argc, char **argv)
     if (argc < 2)
         usage();
     args.command = argv[1];
+    if (args.command == "--version")
+        args.command = "version";
     for (int i = 2; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
@@ -166,7 +174,8 @@ parseArgs(int argc, char **argv)
                 name == "bug" || name == "script" ||
                 name == "stimulus" || name == "dep" ||
                 name == "loss" || name == "checkpoint-interval" ||
-                name == "checkpoint-capacity";
+                name == "checkpoint-capacity" || name == "out" ||
+                name == "cover-plateau";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -443,6 +452,11 @@ cmdFuzz(const Args &args)
               format.c_str());
     config.json = format == "json";
     config.selfCheck = args.flag("self-check");
+    config.cover = args.flag("cover");
+    config.coverPlateau = static_cast<uint32_t>(parseU64(
+        args.opt("cover-plateau", "32"), "--cover-plateau"));
+    if (config.cover && config.selfCheck)
+        fatal("--cover applies to campaigns, not --self-check");
     if (args.options.count("replay")) {
         config.replay = true;
         config.replaySeed = parseU64(args.opt("replay"), "--replay");
@@ -577,6 +591,104 @@ cmdDebug(const Args &args)
     return 0;
 }
 
+cover::Snapshot
+parseCoverageFile(const std::string &path)
+{
+    cover::Snapshot snap;
+    std::string error;
+    if (!cover::parseSnapshot(readFile(path), &snap, &error))
+        fatal("%s: not a coverage file: %s", path.c_str(),
+              error.c_str());
+    return snap;
+}
+
+int
+cmdCoverMerge(const Args &args)
+{
+    if (args.positional.empty())
+        fatal("cover merge requires at least one coverage file");
+    cover::Snapshot merged = parseCoverageFile(args.positional[0]);
+    for (size_t i = 1; i < args.positional.size(); ++i) {
+        cover::Snapshot next = parseCoverageFile(args.positional[i]);
+        std::string error = cover::mergeInto(merged, next);
+        if (!error.empty())
+            fatal("cannot merge '%s': %s",
+                  args.positional[i].c_str(), error.c_str());
+    }
+    std::string json = cover::toJson(merged);
+    std::string out = args.opt("out");
+    if (out.empty()) {
+        std::fputs(json.c_str(), stdout);
+        return 0;
+    }
+    std::ofstream file(out);
+    if (!file)
+        fatal("cannot write '%s'", out.c_str());
+    file << json;
+    std::fprintf(stderr, "cover: merged %zu file%s into %s\n",
+                 args.positional.size(),
+                 args.positional.size() == 1 ? "" : "s", out.c_str());
+    return 0;
+}
+
+int
+cmdCover(const Args &args)
+{
+    if (args.file == "merge")
+        return cmdCoverMerge(args);
+
+    cover::Snapshot snap;
+    std::string bugId = args.opt("bug");
+    if (!bugId.empty()) {
+        const auto &bug = bugs::bugById(bugId);
+        snap = cover::coverBugWorkload(bug, !args.flag("fixed"));
+    } else if (args.options.count("stimulus")) {
+        auto elaborated = load(args);
+        std::string path = args.opt("stimulus");
+        sim::StimulusTape tape = debug::loadStimulusFile(path);
+        // Label by basename so reports stay machine-independent.
+        auto slash = path.find_last_of('/');
+        std::string base =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+        snap = cover::coverWithTape(elaborated.mod,
+                                    "stimulus:" + base, tape);
+    } else {
+        auto elaborated = load(args);
+        uint64_t seed = parseU64(args.opt("seed", "1"), "--seed");
+        auto cycles = static_cast<uint32_t>(
+            parseU64(args.opt("cycles", "2000"), "--cycles"));
+        snap = cover::coverRandom(elaborated.mod,
+                                  "seed:" + std::to_string(seed),
+                                  seed, cycles);
+    }
+
+    std::string out = args.opt("out");
+    if (!out.empty()) {
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot write '%s'", out.c_str());
+        file << cover::toJson(snap);
+    }
+    std::string format = args.opt("format", "text");
+    if (format == "json")
+        std::fputs(cover::toJson(snap).c_str(), stdout);
+    else if (format == "text")
+        std::fputs(cover::renderCoverText(snap).c_str(), stdout);
+    else
+        fatal("unknown format '%s' (expected text or json)",
+              format.c_str());
+    return 0;
+}
+
+int
+cmdVersion(const Args &)
+{
+    const obs::BuildInfo &build = obs::buildInfo();
+    std::printf("hwdbg %s (%s, %s)\n", build.version.c_str(),
+                build.git.c_str(), build.buildType.c_str());
+    return 0;
+}
+
 int
 cmdHelp(const Args &args)
 {
@@ -632,6 +744,11 @@ cmdObscheck(const Args &args)
         } else if (root->isObject() && root->get("traceEvents")) {
             kind = "trace";
             verdict = obs::checkTraceJson(text);
+        } else if (root->isObject() && root->get("format") &&
+                   root->get("format")->isString() &&
+                   root->get("format")->text == "hwdbg-cover") {
+            kind = "coverage";
+            verdict = cover::checkCoverageJson(text);
         } else {
             verdict = obs::checkMetricsJson(text);
         }
@@ -713,6 +830,10 @@ commands()
          "                           instrument (repeatable)\n"
          "  --replay SEED            re-run one seed verbosely\n"
          "  --self-check             corrupt a known design first\n"
+         "  --cover                  track structural coverage keys\n"
+         "                           per seed and report novelty\n"
+         "  --cover-plateau K        declare a plateau after K seeds\n"
+         "                           without new coverage (default 32)\n"
          "  --format text|json       report format\n",
          cmdFuzz},
         {"profile", "profile <file> [--cycles N] [--rank R]",
@@ -725,11 +846,29 @@ commands()
          "  --signals N          signals shown (default 10)\n"
          "  --format text|json   report format\n",
          cmdProfile},
+        {"cover", "cover <file|--bug ID> | cover merge <f>...",
+         "statement/branch/toggle/FSM coverage",
+         "stimulus source (exactly one):\n"
+         "  --bug ID             run the testbed bug's trigger workload\n"
+         "                       (--fixed for the fixed design)\n"
+         "  --stimulus FILE      replay a stimulus vector file\n"
+         "  <file> alone         seeded random inputs (--cycles N,\n"
+         "                       --seed S; defaults 2000 / 1)\n"
+         "output:\n"
+         "  --format text|json   report format (default text)\n"
+         "  --out FILE           also write the coverage JSON to FILE\n"
+         "merging:\n"
+         "  cover merge <a.json> <b.json>... [--out FILE]\n"
+         "                       union runs of the same design; the\n"
+         "                       merge is associative and idempotent\n"
+         "FSM state/arc coverage uses the detected state machines.\n",
+         cmdCover},
         {"obscheck", "obscheck <file>...",
-         "validate trace/metrics/debug-transcript files",
-         "Sniffs each file's kind (Chrome trace, metrics snapshot, or\n"
-         "hwdbg-debug machine transcript) and checks it against the\n"
-         "schema; exit 1 on the first violation per file.\n",
+         "validate trace/metrics/coverage/debug files",
+         "Sniffs each file's kind (Chrome trace, metrics snapshot,\n"
+         "hwdbg-cover coverage file, or hwdbg-debug machine\n"
+         "transcript) and checks it against the schema; exit 1 on the\n"
+         "first violation per file.\n",
          cmdObscheck},
         {"debug", "debug <file|--bug ID> [--machine] [--script F]",
          "interactive time-travel debugger",
@@ -751,6 +890,11 @@ commands()
          "  --checkpoint-capacity N   ring size (64)\n"
          "Inside the session, 'help' lists the debugger commands.\n",
          cmdDebug},
+        {"version", "version", "print build provenance",
+         "Prints the hwdbg version, git hash, and build type — the\n"
+         "same provenance stamped into every trace/metrics/coverage\n"
+         "file. '--version' is an alias.\n",
+         cmdVersion},
         {"help", "help [command]", "show command documentation",
          "Without arguments, prints the top-level usage; with a\n"
          "command name, prints that command's full option list.\n",

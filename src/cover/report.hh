@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Human-readable coverage reports.
+ *
+ * renderCoverText() is the `hwdbg cover` text output: overall and
+ * per-category percentages, a per-module rollup ranked worst-first,
+ * and the actionable never-lists (signals that never toggled,
+ * statements that never executed, branch arms never taken, FSM
+ * states/arcs never reached) plus any unexpected FSM observations.
+ * The JSON form is cover::toJson() — the report and the interchange
+ * format are the same serialization.
+ */
+
+#ifndef HWDBG_COVER_REPORT_HH
+#define HWDBG_COVER_REPORT_HH
+
+#include <string>
+
+#include "cover/snapshot.hh"
+
+namespace hwdbg::cover
+{
+
+struct ReportOptions
+{
+    /** Cap for each never-list ("... and N more" past it). */
+    size_t listLimit = 20;
+};
+
+std::string renderCoverText(const Snapshot &snap,
+                            const ReportOptions &opts = {});
+
+} // namespace hwdbg::cover
+
+#endif // HWDBG_COVER_REPORT_HH

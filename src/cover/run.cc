@@ -1,0 +1,131 @@
+#include "cover/run.hh"
+
+#include <utility>
+
+#include "bugbase/workloads.hh"
+#include "common/logging.hh"
+#include "obs/trace.hh"
+
+namespace hwdbg::cover
+{
+
+using sim::Simulator;
+
+namespace
+{
+
+/** splitmix64, matching the profiler's stimulus draws. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+struct Attached
+{
+    sim::CoverageItems items;
+    sim::CoverageCollector collector;
+
+    Attached(Simulator &sim, const hdl::Module &mod)
+        : items(buildCoverageItems(sim.design(), fsmSpecsFor(mod))),
+          collector(items)
+    {
+        sim.enableCoverage(&collector);
+    }
+};
+
+} // namespace
+
+Snapshot
+coverBugWorkload(const bugs::TestbedBug &bug, bool buggy)
+{
+    obs::ObsSpan span("cover:bug:" + bug.id);
+    elab::ElabResult design = bugs::buildDesign(bug, buggy);
+    std::string top = design.mod->name;
+    Simulator sim(design.mod);
+    Attached cover(sim, sim.design().module());
+    bugs::runWorkload(bug, sim);
+    sim.enableCoverage(nullptr);
+    std::string workload = "bug:" + bug.id;
+    if (!buggy)
+        workload += ":fixed";
+    return snapshotFrom(cover.items, cover.collector, top, workload);
+}
+
+Snapshot
+coverWithTape(hdl::ModulePtr elaborated, const std::string &workload,
+              const sim::StimulusTape &tape)
+{
+    obs::ObsSpan span("cover:tape");
+    std::string top = elaborated->name;
+    Simulator sim(std::move(elaborated));
+    Attached cover(sim, sim.design().module());
+    for (const auto &step : tape.steps) {
+        sim.applyStep(step);
+        if (sim.finished())
+            break;
+    }
+    sim.enableCoverage(nullptr);
+    return snapshotFrom(cover.items, cover.collector, top, workload);
+}
+
+Snapshot
+coverRandom(hdl::ModulePtr elaborated, const std::string &workload,
+            uint64_t seed, uint32_t cycles)
+{
+    obs::ObsSpan span("cover:random");
+    std::string top = elaborated->name;
+    Simulator sim(std::move(elaborated));
+    Attached cover(sim, sim.design().module());
+
+    const sim::LoweredDesign &design = sim.design();
+    bool has_clk = design.signalId("clk") >= 0 &&
+                   design.info(design.signalId("clk")).dir ==
+                       hdl::PortDir::Input;
+    bool has_rst = design.signalId("rst") >= 0 &&
+                   design.info(design.signalId("rst")).dir ==
+                       hdl::PortDir::Input;
+    struct DrivenInput
+    {
+        std::string name;
+        uint32_t width;
+    };
+    std::vector<DrivenInput> inputs;
+    for (size_t i = 0; i < design.numSignals(); ++i) {
+        const sim::SignalInfo &sig =
+            design.info(static_cast<int>(i));
+        if (sig.dir != hdl::PortDir::Input || sig.name == "clk" ||
+            sig.name == "rst")
+            continue;
+        inputs.push_back(DrivenInput{sig.name, sig.width});
+    }
+    if (!has_clk)
+        warn("cover: design has no 'clk' input; running %u "
+             "combinational eval rounds",
+             cycles);
+
+    for (uint32_t t = 0; t < cycles; ++t) {
+        if (has_rst)
+            sim.poke("rst", Bits(1, t < 2 ? 1 : 0));
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            uint64_t draw =
+                mix64(seed ^ (static_cast<uint64_t>(t) << 20) ^ i);
+            sim.poke(inputs[i].name, Bits(inputs[i].width, draw));
+        }
+        if (has_clk) {
+            sim.poke("clk", Bits(1, 0));
+            sim.eval();
+            sim.poke("clk", Bits(1, 1));
+        }
+        sim.eval();
+        if (sim.finished())
+            break;
+    }
+    sim.enableCoverage(nullptr);
+    return snapshotFrom(cover.items, cover.collector, top, workload);
+}
+
+} // namespace hwdbg::cover

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Coverage run drivers: elaborate a design, attach a collector, drive
+ * it, and return the resulting Snapshot.
+ *
+ * Three stimulus sources, matching `hwdbg cover`:
+ *  - a testbed bug's trigger workload (the push-button reproducers);
+ *  - a recorded stimulus tape (the debugger's vector-file format —
+ *    the caller loads the file, keeping this library independent of
+ *    src/debug);
+ *  - the seeded random driver (the profiler's input scheme: reset for
+ *    two cycles, then splitmix-drawn values on every non-clock input
+ *    each cycle).
+ *
+ * All drivers detect FSMs first (analysis::detectFsms) so FSM
+ * state/arc coverage rides along automatically.
+ */
+
+#ifndef HWDBG_COVER_RUN_HH
+#define HWDBG_COVER_RUN_HH
+
+#include <string>
+
+#include "bugbase/testbed.hh"
+#include "cover/snapshot.hh"
+#include "sim/simulator.hh"
+
+namespace hwdbg::cover
+{
+
+/** Run @p bug's trigger workload with coverage attached. */
+Snapshot coverBugWorkload(const bugs::TestbedBug &bug, bool buggy);
+
+/** Replay @p tape on @p elaborated with coverage attached. */
+Snapshot coverWithTape(hdl::ModulePtr elaborated,
+                       const std::string &workload,
+                       const sim::StimulusTape &tape);
+
+/** Drive @p cycles of seeded random stimulus with coverage attached. */
+Snapshot coverRandom(hdl::ModulePtr elaborated,
+                     const std::string &workload, uint64_t seed,
+                     uint32_t cycles);
+
+} // namespace hwdbg::cover
+
+#endif // HWDBG_COVER_RUN_HH

@@ -1,0 +1,90 @@
+#include "cover/signature.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace hwdbg::cover
+{
+
+namespace
+{
+
+/** Clamp a width to the next power of two, capped at 64. */
+uint32_t
+widthBucket(uint32_t width)
+{
+    uint32_t bucket = 1;
+    while (bucket < width && bucket < 64)
+        bucket *= 2;
+    return bucket;
+}
+
+} // namespace
+
+std::vector<std::string>
+signatureKeys(const Snapshot &snap)
+{
+    std::set<std::string> keys;
+
+    for (const auto &stmt : snap.statements)
+        if (stmt.hit)
+            keys.insert("stmt:" + stmt.kind);
+
+    // Position of each arm within its statement (arms are emitted in
+    // order, so a per-statement counter recovers the index).
+    std::vector<uint32_t> armIdx(snap.statements.size(), 0);
+    for (const auto &arm : snap.arms) {
+        uint32_t idx = armIdx[arm.stmt]++;
+        if (!arm.taken)
+            continue;
+        const auto &stmt = snap.statements[arm.stmt];
+        if (stmt.kind == "if") {
+            keys.insert("arm:if:" + arm.label);
+        } else {
+            keys.insert("arm:case:i" +
+                        std::to_string(std::min<uint32_t>(idx, 8)));
+            if (arm.label == "default")
+                keys.insert("arm:case:default");
+        }
+    }
+
+    for (const auto &sig : snap.signals) {
+        uint32_t bucket = widthBucket(sig.width);
+        bool full = true;
+        for (uint32_t b = 0; b < sig.width; ++b) {
+            uint32_t bb = std::min<uint32_t>(b, 32);
+            bool rose = (sig.rise[b >> 6] >> (b & 63)) & 1;
+            bool fell = (sig.fall[b >> 6] >> (b & 63)) & 1;
+            if (rose)
+                keys.insert("rise:w" + std::to_string(bucket) + ":b" +
+                            std::to_string(bb));
+            if (fell)
+                keys.insert("fall:w" + std::to_string(bucket) + ":b" +
+                            std::to_string(bb));
+            full = full && rose && fell;
+        }
+        if (full && sig.width)
+            keys.insert("full:w" + std::to_string(bucket));
+    }
+
+    for (const auto &fsm : snap.fsms) {
+        for (size_t s = 0; s < fsm.seen.size(); ++s)
+            if (fsm.seen[s])
+                keys.insert(
+                    "fsm:state:i" +
+                    std::to_string(std::min<size_t>(s, 8)));
+        for (size_t t = 0; t < fsm.transitions.size(); ++t)
+            if (fsm.transitions[t].seen)
+                keys.insert(
+                    "fsm:arc:i" +
+                    std::to_string(std::min<size_t>(t, 16)));
+        if (!fsm.unexpectedStates.empty())
+            keys.insert("fsm:unexpected-state");
+        if (!fsm.unexpectedTransitions.empty())
+            keys.insert("fsm:unexpected-arc");
+    }
+
+    return {keys.begin(), keys.end()};
+}
+
+} // namespace hwdbg::cover

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Design-independent coverage signatures for fuzzing.
+ *
+ * `hwdbg fuzz` generates a fresh random design per seed, so raw
+ * coverage ids cannot accumulate across a campaign. Instead each
+ * covered goal maps to a structural key that means the same thing in
+ * any generated design — "an if took its else arm", "bit 3 of a
+ * 16-bit signal fell", "the second arm of a four-item case matched".
+ * The campaign tracks the union of keys; a seed's novelty is the
+ * number of keys it adds, and a run of seeds adding nothing signals
+ * a coverage plateau.
+ *
+ * The key space is deliberately finite (widths/arms clamp into
+ * buckets) so a healthy campaign saturates it: plateau detection is
+ * the feature, not an accident.
+ */
+
+#ifndef HWDBG_COVER_SIGNATURE_HH
+#define HWDBG_COVER_SIGNATURE_HH
+
+#include <string>
+#include <vector>
+
+#include "cover/snapshot.hh"
+
+namespace hwdbg::cover
+{
+
+/**
+ * Structural keys of every goal @p snap covered, sorted and unique.
+ * Keys are stable across designs and processes.
+ */
+std::vector<std::string> signatureKeys(const Snapshot &snap);
+
+} // namespace hwdbg::cover
+
+#endif // HWDBG_COVER_SIGNATURE_HH

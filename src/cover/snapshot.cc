@@ -1,0 +1,751 @@
+#include "cover/snapshot.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "analysis/fsm_detect.hh"
+#include "obs/json.hh"
+#include "obs/jsoncheck.hh"
+
+namespace hwdbg::cover
+{
+
+using obs::jsonEscape;
+
+const char *
+stmtKindName(hdl::StmtKind kind)
+{
+    switch (kind) {
+      case hdl::StmtKind::Block: return "block";
+      case hdl::StmtKind::If: return "if";
+      case hdl::StmtKind::Case: return "case";
+      case hdl::StmtKind::Assign: return "assign";
+      case hdl::StmtKind::Display: return "display";
+      case hdl::StmtKind::Finish: return "finish";
+      case hdl::StmtKind::Null: return "null";
+    }
+    return "?";
+}
+
+namespace
+{
+
+std::string
+hexU64(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
+hexFingerprint(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Hex string (MSB first) of @p width packed bits. A nibble never
+ *  straddles a word: 4 divides 64. */
+std::string
+wordsToHex(const std::vector<uint64_t> &words, uint32_t width)
+{
+    uint32_t nibbles = std::max<uint32_t>(1, (width + 3) / 4);
+    std::string out = "0x";
+    out.reserve(2 + nibbles);
+    for (uint32_t n = nibbles; n-- > 0;) {
+        uint32_t bit = n * 4;
+        uint64_t word =
+            bit / 64 < words.size() ? words[bit / 64] : 0;
+        uint32_t nib = (word >> (bit % 64)) & 0xf;
+        out.push_back("0123456789abcdef"[nib]);
+    }
+    return out;
+}
+
+bool
+hexToWords(const std::string &text, uint32_t width,
+           std::vector<uint64_t> *words)
+{
+    uint32_t nibbles = std::max<uint32_t>(1, (width + 3) / 4);
+    if (text.size() != 2 + nibbles || text[0] != '0' || text[1] != 'x')
+        return false;
+    words->assign((width + 63) / 64, 0);
+    if (words->empty())
+        words->assign(1, 0);
+    for (uint32_t n = 0; n < nibbles; ++n) {
+        char c = text[2 + (nibbles - 1 - n)];
+        uint32_t nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = c - 'a' + 10;
+        else
+            return false;
+        uint32_t bit = n * 4;
+        if (bit / 64 < words->size())
+            (*words)[bit / 64] |= uint64_t(nib) << (bit % 64);
+        else if (nib)
+            return false;
+    }
+    return true;
+}
+
+bool
+hexToU64(const std::string &text, uint64_t *out)
+{
+    if (text.size() < 3 || text.size() > 18 || text[0] != '0' ||
+        text[1] != 'x')
+        return false;
+    uint64_t value = 0;
+    for (size_t i = 2; i < text.size(); ++i) {
+        char c = text[i];
+        uint32_t nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | nib;
+    }
+    *out = value;
+    return true;
+}
+
+uint64_t
+popAll(const std::vector<uint64_t> &words)
+{
+    uint64_t n = 0;
+    for (uint64_t word : words)
+        n += static_cast<uint64_t>(__builtin_popcountll(word));
+    return n;
+}
+
+} // namespace
+
+std::string
+coverPct(uint64_t covered, uint64_t total)
+{
+    // Fixed-point so the rendering is deterministic.
+    uint64_t p10 = total ? (covered * 1000 + total / 2) / total : 0;
+    return std::to_string(p10 / 10) + "." +
+           std::to_string(p10 % 10);
+}
+
+sim::CoverageTotals
+Snapshot::totals() const
+{
+    sim::CoverageTotals out;
+    for (const auto &sig : signals) {
+        out.toggleTotal += 2 * static_cast<uint64_t>(sig.width);
+        out.toggleHit += popAll(sig.rise) + popAll(sig.fall);
+    }
+    out.stmtTotal = statements.size();
+    for (const auto &stmt : statements)
+        out.stmtHit += stmt.hit;
+    out.armTotal = arms.size();
+    for (const auto &arm : arms)
+        out.armTaken += arm.taken;
+    for (const auto &fsm : fsms) {
+        out.fsmStateTotal += fsm.states.size();
+        for (bool seen : fsm.seen)
+            out.fsmStateHit += seen;
+        out.fsmTransTotal += fsm.transitions.size();
+        for (const auto &trans : fsm.transitions)
+            out.fsmTransHit += trans.seen;
+    }
+    return out;
+}
+
+std::vector<sim::FsmCoverSpec>
+fsmSpecsFor(const hdl::Module &mod)
+{
+    std::vector<sim::FsmCoverSpec> specs;
+    for (const auto &info : analysis::detectFsms(mod)) {
+        sim::FsmCoverSpec spec;
+        spec.stateVar = info.stateVar;
+        for (const auto &state : info.states)
+            spec.states.push_back(state.toU64());
+        for (const auto &trans : info.transitions) {
+            sim::FsmCoverSpec::Transition out;
+            out.hasFrom = trans.fromState.has_value();
+            if (out.hasFrom)
+                out.from = trans.fromState->toU64();
+            out.to = trans.toState.toU64();
+            spec.transitions.push_back(out);
+        }
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+Snapshot
+snapshotFrom(const sim::CoverageItems &items,
+             const sim::CoverageCollector &collector,
+             const std::string &top, const std::string &workload)
+{
+    Snapshot snap;
+    const obs::BuildInfo &build = obs::buildInfo();
+    snap.buildVersion = build.version;
+    snap.buildGit = build.git;
+    snap.buildType = build.buildType;
+    snap.top = top;
+    snap.fingerprint = items.fingerprint();
+    if (!workload.empty())
+        snap.workloads.push_back(workload);
+
+    auto sliceBits = [](const std::vector<uint64_t> &words,
+                        uint32_t offset, uint32_t width) {
+        std::vector<uint64_t> out((width + 63) / 64, 0);
+        if (out.empty())
+            out.assign(1, 0);
+        for (uint32_t b = 0; b < width; ++b) {
+            uint32_t src = offset + b;
+            if ((words[src >> 6] >> (src & 63)) & 1)
+                out[b >> 6] |= uint64_t(1) << (b & 63);
+        }
+        return out;
+    };
+    for (const auto &sig : items.signals) {
+        Snapshot::Signal out;
+        out.name = sig.name;
+        out.width = sig.width;
+        out.scope = sig.scope;
+        out.rise = sliceBits(collector.riseWords(), sig.bitOffset,
+                             sig.width);
+        out.fall = sliceBits(collector.fallWords(), sig.bitOffset,
+                             sig.width);
+        snap.signals.push_back(std::move(out));
+    }
+
+    for (size_t i = 0; i < items.statements.size(); ++i) {
+        const auto &item = items.statements[i];
+        Snapshot::Stmt out;
+        out.kind = stmtKindName(item.kind);
+        out.loc = item.loc.line ? item.loc.str() : std::string();
+        out.scope = item.scope;
+        out.hit = collector.stmtHit(static_cast<uint32_t>(i));
+        snap.statements.push_back(std::move(out));
+    }
+
+    for (size_t i = 0; i < items.arms.size(); ++i) {
+        const auto &item = items.arms[i];
+        Snapshot::Arm out;
+        out.stmt = item.stmtId;
+        out.label = item.label;
+        out.taken = collector.armTaken(static_cast<uint32_t>(i));
+        snap.arms.push_back(std::move(out));
+    }
+
+    for (size_t i = 0; i < items.fsms.size(); ++i) {
+        const auto &spec = items.fsms[i];
+        const auto &state = collector.fsmState(i);
+        Snapshot::Fsm out;
+        out.stateVar = spec.stateVar;
+        out.states = spec.states;
+        out.seen = state.stateSeen;
+        for (size_t t = 0; t < spec.transitions.size(); ++t) {
+            const auto &trans = spec.transitions[t];
+            out.transitions.push_back(
+                {trans.hasFrom, trans.from, trans.to,
+                 state.transSeen[t]});
+        }
+        out.unexpectedStates.assign(state.unexpectedStates.begin(),
+                                    state.unexpectedStates.end());
+        out.unexpectedTransitions.assign(
+            state.unexpectedTransitions.begin(),
+            state.unexpectedTransitions.end());
+        snap.fsms.push_back(std::move(out));
+    }
+    return snap;
+}
+
+std::vector<ScopeTotals>
+scopeRollups(const Snapshot &snap)
+{
+    std::vector<ScopeTotals> out;
+    auto at = [&](const std::string &scope) -> sim::CoverageTotals & {
+        for (auto &entry : out)
+            if (entry.scope == scope)
+                return entry.totals;
+        out.push_back({scope, {}});
+        return out.back().totals;
+    };
+    for (const auto &sig : snap.signals) {
+        auto &t = at(sig.scope);
+        t.toggleTotal += 2 * static_cast<uint64_t>(sig.width);
+        t.toggleHit += popAll(sig.rise) + popAll(sig.fall);
+    }
+    for (const auto &stmt : snap.statements) {
+        auto &t = at(stmt.scope);
+        ++t.stmtTotal;
+        t.stmtHit += stmt.hit;
+    }
+    for (const auto &arm : snap.arms) {
+        auto &t = at(snap.statements[arm.stmt].scope);
+        ++t.armTotal;
+        t.armTaken += arm.taken;
+    }
+    for (const auto &fsm : snap.fsms) {
+        auto &t = at(sim::coverScopeOf(fsm.stateVar));
+        t.fsmStateTotal += fsm.states.size();
+        for (bool seen : fsm.seen)
+            t.fsmStateHit += seen;
+        t.fsmTransTotal += fsm.transitions.size();
+        for (const auto &trans : fsm.transitions)
+            t.fsmTransHit += trans.seen;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ScopeTotals &a, const ScopeTotals &b) {
+                  return a.scope < b.scope;
+              });
+    return out;
+}
+
+std::string
+toJson(const Snapshot &snap)
+{
+    std::ostringstream out;
+    out << "{\"format\": \"hwdbg-cover\", \"version\": 1,\n";
+    out << "\"build\": {\"tool\": \"hwdbg\", \"version\": \""
+        << jsonEscape(snap.buildVersion) << "\", \"git\": \""
+        << jsonEscape(snap.buildGit) << "\", \"type\": \""
+        << jsonEscape(snap.buildType) << "\"},\n";
+    out << "\"design\": {\"top\": \"" << jsonEscape(snap.top)
+        << "\", \"fingerprint\": \""
+        << hexFingerprint(snap.fingerprint) << "\"},\n";
+
+    out << "\"workloads\": [";
+    for (size_t i = 0; i < snap.workloads.size(); ++i)
+        out << (i ? ", " : "") << "\"" << jsonEscape(snap.workloads[i])
+            << "\"";
+    out << "],\n";
+
+    out << "\"signals\": [";
+    for (size_t i = 0; i < snap.signals.size(); ++i) {
+        const auto &sig = snap.signals[i];
+        out << (i ? ",\n " : "\n ") << "{\"name\": \""
+            << jsonEscape(sig.name) << "\", \"width\": " << sig.width
+            << ", \"scope\": \"" << jsonEscape(sig.scope)
+            << "\", \"rise\": \"" << wordsToHex(sig.rise, sig.width)
+            << "\", \"fall\": \"" << wordsToHex(sig.fall, sig.width)
+            << "\"}";
+    }
+    out << "],\n";
+
+    out << "\"statements\": [";
+    for (size_t i = 0; i < snap.statements.size(); ++i) {
+        const auto &stmt = snap.statements[i];
+        out << (i ? ",\n " : "\n ") << "{\"kind\": \"" << stmt.kind
+            << "\", \"loc\": \"" << jsonEscape(stmt.loc)
+            << "\", \"scope\": \"" << jsonEscape(stmt.scope)
+            << "\", \"hit\": " << (stmt.hit ? "true" : "false")
+            << "}";
+    }
+    out << "],\n";
+
+    out << "\"arms\": [";
+    for (size_t i = 0; i < snap.arms.size(); ++i) {
+        const auto &arm = snap.arms[i];
+        out << (i ? ",\n " : "\n ") << "{\"stmt\": " << arm.stmt
+            << ", \"label\": \"" << jsonEscape(arm.label)
+            << "\", \"taken\": " << (arm.taken ? "true" : "false")
+            << "}";
+    }
+    out << "],\n";
+
+    out << "\"fsms\": [";
+    for (size_t i = 0; i < snap.fsms.size(); ++i) {
+        const auto &fsm = snap.fsms[i];
+        out << (i ? ",\n " : "\n ") << "{\"state_var\": \""
+            << jsonEscape(fsm.stateVar) << "\", \"states\": [";
+        for (size_t s = 0; s < fsm.states.size(); ++s)
+            out << (s ? ", " : "") << "\"" << hexU64(fsm.states[s])
+                << "\"";
+        out << "], \"seen\": [";
+        for (size_t s = 0; s < fsm.seen.size(); ++s)
+            out << (s ? ", " : "") << (fsm.seen[s] ? "true" : "false");
+        out << "], \"transitions\": [";
+        for (size_t t = 0; t < fsm.transitions.size(); ++t) {
+            const auto &trans = fsm.transitions[t];
+            out << (t ? ", " : "") << "{";
+            if (trans.hasFrom)
+                out << "\"from\": \"" << hexU64(trans.from) << "\", ";
+            out << "\"to\": \"" << hexU64(trans.to) << "\", \"seen\": "
+                << (trans.seen ? "true" : "false") << "}";
+        }
+        out << "], \"unexpected_states\": [";
+        for (size_t s = 0; s < fsm.unexpectedStates.size(); ++s)
+            out << (s ? ", " : "") << "\""
+                << hexU64(fsm.unexpectedStates[s]) << "\"";
+        out << "], \"unexpected_transitions\": [";
+        for (size_t t = 0; t < fsm.unexpectedTransitions.size(); ++t)
+            out << (t ? ", " : "") << "[\""
+                << hexU64(fsm.unexpectedTransitions[t].first)
+                << "\", \""
+                << hexU64(fsm.unexpectedTransitions[t].second)
+                << "\"]";
+        out << "]}";
+    }
+    out << "],\n";
+
+    sim::CoverageTotals totals = snap.totals();
+    auto section = [&](const char *name, uint64_t covered,
+                       uint64_t total, bool last = false) {
+        out << "  \"" << name << "\": {\"covered\": " << covered
+            << ", \"total\": " << total << ", \"pct\": "
+            << coverPct(covered, total) << "}" << (last ? "\n" : ",\n");
+    };
+    out << "\"summary\": {\n";
+    section("statements", totals.stmtHit, totals.stmtTotal);
+    section("branches", totals.armTaken, totals.armTotal);
+    section("toggles", totals.toggleHit, totals.toggleTotal);
+    section("fsm_states", totals.fsmStateHit, totals.fsmStateTotal);
+    section("fsm_transitions", totals.fsmTransHit,
+            totals.fsmTransTotal);
+    section("overall", totals.covered(), totals.total());
+    out << "  \"modules\": [";
+    auto rollups = scopeRollups(snap);
+    for (size_t i = 0; i < rollups.size(); ++i) {
+        const auto &entry = rollups[i];
+        out << (i ? ",\n   " : "\n   ") << "{\"scope\": \""
+            << jsonEscape(entry.scope)
+            << "\", \"covered\": " << entry.totals.covered()
+            << ", \"total\": " << entry.totals.total()
+            << ", \"pct\": "
+            << coverPct(entry.totals.covered(), entry.totals.total())
+            << "}";
+    }
+    out << "]\n}\n}\n";
+    return out.str();
+}
+
+namespace
+{
+
+/** Integer member helper: non-negative integral numbers only. */
+bool
+getUint(const obs::JsonValue &obj, const char *key, uint64_t *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || !val->isNumber() || val->number < 0)
+        return false;
+    auto value = static_cast<uint64_t>(val->number);
+    if (static_cast<double>(value) != val->number)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+getBool(const obs::JsonValue &obj, const char *key, bool *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || val->kind != obs::JsonValue::Kind::Bool)
+        return false;
+    *out = val->boolean;
+    return true;
+}
+
+bool
+getString(const obs::JsonValue &obj, const char *key,
+          std::string *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || !val->isString())
+        return false;
+    *out = val->text;
+    return true;
+}
+
+} // namespace
+
+bool
+parseSnapshot(const std::string &text, Snapshot *out,
+              std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        *error = why;
+        return false;
+    };
+    std::string parse_error;
+    obs::JsonPtr root = obs::parseJson(text, &parse_error);
+    if (!root)
+        return fail(parse_error);
+    if (!root->isObject())
+        return fail("root is not an object");
+
+    std::string format;
+    if (!getString(*root, "format", &format) ||
+        format != "hwdbg-cover")
+        return fail("\"format\" must be \"hwdbg-cover\"");
+    uint64_t version = 0;
+    if (!getUint(*root, "version", &version) || version != 1)
+        return fail("unsupported coverage format version");
+
+    *out = Snapshot{};
+    if (const auto *build = root->get("build");
+        build && build->isObject()) {
+        getString(*build, "version", &out->buildVersion);
+        getString(*build, "git", &out->buildGit);
+        getString(*build, "type", &out->buildType);
+    }
+
+    const auto *design = root->get("design");
+    if (!design || !design->isObject())
+        return fail("missing \"design\" object");
+    if (!getString(*design, "top", &out->top))
+        return fail("design.top must be a string");
+    std::string fp;
+    if (!getString(*design, "fingerprint", &fp) ||
+        !hexToU64(fp, &out->fingerprint))
+        return fail("design.fingerprint must be a hex string");
+
+    const auto *workloads = root->get("workloads");
+    if (!workloads || !workloads->isArray())
+        return fail("missing \"workloads\" array");
+    for (const auto &elem : workloads->elems) {
+        if (!elem->isString())
+            return fail("workloads must be strings");
+        out->workloads.push_back(elem->text);
+    }
+    std::sort(out->workloads.begin(), out->workloads.end());
+    out->workloads.erase(std::unique(out->workloads.begin(),
+                                     out->workloads.end()),
+                         out->workloads.end());
+
+    const auto *signals = root->get("signals");
+    if (!signals || !signals->isArray())
+        return fail("missing \"signals\" array");
+    for (const auto &elem : signals->elems) {
+        if (!elem->isObject())
+            return fail("signal entries must be objects");
+        Snapshot::Signal sig;
+        uint64_t width = 0;
+        std::string rise, fall;
+        if (!getString(*elem, "name", &sig.name) ||
+            !getUint(*elem, "width", &width) || width < 1 ||
+            width > (1u << 24) ||
+            !getString(*elem, "scope", &sig.scope) ||
+            !getString(*elem, "rise", &rise) ||
+            !getString(*elem, "fall", &fall))
+            return fail("malformed signal entry");
+        sig.width = static_cast<uint32_t>(width);
+        if (!hexToWords(rise, sig.width, &sig.rise) ||
+            !hexToWords(fall, sig.width, &sig.fall))
+            return fail("signal \"" + sig.name +
+                        "\": rise/fall must be " +
+                        std::to_string((sig.width + 3) / 4) +
+                        "-digit hex strings");
+        out->signals.push_back(std::move(sig));
+    }
+
+    const auto *statements = root->get("statements");
+    if (!statements || !statements->isArray())
+        return fail("missing \"statements\" array");
+    for (const auto &elem : statements->elems) {
+        if (!elem->isObject())
+            return fail("statement entries must be objects");
+        Snapshot::Stmt stmt;
+        if (!getString(*elem, "kind", &stmt.kind) ||
+            !getString(*elem, "loc", &stmt.loc) ||
+            !getString(*elem, "scope", &stmt.scope) ||
+            !getBool(*elem, "hit", &stmt.hit))
+            return fail("malformed statement entry");
+        out->statements.push_back(std::move(stmt));
+    }
+
+    const auto *arms = root->get("arms");
+    if (!arms || !arms->isArray())
+        return fail("missing \"arms\" array");
+    for (const auto &elem : arms->elems) {
+        if (!elem->isObject())
+            return fail("arm entries must be objects");
+        Snapshot::Arm arm;
+        uint64_t stmt = 0;
+        if (!getUint(*elem, "stmt", &stmt) ||
+            !getString(*elem, "label", &arm.label) ||
+            !getBool(*elem, "taken", &arm.taken))
+            return fail("malformed arm entry");
+        if (stmt >= out->statements.size())
+            return fail("arm refers to statement " +
+                        std::to_string(stmt) + " of " +
+                        std::to_string(out->statements.size()));
+        arm.stmt = static_cast<uint32_t>(stmt);
+        out->arms.push_back(std::move(arm));
+    }
+
+    const auto *fsms = root->get("fsms");
+    if (!fsms || !fsms->isArray())
+        return fail("missing \"fsms\" array");
+    for (const auto &elem : fsms->elems) {
+        if (!elem->isObject())
+            return fail("fsm entries must be objects");
+        Snapshot::Fsm fsm;
+        if (!getString(*elem, "state_var", &fsm.stateVar))
+            return fail("fsm.state_var must be a string");
+        const auto *states = elem->get("states");
+        const auto *seen = elem->get("seen");
+        if (!states || !states->isArray() || !seen ||
+            !seen->isArray() ||
+            states->elems.size() != seen->elems.size())
+            return fail("fsm states/seen must be same-length arrays");
+        for (const auto &state : states->elems) {
+            uint64_t value = 0;
+            if (!state->isString() || !hexToU64(state->text, &value))
+                return fail("fsm states must be hex strings");
+            fsm.states.push_back(value);
+        }
+        for (const auto &flag : seen->elems) {
+            if (flag->kind != obs::JsonValue::Kind::Bool)
+                return fail("fsm seen flags must be booleans");
+            fsm.seen.push_back(flag->boolean);
+        }
+        const auto *transitions = elem->get("transitions");
+        if (!transitions || !transitions->isArray())
+            return fail("fsm transitions must be an array");
+        for (const auto &entry : transitions->elems) {
+            if (!entry->isObject())
+                return fail("fsm transitions must be objects");
+            Snapshot::FsmTrans trans;
+            std::string to;
+            if (!getString(*entry, "to", &to) ||
+                !hexToU64(to, &trans.to) ||
+                !getBool(*entry, "seen", &trans.seen))
+                return fail("malformed fsm transition");
+            std::string from;
+            if (getString(*entry, "from", &from)) {
+                if (!hexToU64(from, &trans.from))
+                    return fail("malformed fsm transition source");
+                trans.hasFrom = true;
+            }
+            fsm.transitions.push_back(trans);
+        }
+        const auto *unexpected = elem->get("unexpected_states");
+        if (!unexpected || !unexpected->isArray())
+            return fail("fsm unexpected_states must be an array");
+        for (const auto &entry : unexpected->elems) {
+            uint64_t value = 0;
+            if (!entry->isString() || !hexToU64(entry->text, &value))
+                return fail("unexpected states must be hex strings");
+            fsm.unexpectedStates.push_back(value);
+        }
+        const auto *arcs = elem->get("unexpected_transitions");
+        if (!arcs || !arcs->isArray())
+            return fail("fsm unexpected_transitions must be an array");
+        for (const auto &entry : arcs->elems) {
+            uint64_t from = 0, to = 0;
+            if (!entry->isArray() || entry->elems.size() != 2 ||
+                !entry->elems[0]->isString() ||
+                !hexToU64(entry->elems[0]->text, &from) ||
+                !entry->elems[1]->isString() ||
+                !hexToU64(entry->elems[1]->text, &to))
+                return fail("unexpected transitions must be "
+                            "[from, to] hex pairs");
+            fsm.unexpectedTransitions.emplace_back(from, to);
+        }
+        std::sort(fsm.unexpectedStates.begin(),
+                  fsm.unexpectedStates.end());
+        fsm.unexpectedStates.erase(
+            std::unique(fsm.unexpectedStates.begin(),
+                        fsm.unexpectedStates.end()),
+            fsm.unexpectedStates.end());
+        std::sort(fsm.unexpectedTransitions.begin(),
+                  fsm.unexpectedTransitions.end());
+        fsm.unexpectedTransitions.erase(
+            std::unique(fsm.unexpectedTransitions.begin(),
+                        fsm.unexpectedTransitions.end()),
+            fsm.unexpectedTransitions.end());
+        out->fsms.push_back(std::move(fsm));
+    }
+
+    error->clear();
+    return true;
+}
+
+std::string
+checkCoverageJson(const std::string &text)
+{
+    Snapshot snap;
+    std::string error;
+    if (!parseSnapshot(text, &snap, &error))
+        return error;
+    return "";
+}
+
+std::string
+mergeInto(Snapshot &dst, const Snapshot &src)
+{
+    if (dst.fingerprint != src.fingerprint)
+        return "design fingerprints differ (" +
+               hexFingerprint(dst.fingerprint) + " vs " +
+               hexFingerprint(src.fingerprint) + ")";
+    if (dst.top != src.top)
+        return "designs differ (top '" + dst.top + "' vs '" +
+               src.top + "')";
+    if (dst.signals.size() != src.signals.size() ||
+        dst.statements.size() != src.statements.size() ||
+        dst.arms.size() != src.arms.size() ||
+        dst.fsms.size() != src.fsms.size())
+        return "coverage shapes differ despite equal fingerprints";
+
+    dst.workloads.insert(dst.workloads.end(), src.workloads.begin(),
+                         src.workloads.end());
+    std::sort(dst.workloads.begin(), dst.workloads.end());
+    dst.workloads.erase(std::unique(dst.workloads.begin(),
+                                    dst.workloads.end()),
+                        dst.workloads.end());
+
+    for (size_t i = 0; i < dst.signals.size(); ++i) {
+        auto &a = dst.signals[i];
+        const auto &b = src.signals[i];
+        if (a.width != b.width || a.rise.size() != b.rise.size())
+            return "signal '" + a.name + "' shapes differ";
+        for (size_t w = 0; w < a.rise.size(); ++w) {
+            a.rise[w] |= b.rise[w];
+            a.fall[w] |= b.fall[w];
+        }
+    }
+    for (size_t i = 0; i < dst.statements.size(); ++i)
+        dst.statements[i].hit |= src.statements[i].hit;
+    for (size_t i = 0; i < dst.arms.size(); ++i)
+        dst.arms[i].taken |= src.arms[i].taken;
+    for (size_t i = 0; i < dst.fsms.size(); ++i) {
+        auto &a = dst.fsms[i];
+        const auto &b = src.fsms[i];
+        if (a.seen.size() != b.seen.size() ||
+            a.transitions.size() != b.transitions.size())
+            return "fsm '" + a.stateVar + "' shapes differ";
+        for (size_t s = 0; s < a.seen.size(); ++s)
+            a.seen[s] = a.seen[s] || b.seen[s];
+        for (size_t t = 0; t < a.transitions.size(); ++t)
+            a.transitions[t].seen |= b.transitions[t].seen;
+        a.unexpectedStates.insert(a.unexpectedStates.end(),
+                                  b.unexpectedStates.begin(),
+                                  b.unexpectedStates.end());
+        std::sort(a.unexpectedStates.begin(),
+                  a.unexpectedStates.end());
+        a.unexpectedStates.erase(
+            std::unique(a.unexpectedStates.begin(),
+                        a.unexpectedStates.end()),
+            a.unexpectedStates.end());
+        a.unexpectedTransitions.insert(
+            a.unexpectedTransitions.end(),
+            b.unexpectedTransitions.begin(),
+            b.unexpectedTransitions.end());
+        std::sort(a.unexpectedTransitions.begin(),
+                  a.unexpectedTransitions.end());
+        a.unexpectedTransitions.erase(
+            std::unique(a.unexpectedTransitions.begin(),
+                        a.unexpectedTransitions.end()),
+            a.unexpectedTransitions.end());
+    }
+    return "";
+}
+
+} // namespace hwdbg::cover

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "core/dep_monitor.hh"
 #include "core/fsm_monitor.hh"
+#include "cover/snapshot.hh"
 #include "hdl/parser.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -104,9 +105,24 @@ Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
       ring_(opts_.checkpointInterval, opts_.checkpointCapacity)
 {
     ring_.saveInitial(sim_);
+    coverItems_ = sim::buildCoverageItems(
+        sim_.design(), cover::fsmSpecsFor(sim_.design().module()));
+    cover_ = std::make_unique<sim::CoverageCollector>(coverItems_);
+    sim_.enableCoverage(cover_.get());
 }
 
 Engine::~Engine() = default;
+
+Engine::CoverageSummary
+Engine::coverageSummary()
+{
+    CoverageSummary summary;
+    summary.totals = cover_->totals();
+    uint64_t covered = summary.totals.covered();
+    summary.newlyCovered = covered - lastCovered_;
+    lastCovered_ = covered;
+    return summary;
+}
 
 uint64_t
 Engine::cycle() const

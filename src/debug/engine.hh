@@ -25,6 +25,7 @@
 #define HWDBG_DEBUG_ENGINE_HH
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -33,6 +34,7 @@
 #include "core/losscheck.hh"
 #include "debug/breakpoint.hh"
 #include "debug/checkpoint.hh"
+#include "sim/coverage.hh"
 #include "sim/simulator.hh"
 
 namespace hwdbg::analysis
@@ -155,6 +157,29 @@ class Engine
     /** Last @p n $display lines up to the current position. */
     std::vector<sim::EvalContext::LogLine> recentLog(size_t n) const;
 
+    // ---- coverage ----------------------------------------------------
+    /**
+     * Structural coverage accumulated over the session. Always on:
+     * the collector's hooks are cheap, time travel re-marks
+     * idempotently (replayed goals are already set), and restoreState
+     * re-seeds FSM sampling without fabricating transitions — so the
+     * totals are monotone no matter how the user moves through time.
+     */
+    const sim::CoverageItems &coverageItems() const
+    {
+        return coverItems_;
+    }
+    const sim::CoverageCollector &coverage() const { return *cover_; }
+
+    /** Totals now, plus the goals newly covered since the previous
+     *  call — the live delta behind the REPL's `cover` command. */
+    struct CoverageSummary
+    {
+        sim::CoverageTotals totals;
+        uint64_t newlyCovered = 0;
+    };
+    CoverageSummary coverageSummary();
+
     BreakpointSet &breakpoints() { return bps_; }
     sim::Simulator &sim() { return sim_; }
     const sim::Simulator &sim() const { return sim_; }
@@ -179,6 +204,10 @@ class Engine
     EngineOptions opts_;
     BreakpointSet bps_;
     CheckpointRing ring_;
+    sim::CoverageItems coverItems_;
+    std::unique_ptr<sim::CoverageCollector> cover_;
+    /** covered() at the last coverageSummary() call. */
+    uint64_t lastCovered_ = 0;
 
     /** Tape position: steps applied so far. */
     uint64_t pos_ = 0;

@@ -3,42 +3,13 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 #include "obs/jsoncheck.hh"
 
 namespace hwdbg::debug
 {
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 2);
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += csprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
-}
+using obs::jsonEscape;
 
 void
 JsonObject::key(const std::string &k)

@@ -47,8 +47,6 @@ struct Request
 /** Parse one input line (JSON object or bare command text). */
 Request parseRequestLine(const std::string &line);
 
-std::string jsonEscape(const std::string &text);
-
 /**
  * Ordered JSON object writer: fields appear exactly in call order,
  * which is what gives machine transcripts their byte determinism.

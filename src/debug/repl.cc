@@ -6,8 +6,11 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "cover/snapshot.hh"
 #include "debug/protocol.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace hwdbg::debug
 {
@@ -43,6 +46,8 @@ const CmdHelp kCommands[] = {
      "travel n cycles backwards (default 1)"},
     {"goto-cycle", "goto-cycle <n>", "travel to an absolute cycle"},
     {"events", "events", "paper-tool events observed up to this point"},
+    {"cover", "cover",
+     "live coverage totals and goals newly covered since last check"},
     {"log", "log [n]", "last n $display lines (default 10)"},
     {"help", "help [command]", "this list / one command's usage"},
     {"quit", "quit", "end the session"},
@@ -434,6 +439,51 @@ dispatch(Engine &engine, const Request &req)
         return res;
     }
 
+    if (req.cmd == "cover") {
+        auto summary = engine.coverageSummary();
+        const auto &t = summary.totals;
+        res.payloadJson =
+            JsonObject()
+                .field("statements_hit", t.stmtHit)
+                .field("statements", t.stmtTotal)
+                .field("branches_taken", t.armTaken)
+                .field("branches", t.armTotal)
+                .field("toggles_hit", t.toggleHit)
+                .field("toggles", t.toggleTotal)
+                .field("fsm_states_hit", t.fsmStateHit)
+                .field("fsm_states", t.fsmStateTotal)
+                .field("fsm_arcs_hit", t.fsmTransHit)
+                .field("fsm_arcs", t.fsmTransTotal)
+                .field("covered", t.covered())
+                .field("total", t.total())
+                .field("pct", cover::coverPct(t.covered(), t.total()))
+                .field("new", summary.newlyCovered)
+                .str();
+        res.humanLines.push_back(csprintf(
+            "coverage: %s%% (%llu/%llu goals), +%llu since last check",
+            cover::coverPct(t.covered(), t.total()).c_str(),
+            static_cast<unsigned long long>(t.covered()),
+            static_cast<unsigned long long>(t.total()),
+            static_cast<unsigned long long>(summary.newlyCovered)));
+        res.humanLines.push_back(csprintf(
+            "  statements %llu/%llu  branches %llu/%llu  toggles "
+            "%llu/%llu",
+            static_cast<unsigned long long>(t.stmtHit),
+            static_cast<unsigned long long>(t.stmtTotal),
+            static_cast<unsigned long long>(t.armTaken),
+            static_cast<unsigned long long>(t.armTotal),
+            static_cast<unsigned long long>(t.toggleHit),
+            static_cast<unsigned long long>(t.toggleTotal)));
+        if (t.fsmStateTotal)
+            res.humanLines.push_back(csprintf(
+                "  fsm states %llu/%llu  arcs %llu/%llu",
+                static_cast<unsigned long long>(t.fsmStateHit),
+                static_cast<unsigned long long>(t.fsmStateTotal),
+                static_cast<unsigned long long>(t.fsmTransHit),
+                static_cast<unsigned long long>(t.fsmTransTotal)));
+        return res;
+    }
+
     if (req.cmd == "log") {
         uint64_t n = 10;
         if (!req.args.empty() && !parseU64(req.args[0], &n)) {
@@ -486,6 +536,7 @@ runSession(Engine &engine, std::istream &in, std::ostream &out,
                    .field("design", design.module().name)
                    .field("steps", engine.tapeSize())
                    .field("signals", uint64_t(design.numSignals()))
+                   .raw("build", obs::buildInfoJson())
                    .str()
             << "\n"
             << std::flush;
@@ -516,6 +567,7 @@ runSession(Engine &engine, std::istream &in, std::ostream &out,
             res.ok = false;
             res.error = req.error;
         } else {
+            obs::ObsSpan span("debug.cmd:" + req.cmd);
             try {
                 res = dispatch(engine, req);
             } catch (const HdlError &err) {
@@ -528,8 +580,11 @@ runSession(Engine &engine, std::istream &in, std::ostream &out,
                       std::chrono::steady_clock::now() - t0)
                       .count();
         HWDBG_STAT_HIST("debug.cmd_latency_us", uint64_t(us));
-        if (!res.ok)
+        HWDBG_STAT_INC("debug.session.cmds", 1);
+        if (!res.ok) {
+            HWDBG_STAT_INC("debug.session.errors", 1);
             ++failures;
+        }
 
         if (opts.machine) {
             JsonObject resp;

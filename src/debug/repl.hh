@@ -23,6 +23,7 @@
  *   reverse-step [n]         travel n cycles backwards (default 1)
  *   goto-cycle <n>           travel to an absolute cycle
  *   events                   paper-tool events seen up to this point
+ *   cover                    live coverage totals + newly covered goals
  *   log [n]                  last n $display lines (default 10)
  *   help [command]           command list / one command's usage
  *   quit                     end the session

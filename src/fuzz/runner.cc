@@ -11,9 +11,13 @@
 
 #include "common/logging.hh"
 #include "common/testhooks.hh"
+#include "cover/run.hh"
+#include "cover/signature.hh"
+#include "elab/elaborate.hh"
 #include "fuzz/generator.hh"
 #include "fuzz/shrink.hh"
 #include "hdl/printer.hh"
+#include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -59,6 +63,24 @@ runSeed(uint64_t seed, const FuzzConfig &config)
     return out;
 }
 
+/**
+ * Signature keys covered by @p seed's design under the campaign's
+ * random stimulus. A second pass, fully separate from the oracle run:
+ * it regenerates the design and simulates it with coverage attached,
+ * so the oracle verdicts cannot be perturbed by --cover.
+ */
+std::vector<std::string>
+seedCoverKeys(uint64_t seed, const FuzzConfig &config)
+{
+    GeneratedDesign gd = generateDesign(seed);
+    auto flat = elab::elaborate(gd.design, gd.top).mod;
+    cover::Snapshot snap =
+        cover::coverRandom(std::move(flat),
+                           "seed:" + std::to_string(seed), seed,
+                           config.cycles);
+    return cover::signatureKeys(snap);
+}
+
 FuzzReport
 runCampaign(const FuzzConfig &config)
 {
@@ -66,6 +88,12 @@ runCampaign(const FuzzConfig &config)
     uint64_t first = config.replay ? config.replaySeed : config.start;
     uint64_t count = config.replay ? 1 : config.seeds;
     report.seedsRun = count;
+
+    // One slot per seed index; each worker writes only its own slots,
+    // so the pool needs no lock here and the fold below sees seed
+    // order regardless of scheduling.
+    std::vector<std::vector<std::string>> coverKeys(
+        config.cover ? count : 0);
 
     std::atomic<uint64_t> next{0};
     std::mutex collect;
@@ -80,6 +108,11 @@ runCampaign(const FuzzConfig &config)
             {
                 obs::ObsSpan span("seed " + std::to_string(seed));
                 failures = runSeed(seed, config);
+            }
+            if (config.cover) {
+                obs::ObsSpan span("cover seed " +
+                                  std::to_string(seed));
+                coverKeys[idx] = seedCoverKeys(seed, config);
             }
             auto t1 = std::chrono::steady_clock::now();
             HWDBG_STAT_INC("fuzz.seeds", 1);
@@ -115,6 +148,33 @@ runCampaign(const FuzzConfig &config)
                   return static_cast<uint32_t>(a.oracle) <
                          static_cast<uint32_t>(b.oracle);
               });
+
+    if (config.cover) {
+        // Fold novelty in seed order so the result is independent of
+        // worker interleaving (and hence of --jobs).
+        std::set<std::string> campaign;
+        uint32_t dry = 0;
+        uint32_t window = std::max<uint32_t>(1, config.coverPlateau);
+        for (uint64_t idx = 0; idx < count; ++idx) {
+            SeedCoverage sc;
+            sc.seed = first + idx;
+            sc.keys = static_cast<uint32_t>(coverKeys[idx].size());
+            for (const auto &key : coverKeys[idx])
+                if (campaign.insert(key).second)
+                    ++sc.newKeys;
+            dry = sc.newKeys ? 0 : dry + 1;
+            if (dry >= window && !report.coverPlateaued) {
+                report.coverPlateaued = true;
+                report.coverPlateauSeed = sc.seed;
+                inform("fuzz: coverage plateau at seed %llu (%u "
+                     "consecutive seed(s) added no new coverage)",
+                     static_cast<unsigned long long>(sc.seed),
+                     window);
+            }
+            report.coverage.push_back(sc);
+        }
+        report.coverKeys = campaign.size();
+    }
     return report;
 }
 
@@ -160,37 +220,7 @@ runSelfCheck(const FuzzConfig &config)
     return report;
 }
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 8);
-    for (char c : text) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
+using obs::jsonEscape;
 
 std::string
 indented(const std::string &text, const std::string &pad)
@@ -254,6 +284,7 @@ renderReport(const FuzzReport &report, const FuzzConfig &config)
             << (report.selfCheck ? "self-check"
                                  : (config.replay ? "replay" : "fuzz"))
             << "\",\n";
+        out << "  \"build\": " << obs::buildInfoJson() << ",\n";
         out << "  \"start\": "
             << (config.replay ? config.replaySeed : config.start)
             << ",\n";
@@ -323,6 +354,30 @@ renderReport(const FuzzReport &report, const FuzzConfig &config)
                     << "\n";
             }
             out << "  ],\n";
+            if (config.cover) {
+                out << "  \"coverage\": {\n";
+                out << "    \"keys\": " << report.coverKeys << ",\n";
+                out << "    \"plateau_window\": "
+                    << config.coverPlateau << ",\n";
+                out << "    \"plateaued\": "
+                    << (report.coverPlateaued ? "true" : "false")
+                    << ",\n";
+                if (report.coverPlateaued)
+                    out << "    \"plateau_seed\": "
+                        << report.coverPlateauSeed << ",\n";
+                out << "    \"seeds\": [\n";
+                for (size_t i = 0; i < report.coverage.size(); ++i) {
+                    const auto &sc = report.coverage[i];
+                    out << "      {\"seed\": " << sc.seed
+                        << ", \"keys\": " << sc.keys
+                        << ", \"new\": " << sc.newKeys << "}"
+                        << (i + 1 < report.coverage.size() ? ","
+                                                           : "")
+                        << "\n";
+                }
+                out << "    ]\n";
+                out << "  },\n";
+            }
         }
         out << "  \"ok\": " << (reportOk(report) ? "true" : "false")
             << "\n";
@@ -373,6 +428,26 @@ renderReport(const FuzzReport &report, const FuzzConfig &config)
                 << failure.shrinkAttempts << " attempts):\n"
                 << indented(failure.reproducer, "    ");
         }
+    }
+    if (config.cover) {
+        // Only seeds that advanced coverage get a line: the key space
+        // is finite, so the list is short even for huge campaigns.
+        for (const auto &sc : report.coverage)
+            if (sc.newKeys)
+                out << "seed " << sc.seed << ": +" << sc.newKeys
+                    << " new coverage key(s) (" << sc.keys
+                    << " covered)\n";
+        out << "coverage: " << report.coverKeys
+            << " distinct key(s) across " << report.coverage.size()
+            << " seed(s)\n";
+        if (report.coverPlateaued)
+            out << "coverage plateau: reached at seed "
+                << report.coverPlateauSeed << " ("
+                << config.coverPlateau
+                << " consecutive seed(s) added nothing)\n";
+        else
+            out << "coverage plateau: not reached (window "
+                << config.coverPlateau << ")\n";
     }
     std::set<uint64_t> failingSeeds;
     for (const auto &failure : report.failures)

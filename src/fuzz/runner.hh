@@ -44,6 +44,14 @@ struct FuzzConfig
      *  hunting for new bugs. */
     bool selfCheck = false;
     uint32_t shrinkBudget = 600;
+    /**
+     * Track structural coverage signatures per seed (a second,
+     * oracle-independent pass over each generated design). Never
+     * changes verdicts: coverage is reported alongside them.
+     */
+    bool cover = false;
+    /** Consecutive no-new-coverage seeds that declare a plateau. */
+    uint32_t coverPlateau = 32;
 };
 
 /** One failing seed, with its shrunk reproducer. */
@@ -74,12 +82,34 @@ struct MutationOutcome
     uint64_t seedsTried = 0;
 };
 
+/** Coverage novelty of one seed (campaign --cover mode). */
+struct SeedCoverage
+{
+    uint64_t seed = 0;
+    /** Signature keys this seed's design+stimulus covered. */
+    uint32_t keys = 0;
+    /** Of those, keys no earlier seed had covered. */
+    uint32_t newKeys = 0;
+};
+
 struct FuzzReport
 {
     uint64_t seedsRun = 0;
     std::vector<SeedFailure> failures;
     bool selfCheck = false;
     std::vector<MutationOutcome> mutations;
+    /**
+     * --cover results, in seed order. Folded after the worker pool
+     * joins (novelty depends on seed order, not completion order), so
+     * the numbers are identical for any --jobs count.
+     */
+    std::vector<SeedCoverage> coverage;
+    /** Distinct signature keys across the whole campaign. */
+    uint64_t coverKeys = 0;
+    /** coverPlateau consecutive seeds added nothing new. */
+    bool coverPlateaued = false;
+    /** Seed at which the plateau was declared (when plateaued). */
+    uint64_t coverPlateauSeed = 0;
     /**
      * Wall-clock latency of each completed seed, in completion order.
      * Timing is nondeterministic, so this never reaches the rendered

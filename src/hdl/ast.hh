@@ -219,6 +219,14 @@ struct Stmt
     StmtKind kind;
     SourceLoc loc;
 
+    /**
+     * Statement coverage id assigned by sim::buildCoverageItems(); -1
+     * until a coverage table is built over the enclosing design. Ids
+     * are deterministic (module-traversal order), so rebuilding the
+     * table over the same elaborated module reassigns identical ids.
+     */
+    int32_t coverId = -1;
+
     template <typename T>
     T *
     as()

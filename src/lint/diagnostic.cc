@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace hwdbg::lint
 {
@@ -58,21 +59,7 @@ namespace
 std::string
 jsonEscape(const std::string &text)
 {
-    std::string out;
-    for (char c : text) {
-        switch (c) {
-          case '"': out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20)
-                out += csprintf("\\u%04x", c);
-            else
-                out += c;
-        }
-    }
-    return out;
+    return obs::jsonEscape(text);
 }
 
 } // namespace

@@ -1,0 +1,71 @@
+#include "obs/json.hh"
+
+#include <cstdio>
+
+#ifndef HWDBG_VERSION
+#define HWDBG_VERSION "unknown"
+#endif
+#ifndef HWDBG_GIT_HASH
+#define HWDBG_GIT_HASH "unknown"
+#endif
+#ifndef HWDBG_BUILD_TYPE
+#define HWDBG_BUILD_TYPE "unknown"
+#endif
+
+namespace hwdbg::obs
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info{HWDBG_VERSION, HWDBG_GIT_HASH,
+                                HWDBG_BUILD_TYPE};
+    return info;
+}
+
+std::string
+buildInfoJson()
+{
+    const BuildInfo &info = buildInfo();
+    return "{\"tool\":\"hwdbg\",\"version\":\"" +
+           jsonEscape(info.version) + "\",\"git\":\"" +
+           jsonEscape(info.git) + "\",\"type\":\"" +
+           jsonEscape(info.buildType) + "\"}";
+}
+
+} // namespace hwdbg::obs

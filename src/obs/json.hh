@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Shared JSON emission helpers: the one string escaper every hwdbg
+ * emitter uses, and the build-provenance stamp carried by every JSON
+ * artifact (metrics, traces, fuzz reports, debug transcripts, coverage
+ * files).
+ *
+ * Before this header existed, five emitters each carried a hand-rolled
+ * escaper with subtly different escape tables; they now all call
+ * jsonEscape() so transcripts and reports agree on byte-level escaping.
+ */
+
+#ifndef HWDBG_OBS_JSON_HH
+#define HWDBG_OBS_JSON_HH
+
+#include <string>
+
+namespace hwdbg::obs
+{
+
+/**
+ * Escape @p text for embedding inside a JSON string literal: quotes
+ * and backslashes are backslash-escaped, \n/\t/\r use their short
+ * forms, other control bytes (< 0x20) become \u00XX, and everything
+ * else (including non-ASCII UTF-8 bytes) passes through untouched.
+ */
+std::string jsonEscape(const std::string &text);
+
+/** Compile-time build provenance (CMake stamps the values in). */
+struct BuildInfo
+{
+    std::string version;   ///< hwdbg release version
+    std::string git;       ///< short git hash, or "unknown"
+    std::string buildType; ///< CMAKE_BUILD_TYPE, or "unknown"
+};
+
+const BuildInfo &buildInfo();
+
+/**
+ * The provenance object every JSON artifact embeds under a "build"
+ * key: {"tool":"hwdbg","version":...,"git":...,"type":...}. Constant
+ * within one build, so double-run byte-diff tests stay valid.
+ */
+std::string buildInfoJson();
+
+} // namespace hwdbg::obs
+
+#endif // HWDBG_OBS_JSON_HH

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace hwdbg::obs
 {
@@ -166,7 +167,8 @@ metricsJson()
     Registry &r = registry();
     std::lock_guard<std::mutex> guard(r.lock);
     std::ostringstream out;
-    out << "{\n  \"counters\": {";
+    out << "{\n  \"build\": " << buildInfoJson() << ",\n"
+        << "  \"counters\": {";
     bool first = true;
     for (const auto &[name, c] : r.counters) {
         out << (first ? "" : ",") << "\n    \"" << name

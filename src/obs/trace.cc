@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/json.hh"
 
 namespace hwdbg::obs
 {
@@ -91,26 +92,6 @@ append(TraceBuffer &buf, TraceEvent event, uint64_t session)
     buf.events.push_back(std::move(event));
 }
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    out.reserve(text.size() + 8);
-    for (char c : text) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char hex[8];
-            std::snprintf(hex, sizeof hex, "\\u%04x", c);
-            out += hex;
-        } else {
-            out += c;
-        }
-    }
-    return out;
-}
-
 } // namespace
 
 bool
@@ -178,7 +159,8 @@ stopTrace()
                      });
 
     std::ostringstream out;
-    out << "{\"traceEvents\": [\n";
+    out << "{\"build\": " << buildInfoJson()
+        << ",\n\"traceEvents\": [\n";
     bool first = true;
     for (const auto &[tid, name] : names) {
         out << (first ? "" : ",\n")

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/testhooks.hh"
+#include "sim/coverage.hh"
 
 namespace hwdbg::sim
 {
@@ -302,6 +303,8 @@ applyStore(const StoreTarget &target, const Bits &value, EvalContext &ctx)
             ctx.arrays[target.sig][static_cast<size_t>(target.element)];
         Bits next = value.resized(sig.width);
         if (slot != next) {
+            if (ctx.cover)
+                ctx.cover->onStore(target.sig, slot, next);
             slot = std::move(next);
             ctx.valuesChanged = true;
             if (ctx.toggles)
@@ -312,6 +315,9 @@ applyStore(const StoreTarget &target, const Bits &value, EvalContext &ctx)
     if (target.whole) {
         Bits next = value.resized(sig.width);
         if (ctx.values[target.sig] != next) {
+            if (ctx.cover)
+                ctx.cover->onStore(target.sig,
+                                   ctx.values[target.sig], next);
             ctx.values[target.sig] = std::move(next);
             ctx.valuesChanged = true;
             if (ctx.toggles)
@@ -322,6 +328,9 @@ applyStore(const StoreTarget &target, const Bits &value, EvalContext &ctx)
     Bits before = ctx.values[target.sig];
     ctx.values[target.sig].setSlice(target.msb, target.lsb, value);
     if (ctx.values[target.sig] != before) {
+        if (ctx.cover)
+            ctx.cover->onStore(target.sig, before,
+                               ctx.values[target.sig]);
         ctx.valuesChanged = true;
         if (ctx.toggles)
             ++(*ctx.toggles)[target.sig];

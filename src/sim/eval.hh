@@ -21,6 +21,8 @@
 namespace hwdbg::sim
 {
 
+class CoverageCollector;
+
 /** Mutable simulator state shared by processes and primitives. */
 struct EvalContext
 {
@@ -44,6 +46,11 @@ struct EvalContext
      *  signal's slot on every value-changing store (toggle counting).
      *  Must be sized to numSignals(). */
     std::vector<uint64_t> *toggles = nullptr;
+
+    /** When non-null (coverage), applyStore() reports every
+     *  value-changing store for toggle coverage. One branch per
+     *  changing store when detached. */
+    CoverageCollector *cover = nullptr;
 
     /** $finish seen. */
     bool finished = false;

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "hdl/printer.hh"
+#include "obs/json.hh"
 #include "obs/trace.hh"
 #include "sim/simulator.hh"
 
@@ -115,23 +116,7 @@ locStr(const SourceLoc &loc)
     return loc.line == 0 ? std::string() : loc.str();
 }
 
-std::string
-jsonEscape(const std::string &text)
-{
-    std::string out;
-    for (char c : text) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(c) < 0x20) {
-            char hex[8];
-            std::snprintf(hex, sizeof hex, "\\u%04x", c);
-            out += hex;
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
+using obs::jsonEscape;
 
 } // namespace
 

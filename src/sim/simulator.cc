@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/testhooks.hh"
 #include "obs/metrics.hh"
+#include "sim/coverage.hh"
 #include "sim/profiler.hh"
 
 namespace hwdbg::sim
@@ -159,6 +160,11 @@ Simulator::restoreState(const SimSnapshot &snap)
         prims_[i]->restoreState(cursor, blob.data() + blob.size());
     }
     pendingStep_.pokes.clear();
+    // Coverage marks are idempotent, but FSM transition detection
+    // compares against the last sampled state; re-seed it so time
+    // travel cannot fabricate a restore-point transition.
+    if (cover_)
+        cover_->resync(ctx_);
     HWDBG_STAT_INC("sim.restores", 1);
 }
 
@@ -183,13 +189,30 @@ Simulator::enableProfiling(SimCounters *counters)
 }
 
 void
+Simulator::enableCoverage(CoverageCollector *collector)
+{
+    cover_ = collector;
+    ctx_.cover = collector;
+    // Seed FSM tracking from current values: the occupied state is
+    // credited, but attaching mid-run fabricates no transition.
+    if (cover_)
+        cover_->resync(ctx_);
+}
+
+void
 Simulator::poke(const std::string &signal, const Bits &value)
 {
     int id = design_.requireSignal(signal);
     const SignalInfo &sig = design_.info(id);
     if (sig.dir != PortDir::Input)
         fatal("poke: '%s' is not a top-level input", signal.c_str());
-    ctx_.values[id] = value.resized(sig.width);
+    if (cover_) {
+        Bits next = value.resized(sig.width);
+        cover_->onStore(id, ctx_.values[id], next);
+        ctx_.values[id] = std::move(next);
+    } else {
+        ctx_.values[id] = value.resized(sig.width);
+    }
     if (tape_)
         pendingStep_.pokes.emplace_back(signal, ctx_.values[id]);
 }
@@ -335,6 +358,8 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
 {
     if (!stmt)
         return;
+    if (cover_)
+        cover_->onStmt(stmt.get());
     switch (stmt->kind) {
       case StmtKind::Block:
         for (const auto &sub : stmt->as<BlockStmt>()->stmts)
@@ -342,7 +367,10 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
         break;
       case StmtKind::If: {
         const auto *branch = stmt->as<IfStmt>();
-        if (evalBool(branch->cond, ctx_))
+        bool taken = evalBool(branch->cond, ctx_);
+        if (cover_)
+            cover_->onArm(stmt.get(), taken ? 0 : 1);
+        if (taken)
             execStmt(branch->thenStmt, clocked);
         else
             execStmt(branch->elseStmt, clocked);
@@ -377,6 +405,15 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
         }
         if (!chosen)
             chosen = dflt;
+        if (cover_) {
+            // Arm index is the item's position; the trailing implicit
+            // "no match" arm only exists when there is no default.
+            uint32_t arm =
+                chosen ? static_cast<uint32_t>(chosen -
+                                               sel->items.data())
+                       : static_cast<uint32_t>(sel->items.size());
+            cover_->onArm(stmt.get(), arm);
+        }
         if (chosen)
             execStmt(chosen->body, clocked);
         break;
@@ -490,8 +527,11 @@ Simulator::eval()
     for (auto &[name, prev] : prevClocks_)
         prev = edges[name].second;
 
-    if (triggered.empty() && prim_triggered.empty())
+    if (triggered.empty() && prim_triggered.empty()) {
+        if (cover_)
+            cover_->sample(ctx_);
         return;
+    }
 
     // Execute processes with pre-edge (settled) values; NBAs commit
     // together afterwards. Primitives also sample inputs pre-edge.
@@ -515,6 +555,9 @@ Simulator::eval()
     commitNba();
 
     settleComb();
+
+    if (cover_)
+        cover_->sample(ctx_);
 }
 
 } // namespace hwdbg::sim

@@ -30,6 +30,7 @@ namespace hwdbg::sim
 {
 
 struct SimCounters;
+class CoverageCollector;
 
 /**
  * One eval() step of recorded stimulus: the pokes applied since the
@@ -99,6 +100,14 @@ class Simulator
      */
     void enableProfiling(SimCounters *counters);
 
+    /**
+     * Mark statement/branch/toggle/FSM coverage into @p collector
+     * (built over this design's CoverageItems) until detached with
+     * nullptr. The uncovered path costs one branch per site;
+     * bench/cover_overhead measures it.
+     */
+    void enableCoverage(CoverageCollector *collector);
+
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -162,6 +171,7 @@ class Simulator
     LoweredDesign design_;
     EvalContext ctx_;
     SimCounters *prof_ = nullptr;
+    CoverageCollector *cover_ = nullptr;
     StimulusTape *tape_ = nullptr;
     /** Pokes since the last eval() while recording. */
     StimulusStep pendingStep_;

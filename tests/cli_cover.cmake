@@ -1,0 +1,89 @@
+# Golden tests for the `hwdbg cover` CLI: byte-determinism of reports
+# across runs, the JSON artifact path (--out + obscheck), file-level
+# merge semantics, and the version/provenance surface.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_cover_work)
+file(MAKE_DIRECTORY ${work})
+
+# Reports are byte-deterministic: the same bug workload rendered twice
+# must match exactly, for text and JSON alike.
+foreach(bug D3 D4 D7)
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE run_a ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "hwdbg cover --bug ${bug} failed (rc=${rc})")
+    endif()
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE run_b ERROR_QUIET)
+    if(NOT run_a STREQUAL run_b)
+        message(FATAL_ERROR "cover --bug ${bug} is not deterministic")
+    endif()
+    if(NOT run_a MATCHES "overall")
+        message(FATAL_ERROR "cover --bug ${bug} report is wrong: ${run_a}")
+    endif()
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_a ERROR_QUIET)
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_b ERROR_QUIET)
+    if(NOT json_a STREQUAL json_b)
+        message(FATAL_ERROR "cover --bug ${bug} JSON is not deterministic")
+    endif()
+endforeach()
+
+# --out writes the JSON artifact, and obscheck validates it.
+execute_process(COMMAND ${HWDBG} cover --bug D3 --format json
+                --out ${work}/d3.cover.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${work}/d3.cover.json)
+    message(FATAL_ERROR "cover --out did not write the artifact")
+endif()
+execute_process(COMMAND ${HWDBG} obscheck ${work}/d3.cover.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(coverage\\)")
+    message(FATAL_ERROR "obscheck rejected the coverage artifact: ${out}")
+endif()
+
+# Merging a file with itself is a no-op (idempotence at the file level).
+execute_process(COMMAND ${HWDBG} cover merge ${work}/d3.cover.json
+                ${work}/d3.cover.json --out ${work}/d3.merged.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cover merge failed (rc=${rc})")
+endif()
+file(READ ${work}/d3.cover.json before)
+file(READ ${work}/d3.merged.json after)
+if(NOT before STREQUAL after)
+    message(FATAL_ERROR "self-merge changed the coverage file")
+endif()
+
+# Merging across different designs is refused, loudly.
+execute_process(COMMAND ${HWDBG} cover --bug D4 --format json
+                --out ${work}/d4.cover.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+execute_process(COMMAND ${HWDBG} cover merge ${work}/d3.cover.json
+                ${work}/d4.cover.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "cross-design merge should fail")
+endif()
+if(NOT err MATCHES "fingerprint")
+    message(FATAL_ERROR "cross-design merge error is unhelpful: ${err}")
+endif()
+
+# The coverage artifact carries build provenance, and `hwdbg version`
+# prints the same stamp.
+if(NOT before MATCHES "\"build\"")
+    message(FATAL_ERROR "coverage JSON is missing the build stamp")
+endif()
+execute_process(COMMAND ${HWDBG} version
+                RESULT_VARIABLE rc OUTPUT_VARIABLE ver ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT ver MATCHES "^hwdbg [0-9]")
+    message(FATAL_ERROR "hwdbg version output is wrong: ${ver}")
+endif()
+execute_process(COMMAND ${HWDBG} --version
+                RESULT_VARIABLE rc OUTPUT_VARIABLE ver2 ERROR_QUIET)
+if(NOT ver STREQUAL ver2)
+    message(FATAL_ERROR "--version and version disagree")
+endif()
+
+message(STATUS "cli_cover checks passed")

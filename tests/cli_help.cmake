@@ -4,7 +4,7 @@
 # dispatch, so a new command cannot ship without help text.
 
 set(all_commands parse lint fsm deps signalcat losscheck resources
-    timing testbed fuzz profile obscheck debug help)
+    timing testbed fuzz profile obscheck debug cover version help)
 
 # hwdbg with no arguments prints the usage listing and exits 2.
 execute_process(COMMAND ${HWDBG}

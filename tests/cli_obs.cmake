@@ -42,13 +42,17 @@ execute_process(COMMAND ${HWDBG} profile ${work}/d1.v
                 --cycles 300 --rank evals
                 RESULT_VARIABLE rc OUTPUT_VARIABLE prof_b ERROR_QUIET)
 # Wall time varies run to run; everything else must not. Strip the
-# time columns ("0.736  63.2%") and the wall= field before comparing.
+# time columns ("0.736  63.2%") and the wall= field, then collapse
+# whitespace runs — the table's column padding depends on the widths
+# of the (stripped) time values, so raw spacing is nondeterministic.
 string(REGEX REPLACE "wall=[0-9.]+ ms" "wall=X" prof_a_n "${prof_a}")
 string(REGEX REPLACE "wall=[0-9.]+ ms" "wall=X" prof_b_n "${prof_b}")
 string(REGEX REPLACE "[0-9]+\\.[0-9]+ +[0-9]+\\.[0-9]+%" "T P"
        prof_a_n "${prof_a_n}")
 string(REGEX REPLACE "[0-9]+\\.[0-9]+ +[0-9]+\\.[0-9]+%" "T P"
        prof_b_n "${prof_b_n}")
+string(REGEX REPLACE "  +" " " prof_a_n "${prof_a_n}")
+string(REGEX REPLACE "  +" " " prof_b_n "${prof_b_n}")
 if(NOT prof_a_n STREQUAL prof_b_n)
     message(FATAL_ERROR
             "profile --rank evals is not deterministic:\n--- a\n"

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The shared JSON escaper (the one every emitter now uses) and the
+ * build-provenance stamp.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hh"
+
+using namespace hwdbg;
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(obs::jsonEscape(""), "");
+    EXPECT_EQ(obs::jsonEscape("hello world 123"), "hello world 123");
+    EXPECT_EQ(obs::jsonEscape("a[3:0] <= b + 1;"), "a[3:0] <= b + 1;");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(obs::jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(obs::jsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+    EXPECT_EQ(obs::jsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, ShortFormsForCommonControls)
+{
+    EXPECT_EQ(obs::jsonEscape("line1\nline2"), "line1\\nline2");
+    EXPECT_EQ(obs::jsonEscape("col\tcol"), "col\\tcol");
+    EXPECT_EQ(obs::jsonEscape("cr\rlf\n"), "cr\\rlf\\n");
+}
+
+TEST(JsonEscape, UnicodeEscapesForOtherControlBytes)
+{
+    EXPECT_EQ(obs::jsonEscape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(obs::jsonEscape(std::string(1, '\x1f')), "\\u001f");
+    std::string nul(1, '\0');
+    EXPECT_EQ(obs::jsonEscape(nul), "\\u0000");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThrough)
+{
+    // UTF-8 multibyte sequences are valid inside JSON strings; the
+    // escaper must not mangle them into \u escapes byte by byte.
+    std::string utf8 = "caf\xc3\xa9";
+    EXPECT_EQ(obs::jsonEscape(utf8), utf8);
+}
+
+TEST(BuildInfo, FieldsAreNonEmptyAndStable)
+{
+    const obs::BuildInfo &info = obs::buildInfo();
+    EXPECT_FALSE(info.version.empty());
+    EXPECT_FALSE(info.git.empty());
+    EXPECT_FALSE(info.buildType.empty());
+    // Constant within one process: double-run byte-diff tests depend
+    // on the stamp never changing mid-session.
+    EXPECT_EQ(obs::buildInfoJson(), obs::buildInfoJson());
+}
+
+TEST(BuildInfo, JsonShape)
+{
+    std::string json = obs::buildInfoJson();
+    EXPECT_NE(json.find("\"tool\":\"hwdbg\""), std::string::npos);
+    EXPECT_NE(json.find("\"version\":"), std::string::npos);
+    EXPECT_NE(json.find("\"git\":"), std::string::npos);
+    EXPECT_NE(json.find("\"type\":"), std::string::npos);
+}
