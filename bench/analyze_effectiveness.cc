@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dataflow-analysis effectiveness over the Table 2 testbed: run every
+ * analyze pass on the buggy and fixed form of each of the 20 bugs and
+ * report which rules fire on the buggy form only (a detection), on
+ * both forms (noise), and what the fixed designs draw in total.
+ *
+ * This is the whole-design-dataflow counterpart of the lint bench: the
+ * lint catches local AST shapes (8 of 20 bugs); the analyze passes
+ * prove facts across processes — stuck constants, dead guards,
+ * definite assignment, scheduler races, clock-domain crossings — and
+ * must independently detect at least 4 bugs from the buggy source
+ * alone while staying quiet on every fix.
+ */
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analyze/analyze.hh"
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+using namespace hwdbg::bench;
+
+namespace
+{
+
+std::multiset<std::string>
+ruleHits(const TestbedBug &bug, bool buggy)
+{
+    auto elaborated = buildDesign(bug, buggy);
+    std::multiset<std::string> hits;
+    for (const auto &diag : analyze::runAnalyze(*elaborated.mod))
+        hits.insert(diag.rule);
+    return hits;
+}
+
+std::string
+join(const std::set<std::string> &names)
+{
+    std::string out;
+    for (const auto &name : names) {
+        if (!out.empty())
+            out += ", ";
+        out += name;
+    }
+    return out.empty() ? "-" : out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Dataflow analysis over the 20 Table 2 testbed bugs\n");
+    std::printf("%-4s %-27s %-42s %s\n", "Bug", "subclass",
+                "buggy-only rules (detections)", "both-forms rules");
+    std::printf("%s\n", std::string(104, '-').c_str());
+
+    int detected = 0;
+    int fixed_only = 0;
+    std::map<std::string, int> perRule;
+
+    for (const auto &bug : testbedBugs()) {
+        auto buggy = ruleHits(bug, true);
+        auto fixed = ruleHits(bug, false);
+
+        std::set<std::string> buggy_only, both;
+        for (const auto &rule : std::set<std::string>(buggy.begin(),
+                                                      buggy.end())) {
+            if (fixed.count(rule))
+                both.insert(rule);
+            else
+                buggy_only.insert(rule);
+        }
+        for (const auto &rule : std::set<std::string>(fixed.begin(),
+                                                      fixed.end()))
+            fixed_only += !buggy.count(rule);
+        if (!buggy_only.empty())
+            ++detected;
+        for (const auto &rule : buggy_only)
+            ++perRule[rule];
+
+        std::printf("%-4s %-27s %-42s %s\n", bug.id.c_str(),
+                    bug.subclass.c_str(), join(buggy_only).c_str(),
+                    join(both).c_str());
+    }
+
+    std::printf("%s\n", std::string(104, '-').c_str());
+    std::printf("Detections per rule:\n");
+    for (const auto &[rule, count] : perRule)
+        std::printf("  %-24s %d\n", rule.c_str(), count);
+    std::printf("Detected %d/20 bugs from dataflow facts alone; "
+                "%d rule(s) fire on fixed designs only\n",
+                detected, fixed_only);
+    std::printf("Expected: the constant-provable bugs (D2's truncated "
+                "tag bit, D3's stuck ready outputs, D4's dead "
+                "occupancy chain, C1's unreachable reset cascade); "
+                "value- and timing-dependent bugs still need the "
+                "dynamic tools\n");
+
+    // Gate: at least 4 buggy-only detections and no rule that fires
+    // exclusively on a fixed design (that would be a false alarm
+    // introduced by a fix).
+    bool ok = detected >= 4 && fixed_only == 0;
+    std::printf("Match: %s\n", ok ? "ok" : "FAIL");
+    return ok ? 0 : 1;
+}

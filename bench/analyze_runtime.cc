@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Wall-clock budget for `hwdbg analyze`: the full pass pipeline over
+ * every testbed design (buggy and fixed) and over a batch of generated
+ * designs must stay interactive. The known-bits fixpoint is the only
+ * super-linear piece, and its iteration budget degrades to all-unknown
+ * rather than spinning, so the whole-testbed sweep is the regression
+ * canary for that budget.
+ *
+ * Exit 1 when a single design exceeds the per-design budget or the
+ * sweep exceeds the total budget (generous bounds: CI machines are
+ * slow and shared; a real regression is orders of magnitude).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "analyze/analyze.hh"
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "fuzz/generator.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::bugs;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+msSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     begin)
+        .count();
+}
+
+} // namespace
+
+int
+main()
+{
+    constexpr double kPerDesignMs = 1000.0;
+    constexpr double kTotalMs = 20000.0;
+
+    double total = 0;
+    double worst = 0;
+    std::string worstName;
+    size_t designs = 0;
+    size_t diags = 0;
+
+    auto record = [&](const std::string &name, double ms,
+                      size_t ndiags) {
+        total += ms;
+        ++designs;
+        diags += ndiags;
+        if (ms > worst) {
+            worst = ms;
+            worstName = name;
+        }
+        if (ms > kPerDesignMs)
+            std::printf("OVER BUDGET %-12s %8.2f ms\n", name.c_str(),
+                        ms);
+    };
+
+    for (const auto &bug : testbedBugs()) {
+        for (bool buggy : {true, false}) {
+            auto elaborated = buildDesign(bug, buggy);
+            auto begin = Clock::now();
+            auto result = analyze::runAnalyze(*elaborated.mod);
+            record(bug.id + (buggy ? "" : "-fixed"), msSince(begin),
+                   result.size());
+        }
+    }
+
+    // Generated designs stress wider expression trees and memories.
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+        fuzz::GeneratorOptions gopts;
+        gopts.raceChance = 30;
+        auto gd = fuzz::generateDesign(seed, gopts);
+        auto elaborated = elab::elaborate(gd.design, gd.top);
+        auto begin = Clock::now();
+        auto result = analyze::runAnalyze(*elaborated.mod);
+        record("seed:" + std::to_string(seed), msSince(begin),
+               result.size());
+    }
+
+    std::printf("analyze runtime: %zu designs, %zu diagnostics, "
+                "%.1f ms total, worst %.2f ms (%s)\n",
+                designs, diags, total, worst, worstName.c_str());
+    bool ok = worst <= kPerDesignMs && total <= kTotalMs;
+    std::printf("Match: %s (budget: %.0f ms/design, %.0f ms total)\n",
+                ok ? "ok" : "FAIL", kPerDesignMs, kTotalMs);
+    return ok ? 0 : 1;
+}

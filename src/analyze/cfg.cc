@@ -1,0 +1,155 @@
+#include "analyze/cfg.hh"
+
+#include <algorithm>
+
+namespace hwdbg::analyze
+{
+
+using namespace hdl;
+
+namespace
+{
+
+class Builder
+{
+  public:
+    explicit Builder(Cfg &cfg) : cfg_(cfg)
+    {
+        cfg_.nodes.clear();
+        addNode(CfgNode::Kind::Entry, nullptr);
+        addNode(CfgNode::Kind::Exit, nullptr);
+    }
+
+    void
+    build(const StmtPtr &body)
+    {
+        uint32_t last = lower(body, cfg_.entry);
+        edge(last, cfg_.exit);
+    }
+
+  private:
+    uint32_t
+    addNode(CfgNode::Kind kind, const Stmt *stmt)
+    {
+        CfgNode node;
+        node.kind = kind;
+        node.stmt = stmt;
+        cfg_.nodes.push_back(node);
+        return static_cast<uint32_t>(cfg_.nodes.size() - 1);
+    }
+
+    void
+    edge(uint32_t from, uint32_t to)
+    {
+        cfg_.nodes[from].succs.push_back(to);
+        cfg_.nodes[to].preds.push_back(from);
+    }
+
+    /** Lower @p stmt after node @p pred; return the last node. */
+    uint32_t
+    lower(const StmtPtr &stmt, uint32_t pred)
+    {
+        if (!stmt)
+            return pred;
+        switch (stmt->kind) {
+          case StmtKind::Block: {
+            uint32_t cur = pred;
+            for (const auto &sub : stmt->as<BlockStmt>()->stmts)
+                cur = lower(sub, cur);
+            return cur;
+          }
+          case StmtKind::If: {
+            const auto *branch = stmt->as<IfStmt>();
+            uint32_t head = addNode(CfgNode::Kind::Branch, stmt.get());
+            edge(pred, head);
+            uint32_t join = addNode(CfgNode::Kind::Join, nullptr);
+            edge(lower(branch->thenStmt, head), join);
+            // A missing else arm is an edge straight to the join: the
+            // fall-through path where nothing is assigned.
+            edge(lower(branch->elseStmt, head), join);
+            return join;
+          }
+          case StmtKind::Case: {
+            const auto *sel = stmt->as<CaseStmt>();
+            uint32_t head = addNode(CfgNode::Kind::Branch, stmt.get());
+            edge(pred, head);
+            uint32_t join = addNode(CfgNode::Kind::Join, nullptr);
+            bool has_default = false;
+            for (const auto &item : sel->items) {
+                if (item.labels.empty())
+                    has_default = true;
+                edge(lower(item.body, head), join);
+            }
+            // Without a default, an unmatched selector skips the whole
+            // statement; model that as its own fall-through edge.
+            if (!has_default)
+                edge(head, join);
+            return join;
+          }
+          case StmtKind::Assign:
+          case StmtKind::Display:
+          case StmtKind::Finish:
+          case StmtKind::Null: {
+            uint32_t node = addNode(CfgNode::Kind::Stmt, stmt.get());
+            edge(pred, node);
+            return node;
+          }
+        }
+        return pred;
+    }
+
+    Cfg &cfg_;
+};
+
+} // namespace
+
+Cfg
+buildCfg(const StmtPtr &body)
+{
+    Cfg cfg;
+    Builder builder(cfg);
+    builder.build(body);
+    return cfg;
+}
+
+Cfg
+buildCfg(const AlwaysItem &proc)
+{
+    Cfg cfg = buildCfg(proc.body);
+    cfg.proc = &proc;
+    return cfg;
+}
+
+std::vector<uint32_t>
+rpoOrder(const Cfg &cfg)
+{
+    std::vector<uint32_t> post;
+    std::vector<uint8_t> seen(cfg.nodes.size(), 0);
+    // Iterative DFS; the graphs are acyclic so a plain post-order works.
+    struct Frame
+    {
+        uint32_t node;
+        size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({cfg.entry});
+    seen[cfg.entry] = 1;
+    while (!stack.empty()) {
+        Frame &top = stack.back();
+        const auto &succs = cfg.nodes[top.node].succs;
+        if (top.next < succs.size()) {
+            uint32_t next = succs[top.next++];
+            if (!seen[next]) {
+                seen[next] = 1;
+                stack.push_back({next});
+            }
+        } else {
+            post.push_back(top.node);
+            stack.pop_back();
+        }
+    }
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+} // namespace hwdbg::analyze

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Whole-design known-bits fixpoint.
+ *
+ * The solver joins every assignment's abstract value into its target
+ * signal, worklist-iterating until the environment stabilizes. Guards
+ * are evaluated three-valued: a definitely-false guard makes its
+ * assignment dead (it contributes nothing, and the const pass reports
+ * it); everything else contributes. Registers additionally join their
+ * two-state initial value (zero) unless a combinational process
+ * provably assigns them on every activation path — that per-process
+ * fact comes from a must-assign dataflow over the statement CFG.
+ *
+ * The iteration is optimistic (signals start at bottom, rise
+ * monotonically toward all-unknown), so the result is the least — most
+ * precise — sound fixpoint of the abstract transfer functions.
+ */
+
+#ifndef HWDBG_ANALYZE_FIXPOINT_HH
+#define HWDBG_ANALYZE_FIXPOINT_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/guards.hh"
+#include "analyze/cfg.hh"
+#include "analyze/domain.hh"
+
+namespace hwdbg::analyze
+{
+
+/**
+ * Forward must-assign domain: the set of signals assigned on every
+ * path reaching a point. Joins intersect; any write (full or partial)
+ * counts as an assignment.
+ */
+struct MustAssignDomain
+{
+    using Value = std::set<std::string>;
+
+    Value
+    entryValue()
+    {
+        return {};
+    }
+
+    /** Intersection; returns true when @p into shrank. */
+    bool meetInto(Value &into, const Value &from);
+
+    Value transfer(const CfgNode &node, Value in);
+};
+
+/** Signals assigned on every activation path of @p proc. */
+std::set<std::string> mustAssignAtExit(const hdl::AlwaysItem &proc);
+
+struct ConstFixpoint
+{
+    /** Every assignment, from analysis::collectAssigns (module order). */
+    std::vector<analysis::GuardedAssign> assigns;
+    /** Final facts; a remaining std::nullopt means the signal is part
+     *  of a combinational cycle and never settled (treat as unknown). */
+    Env env;
+    /** Per assign: guard proven false at the fixpoint (dead). */
+    std::vector<uint8_t> deadGuard;
+    /** Per assign: non-literal guard proven true at the fixpoint. */
+    std::vector<uint8_t> trueGuard;
+    /** Signals connected to a primitive instance (facts forced to
+     *  unknown: the IP may drive them). */
+    std::set<std::string> primConnected;
+
+    /** Fact for @p name with bottom widened to all-unknown. */
+    KnownBits factOf(const std::string &name,
+                     const SignalTable &sigs) const;
+};
+
+ConstFixpoint solveConstants(const hdl::Module &mod,
+                             const SignalTable &sigs);
+
+} // namespace hwdbg::analyze
+
+#endif // HWDBG_ANALYZE_FIXPOINT_HH

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Internal declarations of the analyze passes (one per passes_*.cc).
+ */
+
+#ifndef HWDBG_ANALYZE_PASSES_HH
+#define HWDBG_ANALYZE_PASSES_HH
+
+namespace hwdbg::analyze
+{
+
+class AnalyzeContext;
+
+void passConst(AnalyzeContext &ctx);
+void passXinit(AnalyzeContext &ctx);
+void passRace(AnalyzeContext &ctx);
+void passCdc(AnalyzeContext &ctx);
+void passLoop(AnalyzeContext &ctx);
+
+} // namespace hwdbg::analyze
+
+#endif // HWDBG_ANALYZE_PASSES_HH

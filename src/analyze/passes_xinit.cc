@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Definite-assignment pass.
+ *
+ * Two findings, both "reads that can observe a value no assignment
+ * produced" (an X in four-state simulation; a stale or zero value in
+ * our two-state simulator):
+ *
+ *   comb-read-before-write  inside a combinational process, a signal
+ *       the process itself drives is read on a path where no assignment
+ *       has executed yet — the read sees the previous settling value
+ *       (latch-like behavior). Detected with a forward must-assign
+ *       dataflow over the process CFG.
+ *
+ *   read-uninitialized  a register has assignments, but the constant
+ *       fixpoint proves every one of them dead (guard never true), and
+ *       the register is still read or exported — every read observes
+ *       the initial value only.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/exprutil.hh"
+#include "analyze/analyze.hh"
+#include "analyze/passes.hh"
+#include "analyze/solver.hh"
+#include "common/logging.hh"
+
+namespace hwdbg::analyze
+{
+
+using namespace hdl;
+
+namespace
+{
+
+lint::Diagnostic
+mkDiag(const std::string &rule, lint::Severity severity,
+       const std::string &subclass, const SourceLoc &loc,
+       std::string message, std::vector<std::string> signals)
+{
+    lint::Diagnostic diag;
+    diag.rule = rule;
+    diag.severity = severity;
+    diag.subclass = subclass;
+    diag.loc = loc;
+    diag.message = std::move(message);
+    diag.signals = std::move(signals);
+    return diag;
+}
+
+/** Signals a CFG node reads when it executes (or branches). */
+std::set<std::string>
+nodeReads(const CfgNode &node)
+{
+    std::set<std::string> reads;
+    if (!node.stmt)
+        return reads;
+    auto add = [&](const ExprPtr &expr) {
+        if (!expr)
+            return;
+        for (const auto &sig : analysis::collectSignals(expr))
+            reads.insert(sig);
+    };
+    switch (node.stmt->kind) {
+      case StmtKind::If:
+        add(node.stmt->as<IfStmt>()->cond);
+        break;
+      case StmtKind::Case: {
+        const auto *sel = node.stmt->as<CaseStmt>();
+        add(sel->selector);
+        for (const auto &item : sel->items)
+            for (const auto &label : item.labels)
+                add(label);
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto *assign = node.stmt->as<AssignStmt>();
+        add(assign->rhs);
+        // Index expressions of the lvalue are reads; the written
+        // targets themselves are not.
+        std::set<std::string> lhs_sigs;
+        for (const auto &sig :
+             analysis::collectSignals(assign->lhs))
+            lhs_sigs.insert(sig);
+        for (const auto &target :
+             analysis::lvalueTargets(assign->lhs))
+            lhs_sigs.erase(target);
+        for (const auto &sig : lhs_sigs)
+            reads.insert(sig);
+        break;
+      }
+      case StmtKind::Display:
+        for (const auto &arg : node.stmt->as<DisplayStmt>()->args)
+            add(arg);
+        break;
+      default:
+        break;
+    }
+    return reads;
+}
+
+} // namespace
+
+void
+passXinit(AnalyzeContext &ctx)
+{
+    const Module &mod = ctx.module();
+    const SignalTable &sigs = ctx.signals();
+    const ConstFixpoint &fix = ctx.fixpoint();
+
+    // --- comb-read-before-write: must-assign dataflow per comb proc.
+    for (const auto &item : mod.items) {
+        if (item->kind != ItemKind::Always)
+            continue;
+        const auto *proc = item->as<AlwaysItem>();
+        if (!proc->isComb)
+            continue;
+
+        // Signals this process drives anywhere.
+        std::set<std::string> written;
+        for (const auto &ga : fix.assigns)
+            if (ga.proc == proc)
+                for (const auto &target :
+                     analysis::lvalueTargets(ga.lhs))
+                    written.insert(target);
+        if (written.empty())
+            continue;
+
+        Cfg cfg = buildCfg(*proc);
+        MustAssignDomain dom;
+        auto res = solveForward(cfg, dom);
+
+        std::set<std::string> reported;
+        for (uint32_t n = 0; n < cfg.nodes.size(); ++n) {
+            const CfgNode &node = cfg.nodes[n];
+            if (!node.stmt || !res.in[n])
+                continue;
+            for (const auto &sig : nodeReads(node)) {
+                if (!written.count(sig) || res.in[n]->count(sig))
+                    continue;
+                if (!reported.insert(sig).second)
+                    continue;
+                ctx.report(mkDiag(
+                    "comb-read-before-write", lint::Severity::Warning,
+                    "Signal Asynchrony", node.stmt->loc,
+                    csprintf("'%s' is read before this combinational "
+                             "process assigns it; the read observes "
+                             "the previous settling value",
+                             sig.c_str()),
+                    {sig}));
+            }
+        }
+    }
+
+    // --- read-uninitialized: every assignment to a register is dead.
+    std::map<std::string, std::vector<size_t>> assignsOf;
+    for (size_t i = 0; i < fix.assigns.size(); ++i)
+        for (const auto &target :
+             analysis::lvalueTargets(fix.assigns[i].lhs))
+            assignsOf[target].push_back(i);
+
+    const auto &graph = ctx.graph();
+    for (const auto &[name, info] : sigs.all()) {
+        if (!info.isReg || info.isArray)
+            continue;
+        if (fix.primConnected.count(name))
+            continue;
+        auto it = assignsOf.find(name);
+        if (it == assignsOf.end() || it->second.empty())
+            continue; // never driven at all: lint's undriven finding
+        bool all_dead = true;
+        for (size_t i : it->second)
+            if (!fix.deadGuard[i])
+                all_dead = false;
+        if (!all_dead)
+            continue;
+        bool read = !graph.edgesOutOf(name).empty() ||
+                    info.dir == PortDir::Output;
+        if (!read)
+            continue;
+        ctx.report(mkDiag(
+            "read-uninitialized", lint::Severity::Warning,
+            "Failure-to-Update", info.loc,
+            csprintf("no assignment to '%s' is ever reachable; reads "
+                     "observe only the initial value (X in four-state "
+                     "simulation)",
+                     name.c_str()),
+            {name}));
+    }
+}
+
+} // namespace hwdbg::analyze

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Generic forward dataflow solver over a per-process CFG.
+ *
+ * A Domain supplies the lattice and transfer function:
+ *
+ *   struct Domain {
+ *     using Value = ...;
+ *     Value entryValue();                        // fact at Entry
+ *     bool meetInto(Value &into, const Value &from);  // true if changed
+ *     Value transfer(const CfgNode &node, Value in);
+ *   };
+ *
+ * The solver visits nodes in reverse post-order with a worklist; since
+ * the statement CFGs are acyclic each node's input stabilizes after one
+ * sweep, but the worklist keeps the solver correct if a cyclic graph is
+ * ever fed in (it terminates as long as meetInto is monotone and the
+ *  lattice has finite height).
+ */
+
+#ifndef HWDBG_ANALYZE_SOLVER_HH
+#define HWDBG_ANALYZE_SOLVER_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "analyze/cfg.hh"
+
+namespace hwdbg::analyze
+{
+
+template <typename Domain>
+struct DataflowResult
+{
+    /**
+     * Input fact per node; std::nullopt for nodes no path reaches
+     * (possible only in degenerate graphs).
+     */
+    std::vector<std::optional<typename Domain::Value>> in;
+    /** Output fact per node. */
+    std::vector<std::optional<typename Domain::Value>> out;
+};
+
+template <typename Domain>
+DataflowResult<Domain>
+solveForward(const Cfg &cfg, Domain &dom)
+{
+    DataflowResult<Domain> res;
+    res.in.resize(cfg.nodes.size());
+    res.out.resize(cfg.nodes.size());
+
+    std::vector<uint32_t> order = rpoOrder(cfg);
+    std::vector<size_t> rank(cfg.nodes.size(), 0);
+    for (size_t i = 0; i < order.size(); ++i)
+        rank[order[i]] = i;
+
+    res.in[cfg.entry] = dom.entryValue();
+
+    std::deque<uint32_t> work(order.begin(), order.end());
+    std::vector<uint8_t> queued(cfg.nodes.size(), 1);
+    while (!work.empty()) {
+        uint32_t n = work.front();
+        work.pop_front();
+        queued[n] = 0;
+        if (!res.in[n])
+            continue;
+        typename Domain::Value out =
+            dom.transfer(cfg.nodes[n], *res.in[n]);
+        bool changed = false;
+        if (!res.out[n]) {
+            res.out[n] = std::move(out);
+            changed = true;
+        } else {
+            changed = dom.meetInto(*res.out[n], out);
+        }
+        if (!changed)
+            continue;
+        for (uint32_t succ : cfg.nodes[n].succs) {
+            bool succ_changed;
+            if (!res.in[succ]) {
+                res.in[succ] = *res.out[n];
+                succ_changed = true;
+            } else {
+                succ_changed = dom.meetInto(*res.in[succ], *res.out[n]);
+            }
+            if (succ_changed && !queued[succ]) {
+                queued[succ] = 1;
+                // Keep roughly-RPO processing: later-ranked nodes go to
+                // the back so predecessors usually run first.
+                if (rank[succ] < rank[n])
+                    work.push_front(succ);
+                else
+                    work.push_back(succ);
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace hwdbg::analyze
+
+#endif // HWDBG_ANALYZE_SOLVER_HH

@@ -7,6 +7,8 @@
  *   hwdbg parse      <file> [--top M] [--define NAME]...
  *   hwdbg lint       <file> [--top M] [--format text|json]
  *                    [--rule ID]...
+ *   hwdbg analyze    <file|--bug ID> [--pass LIST]
+ *                    [--format text|json] [--out FILE]
  *   hwdbg fsm        <file> [--top M]
  *   hwdbg deps       <file> --var V [--cycles K] [--top M]
  *   hwdbg signalcat  <file> [--depth N] [--arm SIG] [--stop SIG]
@@ -44,6 +46,7 @@
 #include <vector>
 
 #include "analysis/fsm_detect.hh"
+#include "analyze/analyze.hh"
 #include "bugbase/designs.hh"
 #include "bugbase/testbed.hh"
 #include "common/logging.hh"
@@ -175,7 +178,8 @@ parseArgs(int argc, char **argv)
                 name == "stimulus" || name == "dep" ||
                 name == "loss" || name == "checkpoint-interval" ||
                 name == "checkpoint-capacity" || name == "out" ||
-                name == "cover-plateau";
+                name == "cover-plateau" || name == "pass" ||
+                name == "race-chance";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -252,6 +256,66 @@ cmdLint(const Args &args)
     if (format == "text")
         std::fprintf(stderr, "lint: %zu diagnostic%s\n", diags.size(),
                      diags.size() == 1 ? "" : "s");
+    return lint::hasErrors(diags) ? 1 : 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    hdl::ModulePtr mod;
+    std::string bugId = args.opt("bug");
+    if (!bugId.empty()) {
+        const auto &bug = bugs::bugById(bugId);
+        mod = bugs::buildDesign(bug, !args.flag("fixed")).mod;
+    } else {
+        mod = load(args).mod;
+    }
+
+    analyze::AnalyzeOptions opts;
+    std::string passList = args.opt("pass");
+    if (!passList.empty()) {
+        std::stringstream split(passList);
+        std::string id;
+        while (std::getline(split, id, ',')) {
+            if (id.empty())
+                continue;
+            if (!analyze::passById(id)) {
+                std::string known;
+                for (const auto &pass : analyze::analyzePasses())
+                    known += (known.empty() ? "" : ", ") + pass.id;
+                fatal("unknown analyze pass '%s' (%s)", id.c_str(),
+                      known.c_str());
+            }
+            opts.passes.insert(id);
+        }
+    }
+    // Registry order, so the report's pass list is deterministic no
+    // matter how --pass was spelled.
+    std::vector<std::string> ran;
+    for (const auto &pass : analyze::analyzePasses())
+        if (opts.passes.empty() || opts.passes.count(pass.id))
+            ran.push_back(pass.id);
+
+    auto diags = analyze::runAnalyze(*mod, opts);
+    std::string out = args.opt("out");
+    if (!out.empty()) {
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot write '%s'", out.c_str());
+        file << analyze::renderAnalyzeJson(ran, diags);
+    }
+    std::string format = args.opt("format", "text");
+    if (format == "json") {
+        std::fputs(analyze::renderAnalyzeJson(ran, diags).c_str(),
+                   stdout);
+    } else if (format == "text") {
+        std::fputs(lint::renderText(diags).c_str(), stdout);
+        std::fprintf(stderr, "analyze: %zu diagnostic%s\n",
+                     diags.size(), diags.size() == 1 ? "" : "s");
+    } else {
+        fatal("unknown format '%s' (expected text or json)",
+              format.c_str());
+    }
     return lint::hasErrors(diags) ? 1 : 0;
 }
 
@@ -435,13 +499,17 @@ cmdFuzz(const Args &args)
         parseU64(args.opt("jobs", "1"), "--jobs"));
     config.cycles = static_cast<uint32_t>(
         parseU64(args.opt("cycles", "24"), "--cycles"));
+    config.raceChance = static_cast<uint32_t>(
+        parseU64(args.opt("race-chance", "0"), "--race-chance"));
+    if (config.raceChance > 100)
+        fatal("--race-chance is a percentage (0-100)");
     if (!args.oracles.empty()) {
         config.mask = 0;
         for (const auto &name : args.oracles) {
             fuzz::Oracle oracle;
             if (!fuzz::oracleFromName(name, &oracle))
                 fatal("unknown oracle '%s' (roundtrip, differential, "
-                      "lint, instrument)",
+                      "lint, instrument, order)",
                       name.c_str());
             config.mask |= fuzz::oracleBit(oracle);
         }
@@ -749,6 +817,11 @@ cmdObscheck(const Args &args)
                    root->get("format")->text == "hwdbg-cover") {
             kind = "coverage";
             verdict = cover::checkCoverageJson(text);
+        } else if (root->isObject() && root->get("format") &&
+                   root->get("format")->isString() &&
+                   root->get("format")->text == "hwdbg-analyze") {
+            kind = "analyze report";
+            verdict = analyze::checkAnalyzeJson(text);
         } else {
             verdict = obs::checkMetricsJson(text);
         }
@@ -778,6 +851,28 @@ commands()
          "  --format text|json   diagnostic output format\n"
          "  --rule ID            only run the named rule (repeatable)\n",
          cmdLint},
+        {"analyze",
+         "analyze <file|--bug ID> [--pass LIST] [--format F]",
+         "dataflow static analysis (exit 1 when errors)",
+         "Computes whole-design dataflow facts (known-bits constant\n"
+         "fixpoint, per-process must-assign CFG solutions, the signal\n"
+         "dependency graph) and reports what they prove:\n"
+         "  const   dead/constant guards, stuck outputs and bits,\n"
+         "          dead signals\n"
+         "  xinit   reads before any reachable assignment\n"
+         "  race    scheduler-order-dependent blocking writes,\n"
+         "          mixed and multi-process drivers\n"
+         "  cdc     unsynchronized clock-domain crossings\n"
+         "  loop    combinational loops (shared with lint)\n"
+         "options:\n"
+         "  --bug ID             analyze a testbed bug's design\n"
+         "                       (--fixed for the fixed variant)\n"
+         "  --pass LIST          comma-separated pass ids (default:\n"
+         "                       all of const,xinit,race,cdc,loop)\n"
+         "  --format text|json   output format (json is the versioned\n"
+         "                       hwdbg-analyze report obscheck accepts)\n"
+         "  --out FILE           also write the JSON report to FILE\n",
+         cmdAnalyze},
         {"fsm", "fsm <file>", "detect state machines",
          "Prints each detected FSM with its clock, states, and guarded\n"
          "transitions (symbolic state names where parameters allow).\n",
@@ -827,7 +922,13 @@ commands()
          "  --jobs J                 worker threads\n"
          "  --cycles C               simulated cycles per seed\n"
          "  --oracle NAME            roundtrip, differential, lint,\n"
-         "                           instrument (repeatable)\n"
+         "                           instrument, order (repeatable;\n"
+         "                           order is opt-in: it re-runs each\n"
+         "                           seed with reversed clocked-process\n"
+         "                           order and cross-checks the analyze\n"
+         "                           race pass against divergence)\n"
+         "  --race-chance P          percent chance of the generator's\n"
+         "                           scheduler-race template (default 0)\n"
          "  --replay SEED            re-run one seed verbosely\n"
          "  --self-check             corrupt a known design first\n"
          "  --cover                  track structural coverage keys\n"
@@ -864,11 +965,11 @@ commands()
          "FSM state/arc coverage uses the detected state machines.\n",
          cmdCover},
         {"obscheck", "obscheck <file>...",
-         "validate trace/metrics/coverage/debug files",
+         "validate trace/metrics/coverage/analyze/debug files",
          "Sniffs each file's kind (Chrome trace, metrics snapshot,\n"
-         "hwdbg-cover coverage file, or hwdbg-debug machine\n"
-         "transcript) and checks it against the schema; exit 1 on the\n"
-         "first violation per file.\n",
+         "hwdbg-cover coverage file, hwdbg-analyze report, or\n"
+         "hwdbg-debug machine transcript) and checks it against the\n"
+         "schema; exit 1 on the first violation per file.\n",
          cmdObscheck},
         {"debug", "debug <file|--bug ID> [--machine] [--script F]",
          "interactive time-travel debugger",

@@ -71,6 +71,7 @@ class Generator
     void genSubmodule();
     void genFifo();
     void genFsm();
+    void genRace();
     void genClockedBlocks();
     void genOutputs();
 
@@ -716,6 +717,52 @@ Generator::genFsm()
 }
 
 void
+Generator::genRace()
+{
+    // The zero-chance early-out must not touch the RNG: default-option
+    // streams stay byte-identical with the template compiled in.
+    if (opts_.raceChance == 0 || !rng_.chance(opts_.raceChance))
+        return;
+    uint32_t width = 2 + static_cast<uint32_t>(rng_.below(7));
+
+    // Writer process: blocking assignment, immediately visible to any
+    // process that runs later in the same time step.
+    declare("rr0", width, NetKind::Reg);
+    auto write = std::make_shared<AssignStmt>();
+    write->nonblocking = false;
+    write->lhs = mkId("rr0");
+    write->rhs = genExpr(2);
+    StmtPtr writer = write;
+    if (rng_.chance(40)) {
+        auto branch = std::make_shared<IfStmt>();
+        branch->cond = genBool(1);
+        branch->thenStmt = writer;
+        writer = branch;
+    }
+    addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false, writer);
+
+    // Reader process: whether it samples the pre-edge or the freshly
+    // blocking-written value of rr0 depends on execution order.
+    declare("rq0", width, NetKind::Reg);
+    auto read = std::make_shared<AssignStmt>();
+    read->nonblocking = true;
+    read->lhs = mkId("rq0");
+    read->rhs = mkBinary(rng_.chance(50) ? BinaryOp::BitXor
+                                         : BinaryOp::Add,
+                         mkId("rr0"), genExpr(1));
+    addAlways({SensItem{EdgeKind::Posedge, "clk"}}, false,
+              StmtPtr(read));
+
+    // Exported so the divergence is observable at an output port.
+    declare("ro0", width, NetKind::Wire, PortDir::Output);
+    addContAssign(mkId("ro0"), mkId("rq0"));
+    out_.outputs.push_back("ro0");
+
+    pool_.push_back(Sig{"rr0", width});
+    pool_.push_back(Sig{"rq0", width});
+}
+
+void
 Generator::genCombChain()
 {
     size_t nwire = 1 + rng_.below(4);
@@ -834,6 +881,7 @@ Generator::run()
     genCombChain();
     genFifo();
     genFsm();
+    genRace();
     genClockedBlocks();
     genOutputs();
 

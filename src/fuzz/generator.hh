@@ -38,6 +38,14 @@ struct GeneratorOptions
     uint32_t memChance = 35;
     uint32_t submoduleChance = 25;
     uint32_t displayChance = 60;
+    /**
+     * Percent chance of the scheduler-race template: a clocked process
+     * writes a register with a blocking assignment while a sibling
+     * process on the same clock consumes it into an output register.
+     * Zero (the default) draws nothing from the RNG, so default-option
+     * designs are byte-identical to earlier releases.
+     */
+    uint32_t raceChance = 0;
 };
 
 /** One top-level input the stimulus driver must toggle. */

@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "analyze/analyze.hh"
 #include "common/logging.hh"
 #include "core/dep_monitor.hh"
 #include "core/fsm_monitor.hh"
@@ -42,6 +43,8 @@ oracleName(Oracle oracle)
         return "lint";
       case Oracle::Instrument:
         return "instrument";
+      case Oracle::Order:
+        return "order";
     }
     return "?";
 }
@@ -744,11 +747,83 @@ runInstrument(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
     return std::nullopt;
 }
 
+// -------------------------------------------------------------------- order
+
+namespace
+{
+
+/** Lines sorted within each cycle: $display interleaving from sibling
+ *  processes in one eval step is benign and must not count as
+ *  divergence; everything else (content, cycle stamps, counts) must
+ *  match. */
+NormLog
+sortedWithinCycle(NormLog log)
+{
+    std::sort(log.begin(), log.end());
+    return log;
+}
+
+} // namespace
+
+std::optional<Failure>
+runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
+         OrderStats *stats)
+{
+    // Static verdict first: which signals does the analyze race pass
+    // consider order-sensitive?
+    auto flatA = elab::elaborate(gd.design, gd.top).mod;
+    analyze::AnalyzeOptions aopts;
+    aopts.passes = {"race"};
+    std::vector<std::string> flaggedSignals;
+    for (const auto &diag : analyze::runAnalyze(*flatA, aopts))
+        if (diag.rule == "blocking-race" ||
+            diag.rule == "multi-driver-nba")
+            for (const auto &sig : diag.signals)
+                flaggedSignals.push_back(sig);
+    bool flagged = !flaggedSignals.empty();
+
+    // Dynamic probe: identical stimulus, reversed clocked-process
+    // execution order.
+    auto flatB = elab::elaborate(gd.design, gd.top).mod;
+    sim::Simulator simA(flatA);
+    sim::Simulator simB(flatB);
+    size_t nprocs = simB.design().clockedProcs().size();
+    if (nprocs >= 2) {
+        std::vector<size_t> reversed(nprocs);
+        for (size_t i = 0; i < nprocs; ++i)
+            reversed[i] = nprocs - 1 - i;
+        simB.setProcessOrder(std::move(reversed));
+    }
+
+    Stimulus stim = makeStimulus(gd, seed, cycles);
+    RunTrace trA = runTrace(simA, gd, stim);
+    RunTrace trB = runTrace(simB, gd, stim);
+
+    std::optional<std::string> diff =
+        diffOutputs(trA, trB, gd, "decl-order", "reversed");
+    if (!diff)
+        diff = diffLogs(sortedWithinCycle(trA.log),
+                        sortedWithinCycle(trB.log), "decl-order",
+                        "reversed");
+
+    if (stats && flagged) {
+        ++stats->flagged;
+        ++(diff ? stats->confirmed : stats->unrefuted);
+    }
+    if (diff && !flagged)
+        return Failure{
+            Oracle::Order,
+            "process-order divergence not flagged by the analyze race "
+            "pass: " +
+                *diff};
+    return std::nullopt;
+}
+
 // ----------------------------------------------------------------- dispatch
 
 std::vector<Failure>
 runOracles(const GeneratedDesign &gd, uint64_t seed,
-           const OracleOptions &opts)
+           const OracleOptions &opts, OrderStats *stats)
 {
     std::vector<Failure> failures;
     auto enabled = [&](Oracle oracle) {
@@ -781,6 +856,8 @@ runOracles(const GeneratedDesign &gd, uint64_t seed,
     guard(Oracle::Lint, [&] { return runLintMeta(gd, seed); });
     guard(Oracle::Instrument,
           [&] { return runInstrument(gd, seed, opts.cycles); });
+    guard(Oracle::Order,
+          [&] { return runOrder(gd, seed, opts.cycles, stats); });
     return failures;
 }
 

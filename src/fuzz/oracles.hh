@@ -1,6 +1,6 @@
 /**
  * @file
- * The four fuzzing oracles.
+ * The fuzzing oracles.
  *
  * Each oracle takes one generated design plus the seed that made it and
  * returns the first divergence it finds (or nothing). They are pure
@@ -22,6 +22,15 @@
  *    unchanged (SignalCat: reconstructable from the recorder), and the
  *    monitors' own reports match ground truth recorded from the
  *    uninstrumented run.
+ *  - Order (opt-in, not in the default mask): process-permutation
+ *    probe for the analyze race pass. The design runs twice — once in
+ *    declaration order, once with the clocked-process execution order
+ *    reversed — and any observable divergence (outputs, cycle count,
+ *    $finish, or $display lines compared order-insensitively within
+ *    each cycle) must have been statically flagged by `hwdbg analyze`
+ *    as a blocking-race or multi-driver-nba. Divergence without a flag
+ *    is an analyzer soundness failure; a flag without divergence is
+ *    recorded as "unrefuted" (the stimulus simply never excited it).
  */
 
 #ifndef HWDBG_FUZZ_ORACLES_HH
@@ -43,12 +52,13 @@ enum class Oracle : uint32_t
     Differential = 1,
     Lint = 2,
     Instrument = 3,
+    Order = 4,
 };
 
-constexpr uint32_t kOracleCount = 4;
+constexpr uint32_t kOracleCount = 5;
 
 /** Stable short name ("roundtrip", "differential", "lint",
- *  "instrument") used by --oracle and in reports. */
+ *  "instrument", "order") used by --oracle and in reports. */
 const char *oracleName(Oracle oracle);
 
 /** Parse an --oracle argument; returns false for unknown names. */
@@ -66,8 +76,24 @@ struct OracleOptions
 {
     /** Clock cycles of random stimulus for the dynamic oracles. */
     uint32_t cycles = 24;
-    /** Bitmask over Oracle values; bit (1 << oracle) enables it. */
+    /** Bitmask over Oracle values; bit (1 << oracle) enables it. The
+     *  default enables everything except the opt-in Order oracle. */
     uint32_t mask = 0xF;
+};
+
+/**
+ * Per-design verdict tally of the Order oracle, cross-examining the
+ * analyze race pass: flagged == confirmed + unrefuted. A divergence on
+ * an unflagged design never lands here — that is a Failure.
+ */
+struct OrderStats
+{
+    /** Designs where analyze flagged a blocking-race/multi-driver-nba. */
+    uint64_t flagged = 0;
+    /** Of those, designs where permutation divergence was observed. */
+    uint64_t confirmed = 0;
+    /** Of those, designs where no divergence was observed. */
+    uint64_t unrefuted = 0;
 };
 
 constexpr uint32_t
@@ -83,14 +109,19 @@ std::optional<Failure> runLintMeta(const GeneratedDesign &gd,
                                    uint64_t seed);
 std::optional<Failure> runInstrument(const GeneratedDesign &gd,
                                      uint64_t seed, uint32_t cycles);
+std::optional<Failure> runOrder(const GeneratedDesign &gd, uint64_t seed,
+                                uint32_t cycles,
+                                OrderStats *stats = nullptr);
 
 /**
  * Run every enabled oracle in order; internal HdlErrors are reported as
  * failures of the oracle that raised them (generated designs are valid
  * by construction, so an elaboration or simulation error IS a bug).
+ * @p stats, when non-null, accumulates the Order oracle's verdicts.
  */
 std::vector<Failure> runOracles(const GeneratedDesign &gd, uint64_t seed,
-                                const OracleOptions &opts);
+                                const OracleOptions &opts,
+                                OrderStats *stats = nullptr);
 
 } // namespace hwdbg::fuzz
 

@@ -36,13 +36,21 @@ oracleOptions(const FuzzConfig &config)
     return opts;
 }
 
+GeneratorOptions
+generatorOptions(const FuzzConfig &config)
+{
+    GeneratorOptions opts;
+    opts.raceChance = config.raceChance;
+    return opts;
+}
+
 /** Run one seed end to end; returns all failures, first one shrunk. */
 std::vector<SeedFailure>
-runSeed(uint64_t seed, const FuzzConfig &config)
+runSeed(uint64_t seed, const FuzzConfig &config, OrderStats *stats)
 {
     OracleOptions opts = oracleOptions(config);
-    GeneratedDesign gd = generateDesign(seed);
-    std::vector<Failure> failures = runOracles(gd, seed, opts);
+    GeneratedDesign gd = generateDesign(seed, generatorOptions(config));
+    std::vector<Failure> failures = runOracles(gd, seed, opts, stats);
     std::vector<SeedFailure> out;
     for (size_t i = 0; i < failures.size(); ++i) {
         SeedFailure sf;
@@ -72,7 +80,7 @@ runSeed(uint64_t seed, const FuzzConfig &config)
 std::vector<std::string>
 seedCoverKeys(uint64_t seed, const FuzzConfig &config)
 {
-    GeneratedDesign gd = generateDesign(seed);
+    GeneratedDesign gd = generateDesign(seed, generatorOptions(config));
     auto flat = elab::elaborate(gd.design, gd.top).mod;
     cover::Snapshot snap =
         cover::coverRandom(std::move(flat),
@@ -105,9 +113,10 @@ runCampaign(const FuzzConfig &config)
             uint64_t seed = first + idx;
             auto t0 = std::chrono::steady_clock::now();
             std::vector<SeedFailure> failures;
+            OrderStats orderStats;
             {
                 obs::ObsSpan span("seed " + std::to_string(seed));
-                failures = runSeed(seed, config);
+                failures = runSeed(seed, config, &orderStats);
             }
             if (config.cover) {
                 obs::ObsSpan span("cover seed " +
@@ -121,6 +130,9 @@ runCampaign(const FuzzConfig &config)
             report.seedLatenciesMs.push_back(
                 std::chrono::duration<double, std::milli>(t1 - t0)
                     .count());
+            report.order.flagged += orderStats.flagged;
+            report.order.confirmed += orderStats.confirmed;
+            report.order.unrefuted += orderStats.unrefuted;
             for (auto &failure : failures)
                 report.failures.push_back(std::move(failure));
         }
@@ -354,6 +366,13 @@ renderReport(const FuzzReport &report, const FuzzConfig &config)
                     << "\n";
             }
             out << "  ],\n";
+            if (config.mask & oracleBit(Oracle::Order)) {
+                out << "  \"order\": {\"flagged\": "
+                    << report.order.flagged
+                    << ", \"confirmed\": " << report.order.confirmed
+                    << ", \"unrefuted\": " << report.order.unrefuted
+                    << "},\n";
+            }
             if (config.cover) {
                 out << "  \"coverage\": {\n";
                 out << "    \"keys\": " << report.coverKeys << ",\n";
@@ -428,6 +447,12 @@ renderReport(const FuzzReport &report, const FuzzConfig &config)
                 << failure.shrinkAttempts << " attempts):\n"
                 << indented(failure.reproducer, "    ");
         }
+    }
+    if (config.mask & oracleBit(Oracle::Order)) {
+        out << "order oracle: " << report.order.flagged
+            << " design(s) flagged by analyze, "
+            << report.order.confirmed << " confirmed by divergence, "
+            << report.order.unrefuted << " unrefuted\n";
     }
     if (config.cover) {
         // Only seeds that advanced coverage get a line: the key space

@@ -52,6 +52,13 @@ struct FuzzConfig
     bool cover = false;
     /** Consecutive no-new-coverage seeds that declare a plateau. */
     uint32_t coverPlateau = 32;
+    /**
+     * Percent chance of the generator's scheduler-race template
+     * (GeneratorOptions::raceChance). Useful together with the Order
+     * oracle: it plants blocking-write races for the analyze race pass
+     * to flag and the permutation run to confirm.
+     */
+    uint32_t raceChance = 0;
 };
 
 /** One failing seed, with its shrunk reproducer. */
@@ -110,6 +117,13 @@ struct FuzzReport
     bool coverPlateaued = false;
     /** Seed at which the plateau was declared (when plateaued). */
     uint64_t coverPlateauSeed = 0;
+    /**
+     * Order-oracle verdict tally across the campaign (all zero unless
+     * the order oracle is in the mask). Divergence on an unflagged
+     * design is a failure, never a stat, so every "confirmed" here is a
+     * statically flagged race that really diverged under permutation.
+     */
+    OrderStats order;
     /**
      * Wall-clock latency of each completed seed, in completion order.
      * Timing is nondeterministic, so this never reaches the rendered

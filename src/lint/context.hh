@@ -106,6 +106,8 @@ class LintContext
     /** Append a diagnostic under the current rule. */
     void report(const hdl::SourceLoc &loc, std::string message,
                 std::vector<std::string> signals = {});
+    /** Append a fully-formed diagnostic (shared emitters). */
+    void report(Diagnostic diag) { diags_.push_back(std::move(diag)); }
     std::vector<Diagnostic> takeDiagnostics();
 
   private:

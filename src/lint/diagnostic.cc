@@ -87,4 +87,51 @@ renderJson(const std::vector<Diagnostic> &diags)
     return out.str();
 }
 
+std::vector<Diagnostic>
+combCycleDiagnostics(
+    const std::vector<std::vector<std::string>> &cycles,
+    const std::function<hdl::SourceLoc(const std::string &)> &loc_of)
+{
+    std::vector<Diagnostic> out;
+    for (const auto &cycle : cycles) {
+        std::ostringstream path;
+        for (const auto &name : cycle)
+            path << name << " -> ";
+        path << cycle.front();
+        Diagnostic diag;
+        diag.rule = "comb-loop";
+        diag.severity = Severity::Error;
+        diag.subclass = "Deadlock";
+        diag.loc = loc_of(cycle.front());
+        diag.message = csprintf("combinational loop: %s",
+                                path.str().c_str());
+        diag.signals = cycle;
+        out.push_back(std::move(diag));
+    }
+    return out;
+}
+
+std::vector<Diagnostic>
+dedupeDiagnostics(std::vector<Diagnostic> diags)
+{
+    std::vector<Diagnostic> out;
+    auto same = [](const Diagnostic &a, const Diagnostic &b) {
+        return a.rule == b.rule && a.severity == b.severity &&
+               a.subclass == b.subclass && a.loc.file == b.loc.file &&
+               a.loc.line == b.loc.line && a.loc.col == b.loc.col &&
+               a.message == b.message && a.signals == b.signals;
+    };
+    for (auto &diag : diags) {
+        bool dup = false;
+        for (const auto &kept : out)
+            if (same(kept, diag)) {
+                dup = true;
+                break;
+            }
+        if (!dup)
+            out.push_back(std::move(diag));
+    }
+    return out;
+}
+
 } // namespace hwdbg::lint

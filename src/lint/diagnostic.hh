@@ -13,6 +13,7 @@
 #ifndef HWDBG_LINT_DIAGNOSTIC_HH
 #define HWDBG_LINT_DIAGNOSTIC_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,24 @@ std::string renderText(const std::vector<Diagnostic> &diags);
 
 /** JSON array rendering (one object per diagnostic). */
 std::string renderJson(const std::vector<Diagnostic> &diags);
+
+/**
+ * Shared combinational-loop diagnostics over DepGraph::combCycles()
+ * output. Both `hwdbg lint` and `hwdbg analyze` emit loop findings
+ * through this one builder, so the two reports produce byte-identical
+ * diagnostics that dedupeDiagnostics() can collapse. @p loc_of maps a
+ * signal name to its declaration location.
+ */
+std::vector<Diagnostic> combCycleDiagnostics(
+    const std::vector<std::vector<std::string>> &cycles,
+    const std::function<hdl::SourceLoc(const std::string &)> &loc_of);
+
+/**
+ * Drop diagnostics identical in every field to an earlier one,
+ * preserving order. Used when combining lint and analyze reports so a
+ * finding both tools emit appears once.
+ */
+std::vector<Diagnostic> dedupeDiagnostics(std::vector<Diagnostic> diags);
 
 } // namespace hwdbg::lint
 

@@ -45,16 +45,13 @@ checkMultiDriven(LintContext &ctx)
 void
 checkCombLoop(LintContext &ctx)
 {
-    for (const auto &cycle : ctx.graph().combCycles()) {
-        std::ostringstream path;
-        for (const auto &name : cycle)
-            path << name << " -> ";
-        path << cycle.front();
-        ctx.report(ctx.declLoc(cycle.front()),
-                   csprintf("combinational loop: %s",
-                            path.str().c_str()),
-                   cycle);
-    }
+    // Emitted through the shared builder so the analyze framework's
+    // loop findings are byte-identical and dedupe against these.
+    for (auto &diag : combCycleDiagnostics(
+             ctx.graph().combCycles(), [&](const std::string &name) {
+                 return ctx.declLoc(name);
+             }))
+        ctx.report(std::move(diag));
 }
 
 void

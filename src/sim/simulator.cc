@@ -461,6 +461,31 @@ Simulator::execStmt(const StmtPtr &stmt, bool clocked)
 }
 
 void
+Simulator::setProcessOrder(std::vector<size_t> order)
+{
+    if (order.empty()) {
+        procOrder_.clear();
+        return;
+    }
+    size_t n = design_.clockedProcs().size();
+    if (order.size() != n)
+        fatal("setProcessOrder: %zu ranks for %zu clocked processes",
+              order.size(), n);
+    std::vector<uint8_t> seen(n, 0);
+    for (size_t pi : order) {
+        if (pi >= n || seen[pi])
+            fatal("setProcessOrder: not a permutation of 0..%zu",
+                  n - 1);
+        seen[pi] = 1;
+    }
+    // Store as rank-of-process so the eval loop can stable-sort the
+    // triggered subset: procOrder_[pi] = execution rank of process pi.
+    procOrder_.assign(n, 0);
+    for (size_t rank = 0; rank < order.size(); ++rank)
+        procOrder_[order[rank]] = rank;
+}
+
+void
 Simulator::commitNba()
 {
     for (const auto &write : nba_)
@@ -535,6 +560,11 @@ Simulator::eval()
 
     // Execute processes with pre-edge (settled) values; NBAs commit
     // together afterwards. Primitives also sample inputs pre-edge.
+    if (!procOrder_.empty())
+        std::stable_sort(triggered.begin(), triggered.end(),
+                         [&](size_t a, size_t b) {
+                             return procOrder_[a] < procOrder_[b];
+                         });
     HWDBG_STAT_INC("sim.process_evals", triggered.size());
     using ProfClock = std::chrono::steady_clock;
     for (size_t pi : triggered) {

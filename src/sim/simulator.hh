@@ -124,6 +124,17 @@ class Simulator
     void eval();
 
     /**
+     * Override the execution order of clocked processes within one
+     * eval(): triggered processes run in increasing @p order rank
+     * instead of declaration order. @p order must be a permutation of
+     * 0..N-1 over design().clockedProcs(); an empty vector restores
+     * declaration order. Blocking-write visibility and the nonblocking
+     * commit order follow the execution order, so permuting it exposes
+     * scheduler races (the fuzz Order oracle's probe).
+     */
+    void setProcessOrder(std::vector<size_t> order);
+
+    /**
      * Record every poke()/eval() into @p tape until detached with
      * nullptr. Pokes are grouped into one StimulusStep per eval(). The
      * detached path costs one pointer test per poke/eval.
@@ -196,6 +207,9 @@ class Simulator
     };
     std::vector<PrimClock> primClocks_;
     std::vector<bool> prevPrimClocks_;
+
+    /** Execution rank per clocked process; empty = declaration order. */
+    std::vector<size_t> procOrder_;
 
     int primaryClockId_ = -1;
     /** Last seen level of the primary clock when it drives no process. */

@@ -171,3 +171,72 @@ TEST(ExprUtilTest, InlineWiresStopsOnCycle)
     ExprPtr inlined = inlineWires(mkId("x"), defs);
     EXPECT_NE(inlined, nullptr);
 }
+
+TEST(GuardsTest, NestedCaseDefaultComposesNegations)
+{
+    // A case inside another case's default arm: the inner item's guard
+    // must carry the outer no-earlier-match negations AND the inner
+    // label match.
+    auto mod = flat(
+        "module m(input wire clk, input wire [1:0] s,\n"
+        "         input wire [1:0] t);\n"
+        "reg a, b;\n"
+        "always @(posedge clk)\ncase (s)\n"
+        "  2'd0: a <= 1'b1;\n"
+        "  default: case (t)\n"
+        "    2'd3: b <= 1'b1;\n"
+        "  endcase\nendcase\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    const auto *gb = assignTo(assigns, "b");
+    ASSERT_NE(gb, nullptr);
+    std::string guard = printExpr(gb->guard);
+    EXPECT_NE(guard.find("s == 2'h0"), std::string::npos);
+    EXPECT_NE(guard.find("!"), std::string::npos);
+    EXPECT_NE(guard.find("t == 2'h3"), std::string::npos);
+}
+
+TEST(GuardsTest, DefaultOnlyCaseIsUnconditional)
+{
+    // With no labeled items, no_earlier stays literal true and the
+    // default's guard collapses back to the enclosing guard.
+    auto mod = flat(
+        "module m(input wire clk, input wire [1:0] s);\nreg a;\n"
+        "always @(posedge clk)\ncase (s)\n"
+        "  default: a <= 1'b1;\nendcase\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    EXPECT_EQ(printExpr(assignTo(assigns, "a")->guard), "1'h1");
+}
+
+TEST(GuardsTest, EmptyElseArmCollectsNothing)
+{
+    // `else ;` is a Null statement: it must neither crash the walker
+    // nor contribute a phantom assignment.
+    auto mod = flat(
+        "module m(input wire clk, input wire c);\nreg x;\n"
+        "always @(posedge clk) begin\n"
+        "  if (c) x <= 1'b1; else ;\n"
+        "  if (!c) begin end else x <= 1'b0;\nend\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    ASSERT_EQ(assigns.size(), 2u);
+    EXPECT_EQ(printExpr(assigns[0].guard), "c");
+    // mkNot collapses the double negation of the else-arm guard.
+    EXPECT_EQ(printExpr(assigns[1].guard), "c");
+}
+
+TEST(GuardsTest, ConstantGuardCollapse)
+{
+    // Literal conditions collapse through the mkAnd/mkNot smart
+    // constructors instead of accreting 1'h1 && ... noise.
+    auto mod = flat(
+        "module m(input wire clk, input wire a);\n"
+        "reg x, y, z;\n"
+        "always @(posedge clk) begin\n"
+        "  if (1'b1) if (a) x <= 1'b1;\n"
+        "  if (1'b0) y <= 1'b1; else z <= 1'b1;\nend\nendmodule");
+    auto assigns = collectAssigns(*mod);
+    EXPECT_EQ(printExpr(assignTo(assigns, "x")->guard), "a");
+    // The then-arm of a constant-false condition is dead on its face.
+    EXPECT_EQ(printExpr(assignTo(assigns, "y")->guard), "1'h0");
+    // ... and the else-arm is unconditional.
+    EXPECT_EQ(printExpr(assignTo(assigns, "z")->guard), "1'h1");
+}

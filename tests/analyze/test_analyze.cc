@@ -1,0 +1,357 @@
+/**
+ * @file
+ * Tests for the analyze pass framework: the registry, one firing and
+ * one clean fixture per rule, pass selection, determinism, the
+ * versioned JSON report with its obscheck validator, and the shared
+ * comb-loop emitter that keeps lint and analyze findings identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analyze/analyze.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "lint/lint.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::analyze;
+
+namespace
+{
+
+std::vector<lint::Diagnostic>
+analyzeSrc(const std::string &src, const std::string &pass = "",
+           const std::string &top = "m")
+{
+    auto mod = elab::elaborate(hdl::parse(src), top).mod;
+    AnalyzeOptions opts;
+    if (!pass.empty())
+        opts.passes.insert(pass);
+    return runAnalyze(*mod, opts);
+}
+
+bool
+fires(const std::vector<lint::Diagnostic> &diags,
+      const std::string &rule)
+{
+    return std::any_of(diags.begin(), diags.end(),
+                       [&](const lint::Diagnostic &d) {
+                           return d.rule == rule;
+                       });
+}
+
+} // namespace
+
+TEST(AnalyzeRegistryTest, PassesAreRegisteredAndUnique)
+{
+    const auto &passes = analyzePasses();
+    ASSERT_EQ(passes.size(), 5u);
+    std::set<std::string> ids;
+    for (const auto &pass : passes) {
+        EXPECT_TRUE(ids.insert(pass.id).second);
+        EXPECT_FALSE(pass.description.empty()) << pass.id;
+        EXPECT_NE(pass.run, nullptr) << pass.id;
+        EXPECT_EQ(passById(pass.id), &pass);
+    }
+    EXPECT_TRUE(ids.count("const"));
+    EXPECT_TRUE(ids.count("xinit"));
+    EXPECT_TRUE(ids.count("race"));
+    EXPECT_TRUE(ids.count("cdc"));
+    EXPECT_TRUE(ids.count("loop"));
+    EXPECT_EQ(passById("no-such-pass"), nullptr);
+}
+
+TEST(AnalyzeConstTest, DeadGuardFiresAndCleans)
+{
+    std::string buggy = "module m(input wire clk, output reg q);\n"
+                        "wire en;\nassign en = 1'b0;\n"
+                        "always @(posedge clk) begin\n"
+                        "  q <= 1'b0;\n  if (en) q <= 1'b1;\nend\n"
+                        "endmodule";
+    auto diags = analyzeSrc(buggy, "const");
+    EXPECT_TRUE(fires(diags, "dead-guard"));
+    EXPECT_TRUE(fires(diags, "stuck-output"));
+
+    std::string clean = "module m(input wire clk, input wire en,\n"
+                        "         output reg q);\n"
+                        "always @(posedge clk) begin\n"
+                        "  q <= 1'b0;\n  if (en) q <= 1'b1;\nend\n"
+                        "endmodule";
+    auto cleanDiags = analyzeSrc(clean, "const");
+    EXPECT_FALSE(fires(cleanDiags, "dead-guard"));
+    EXPECT_FALSE(fires(cleanDiags, "stuck-output"));
+}
+
+TEST(AnalyzeConstTest, StuckBitOnPartialConstant)
+{
+    // The concat pins the top bit to zero while the low bits move.
+    std::string src = "module m(input wire clk, input wire [2:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "always @(posedge clk) q <= {1'b0, d};\n"
+                      "endmodule";
+    auto diags = analyzeSrc(src, "const");
+    EXPECT_TRUE(fires(diags, "stuck-bit"));
+    EXPECT_FALSE(fires(diags, "stuck-output"));
+}
+
+TEST(AnalyzeConstTest, DeadSignalNeverReachesASink)
+{
+    std::string src = "module m(input wire clk, input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "reg [3:0] scratch;\nreg [3:0] fed;\n"
+                      "always @(posedge clk) begin\n"
+                      "  scratch <= d;\n  fed <= scratch;\n"
+                      "  q <= d;\nend\nendmodule";
+    auto diags = analyzeSrc(src, "const");
+    // scratch is read (into fed) but fed reaches nothing observable.
+    EXPECT_TRUE(fires(diags, "dead-signal"));
+}
+
+TEST(AnalyzeXinitTest, CombReadBeforeWrite)
+{
+    std::string buggy = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output wire [3:0] y);\n"
+                        "reg [3:0] a; reg [3:0] b;\n"
+                        "always @* begin\n"
+                        "  b = a + 4'd1;\n  a = d;\nend\n"
+                        "assign y = b;\nendmodule";
+    auto diags = analyzeSrc(buggy, "xinit");
+    EXPECT_TRUE(fires(diags, "comb-read-before-write"));
+
+    std::string clean = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output wire [3:0] y);\n"
+                        "reg [3:0] a; reg [3:0] b;\n"
+                        "always @* begin\n"
+                        "  a = d;\n  b = a + 4'd1;\nend\n"
+                        "assign y = b;\nendmodule";
+    EXPECT_FALSE(fires(analyzeSrc(clean, "xinit"),
+                       "comb-read-before-write"));
+}
+
+TEST(AnalyzeXinitTest, ReadUninitializedWhenNoAssignReachable)
+{
+    std::string src = "module m(input wire clk, output reg [3:0] q);\n"
+                      "reg [3:0] never;\nwire en;\nassign en = 1'b0;\n"
+                      "always @(posedge clk) begin\n"
+                      "  if (en) never <= 4'd5;\n"
+                      "  q <= never;\nend\nendmodule";
+    auto diags = analyzeSrc(src, "xinit");
+    EXPECT_TRUE(fires(diags, "read-uninitialized"));
+}
+
+TEST(AnalyzeRaceTest, BlockingRaceAcrossSiblingProcesses)
+{
+    std::string buggy = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output reg [3:0] q);\n"
+                        "reg [3:0] x;\n"
+                        "always @(posedge clk) x = d;\n"
+                        "always @(posedge clk) q <= x;\nendmodule";
+    auto diags = analyzeSrc(buggy, "race");
+    EXPECT_TRUE(fires(diags, "blocking-race"));
+    EXPECT_TRUE(lint::hasErrors(diags));
+
+    // The NBA version of the same design is order-independent.
+    std::string clean = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output reg [3:0] q);\n"
+                        "reg [3:0] x;\n"
+                        "always @(posedge clk) x <= d;\n"
+                        "always @(posedge clk) q <= x;\nendmodule";
+    EXPECT_FALSE(fires(analyzeSrc(clean, "race"), "blocking-race"));
+}
+
+TEST(AnalyzeRaceTest, LocalBlockingTempIsNotARace)
+{
+    // Blocking writes consumed only inside the same process are the
+    // idiomatic temporary, not a race.
+    std::string src = "module m(input wire clk, input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "reg [3:0] t;\n"
+                      "always @(posedge clk) begin\n"
+                      "  t = d + 4'd1;\n  q <= t;\nend\nendmodule";
+    auto diags = analyzeSrc(src, "race");
+    EXPECT_FALSE(fires(diags, "blocking-race"));
+}
+
+TEST(AnalyzeRaceTest, MixedAndMultiDrivers)
+{
+    std::string mixed = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output reg [3:0] q);\n"
+                        "always @(posedge clk)\n"
+                        "  if (d[0]) q = d; else q <= 4'd0;\n"
+                        "endmodule";
+    EXPECT_TRUE(fires(analyzeSrc(mixed, "race"), "nba-blocking-mix"));
+
+    std::string multi = "module m(input wire clk, input wire [3:0] d,\n"
+                        "         output reg [3:0] q);\n"
+                        "always @(posedge clk) q <= d;\n"
+                        "always @(posedge clk) q <= d + 4'd1;\n"
+                        "endmodule";
+    EXPECT_TRUE(fires(analyzeSrc(multi, "race"), "multi-driver-nba"));
+}
+
+TEST(AnalyzeCdcTest, MultiClockRegAndUnsyncCrossing)
+{
+    std::string multi = "module m(input wire clk, input wire clkb,\n"
+                        "         input wire [3:0] d,\n"
+                        "         output reg [3:0] q);\n"
+                        "always @(posedge clk) q <= d;\n"
+                        "always @(posedge clkb) q <= d + 4'd1;\n"
+                        "endmodule";
+    auto diags = analyzeSrc(multi, "cdc");
+    EXPECT_TRUE(fires(diags, "multi-clock-reg"));
+
+    std::string crossing =
+        "module m(input wire clk, input wire clkb,\n"
+        "         input wire [3:0] d, output reg [3:0] q);\n"
+        "reg [3:0] src;\n"
+        "always @(posedge clkb) src <= d;\n"
+        "always @(posedge clk) q <= src + 4'd1;\nendmodule";
+    EXPECT_TRUE(fires(analyzeSrc(crossing, "cdc"), "cdc-unsync"));
+
+    // A plain two-stage synchronizer is the sanctioned pattern.
+    std::string synced =
+        "module m(input wire clk, input wire clkb,\n"
+        "         input wire d, output reg q);\n"
+        "reg src; reg s1;\n"
+        "always @(posedge clkb) src <= d;\n"
+        "always @(posedge clk) s1 <= src;\n"
+        "always @(posedge clk) q <= s1;\nendmodule";
+    EXPECT_FALSE(fires(analyzeSrc(synced, "cdc"), "cdc-unsync"));
+}
+
+TEST(AnalyzeCdcTest, SingleClockDesignIsClean)
+{
+    std::string src = "module m(input wire clk, input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "reg [3:0] a;\n"
+                      "always @(posedge clk) a <= d;\n"
+                      "always @(posedge clk) q <= a;\nendmodule";
+    auto diags = analyzeSrc(src, "cdc");
+    EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalyzeLoopTest, IdenticalToLintAndDedupable)
+{
+    std::string src = "module m(input wire clk, input wire [3:0] a,\n"
+                      "         output wire [3:0] y);\n"
+                      "wire [3:0] p;\nwire [3:0] q;\n"
+                      "assign p = q + a;\nassign q = p ^ 4'h3;\n"
+                      "assign y = q;\nendmodule";
+    auto mod = elab::elaborate(hdl::parse(src), "m").mod;
+    auto fromAnalyze = analyzeSrc(src, "loop");
+    ASSERT_TRUE(fires(fromAnalyze, "comb-loop"));
+
+    lint::LintOptions lopts;
+    lopts.rules.insert("comb-loop");
+    auto fromLint = lint::runLint(*mod, lopts);
+    ASSERT_EQ(fromLint.size(), fromAnalyze.size());
+    for (size_t i = 0; i < fromLint.size(); ++i) {
+        EXPECT_EQ(fromLint[i].message, fromAnalyze[i].message);
+        EXPECT_EQ(fromLint[i].rule, fromAnalyze[i].rule);
+        EXPECT_EQ(fromLint[i].loc.line, fromAnalyze[i].loc.line);
+        EXPECT_EQ(fromLint[i].signals, fromAnalyze[i].signals);
+    }
+
+    // Combining the two reports collapses the duplicates.
+    std::vector<lint::Diagnostic> both = fromLint;
+    both.insert(both.end(), fromAnalyze.begin(), fromAnalyze.end());
+    auto deduped = lint::dedupeDiagnostics(both);
+    EXPECT_EQ(deduped.size(), fromLint.size());
+}
+
+TEST(AnalyzeTest, PassSelectionLimitsRules)
+{
+    // A design that trips const, race, and cdc at once.
+    std::string src = "module m(input wire clk, input wire clkb,\n"
+                      "         input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "wire en;\nassign en = 1'b0;\n"
+                      "reg [3:0] x; reg [3:0] src2;\n"
+                      "always @(posedge clkb) src2 <= d;\n"
+                      "always @(posedge clk) x = src2 + 4'd1;\n"
+                      "always @(posedge clk) begin\n"
+                      "  q <= x;\n  if (en) q <= 4'd0;\nend\n"
+                      "endmodule";
+    auto raceOnly = analyzeSrc(src, "race");
+    EXPECT_TRUE(fires(raceOnly, "blocking-race"));
+    EXPECT_FALSE(fires(raceOnly, "dead-guard"));
+    EXPECT_FALSE(fires(raceOnly, "cdc-unsync"));
+
+    auto all = analyzeSrc(src);
+    EXPECT_TRUE(fires(all, "blocking-race"));
+    EXPECT_TRUE(fires(all, "dead-guard"));
+    EXPECT_TRUE(fires(all, "cdc-unsync"));
+}
+
+TEST(AnalyzeTest, DeterministicAcrossRuns)
+{
+    std::string src = "module m(input wire clk, input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "reg [3:0] x;\n"
+                      "always @(posedge clk) x = d;\n"
+                      "always @(posedge clk) q <= x;\nendmodule";
+    auto a = analyzeSrc(src);
+    auto b = analyzeSrc(src);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(lint::renderJson(a), lint::renderJson(b));
+    // Sorted by (location, rule): presentation order is stable.
+    for (size_t i = 1; i < a.size(); ++i) {
+        bool ordered =
+            a[i - 1].loc.line < a[i].loc.line ||
+            (a[i - 1].loc.line == a[i].loc.line &&
+             (a[i - 1].loc.col < a[i].loc.col ||
+              (a[i - 1].loc.col == a[i].loc.col &&
+               a[i - 1].rule <= a[i].rule)));
+        EXPECT_TRUE(ordered) << "diagnostics out of order at " << i;
+    }
+}
+
+TEST(AnalyzeJsonTest, ReportRoundTripsThroughChecker)
+{
+    std::string src = "module m(input wire clk, input wire [3:0] d,\n"
+                      "         output reg [3:0] q);\n"
+                      "reg [3:0] x;\n"
+                      "always @(posedge clk) x = d;\n"
+                      "always @(posedge clk) q <= x;\nendmodule";
+    auto diags = analyzeSrc(src);
+    std::vector<std::string> passes;
+    for (const auto &pass : analyzePasses())
+        passes.push_back(pass.id);
+    std::string json = renderAnalyzeJson(passes, diags);
+    EXPECT_EQ(checkAnalyzeJson(json), "");
+    // Byte-identical across renders of the same diagnostics.
+    EXPECT_EQ(json, renderAnalyzeJson(passes, diags));
+    // The empty report is also valid.
+    EXPECT_EQ(checkAnalyzeJson(renderAnalyzeJson(passes, {})), "");
+}
+
+TEST(AnalyzeJsonTest, CheckerRejectsCorruptReports)
+{
+    auto diags = analyzeSrc("module m(input wire clk);\nendmodule");
+    std::vector<std::string> passes = {"const"};
+    std::string json = renderAnalyzeJson(passes, diags);
+
+    EXPECT_NE(checkAnalyzeJson("not json"), "");
+    EXPECT_NE(checkAnalyzeJson("{}"), "");
+
+    // Wrong format marker.
+    std::string wrong = json;
+    auto pos = wrong.find("hwdbg-analyze");
+    ASSERT_NE(pos, std::string::npos);
+    wrong.replace(pos, 13, "hwdbg-analyse");
+    EXPECT_NE(checkAnalyzeJson(wrong), "");
+
+    // Unknown pass id.
+    EXPECT_NE(checkAnalyzeJson(renderAnalyzeJson({"nosuch"}, diags)),
+              "");
+
+    // Version bump must be rejected until the checker learns it.
+    std::string bumped = json;
+    pos = bumped.find("\"version\": 1");
+    ASSERT_NE(pos, std::string::npos);
+    bumped.replace(pos, 12, "\"version\": 2");
+    EXPECT_NE(checkAnalyzeJson(bumped), "");
+}

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the per-process CFG builder and its reverse post-order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analyze/cfg.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::analyze;
+
+namespace
+{
+
+const AlwaysItem *
+firstProc(const Module &mod)
+{
+    for (const auto &item : mod.items)
+        if (item->kind == ItemKind::Always)
+            return item->as<AlwaysItem>();
+    return nullptr;
+}
+
+ModulePtr
+flat(const std::string &src)
+{
+    return elab::elaborate(parse(src), "m").mod;
+}
+
+size_t
+countKind(const Cfg &cfg, CfgNode::Kind kind)
+{
+    size_t n = 0;
+    for (const auto &node : cfg.nodes)
+        n += node.kind == kind;
+    return n;
+}
+
+/** Every (pred, succ) pair must be mirrored and in range. */
+void
+checkEdgesConsistent(const Cfg &cfg)
+{
+    for (uint32_t n = 0; n < cfg.nodes.size(); ++n) {
+        for (uint32_t s : cfg.nodes[n].succs) {
+            ASSERT_LT(s, cfg.nodes.size());
+            const auto &preds = cfg.nodes[s].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(), n),
+                      preds.end())
+                << "edge " << n << "->" << s << " not mirrored";
+        }
+        for (uint32_t p : cfg.nodes[n].preds) {
+            ASSERT_LT(p, cfg.nodes.size());
+            const auto &succs = cfg.nodes[p].succs;
+            EXPECT_NE(std::find(succs.begin(), succs.end(), n),
+                      succs.end());
+        }
+    }
+}
+
+} // namespace
+
+TEST(CfgTest, StraightLineIsAChain)
+{
+    auto mod = flat("module m(input wire clk);\n"
+                    "reg [3:0] a; reg [3:0] b;\n"
+                    "always @(posedge clk) begin\n"
+                    "  a <= 4'd1;\n  b <= a;\nend\nendmodule");
+    const auto *proc = firstProc(*mod);
+    ASSERT_NE(proc, nullptr);
+    Cfg cfg = buildCfg(*proc);
+    EXPECT_EQ(cfg.proc, proc);
+    EXPECT_EQ(cfg.nodes[cfg.entry].kind, CfgNode::Kind::Entry);
+    EXPECT_EQ(cfg.nodes[cfg.exit].kind, CfgNode::Kind::Exit);
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Stmt), 2u);
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Branch), 0u);
+    checkEdgesConsistent(cfg);
+    // entry -> a -> b -> exit: a single path.
+    EXPECT_EQ(cfg.nodes[cfg.entry].succs.size(), 1u);
+    EXPECT_EQ(cfg.nodes[cfg.exit].preds.size(), 1u);
+}
+
+TEST(CfgTest, IfElseBranchesAndRejoins)
+{
+    auto mod = flat("module m(input wire clk, input wire c);\n"
+                    "reg [3:0] a;\n"
+                    "always @(posedge clk) begin\n"
+                    "  if (c) a <= 4'd1; else a <= 4'd2;\nend\n"
+                    "endmodule");
+    Cfg cfg = buildCfg(*firstProc(*mod));
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Branch), 1u);
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Join), 1u);
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Stmt), 2u);
+    checkEdgesConsistent(cfg);
+    for (const auto &node : cfg.nodes) {
+        if (node.kind == CfgNode::Kind::Branch) {
+            ASSERT_NE(node.stmt, nullptr);
+            EXPECT_EQ(node.stmt->kind, StmtKind::If);
+            EXPECT_EQ(node.succs.size(), 2u);
+        }
+        if (node.kind == CfgNode::Kind::Join) {
+            EXPECT_EQ(node.preds.size(), 2u);
+        }
+    }
+}
+
+TEST(CfgTest, IfWithoutElseHasFallthroughEdge)
+{
+    auto mod = flat("module m(input wire clk, input wire c);\n"
+                    "reg [3:0] a;\n"
+                    "always @(posedge clk) if (c) a <= 4'd1;\n"
+                    "endmodule");
+    Cfg cfg = buildCfg(*firstProc(*mod));
+    checkEdgesConsistent(cfg);
+    // The branch must reach the join both through the arm and directly.
+    for (const auto &node : cfg.nodes) {
+        if (node.kind == CfgNode::Kind::Branch) {
+            EXPECT_EQ(node.succs.size(), 2u);
+        }
+        if (node.kind == CfgNode::Kind::Join) {
+            EXPECT_EQ(node.preds.size(), 2u);
+        }
+    }
+}
+
+TEST(CfgTest, CaseFansOutPerItemPlusDefault)
+{
+    auto mod = flat("module m(input wire clk, input wire [1:0] s);\n"
+                    "reg [3:0] a;\n"
+                    "always @(posedge clk) begin\n"
+                    "  case (s)\n"
+                    "    2'd0: a <= 4'd1;\n"
+                    "    2'd1: a <= 4'd2;\n"
+                    "    default: a <= 4'd3;\n"
+                    "  endcase\nend\nendmodule");
+    Cfg cfg = buildCfg(*firstProc(*mod));
+    checkEdgesConsistent(cfg);
+    for (const auto &node : cfg.nodes) {
+        if (node.kind == CfgNode::Kind::Branch) {
+            EXPECT_EQ(node.stmt->kind, StmtKind::Case);
+            EXPECT_EQ(node.succs.size(), 3u);
+        }
+    }
+}
+
+TEST(CfgTest, CaseWithoutDefaultCanSkipEveryArm)
+{
+    auto mod = flat("module m(input wire clk, input wire [1:0] s);\n"
+                    "reg [3:0] a;\n"
+                    "always @(posedge clk)\n"
+                    "  case (s)\n"
+                    "    2'd0: a <= 4'd1;\n"
+                    "  endcase\nendmodule");
+    Cfg cfg = buildCfg(*firstProc(*mod));
+    checkEdgesConsistent(cfg);
+    // One labeled arm plus the implicit no-match edge.
+    for (const auto &node : cfg.nodes) {
+        if (node.kind == CfgNode::Kind::Branch) {
+            EXPECT_EQ(node.succs.size(), 2u);
+        }
+    }
+}
+
+TEST(CfgTest, RpoVisitsPredecessorsFirst)
+{
+    auto mod = flat("module m(input wire clk, input wire c,\n"
+                    "         input wire [1:0] s);\n"
+                    "reg [3:0] a; reg [3:0] b;\n"
+                    "always @(posedge clk) begin\n"
+                    "  if (c) begin\n"
+                    "    case (s)\n"
+                    "      2'd0: a <= 4'd1;\n"
+                    "      default: a <= 4'd2;\n"
+                    "    endcase\n"
+                    "  end else a <= 4'd3;\n"
+                    "  b <= a;\nend\nendmodule");
+    Cfg cfg = buildCfg(*firstProc(*mod));
+    checkEdgesConsistent(cfg);
+    auto order = rpoOrder(cfg);
+    ASSERT_EQ(order.size(), cfg.nodes.size());
+    std::vector<size_t> rank(cfg.nodes.size());
+    std::set<uint32_t> seen;
+    for (size_t i = 0; i < order.size(); ++i) {
+        rank[order[i]] = i;
+        EXPECT_TRUE(seen.insert(order[i]).second)
+            << "node appears twice in RPO";
+    }
+    EXPECT_EQ(order.front(), cfg.entry);
+    for (uint32_t n = 0; n < cfg.nodes.size(); ++n)
+        for (uint32_t s : cfg.nodes[n].succs)
+            EXPECT_LT(rank[n], rank[s])
+                << "edge " << n << "->" << s << " violates RPO";
+}
+
+TEST(CfgTest, BareStatementCfg)
+{
+    auto mod = flat("module m(input wire clk);\nreg [3:0] a;\n"
+                    "always @(posedge clk) a <= 4'd1;\nendmodule");
+    const auto *proc = firstProc(*mod);
+    Cfg cfg = buildCfg(proc->body);
+    EXPECT_EQ(cfg.proc, nullptr);
+    EXPECT_EQ(countKind(cfg, CfgNode::Kind::Stmt), 1u);
+    checkEdgesConsistent(cfg);
+}

@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the known-bits domain: the lattice, the abstract expression
+ * evaluator against the simulator's width rules, three-valued guards,
+ * the must-assign dataflow, and the whole-design constant fixpoint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyze/cfg.hh"
+#include "analyze/domain.hh"
+#include "analyze/fixpoint.hh"
+#include "analyze/solver.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::hdl;
+using namespace hwdbg::analyze;
+
+namespace
+{
+
+ModulePtr
+flat(const std::string &src)
+{
+    return elab::elaborate(parse(src), "m").mod;
+}
+
+/** Parse "module m; wire [w-1:0] t; assign t = <expr>; ..." and
+ *  abstractly evaluate the expression under an empty environment. */
+std::optional<KnownBits>
+evalExpr(const std::string &decls, const std::string &expr,
+         uint32_t width, const Env &env = {})
+{
+    auto mod = flat("module m(input wire clk);\n" + decls +
+                    "wire [" + std::to_string(width - 1) +
+                    ":0] t__;\nassign t__ = " + expr +
+                    ";\nendmodule");
+    SignalTable sigs(*mod);
+    for (const auto &item : mod->items)
+        if (item->kind == ItemKind::ContAssign) {
+            const auto *ca = item->as<ContAssignItem>();
+            if (ca->lhs->kind == ExprKind::Id &&
+                ca->lhs->as<IdExpr>()->name == "t__")
+                return kbEval(ca->rhs, width, sigs, env);
+        }
+    ADD_FAILURE() << "assign to t__ not found";
+    return std::nullopt;
+}
+
+} // namespace
+
+TEST(KnownBitsTest, ConstantAndUnknownBasics)
+{
+    KnownBits c = KnownBits::constant(4, 0xA);
+    EXPECT_TRUE(c.fullyKnown());
+    EXPECT_TRUE(c.knownNonzero());
+    EXPECT_FALSE(c.knownZero());
+    EXPECT_EQ(c.value, 0xAu);
+
+    KnownBits u = KnownBits::unknown(4);
+    EXPECT_FALSE(u.fullyKnown());
+    EXPECT_FALSE(u.anyKnown());
+    EXPECT_FALSE(u.knownZero());
+    EXPECT_FALSE(u.knownNonzero());
+
+    KnownBits z = KnownBits::constant(64, 0);
+    EXPECT_TRUE(z.knownZero());
+    EXPECT_EQ(KnownBits::maskOf(64), ~0ULL);
+}
+
+TEST(KnownBitsTest, JoinKeepsAgreedBitsOnly)
+{
+    KnownBits a = KnownBits::constant(4, 0b1010);
+    KnownBits b = KnownBits::constant(4, 0b1001);
+    KnownBits j = joinKnown(a, b);
+    // Bits 3 (1==1) and 2 (0==0) agree; bits 1 and 0 differ.
+    EXPECT_EQ(j.known, 0b1100u);
+    EXPECT_EQ(j.value & j.known, 0b1000u);
+
+    KnownBits ju = joinKnown(a, KnownBits::unknown(4));
+    EXPECT_FALSE(ju.anyKnown());
+}
+
+TEST(KnownBitsTest, ResizeZeroExtendsAndTruncates)
+{
+    KnownBits c = KnownBits::constant(4, 0xF);
+    KnownBits wide = c.resized(8);
+    // Zero-extension makes the new high bits known-zero.
+    EXPECT_TRUE(wide.fullyKnown());
+    EXPECT_EQ(wide.value, 0xFu);
+    KnownBits narrow = c.resized(2);
+    EXPECT_TRUE(narrow.fullyKnown());
+    EXPECT_EQ(narrow.value, 0x3u);
+}
+
+TEST(DomainTest, ConstEvalFoldsPureConstants)
+{
+    auto mod = flat("module m(input wire clk, input wire [3:0] x);\n"
+                    "wire [7:0] a;\nwire [7:0] b;\n"
+                    "assign a = 8'd3 + 8'd4;\nassign b = x + 8'd1;\n"
+                    "endmodule");
+    for (const auto &item : mod->items) {
+        if (item->kind != ItemKind::ContAssign)
+            continue;
+        const auto *ca = item->as<ContAssignItem>();
+        std::string name = ca->lhs->as<IdExpr>()->name;
+        auto v = constEval(ca->rhs);
+        if (name == "a") {
+            ASSERT_TRUE(v.has_value());
+            EXPECT_EQ(*v, 7u);
+        } else if (name == "b") {
+            EXPECT_FALSE(v.has_value());
+        }
+    }
+}
+
+TEST(DomainTest, KbEvalFoldsOperatorsLikeTheSimulator)
+{
+    // Arithmetic at context width wraps like the simulator.
+    auto v = evalExpr("", "4'd9 + 4'd8", 4);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->fullyKnown());
+    EXPECT_EQ(v->value, 1u); // 17 mod 16
+
+    // Comparison is 1-bit and zero-extends into the context.
+    v = evalExpr("", "4'd3 < 4'd5", 4);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->fullyKnown());
+    EXPECT_EQ(v->value, 1u);
+
+    // Unknown operand: AND with known-zero still proves zero bits.
+    Env env;
+    env["u"] = KnownBits::unknown(4);
+    v = evalExpr("wire [3:0] u;\nassign u = 4'd0;\n", "u & 4'd0", 4,
+                 env);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->knownZero());
+
+    // OR with known-ones proves one bits even when the other side is
+    // unknown.
+    v = evalExpr("wire [3:0] u;\nassign u = 4'd0;\n", "u | 4'hF", 4,
+                 env);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->fullyKnown());
+    EXPECT_EQ(v->value, 0xFu);
+}
+
+TEST(DomainTest, KbEvalBottomPropagates)
+{
+    // A signal whose env entry is std::nullopt is bottom and poisons
+    // the whole expression — the optimistic fixpoint depends on the
+    // difference. A signal absent from the env is merely unknown.
+    Env env;
+    env["u"] = std::nullopt;
+    auto v = evalExpr("wire [3:0] u;\nassign u = 4'd0;\n", "u + 4'd1",
+                      4, env);
+    EXPECT_FALSE(v.has_value());
+    auto u = evalExpr("wire [3:0] u;\nassign u = 4'd0;\n", "u + 4'd1",
+                      4, Env{});
+    ASSERT_TRUE(u.has_value());
+    EXPECT_FALSE(u->anyKnown());
+}
+
+TEST(DomainTest, TriEvalThreeValues)
+{
+    auto mod = flat("module m(input wire clk, input wire c);\n"
+                    "wire t;\nassign t = c;\nendmodule");
+    SignalTable sigs(*mod);
+    Env env;
+    env["c"] = KnownBits::unknown(1);
+    for (const auto &item : mod->items) {
+        if (item->kind != ItemKind::ContAssign)
+            continue;
+        const auto *ca = item->as<ContAssignItem>();
+        auto t = triEval(ca->rhs, sigs, env);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(*t, Tri::Unknown);
+        env["c"] = KnownBits::constant(1, 0);
+        EXPECT_EQ(*triEval(ca->rhs, sigs, env), Tri::False);
+        env["c"] = KnownBits::constant(1, 1);
+        EXPECT_EQ(*triEval(ca->rhs, sigs, env), Tri::True);
+    }
+}
+
+TEST(DomainTest, SignalTableWidthsKindsAndParams)
+{
+    auto mod = flat("module m(input wire clk, input wire [7:0] d,\n"
+                    "         output reg [3:0] q);\n"
+                    "parameter W = 5;\n"
+                    "wire [W-1:0] w;\nreg [1:0] mem [0:3];\n"
+                    "assign w = 5'd0;\n"
+                    "always @(posedge clk) q <= d[3:0];\n"
+                    "endmodule");
+    SignalTable sigs(*mod);
+    const auto *d = sigs.find("d");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->width, 8u);
+    EXPECT_FALSE(d->isReg);
+    EXPECT_EQ(d->dir, PortDir::Input);
+    const auto *q = sigs.find("q");
+    ASSERT_NE(q, nullptr);
+    EXPECT_TRUE(q->isReg);
+    EXPECT_EQ(q->dir, PortDir::Output);
+    const auto *mem = sigs.find("mem");
+    ASSERT_NE(mem, nullptr);
+    EXPECT_TRUE(mem->isArray);
+    EXPECT_EQ(sigs.find("nosuch"), nullptr);
+}
+
+TEST(MustAssignTest, IntersectionAcrossBranches)
+{
+    auto mod = flat("module m(input wire clk, input wire c);\n"
+                    "reg [3:0] a; reg [3:0] b; reg [3:0] d;\n"
+                    "always @* begin\n"
+                    "  a = 4'd0;\n"
+                    "  if (c) begin b = 4'd1; d = 4'd1; end\n"
+                    "  else b = 4'd2;\nend\nendmodule");
+    const AlwaysItem *proc = nullptr;
+    for (const auto &item : mod->items)
+        if (item->kind == ItemKind::Always)
+            proc = item->as<AlwaysItem>();
+    ASSERT_NE(proc, nullptr);
+    auto must = mustAssignAtExit(*proc);
+    // a and b are assigned on every path; d only when c holds.
+    EXPECT_TRUE(must.count("a"));
+    EXPECT_TRUE(must.count("b"));
+    EXPECT_FALSE(must.count("d"));
+}
+
+TEST(MustAssignTest, CaseWithoutDefaultGuaranteesNothing)
+{
+    auto mod = flat("module m(input wire clk, input wire [1:0] s);\n"
+                    "reg [3:0] a;\n"
+                    "always @* begin\n"
+                    "  case (s)\n"
+                    "    2'd0: a = 4'd1;\n"
+                    "    2'd1: a = 4'd2;\n"
+                    "  endcase\nend\nendmodule");
+    const AlwaysItem *proc = nullptr;
+    for (const auto &item : mod->items)
+        if (item->kind == ItemKind::Always)
+            proc = item->as<AlwaysItem>();
+    auto must = mustAssignAtExit(*proc);
+    EXPECT_FALSE(must.count("a"));
+}
+
+TEST(FixpointTest, ProvesConstantsThroughWiresAndRegs)
+{
+    auto mod = flat("module m(input wire clk, input wire [3:0] x,\n"
+                    "         output wire [3:0] y);\n"
+                    "wire [3:0] k;\nreg [3:0] r;\n"
+                    "assign k = 4'd5;\n"
+                    "always @(posedge clk) r <= k;\n"
+                    "assign y = r;\nendmodule");
+    SignalTable sigs(*mod);
+    auto fix = solveConstants(*mod, sigs);
+    // r joins its reset value 0 with k=5: only the agreeing bits
+    // survive (0b0101 vs 0b0000 -> bits 3 and 1 known zero).
+    KnownBits r = fix.factOf("r", sigs);
+    EXPECT_FALSE(r.fullyKnown());
+    EXPECT_EQ(r.known & 0b1010u, 0b1010u);
+    KnownBits k = fix.factOf("k", sigs);
+    EXPECT_TRUE(k.fullyKnown());
+    EXPECT_EQ(k.value, 5u);
+    // The free input stays unknown.
+    EXPECT_FALSE(fix.factOf("x", sigs).anyKnown());
+}
+
+TEST(FixpointTest, DeadGuardDetected)
+{
+    auto mod = flat("module m(input wire clk, output reg [3:0] q);\n"
+                    "wire en;\nassign en = 1'b0;\n"
+                    "always @(posedge clk) begin\n"
+                    "  q <= 4'd0;\n"
+                    "  if (en) q <= 4'd9;\nend\nendmodule");
+    SignalTable sigs(*mod);
+    auto fix = solveConstants(*mod, sigs);
+    size_t dead = 0;
+    for (size_t i = 0; i < fix.assigns.size(); ++i)
+        dead += fix.deadGuard[i];
+    EXPECT_EQ(dead, 1u);
+    // With the guarded store dead, q is proven stuck at zero.
+    EXPECT_TRUE(fix.factOf("q", sigs).knownZero());
+}
+
+TEST(FixpointTest, PrimitiveConnectionsForceUnknown)
+{
+    auto mod = flat("module m(input wire clk);\n"
+                    "wire [7:0] q;\nwire full;\nwire empty;\n"
+                    "wire [7:0] d;\nassign d = 8'd0;\n"
+                    "scfifo #(.lpm_width(8), .lpm_numwords(4))\n"
+                    "  f(.clock(clk), .data(d), .wrreq(1'b1),\n"
+                    "    .rdreq(1'b1), .q(q), .full(full),\n"
+                    "    .empty(empty));\nendmodule");
+    SignalTable sigs(*mod);
+    auto fix = solveConstants(*mod, sigs);
+    EXPECT_TRUE(fix.primConnected.count("q"));
+    // Even though nothing in the module assigns q, the IP may: no
+    // constant claim is allowed.
+    EXPECT_FALSE(fix.factOf("q", sigs).anyKnown());
+}
+
+TEST(SolverTest, UnreachableNodesKeepBottom)
+{
+    // Hand-build a CFG with an orphan node the entry never reaches.
+    Cfg cfg;
+    cfg.nodes.resize(4);
+    cfg.nodes[0].kind = CfgNode::Kind::Entry;
+    cfg.nodes[1].kind = CfgNode::Kind::Exit;
+    cfg.nodes[2].kind = CfgNode::Kind::Stmt;
+    cfg.nodes[3].kind = CfgNode::Kind::Stmt; // orphan
+    cfg.nodes[0].succs = {2};
+    cfg.nodes[2].preds = {0};
+    cfg.nodes[2].succs = {1};
+    cfg.nodes[1].preds = {2};
+    MustAssignDomain dom;
+    auto res = solveForward(cfg, dom);
+    EXPECT_TRUE(res.in[0].has_value());
+    EXPECT_TRUE(res.in[1].has_value());
+    EXPECT_FALSE(res.in[3].has_value());
+    EXPECT_FALSE(res.out[3].has_value());
+}

@@ -1,0 +1,120 @@
+# Golden tests for the `hwdbg analyze` CLI: byte-determinism of the
+# text and JSON reports across double runs, the --out artifact path
+# validated by obscheck, pass selection, the buggy-vs-fixed contrast on
+# testbed bugs the dataflow passes catch, and the order oracle's
+# surface in `hwdbg fuzz`.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_analyze_work)
+file(MAKE_DIRECTORY ${work})
+
+# Reports are byte-deterministic: same bug, two runs, identical bytes.
+foreach(bug C1 D2 D3 D4)
+    execute_process(COMMAND ${HWDBG} analyze --bug ${bug}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE run_a ERROR_QUIET)
+    execute_process(COMMAND ${HWDBG} analyze --bug ${bug}
+                    RESULT_VARIABLE rc2 OUTPUT_VARIABLE run_b ERROR_QUIET)
+    if(NOT run_a STREQUAL run_b)
+        message(FATAL_ERROR "analyze --bug ${bug} is not deterministic")
+    endif()
+    execute_process(COMMAND ${HWDBG} analyze --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_a ERROR_QUIET)
+    execute_process(COMMAND ${HWDBG} analyze --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_b ERROR_QUIET)
+    if(NOT json_a STREQUAL json_b)
+        message(FATAL_ERROR "analyze --bug ${bug} JSON is not deterministic")
+    endif()
+endforeach()
+
+# The dataflow catches fire on the buggy variant and stay quiet on the
+# fix: C1's dead reset cascade, D3's stuck ready outputs, D2's stuck
+# tag bit, D4's dead occupancy counter.
+execute_process(COMMAND ${HWDBG} analyze --bug C1
+                RESULT_VARIABLE rc OUTPUT_VARIABLE buggy ERROR_QUIET)
+if(NOT buggy MATCHES "dead-guard" OR NOT buggy MATCHES "read-uninitialized")
+    message(FATAL_ERROR "analyze missed C1's dead logic: ${buggy}")
+endif()
+execute_process(COMMAND ${HWDBG} analyze --bug C1 --fixed
+                RESULT_VARIABLE rc OUTPUT_VARIABLE fixed ERROR_QUIET)
+if(fixed MATCHES "dead-guard")
+    message(FATAL_ERROR "analyze flags the fixed C1: ${fixed}")
+endif()
+execute_process(COMMAND ${HWDBG} analyze --bug D3
+                RESULT_VARIABLE rc OUTPUT_VARIABLE d3 ERROR_QUIET)
+if(NOT d3 MATCHES "stuck-output")
+    message(FATAL_ERROR "analyze missed D3's stuck outputs: ${d3}")
+endif()
+execute_process(COMMAND ${HWDBG} analyze --bug D2
+                RESULT_VARIABLE rc OUTPUT_VARIABLE d2 ERROR_QUIET)
+if(NOT d2 MATCHES "stuck-bit")
+    message(FATAL_ERROR "analyze missed D2's stuck tag bit: ${d2}")
+endif()
+
+# Pass selection runs only the named passes.
+execute_process(COMMAND ${HWDBG} analyze --bug C1 --pass race,cdc
+                RESULT_VARIABLE rc OUTPUT_VARIABLE selected ERROR_QUIET)
+if(selected MATCHES "dead-guard")
+    message(FATAL_ERROR "--pass race,cdc still ran the const pass")
+endif()
+execute_process(COMMAND ${HWDBG} analyze --bug C1 --pass nosuch
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "unknown analyze pass")
+    message(FATAL_ERROR "unknown pass was not rejected: ${err}")
+endif()
+
+# --out writes the versioned JSON artifact and obscheck validates it.
+execute_process(COMMAND ${HWDBG} analyze --bug C1 --format json
+                --out ${work}/c1.analyze.json
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT EXISTS ${work}/c1.analyze.json)
+    message(FATAL_ERROR "analyze --out did not write the artifact")
+endif()
+execute_process(COMMAND ${HWDBG} obscheck ${work}/c1.analyze.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(analyze report\\)")
+    message(FATAL_ERROR "obscheck rejected the analyze artifact: ${out}")
+endif()
+file(READ ${work}/c1.analyze.json report)
+if(NOT report MATCHES "\"format\": \"hwdbg-analyze\"")
+    message(FATAL_ERROR "analyze JSON is missing the format marker")
+endif()
+if(NOT report MATCHES "\"build\"")
+    message(FATAL_ERROR "analyze JSON is missing the build stamp")
+endif()
+
+# A corrupted report is rejected.
+file(READ ${work}/c1.analyze.json good)
+string(REPLACE "\"version\": 1" "\"version\": 99" bad "${good}")
+file(WRITE ${work}/c1.bad.json "${bad}")
+execute_process(COMMAND ${HWDBG} obscheck ${work}/c1.bad.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(rc EQUAL 0 OR NOT out MATCHES "INVALID")
+    message(FATAL_ERROR "obscheck accepted a corrupted analyze report")
+endif()
+
+# The order oracle: a short campaign with the race template must pass
+# (no unflagged divergence) and report the verdict tally; both formats
+# are deterministic.
+execute_process(COMMAND ${HWDBG} fuzz --seeds 25 --oracle order
+                --race-chance 50
+                RESULT_VARIABLE rc OUTPUT_VARIABLE order_a ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "order-oracle campaign failed: ${order_a}")
+endif()
+if(NOT order_a MATCHES "order oracle: [0-9]+ design")
+    message(FATAL_ERROR "order tally missing from the report: ${order_a}")
+endif()
+execute_process(COMMAND ${HWDBG} fuzz --seeds 25 --oracle order
+                --race-chance 50
+                RESULT_VARIABLE rc OUTPUT_VARIABLE order_b ERROR_QUIET)
+if(NOT order_a STREQUAL order_b)
+    message(FATAL_ERROR "order-oracle report is not deterministic")
+endif()
+
+# The default-mask fuzz report must not mention the opt-in oracle.
+execute_process(COMMAND ${HWDBG} fuzz --seeds 5
+                RESULT_VARIABLE rc OUTPUT_VARIABLE plain ERROR_QUIET)
+if(plain MATCHES "order oracle")
+    message(FATAL_ERROR "default fuzz report leaked the order tally")
+endif()
+
+message(STATUS "cli_analyze checks passed")
