@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Interpreter vs. compiled bytecode backend: the speedup gate.
+ *
+ * A corpus of generated designs (the fuzz generator with every template
+ * enabled, so memories, FSMs, FIFOs, and submodules are all present)
+ * runs the same deterministic stimulus on both backends. Per design the
+ * bench reports cycles/second on each backend and their ratio; the gate
+ * is the geometric-mean speedup, which must stay >= 5x or the bench
+ * exits 1 — the bar ISSUE 7 sets for the compiled backend to justify
+ * its existence.
+ *
+ * While it measures, the bench asserts what the equivalence tests
+ * assert: both runs must end in the identical architectural state
+ * (every signal, every memory element, cycle count, $finish, $display
+ * log). A speedup built on divergence is a bug, not a result.
+ *
+ * With a path argument the per-design table and the geomean land in a
+ * BENCH_backend_speedup.json trajectory file, the perf baseline future
+ * PRs diff against.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "compile/backend.hh"
+#include "elab/elaborate.hh"
+#include "fuzz/generator.hh"
+#include "sim/simulator.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+/** splitmix64: one deterministic stimulus stream per seed. */
+struct Rng
+{
+    uint64_t state;
+    explicit Rng(uint64_t seed) : state(seed) {}
+    uint64_t next()
+    {
+        uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+};
+
+struct FinalState
+{
+    std::vector<Bits> values;
+    std::vector<std::vector<Bits>> arrays;
+    uint64_t cycle = 0;
+    bool finished = false;
+    size_t logLines = 0;
+
+    bool operator==(const FinalState &rhs) const
+    {
+        return values == rhs.values && arrays == rhs.arrays &&
+               cycle == rhs.cycle && finished == rhs.finished &&
+               logLines == rhs.logLines;
+    }
+};
+
+/** Clock @p cycles of seeded stimulus through @p sim; returns seconds. */
+double
+runStimulus(sim::Simulator &sim, const fuzz::GeneratedDesign &gd,
+            uint64_t seed, uint32_t cycles, FinalState *out)
+{
+    Rng rng(seed ^ 0x42454E4348ULL);
+    auto begin = std::chrono::steady_clock::now();
+    for (uint32_t t = 0; t < cycles && !sim.finished(); ++t) {
+        if (gd.hasRst)
+            sim.poke("rst", uint64_t(t < 2 ? 1 : 0));
+        for (const auto &port : gd.inputs)
+            sim.poke(port.name, Bits(port.width, rng.next()));
+        sim.poke("clk", uint64_t(0));
+        sim.eval();
+        sim.poke("clk", uint64_t(1));
+        sim.eval();
+    }
+    auto end = std::chrono::steady_clock::now();
+    out->values = sim.context().values;
+    out->arrays = sim.context().arrays;
+    out->cycle = sim.cycle();
+    out->finished = sim.finished();
+    out->logLines = sim.log().size();
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+struct Row
+{
+    uint64_t seed;
+    size_t signals;
+    double interpSec;
+    double bytecodeSec;
+    double speedup;
+    bool identical;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t cycles = argc > 1
+                          ? static_cast<uint32_t>(
+                                std::strtoul(argv[1], nullptr, 10))
+                          : 3000;
+    const char *jsonPath = argc > 2 ? argv[2] : nullptr;
+    const double kGate = 5.0;
+
+    // Every template on: the corpus leans large on purpose — the gate
+    // measures the backend on designs worth compiling, and the small
+    // degenerate ones are the fuzz campaign's job.
+    fuzz::GeneratorOptions opts;
+    opts.maxExprDepth = 4;
+    opts.fsmChance = 100;
+    opts.fifoChance = 100;
+    opts.memChance = 100;
+    opts.submoduleChance = 100;
+    opts.displayChance = 30;
+
+    std::printf("Backend speedup: interpreter vs. compiled bytecode, "
+                "%u cycles/design\n",
+                cycles);
+    std::printf("%-6s %-8s %-11s %-13s %-9s %s\n", "seed", "signals",
+                "interp s", "bytecode s", "speedup", "state");
+
+    std::vector<Row> rows;
+    double logSum = 0;
+    bool diverged = false;
+    for (uint64_t seed = 1; seed <= 12; ++seed) {
+        fuzz::GeneratedDesign gd = fuzz::generateDesign(seed, opts);
+        auto modA = elab::elaborate(gd.design, gd.top).mod;
+        auto modB = elab::elaborate(gd.design, gd.top).mod;
+
+        sim::Simulator interp(modA);
+        sim::Simulator bytecode(modB);
+        bytecode.setBackend(compile::makeBytecodeBackend());
+
+        FinalState stateA, stateB;
+        double secA = runStimulus(interp, gd, seed, cycles, &stateA);
+        double secB = runStimulus(bytecode, gd, seed, cycles, &stateB);
+
+        Row row{seed,
+                interp.design().numSignals(),
+                secA,
+                secB,
+                secB > 0 ? secA / secB : 0,
+                stateA == stateB};
+        rows.push_back(row);
+        logSum += std::log(row.speedup);
+        diverged = diverged || !row.identical;
+        std::printf("%-6llu %-8zu %-11.4f %-13.4f %-9.2f %s\n",
+                    static_cast<unsigned long long>(seed), row.signals,
+                    secA, secB, row.speedup,
+                    row.identical ? "identical" : "DIVERGED");
+    }
+
+    double geomean = std::exp(logSum / static_cast<double>(rows.size()));
+    std::printf("\ngeomean speedup: %.2fx (gate: >= %.1fx)\n", geomean,
+                kGate);
+
+    if (jsonPath) {
+        FILE *f = std::fopen(jsonPath, "w");
+        if (!f) {
+            std::fprintf(stderr, "FATAL: cannot write %s\n", jsonPath);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"backend_speedup\",\n"
+                     "  \"cycles_per_design\": %u,\n  \"designs\": [\n",
+                     cycles);
+        for (size_t i = 0; i < rows.size(); ++i)
+            std::fprintf(f,
+                         "    {\"seed\": %llu, \"signals\": %zu, "
+                         "\"interp_sec\": %.6f, "
+                         "\"bytecode_sec\": %.6f, "
+                         "\"speedup\": %.3f}%s\n",
+                         static_cast<unsigned long long>(rows[i].seed),
+                         rows[i].signals, rows[i].interpSec,
+                         rows[i].bytecodeSec, rows[i].speedup,
+                         i + 1 < rows.size() ? "," : "");
+        std::fprintf(f,
+                     "  ],\n  \"geomean_speedup\": %.3f,\n"
+                     "  \"gate\": %.1f\n}\n",
+                     geomean, kGate);
+        std::fclose(f);
+        std::printf("trajectory written to %s\n", jsonPath);
+    }
+
+    if (diverged) {
+        std::fprintf(stderr,
+                     "FATAL: backends disagreed on final state\n");
+        return 1;
+    }
+    if (geomean < kGate) {
+        std::fprintf(stderr,
+                     "FATAL: geomean speedup %.2fx below the %.1fx "
+                     "gate\n",
+                     geomean, kGate);
+        return 1;
+    }
+    return 0;
+}

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "compile/backend.hh"
 #include "fuzz/runner.hh"
 
 using namespace hwdbg;
@@ -38,11 +39,13 @@ struct Row
 };
 
 double
-runOnce(uint32_t jobs, uint64_t seeds, std::string *report)
+runOnce(uint32_t jobs, uint64_t seeds, std::string *report,
+        const sim::BackendFactory &backend = {})
 {
     FuzzConfig config;
     config.seeds = seeds;
     config.jobs = jobs;
+    config.backend = backend;
     auto begin = std::chrono::steady_clock::now();
     FuzzReport result = runFuzz(config);
     auto end = std::chrono::steady_clock::now();
@@ -103,5 +106,28 @@ main(int argc, char **argv)
                 " (100%% = linear scaling; 1-core containers pin every"
                 " row to the same rate)\n",
                 rows.back().jobs, 100.0 * eff);
+
+    // Backend dimension: the same campaign with the simulators on the
+    // compiled bytecode backend. The report must stay byte-identical —
+    // fuzz results cannot depend on the execution engine — while the
+    // throughput delta shows what the campaign gains from compiling.
+    std::string bytecodeReport;
+    double bytecodeSecs = runOnce(cores, seeds, &bytecodeReport,
+                                  compile::makeBytecodeBackend());
+    double bytecodeRate =
+        bytecodeSecs > 0 ? static_cast<double>(seeds) / bytecodeSecs
+                         : 0;
+    std::printf("\nbackend=bytecode at jobs=%u: %.2fs, %.1f seeds/sec "
+                "(%.2fx interp), report %s\n",
+                cores, bytecodeSecs, bytecodeRate,
+                rows.back().seedsPerSec > 0
+                    ? bytecodeRate / rows.back().seedsPerSec
+                    : 0,
+                bytecodeReport == baseline ? "identical" : "DIVERGED");
+    if (bytecodeReport != baseline) {
+        std::fprintf(stderr, "FATAL: bytecode-backend report differs "
+                             "from the interpreter's\n");
+        return 1;
+    }
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "bugbase/designs.hh"
 #include "bugbase/testbed.hh"
 #include "bugbase/workloads.hh"
+#include "compile/backend.hh"
 #include "core/losscheck.hh"
 #include "core/signalcat.hh"
 #include "elab/elaborate.hh"
@@ -106,6 +107,44 @@ BM_SimulationCycles(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(cycles));
 }
 BENCHMARK(BM_SimulationCycles);
+
+void
+BM_SimulationCyclesBytecode(benchmark::State &state)
+{
+    // The same clock loop as BM_SimulationCycles, executed by the
+    // compiled bytecode backend: the pair is the per-design speedup on
+    // a real testbed module (bench/backend_speedup gates the corpus
+    // geomean).
+    auto mod = buildDesign(bugById("D3"), false).mod;
+    sim::Simulator sim(mod);
+    sim.setBackend(compile::makeBytecodeBackend());
+    sim.poke("rst", uint64_t(1));
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        sim.poke("clk", uint64_t(0));
+        sim.eval();
+        sim.poke("clk", uint64_t(1));
+        sim.eval();
+        ++cycles;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(cycles));
+}
+BENCHMARK(BM_SimulationCyclesBytecode);
+
+void
+BM_BytecodeLowering(benchmark::State &state)
+{
+    // Cost of installing the compiled backend (lowering + constant
+    // folding + slab build) on an already-constructed simulator; the
+    // one-time price a session pays for the per-cycle speedup above.
+    auto mod = buildDesign(bugById("D3"), false).mod;
+    for (auto _ : state) {
+        sim::Simulator sim(hdl::cloneModule(*mod));
+        sim.setBackend(compile::makeBytecodeBackend());
+        benchmark::DoNotOptimize(sim.backendName());
+    }
+}
+BENCHMARK(BM_BytecodeLowering);
 
 void
 BM_WorkloadEndToEnd(benchmark::State &state)

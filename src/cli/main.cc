@@ -50,6 +50,7 @@
 #include "bugbase/designs.hh"
 #include "bugbase/testbed.hh"
 #include "common/logging.hh"
+#include "compile/backend.hh"
 #include "core/dep_monitor.hh"
 #include "core/fsm_monitor.hh"
 #include "core/losscheck.hh"
@@ -176,6 +177,7 @@ parseArgs(int argc, char **argv)
                 name == "limit" || name == "signals" ||
                 name == "bug" || name == "script" ||
                 name == "stimulus" || name == "dep" ||
+                name == "backend" ||
                 name == "loss" || name == "checkpoint-interval" ||
                 name == "checkpoint-capacity" || name == "out" ||
                 name == "cover-plateau" || name == "pass" ||
@@ -489,6 +491,21 @@ parseU64(const std::string &text, const char *what)
     return value;
 }
 
+/** Parse --backend for the commands that run a simulator; an empty
+ *  factory means the default interpreter. */
+sim::BackendFactory
+backendFromArgs(const Args &args)
+{
+    std::string name = args.opt("backend", "interp");
+    if (name == "interp")
+        return {};
+    if (name == "bytecode")
+        return compile::makeBytecodeBackend();
+    fatal("unknown backend '%s' (expected interp or bytecode)",
+          name.c_str());
+    return {};
+}
+
 int
 cmdFuzz(const Args &args)
 {
@@ -506,14 +523,19 @@ cmdFuzz(const Args &args)
     if (!args.oracles.empty()) {
         config.mask = 0;
         for (const auto &name : args.oracles) {
+            if (name == "all") {
+                config.mask |= (1u << fuzz::kOracleCount) - 1;
+                continue;
+            }
             fuzz::Oracle oracle;
             if (!fuzz::oracleFromName(name, &oracle))
                 fatal("unknown oracle '%s' (roundtrip, differential, "
-                      "lint, instrument, order)",
+                      "lint, instrument, order, xbackend, or all)",
                       name.c_str());
             config.mask |= fuzz::oracleBit(oracle);
         }
     }
+    config.backend = backendFromArgs(args);
     std::string format = args.opt("format", "text");
     if (format != "text" && format != "json")
         fatal("unknown format '%s' (expected text or json)",
@@ -552,6 +574,7 @@ cmdProfile(const Args &args)
         parseU64(args.opt("limit", "20"), "--limit"));
     opts.signalLimit = static_cast<uint32_t>(
         parseU64(args.opt("signals", "10"), "--signals"));
+    opts.backend = backendFromArgs(args);
     sim::ProfileReport report =
         sim::profileDesign(elaborated.mod, opts);
     std::string format = args.opt("format", "text");
@@ -643,6 +666,7 @@ cmdDebug(const Args &args)
         parseU64(args.opt("checkpoint-capacity", "64"),
                  "--checkpoint-capacity"));
     eopts.constants = constants;
+    eopts.backend = backendFromArgs(args);
     debug::Engine engine(instr.module, std::move(tape), eopts);
 
     debug::SessionOptions sopts;
@@ -706,10 +730,12 @@ cmdCover(const Args &args)
         return cmdCoverMerge(args);
 
     cover::Snapshot snap;
+    sim::BackendFactory backend = backendFromArgs(args);
     std::string bugId = args.opt("bug");
     if (!bugId.empty()) {
         const auto &bug = bugs::bugById(bugId);
-        snap = cover::coverBugWorkload(bug, !args.flag("fixed"));
+        snap = cover::coverBugWorkload(bug, !args.flag("fixed"),
+                                       backend);
     } else if (args.options.count("stimulus")) {
         auto elaborated = load(args);
         std::string path = args.opt("stimulus");
@@ -719,7 +745,7 @@ cmdCover(const Args &args)
         std::string base =
             slash == std::string::npos ? path : path.substr(slash + 1);
         snap = cover::coverWithTape(elaborated.mod,
-                                    "stimulus:" + base, tape);
+                                    "stimulus:" + base, tape, backend);
     } else {
         auto elaborated = load(args);
         uint64_t seed = parseU64(args.opt("seed", "1"), "--seed");
@@ -727,7 +753,7 @@ cmdCover(const Args &args)
             parseU64(args.opt("cycles", "2000"), "--cycles"));
         snap = cover::coverRandom(elaborated.mod,
                                   "seed:" + std::to_string(seed),
-                                  seed, cycles);
+                                  seed, cycles, backend);
     }
 
     std::string out = args.opt("out");
@@ -922,11 +948,19 @@ commands()
          "  --jobs J                 worker threads\n"
          "  --cycles C               simulated cycles per seed\n"
          "  --oracle NAME            roundtrip, differential, lint,\n"
-         "                           instrument, order (repeatable;\n"
-         "                           order is opt-in: it re-runs each\n"
-         "                           seed with reversed clocked-process\n"
-         "                           order and cross-checks the analyze\n"
-         "                           race pass against divergence)\n"
+         "                           instrument, order, xbackend, or\n"
+         "                           all (repeatable; order and\n"
+         "                           xbackend are opt-in: order re-runs\n"
+         "                           each seed with reversed clocked-\n"
+         "                           process order and cross-checks the\n"
+         "                           analyze race pass, xbackend runs\n"
+         "                           each seed on the interpreter and\n"
+         "                           the compiled bytecode backend and\n"
+         "                           diffs outputs, logs, and final\n"
+         "                           state)\n"
+         "  --backend B              interp or bytecode: execution\n"
+         "                           backend for the campaign's own\n"
+         "                           simulators (default interp)\n"
          "  --race-chance P          percent chance of the generator's\n"
          "                           scheduler-race template (default 0)\n"
          "  --replay SEED            re-run one seed verbosely\n"
@@ -945,6 +979,9 @@ commands()
          "  --rank time|evals    ordering for the process table\n"
          "  --limit N            processes shown (default 20)\n"
          "  --signals N          signals shown (default 10)\n"
+         "  --backend B          interp or bytecode (default interp);\n"
+         "                       eval/toggle ranks are backend-\n"
+         "                       independent, times are not\n"
          "  --format text|json   report format\n",
          cmdProfile},
         {"cover", "cover <file|--bug ID> | cover merge <f>...",
@@ -958,6 +995,8 @@ commands()
          "output:\n"
          "  --format text|json   report format (default text)\n"
          "  --out FILE           also write the coverage JSON to FILE\n"
+         "  --backend B          interp or bytecode (default interp);\n"
+         "                       coverage snapshots are identical\n"
          "merging:\n"
          "  cover merge <a.json> <b.json>... [--out FILE]\n"
          "                       union runs of the same design; the\n"
@@ -987,6 +1026,8 @@ commands()
          "  --machine            JSON-lines protocol on stdout\n"
          "  --script FILE        run commands from FILE, then exit\n"
          "                       (exit 1 when any command failed)\n"
+         "  --backend B          interp or bytecode (default interp);\n"
+         "                       sessions are transcript-identical\n"
          "  --checkpoint-interval N   steps between snapshots (128)\n"
          "  --checkpoint-capacity N   ring size (64)\n"
          "Inside the session, 'help' lists the debugger commands.\n",

@@ -34,6 +34,17 @@ Bits::allOnes(uint32_t width)
 }
 
 Bits
+Bits::fromWords(uint32_t width, const uint64_t *words, size_t count)
+{
+    Bits result(width);
+    size_t n = std::min<size_t>(result.words_.size(), count);
+    for (size_t i = 0; i < n; ++i)
+        result.words_[i] = words[i];
+    result.normalize();
+    return result;
+}
+
+Bits
 Bits::parseVerilog(const std::string &text, bool *sized)
 {
     // Strip underscores.

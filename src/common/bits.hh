@@ -35,7 +35,21 @@ class Bits
     /** A vector of @p width bits, all ones. */
     static Bits allOnes(uint32_t width);
 
+    /**
+     * Build from raw little-endian words: the first wordsFor(width)
+     * entries of @p words are copied (missing words read as zero) and
+     * the result is canonicalized. The bulk-transfer path between the
+     * compiled backend's value slab and Bits.
+     */
+    static Bits fromWords(uint32_t width, const uint64_t *words,
+                          size_t count);
+
     uint32_t width() const { return width_; }
+
+    /** Little-endian word storage (numWords() entries, canonical). */
+    const uint64_t *rawWords() const { return words_.data(); }
+    /** Number of 64-bit words backing this value. */
+    size_t numWords() const { return words_.size(); }
 
     /** Low 64 bits of the value. */
     uint64_t toU64() const { return words_[0]; }

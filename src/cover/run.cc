@@ -40,12 +40,15 @@ struct Attached
 } // namespace
 
 Snapshot
-coverBugWorkload(const bugs::TestbedBug &bug, bool buggy)
+coverBugWorkload(const bugs::TestbedBug &bug, bool buggy,
+                 const sim::BackendFactory &backend)
 {
     obs::ObsSpan span("cover:bug:" + bug.id);
     elab::ElabResult design = bugs::buildDesign(bug, buggy);
     std::string top = design.mod->name;
     Simulator sim(design.mod);
+    if (backend)
+        sim.setBackend(backend);
     Attached cover(sim, sim.design().module());
     bugs::runWorkload(bug, sim);
     sim.enableCoverage(nullptr);
@@ -57,11 +60,14 @@ coverBugWorkload(const bugs::TestbedBug &bug, bool buggy)
 
 Snapshot
 coverWithTape(hdl::ModulePtr elaborated, const std::string &workload,
-              const sim::StimulusTape &tape)
+              const sim::StimulusTape &tape,
+              const sim::BackendFactory &backend)
 {
     obs::ObsSpan span("cover:tape");
     std::string top = elaborated->name;
     Simulator sim(std::move(elaborated));
+    if (backend)
+        sim.setBackend(backend);
     Attached cover(sim, sim.design().module());
     for (const auto &step : tape.steps) {
         sim.applyStep(step);
@@ -74,11 +80,14 @@ coverWithTape(hdl::ModulePtr elaborated, const std::string &workload,
 
 Snapshot
 coverRandom(hdl::ModulePtr elaborated, const std::string &workload,
-            uint64_t seed, uint32_t cycles)
+            uint64_t seed, uint32_t cycles,
+            const sim::BackendFactory &backend)
 {
     obs::ObsSpan span("cover:random");
     std::string top = elaborated->name;
     Simulator sim(std::move(elaborated));
+    if (backend)
+        sim.setBackend(backend);
     Attached cover(sim, sim.design().module());
 
     const sim::LoweredDesign &design = sim.design();

@@ -23,23 +23,32 @@
 
 #include "bugbase/testbed.hh"
 #include "cover/snapshot.hh"
+#include "sim/backend.hh"
 #include "sim/simulator.hh"
 
 namespace hwdbg::cover
 {
 
+// Each driver takes an optional execution backend (--backend); an empty
+// factory runs the interpreter. Coverage events are sampled through the
+// CoverageCollector hooks both backends drive identically, so snapshots
+// are backend-independent.
+
 /** Run @p bug's trigger workload with coverage attached. */
-Snapshot coverBugWorkload(const bugs::TestbedBug &bug, bool buggy);
+Snapshot coverBugWorkload(const bugs::TestbedBug &bug, bool buggy,
+                          const sim::BackendFactory &backend = {});
 
 /** Replay @p tape on @p elaborated with coverage attached. */
 Snapshot coverWithTape(hdl::ModulePtr elaborated,
                        const std::string &workload,
-                       const sim::StimulusTape &tape);
+                       const sim::StimulusTape &tape,
+                       const sim::BackendFactory &backend = {});
 
 /** Drive @p cycles of seeded random stimulus with coverage attached. */
 Snapshot coverRandom(hdl::ModulePtr elaborated,
                      const std::string &workload, uint64_t seed,
-                     uint32_t cycles);
+                     uint32_t cycles,
+                     const sim::BackendFactory &backend = {});
 
 } // namespace hwdbg::cover
 

@@ -104,6 +104,8 @@ Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
       opts_(std::move(opts)),
       ring_(opts_.checkpointInterval, opts_.checkpointCapacity)
 {
+    if (opts_.backend)
+        sim_.setBackend(opts_.backend);
     ring_.saveInitial(sim_);
     coverItems_ = sim::buildCoverageItems(
         sim_.design(), cover::fsmSpecsFor(sim_.design().module()));

@@ -87,6 +87,10 @@ struct EngineOptions
     size_t checkpointCapacity = 64;
     /** Constants for symbolic state names in event details. */
     std::map<std::string, Bits> constants;
+    /** Execution backend (--backend); empty runs the interpreter.
+     *  Installed before the initial checkpoint so the whole session —
+     *  including time travel — replays on the chosen backend. */
+    sim::BackendFactory backend;
 };
 
 class Engine

@@ -9,6 +9,7 @@
 
 #include "analyze/analyze.hh"
 #include "common/logging.hh"
+#include "compile/backend.hh"
 #include "core/dep_monitor.hh"
 #include "core/fsm_monitor.hh"
 #include "core/losscheck.hh"
@@ -45,6 +46,8 @@ oracleName(Oracle oracle)
         return "instrument";
       case Oracle::Order:
         return "order";
+      case Oracle::Xbackend:
+        return "xbackend";
     }
     return "?";
 }
@@ -271,7 +274,7 @@ runRoundtrip(const GeneratedDesign &gd)
 
 std::optional<Failure>
 runDifferential(const GeneratedDesign &gd, uint64_t seed,
-                uint32_t cycles)
+                uint32_t cycles, const sim::BackendFactory &backend)
 {
     // The simulator consumes the design through the full front end
     // (print -> parse -> elaborate) while the reference evaluator works
@@ -283,6 +286,8 @@ runDifferential(const GeneratedDesign &gd, uint64_t seed,
     auto refFlat = elab::elaborate(gd.design, gd.top).mod;
 
     sim::Simulator sim(simFlat);
+    if (backend)
+        sim.setBackend(backend);
     RefEval ref(refFlat);
 
     Stimulus stim = makeStimulus(gd, seed, cycles);
@@ -560,12 +565,15 @@ hasClockedDisplay(const Module &mod)
 } // namespace
 
 std::optional<Failure>
-runInstrument(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
+runInstrument(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
+              const sim::BackendFactory &backend)
 {
     auto flat = elab::elaborate(gd.design, gd.top).mod;
     Stimulus stim = makeStimulus(gd, seed, cycles);
 
     sim::Simulator base(flat);
+    if (backend)
+        base.setBackend(backend);
     RunTrace baseTr = runTrace(base, gd, stim);
 
     auto fail = [](std::string detail) {
@@ -581,6 +589,8 @@ runInstrument(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
             bool check_log = true) -> std::optional<std::string> {
         static thread_local std::unique_ptr<sim::Simulator> holder;
         holder = std::make_unique<sim::Simulator>(std::move(instrumented));
+        if (backend)
+            holder->setBackend(backend);
         RunTrace tr = runTrace(*holder, gd, stim);
         if (auto diff = diffOutputs(baseTr, tr, gd, "base", pass))
             return pass + ": " + *diff;
@@ -767,7 +777,7 @@ sortedWithinCycle(NormLog log)
 
 std::optional<Failure>
 runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
-         OrderStats *stats)
+         OrderStats *stats, const sim::BackendFactory &backend)
 {
     // Static verdict first: which signals does the analyze race pass
     // consider order-sensitive?
@@ -787,6 +797,10 @@ runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
     auto flatB = elab::elaborate(gd.design, gd.top).mod;
     sim::Simulator simA(flatA);
     sim::Simulator simB(flatB);
+    if (backend) {
+        simA.setBackend(backend);
+        simB.setBackend(backend);
+    }
     size_t nprocs = simB.design().clockedProcs().size();
     if (nprocs >= 2) {
         std::vector<size_t> reversed(nprocs);
@@ -816,6 +830,55 @@ runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
             "process-order divergence not flagged by the analyze race "
             "pass: " +
                 *diff};
+    return std::nullopt;
+}
+
+// ----------------------------------------------------------------- xbackend
+
+std::optional<Failure>
+runXbackend(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
+{
+    // The interpreter is the semantics reference; the compiled bytecode
+    // backend must be observationally indistinguishable from it on the
+    // same elaborated design and stimulus. Beyond the per-half-cycle
+    // output/log/finish comparison the dynamic oracles share, this one
+    // also sweeps the complete final state — every signal and every
+    // memory element — through the Simulator facade, which forces the
+    // bytecode slab to flush into canonical Bits.
+    auto flatA = elab::elaborate(gd.design, gd.top).mod;
+    auto flatB = elab::elaborate(gd.design, gd.top).mod;
+    sim::Simulator interp(flatA);
+    sim::Simulator bytecode(flatB);
+    bytecode.setBackend(compile::makeBytecodeBackend());
+
+    Stimulus stim = makeStimulus(gd, seed, cycles);
+    RunTrace trA = runTrace(interp, gd, stim);
+    RunTrace trB = runTrace(bytecode, gd, stim);
+
+    if (auto diff = diffOutputs(trA, trB, gd, "interp", "bytecode"))
+        return Failure{Oracle::Xbackend, *diff};
+    if (auto diff = diffLogs(trA.log, trB.log, "interp", "bytecode"))
+        return Failure{Oracle::Xbackend, *diff};
+
+    const sim::EvalContext &ca = interp.context();
+    const sim::EvalContext &cb = bytecode.context();
+    const sim::LoweredDesign &design = interp.design();
+    for (size_t i = 0; i < design.numSignals(); ++i) {
+        const sim::SignalInfo &info = design.info(static_cast<int>(i));
+        if (!bitsEq(ca.values[i], cb.values[i]))
+            return Failure{Oracle::Xbackend,
+                           "final value of " + info.name +
+                               " differs: interp=" + hex(ca.values[i]) +
+                               " bytecode=" + hex(cb.values[i])};
+        for (uint32_t e = 0; e < info.arraySize; ++e)
+            if (!bitsEq(ca.arrays[i][e], cb.arrays[i][e]))
+                return Failure{
+                    Oracle::Xbackend,
+                    "final value of " + info.name + "[" +
+                        std::to_string(e) +
+                        "] differs: interp=" + hex(ca.arrays[i][e]) +
+                        " bytecode=" + hex(cb.arrays[i][e])};
+    }
     return std::nullopt;
 }
 
@@ -851,13 +914,18 @@ runOracles(const GeneratedDesign &gd, uint64_t seed,
         }
     };
     guard(Oracle::Roundtrip, [&] { return runRoundtrip(gd); });
-    guard(Oracle::Differential,
-          [&] { return runDifferential(gd, seed, opts.cycles); });
+    guard(Oracle::Differential, [&] {
+        return runDifferential(gd, seed, opts.cycles, opts.backend);
+    });
     guard(Oracle::Lint, [&] { return runLintMeta(gd, seed); });
-    guard(Oracle::Instrument,
-          [&] { return runInstrument(gd, seed, opts.cycles); });
-    guard(Oracle::Order,
-          [&] { return runOrder(gd, seed, opts.cycles, stats); });
+    guard(Oracle::Instrument, [&] {
+        return runInstrument(gd, seed, opts.cycles, opts.backend);
+    });
+    guard(Oracle::Order, [&] {
+        return runOrder(gd, seed, opts.cycles, stats, opts.backend);
+    });
+    guard(Oracle::Xbackend,
+          [&] { return runXbackend(gd, seed, opts.cycles); });
     return failures;
 }
 

@@ -31,6 +31,13 @@
  *    as a blocking-race or multi-driver-nba. Divergence without a flag
  *    is an analyzer soundness failure; a flag without divergence is
  *    recorded as "unrefuted" (the stimulus simply never excited it).
+ *  - Xbackend (opt-in, not in the default mask): cross-backend
+ *    equivalence. The same elaborated design runs on the interpreter
+ *    and on the compiled bytecode backend with identical stimulus;
+ *    outputs per half-cycle, $display logs, cycle counts, $finish, and
+ *    the final value of every signal and memory element must be
+ *    byte-identical. This is the fuzzing arm of the backend
+ *    equivalence proof (tests/compile covers the curated testbed).
  */
 
 #ifndef HWDBG_FUZZ_ORACLES_HH
@@ -42,6 +49,7 @@
 #include <vector>
 
 #include "fuzz/generator.hh"
+#include "sim/backend.hh"
 
 namespace hwdbg::fuzz
 {
@@ -53,12 +61,14 @@ enum class Oracle : uint32_t
     Lint = 2,
     Instrument = 3,
     Order = 4,
+    Xbackend = 5,
 };
 
-constexpr uint32_t kOracleCount = 5;
+constexpr uint32_t kOracleCount = 6;
 
 /** Stable short name ("roundtrip", "differential", "lint",
- *  "instrument", "order") used by --oracle and in reports. */
+ *  "instrument", "order", "xbackend") used by --oracle and in
+ *  reports. */
 const char *oracleName(Oracle oracle);
 
 /** Parse an --oracle argument; returns false for unknown names. */
@@ -77,8 +87,14 @@ struct OracleOptions
     /** Clock cycles of random stimulus for the dynamic oracles. */
     uint32_t cycles = 24;
     /** Bitmask over Oracle values; bit (1 << oracle) enables it. The
-     *  default enables everything except the opt-in Order oracle. */
+     *  default enables everything except the opt-in Order and
+     *  Xbackend oracles. */
     uint32_t mask = 0xF;
+    /** When set (--backend bytecode), the simulators driven by the
+     *  Differential, Instrument, and Order oracles run on this
+     *  execution backend instead of the interpreter. The Xbackend
+     *  oracle ignores it: comparing the backends is its whole job. */
+    sim::BackendFactory backend;
 };
 
 /**
@@ -103,15 +119,21 @@ oracleBit(Oracle oracle)
 }
 
 std::optional<Failure> runRoundtrip(const GeneratedDesign &gd);
-std::optional<Failure> runDifferential(const GeneratedDesign &gd,
-                                       uint64_t seed, uint32_t cycles);
+std::optional<Failure>
+runDifferential(const GeneratedDesign &gd, uint64_t seed,
+                uint32_t cycles,
+                const sim::BackendFactory &backend = {});
 std::optional<Failure> runLintMeta(const GeneratedDesign &gd,
                                    uint64_t seed);
-std::optional<Failure> runInstrument(const GeneratedDesign &gd,
-                                     uint64_t seed, uint32_t cycles);
-std::optional<Failure> runOrder(const GeneratedDesign &gd, uint64_t seed,
-                                uint32_t cycles,
-                                OrderStats *stats = nullptr);
+std::optional<Failure>
+runInstrument(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
+              const sim::BackendFactory &backend = {});
+std::optional<Failure>
+runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
+         OrderStats *stats = nullptr,
+         const sim::BackendFactory &backend = {});
+std::optional<Failure> runXbackend(const GeneratedDesign &gd,
+                                   uint64_t seed, uint32_t cycles);
 
 /**
  * Run every enabled oracle in order; internal HdlErrors are reported as

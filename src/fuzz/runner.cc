@@ -33,6 +33,7 @@ oracleOptions(const FuzzConfig &config)
     OracleOptions opts;
     opts.cycles = config.cycles;
     opts.mask = config.mask;
+    opts.backend = config.backend;
     return opts;
 }
 

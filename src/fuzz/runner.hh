@@ -59,6 +59,9 @@ struct FuzzConfig
      * to flag and the permutation run to confirm.
      */
     uint32_t raceChance = 0;
+    /** Execution backend for the campaign's simulators (--backend);
+     *  empty runs the interpreter. See OracleOptions::backend. */
+    sim::BackendFactory backend;
 };
 
 /** One failing seed, with its shrunk reproducer. */

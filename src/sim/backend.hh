@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The execution-backend seam of the cycle simulator.
+ *
+ * Simulator orchestrates an eval() step — stimulus tape, clock-edge
+ * detection, process triggering, primitive updates, coverage sampling —
+ * but delegates the actual execution of design logic to a Backend:
+ * combinational settling, clocked process bodies, and the nonblocking
+ * commit queue. The interpreter backend (the reference engine, and the
+ * default) walks the AST exactly as the simulator always has; the
+ * compiled bytecode backend (src/compile) runs the same logic over a
+ * dense word slab.
+ *
+ * A backend may keep signal/array state in its own representation. The
+ * flush()/flushSignal()/load() hooks reconcile that shadow state with
+ * the shared EvalContext at the points where outside code reads or
+ * writes it: peeks, snapshots, primitive port evaluation, coverage
+ * sampling, and Simulator::context() itself (so tools holding the
+ * context — the debugger, VCD writer, breakpoints — always observe
+ * current values without knowing which backend runs underneath). For
+ * the interpreter these hooks are no-ops: the EvalContext *is* its
+ * state.
+ */
+
+#ifndef HWDBG_SIM_BACKEND_HH
+#define HWDBG_SIM_BACKEND_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/eval.hh"
+
+namespace hwdbg::sim
+{
+
+class Simulator;
+struct SimCounters;
+class CoverageCollector;
+
+/** One pending nonblocking assignment (resolve now, commit later). */
+struct PendingNba
+{
+    StoreTarget target;
+    Bits value;
+};
+
+/**
+ * Executes design logic for one Simulator. Constructed by a
+ * BackendFactory after the simulator exists; the base class exposes the
+ * simulator internals every backend needs (context, design tables,
+ * profiler, coverage) so subclasses in other layers need no friend
+ * access of their own.
+ */
+class Backend
+{
+  public:
+    explicit Backend(Simulator &sim) : sim_(sim) {}
+    virtual ~Backend();
+
+    Backend(const Backend &) = delete;
+    Backend &operator=(const Backend &) = delete;
+
+    /** Stable identifier ("interp", "bytecode") for tools/reports. */
+    virtual const char *name() const = 0;
+
+    /** Run continuous assigns + combinational processes to a fixpoint
+     *  (bounded; raises HdlError on a combinational loop). */
+    virtual void settleComb() = 0;
+
+    /** Execute clocked process @p pi (design().clockedProcs() index)
+     *  with pre-edge values; nonblocking writes queue for commitNba. */
+    virtual void execClocked(size_t pi) = 0;
+
+    /** Apply queued nonblocking assignments in push order. */
+    virtual void commitNba() = 0;
+
+    /** ctx().values[sig] was just overwritten by a poke; mirror it. */
+    virtual void onPoke(int sig) { (void)sig; }
+
+    /** Current level of signal @p sig (clock-edge detection read). */
+    virtual bool signalBool(int sig);
+
+    /** Publish all backend-held state into ctx().values/arrays. */
+    virtual void flush() {}
+
+    /** Publish one signal (scalar and, for memories, elements). */
+    virtual void flushSignal(int sig) { (void)sig; }
+
+    /** Re-read ctx().values/arrays after outside code wrote them
+     *  (snapshot restore, primitive clock edges). */
+    virtual void load() {}
+
+    /** Export the pending nonblocking queue (snapshot support). */
+    virtual void exportNba(std::vector<PendingNba> &out) const = 0;
+
+    /** Replace the pending nonblocking queue (snapshot restore). */
+    virtual void importNba(const std::vector<PendingNba> &in) = 0;
+
+  protected:
+    // Simulator internals shared with every backend implementation.
+    EvalContext &ctx() const;
+    const LoweredDesign &design() const;
+    SimCounters *prof() const;
+    CoverageCollector *cover() const;
+    void noteSettle(size_t iters, size_t work) const;
+
+    Simulator &sim_;
+};
+
+/** Builds a backend over a constructed simulator (null = interpreter). */
+using BackendFactory =
+    std::function<std::unique_ptr<Backend>(Simulator &)>;
+
+/**
+ * The reference engine: direct AST interpretation over the EvalContext,
+ * bit-identical to the pre-seam Simulator (the code moved here
+ * verbatim). State lives in the context itself, so every reconcile
+ * hook is a no-op.
+ */
+class InterpBackend final : public Backend
+{
+  public:
+    explicit InterpBackend(Simulator &sim) : Backend(sim) {}
+
+    const char *name() const override { return "interp"; }
+    void settleComb() override;
+    void execClocked(size_t pi) override;
+    void commitNba() override;
+    void exportNba(std::vector<PendingNba> &out) const override;
+    void importNba(const std::vector<PendingNba> &in) override;
+
+  private:
+    void execStmt(const hdl::StmtPtr &stmt, bool clocked);
+
+    std::vector<PendingNba> nba_;
+    bool warnedCombDisplay_ = false;
+};
+
+} // namespace hwdbg::sim
+
+#endif // HWDBG_SIM_BACKEND_HH

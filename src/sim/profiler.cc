@@ -130,6 +130,8 @@ profileDesign(hdl::ModulePtr elaborated, const ProfileOptions &opts)
     report.cyclesRequested = opts.cycles;
 
     Simulator sim(std::move(elaborated));
+    if (opts.backend)
+        sim.setBackend(opts.backend);
     SimCounters counters;
     sim.enableProfiling(&counters);
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "hdl/ast.hh"
+#include "sim/backend.hh"
 
 namespace hwdbg::sim
 {
@@ -61,6 +62,10 @@ struct ProfileOptions
     uint32_t limit = 20;
     /** Max signal rows in the report; 0 = all. */
     uint32_t signalLimit = 10;
+    /** Execution backend (--backend); empty runs the interpreter. The
+     *  per-construct counters are backend-independent, so eval/toggle
+     *  ranks stay comparable across backends. */
+    BackendFactory backend;
 };
 
 struct ProfileRow

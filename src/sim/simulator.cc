@@ -4,7 +4,6 @@
 #include <chrono>
 
 #include "common/logging.hh"
-#include "common/testhooks.hh"
 #include "obs/metrics.hh"
 #include "sim/coverage.hh"
 #include "sim/profiler.hh"
@@ -13,6 +12,52 @@ namespace hwdbg::sim
 {
 
 using namespace hdl;
+
+namespace
+{
+
+/** Collect the signal ids an expression reads (clock-expr flushing). */
+void
+collectSignals(const ExprPtr &expr, std::vector<int> &out)
+{
+    if (!expr)
+        return;
+    switch (expr->kind) {
+      case ExprKind::Id:
+        out.push_back(expr->as<IdExpr>()->resolved);
+        break;
+      case ExprKind::Unary:
+        collectSignals(expr->as<UnaryExpr>()->arg, out);
+        break;
+      case ExprKind::Binary:
+        collectSignals(expr->as<BinaryExpr>()->lhs, out);
+        collectSignals(expr->as<BinaryExpr>()->rhs, out);
+        break;
+      case ExprKind::Ternary:
+        collectSignals(expr->as<TernaryExpr>()->cond, out);
+        collectSignals(expr->as<TernaryExpr>()->thenExpr, out);
+        collectSignals(expr->as<TernaryExpr>()->elseExpr, out);
+        break;
+      case ExprKind::Concat:
+        for (const auto &part : expr->as<ConcatExpr>()->parts)
+            collectSignals(part, out);
+        break;
+      case ExprKind::Repeat:
+        collectSignals(expr->as<RepeatExpr>()->inner, out);
+        break;
+      case ExprKind::Index:
+        out.push_back(expr->as<IndexExpr>()->resolved);
+        collectSignals(expr->as<IndexExpr>()->index, out);
+        break;
+      case ExprKind::Range:
+        out.push_back(expr->as<RangeExpr>()->resolved);
+        break;
+      case ExprKind::Number:
+        break;
+    }
+}
+
+} // namespace
 
 Simulator::Simulator(ModulePtr elaborated)
     : mod_(std::move(elaborated)), design_(mod_), ctx_(design_)
@@ -30,6 +75,12 @@ Simulator::Simulator(ModulePtr elaborated)
         }
     }
     prevPrimClocks_.assign(primClocks_.size(), false);
+    for (const auto &pc : primClocks_)
+        collectSignals(pc.expr, primClockSigs_);
+    std::sort(primClockSigs_.begin(), primClockSigs_.end());
+    primClockSigs_.erase(std::unique(primClockSigs_.begin(),
+                                     primClockSigs_.end()),
+                         primClockSigs_.end());
 
     for (const auto *proc : design_.clockedProcs())
         for (const auto &sens : proc->sens)
@@ -37,9 +88,11 @@ Simulator::Simulator(ModulePtr elaborated)
 
     primaryClockId_ = design_.signalId("clk");
 
+    backend_ = std::make_unique<InterpBackend>(*this);
+
     for (auto &prim : prims_)
         prim->reset(ctx_);
-    settleComb();
+    backend_->settleComb();
 
     // Seed edge detection with the clock expressions' actual initial
     // values: a primitive clocked on an inverting expression (e.g.
@@ -99,6 +152,22 @@ SimSnapshot::sizeBytes() const
 }
 
 void
+Simulator::setBackend(const BackendFactory &factory)
+{
+    backend_->flush();
+    std::vector<PendingNba> nba;
+    backend_->exportNba(nba);
+    if (factory)
+        backend_ = factory(*this);
+    else
+        backend_ = std::make_unique<InterpBackend>(*this);
+    if (!backend_)
+        fatal("setBackend: factory returned no backend");
+    backend_->importNba(nba);
+    backend_->load();
+}
+
+void
 Simulator::recordStimulus(StimulusTape *tape)
 {
     tape_ = tape;
@@ -116,6 +185,9 @@ Simulator::applyStep(const StimulusStep &step)
 SimSnapshot
 Simulator::saveState() const
 {
+    // Logically const: publishing backend shadow state into the shared
+    // context changes no observable simulator state.
+    const_cast<Simulator *>(this)->backend_->flush();
     SimSnapshot snap;
     snap.values = ctx_.values;
     snap.arrays = ctx_.arrays;
@@ -125,10 +197,7 @@ Simulator::saveState() const
     snap.prevClocks = prevClocks_;
     snap.prevPrimClocks = prevPrimClocks_;
     snap.primaryClockRaw = primaryClockRaw_;
-    snap.nba.reserve(nba_.size());
-    for (const auto &write : nba_)
-        snap.nba.push_back(SimSnapshot::PendingNba{write.target,
-                                                   write.value});
+    backend_->exportNba(snap.nba);
     snap.primStates.resize(prims_.size());
     for (size_t i = 0; i < prims_.size(); ++i)
         prims_[i]->saveState(snap.primStates[i]);
@@ -151,9 +220,8 @@ Simulator::restoreState(const SimSnapshot &snap)
     prevClocks_ = snap.prevClocks;
     prevPrimClocks_ = snap.prevPrimClocks;
     primaryClockRaw_ = snap.primaryClockRaw;
-    nba_.clear();
-    for (const auto &write : snap.nba)
-        nba_.push_back(PendingWrite{write.target, write.value});
+    backend_->importNba(snap.nba);
+    backend_->load();
     for (size_t i = 0; i < prims_.size(); ++i) {
         const auto &blob = snap.primStates[i];
         const uint8_t *cursor = blob.data();
@@ -195,8 +263,10 @@ Simulator::enableCoverage(CoverageCollector *collector)
     ctx_.cover = collector;
     // Seed FSM tracking from current values: the occupied state is
     // credited, but attaching mid-run fabricates no transition.
-    if (cover_)
+    if (cover_) {
+        backend_->flush();
         cover_->resync(ctx_);
+    }
 }
 
 void
@@ -213,6 +283,7 @@ Simulator::poke(const std::string &signal, const Bits &value)
     } else {
         ctx_.values[id] = value.resized(sig.width);
     }
+    backend_->onPoke(id);
     if (tape_)
         pendingStep_.pokes.emplace_back(signal, ctx_.values[id]);
 }
@@ -228,6 +299,7 @@ Bits
 Simulator::peek(const std::string &signal) const
 {
     int id = design_.requireSignal(signal);
+    const_cast<Simulator *>(this)->backend_->flushSignal(id);
     return ctx_.values[id];
 }
 
@@ -247,6 +319,7 @@ Simulator::peekArray(const std::string &signal, uint64_t index) const
     if (index >= sig.arraySize)
         fatal("peekArray: index %llu out of range for '%s'",
               static_cast<unsigned long long>(index), signal.c_str());
+    const_cast<Simulator *>(this)->backend_->flushSignal(id);
     return ctx_.arrays[id][index];
 }
 
@@ -257,83 +330,6 @@ Simulator::primitive(const std::string &inst_name) const
         if (prim->name() == inst_name)
             return prim.get();
     return nullptr;
-}
-
-void
-Simulator::settleComb()
-{
-    // Bounded fixpoint: small designs settle in a handful of passes.
-    // Store sites flag value changes as a cheap stability fast path,
-    // but a pass is only UNstable when its end state differs from its
-    // start state: a comb process that writes a default and then
-    // overrides it ("next = 0; if (c) next = 1;") toggles values
-    // transiently inside every pass, and those transient store events
-    // must not count as progress or the loop never terminates.
-    using ProfClock = std::chrono::steady_clock;
-    const auto &assigns = design_.assigns();
-    const auto &combs = design_.combProcs();
-    size_t work = assigns.size() + combs.size();
-    size_t max_iters = work + 4;
-    size_t iters_used = 0;
-    for (size_t iter = 0; iter < max_iters; ++iter) {
-        iters_used = iter + 1;
-        std::vector<Bits> before_values = ctx_.values;
-        std::vector<std::vector<Bits>> before_arrays = ctx_.arrays;
-        ctx_.valuesChanged = false;
-        for (size_t i = 0; i < assigns.size(); ++i) {
-            const auto *assign = assigns[i];
-            ProfClock::time_point t0;
-            if (prof_)
-                t0 = ProfClock::now();
-            uint32_t lw = assign->lhs->width;
-            uint32_t cw = std::max(lw, assign->rhs->width);
-            Bits value = evalExpr(assign->rhs, ctx_, cw).resized(lw);
-            storeLValue(assign->lhs, value, ctx_);
-            if (prof_) {
-                ++prof_->assignEvals[i];
-                prof_->assignNs[i] +=
-                    std::chrono::duration<double, std::nano>(
-                        ProfClock::now() - t0)
-                        .count();
-            }
-        }
-        for (size_t i = 0; i < combs.size(); ++i) {
-            ProfClock::time_point t0;
-            if (prof_)
-                t0 = ProfClock::now();
-            execStmt(combs[i]->body, false);
-            if (prof_) {
-                ++prof_->combEvals[i];
-                prof_->combNs[i] +=
-                    std::chrono::duration<double, std::nano>(
-                        ProfClock::now() - t0)
-                        .count();
-            }
-        }
-        if (!ctx_.valuesChanged) {
-            noteSettle(iters_used, work);
-            return;
-        }
-        auto same = [](const Bits &a, const Bits &b) {
-            return a.width() == b.width() && a.compare(b) == 0;
-        };
-        bool stable = true;
-        for (size_t i = 0; stable && i < ctx_.values.size(); ++i)
-            stable = same(before_values[i], ctx_.values[i]);
-        for (size_t i = 0; stable && i < ctx_.arrays.size(); ++i) {
-            if (before_arrays[i].size() != ctx_.arrays[i].size()) {
-                stable = false;
-                break;
-            }
-            for (size_t j = 0; stable && j < ctx_.arrays[i].size(); ++j)
-                stable = same(before_arrays[i][j], ctx_.arrays[i][j]);
-        }
-        if (stable) {
-            noteSettle(iters_used, work);
-            return;
-        }
-    }
-    fatal("combinational logic failed to settle (combinational loop?)");
 }
 
 void
@@ -351,113 +347,6 @@ Simulator::noteSettle(size_t iters, size_t work)
                            static_cast<uint32_t>(iters));
     size_t slot = std::min(iters, prof_->settleHist.size() - 1);
     ++prof_->settleHist[slot];
-}
-
-void
-Simulator::execStmt(const StmtPtr &stmt, bool clocked)
-{
-    if (!stmt)
-        return;
-    if (cover_)
-        cover_->onStmt(stmt.get());
-    switch (stmt->kind) {
-      case StmtKind::Block:
-        for (const auto &sub : stmt->as<BlockStmt>()->stmts)
-            execStmt(sub, clocked);
-        break;
-      case StmtKind::If: {
-        const auto *branch = stmt->as<IfStmt>();
-        bool taken = evalBool(branch->cond, ctx_);
-        if (cover_)
-            cover_->onArm(stmt.get(), taken ? 0 : 1);
-        if (taken)
-            execStmt(branch->thenStmt, clocked);
-        else
-            execStmt(branch->elseStmt, clocked);
-        break;
-      }
-      case StmtKind::Case: {
-        const auto *sel = stmt->as<CaseStmt>();
-        Bits value = evalExpr(sel->selector, ctx_);
-        const CaseItem *chosen = nullptr;
-        const CaseItem *dflt = nullptr;
-        for (const auto &item : sel->items) {
-            if (item.labels.empty()) {
-                dflt = &item;
-                continue;
-            }
-            for (const auto &label : item.labels) {
-                uint32_t cmp_w =
-                    std::max(sel->selector->width, label->width);
-                if (mutationOn(MUT_SIM_CASE_SEL_WIDTH))
-                    cmp_w = sel->selector->width;
-                // evalExpr never evaluates below the label's own
-                // width; resize forces the comparison width so the
-                // seeded truncation bug actually truncates.
-                if (evalExpr(label, ctx_, cmp_w).resized(cmp_w) ==
-                    value.resized(cmp_w)) {
-                    chosen = &item;
-                    break;
-                }
-            }
-            if (chosen)
-                break;
-        }
-        if (!chosen)
-            chosen = dflt;
-        if (cover_) {
-            // Arm index is the item's position; the trailing implicit
-            // "no match" arm only exists when there is no default.
-            uint32_t arm =
-                chosen ? static_cast<uint32_t>(chosen -
-                                               sel->items.data())
-                       : static_cast<uint32_t>(sel->items.size());
-            cover_->onArm(stmt.get(), arm);
-        }
-        if (chosen)
-            execStmt(chosen->body, clocked);
-        break;
-      }
-      case StmtKind::Assign: {
-        const auto *assign = stmt->as<AssignStmt>();
-        uint32_t lw = assign->lhs->width;
-        uint32_t cw = std::max(lw, assign->rhs->width);
-        Bits value = evalExpr(assign->rhs, ctx_, cw).resized(lw);
-        if (clocked && assign->nonblocking) {
-            ResolvedLValue resolved = resolveLValue(assign->lhs, ctx_);
-            for (const auto &part : resolved.parts)
-                nba_.push_back(PendingWrite{
-                    part.target,
-                    value.slice(part.rhsMsb, part.rhsLsb)});
-        } else {
-            storeLValue(assign->lhs, value, ctx_);
-        }
-        break;
-      }
-      case StmtKind::Display: {
-        const auto *disp = stmt->as<DisplayStmt>();
-        if (!clocked) {
-            if (!warnedCombDisplay_) {
-                warn("$display in combinational process ignored");
-                warnedCombDisplay_ = true;
-            }
-            break;
-        }
-        std::vector<Bits> args;
-        args.reserve(disp->args.size());
-        for (const auto &arg : disp->args)
-            args.push_back(evalExpr(arg, ctx_));
-        ctx_.log.push_back(EvalContext::LogLine{
-            ctx_.cycle, formatDisplay(disp->format, args)});
-        HWDBG_STAT_INC("sim.display_records", 1);
-        break;
-      }
-      case StmtKind::Finish:
-        ctx_.finished = true;
-        break;
-      case StmtKind::Null:
-        break;
-    }
 }
 
 void
@@ -486,26 +375,18 @@ Simulator::setProcessOrder(std::vector<size_t> order)
 }
 
 void
-Simulator::commitNba()
-{
-    for (const auto &write : nba_)
-        applyStore(write.target, write.value, ctx_);
-    nba_.clear();
-}
-
-void
 Simulator::eval()
 {
     if (tape_) {
         tape_->steps.push_back(std::move(pendingStep_));
         pendingStep_.pokes.clear();
     }
-    settleComb();
+    backend_->settleComb();
 
     // Detect clock edges on clocked processes.
     std::map<std::string, std::pair<bool, bool>> edges; // old -> new
     for (auto &[name, prev] : prevClocks_) {
-        bool now = !ctx_.values[design_.requireSignal(name)].isZero();
+        bool now = backend_->signalBool(design_.requireSignal(name));
         edges[name] = {prev, now};
     }
 
@@ -525,6 +406,10 @@ Simulator::eval()
         }
     }
 
+    // Primitive clock expressions read the shared context directly;
+    // publish the signals they reference first.
+    for (int sig : primClockSigs_)
+        backend_->flushSignal(sig);
     std::vector<std::pair<size_t, std::string>> prim_triggered;
     for (size_t i = 0; i < primClocks_.size(); ++i) {
         bool now = !evalExpr(primClocks_[i].expr, ctx_).isZero();
@@ -538,7 +423,7 @@ Simulator::eval()
     bool primary_rose = false;
     if (primaryClockId_ >= 0) {
         auto it = prevClocks_.find("clk");
-        bool now = !ctx_.values[primaryClockId_].isZero();
+        bool now = backend_->signalBool(primaryClockId_);
         bool before =
             it != prevClocks_.end() ? it->second : primaryClockRaw_;
         primary_rose = !before && now;
@@ -553,8 +438,10 @@ Simulator::eval()
         prev = edges[name].second;
 
     if (triggered.empty() && prim_triggered.empty()) {
-        if (cover_)
+        if (cover_) {
+            backend_->flush();
             cover_->sample(ctx_);
+        }
         return;
     }
 
@@ -571,7 +458,7 @@ Simulator::eval()
         ProfClock::time_point t0;
         if (prof_)
             t0 = ProfClock::now();
-        execStmt(clocked[pi]->body, true);
+        backend_->execClocked(pi);
         if (prof_) {
             ++prof_->clockedEvals[pi];
             prof_->clockedNs[pi] +=
@@ -580,14 +467,22 @@ Simulator::eval()
                     .count();
         }
     }
-    for (const auto &[idx, port] : prim_triggered)
-        prims_[idx]->clockEdge(port, ctx_);
-    commitNba();
+    if (!prim_triggered.empty()) {
+        // Primitives read and write the shared context; reconcile the
+        // backend's state around them.
+        backend_->flush();
+        for (const auto &[idx, port] : prim_triggered)
+            prims_[idx]->clockEdge(port, ctx_);
+        backend_->load();
+    }
+    backend_->commitNba();
 
-    settleComb();
+    backend_->settleComb();
 
-    if (cover_)
+    if (cover_) {
+        backend_->flush();
         cover_->sample(ctx_);
+    }
 }
 
 } // namespace hwdbg::sim

@@ -8,6 +8,11 @@
  * triggered processes with pre-edge values, commits nonblocking
  * assignments, updates primitives, and re-settles.
  *
+ * Execution of design logic is delegated to a pluggable Backend
+ * (sim/backend.hh): the AST interpreter is the reference engine and the
+ * default; setBackend() swaps in an alternative (e.g. the compiled
+ * bytecode backend from src/compile) at any eval() boundary.
+ *
  * Semantics (documented deviations from full event-driven Verilog):
  *  - Two-state logic; registers initialize to zero (Verilator default).
  *  - Combinational logic settles by bounded fixpoint iteration; failure
@@ -24,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/backend.hh"
 #include "sim/primitives.hh"
 
 namespace hwdbg::sim
@@ -61,7 +67,9 @@ struct StimulusTape
  * detection state, any pending nonblocking assignments, and the opaque
  * per-primitive state blobs (FIFO queues, RAM contents, recorder
  * buffers). restoreState() on the same-design simulator resumes
- * execution as if the intervening evals never happened.
+ * execution as if the intervening evals never happened. Snapshots are
+ * backend-independent: a snapshot taken under one backend restores
+ * under any other.
  */
 struct SimSnapshot
 {
@@ -73,11 +81,7 @@ struct SimSnapshot
     std::map<std::string, bool> prevClocks;
     std::vector<bool> prevPrimClocks;
     bool primaryClockRaw = false;
-    struct PendingNba
-    {
-        StoreTarget target;
-        Bits value;
-    };
+    using PendingNba = sim::PendingNba;
     std::vector<PendingNba> nba;
     /** Serialized dynamic state, one blob per primitive instance. */
     std::vector<std::vector<uint8_t>> primStates;
@@ -108,11 +112,33 @@ class Simulator
      */
     void enableCoverage(CoverageCollector *collector);
 
+    /**
+     * Replace the execution backend (null factory restores the
+     * interpreter). Legal at any eval() boundary: pending nonblocking
+     * assignments and all state carry over, so swapping backends
+     * mid-run does not perturb the trajectory.
+     */
+    void setBackend(const BackendFactory &factory);
+
+    /** Identifier of the active backend ("interp", "bytecode"). */
+    const char *backendName() const { return backend_->name(); }
+
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     const LoweredDesign &design() const { return design_; }
-    EvalContext &context() { return ctx_; }
+
+    /**
+     * The shared evaluation context. Flushes backend-held state first,
+     * so callers holding the reference across an eval() (debugger, VCD
+     * writer, breakpoints) must re-call between reads — cheap for the
+     * interpreter (no-op), a state publish for compiled backends.
+     */
+    EvalContext &context()
+    {
+        backend_->flush();
+        return ctx_;
+    }
 
     void poke(const std::string &signal, const Bits &value);
     void poke(const std::string &signal, uint64_t value);
@@ -173,10 +199,9 @@ class Simulator
     }
 
   private:
-    void settleComb();
+    friend class Backend;
+
     void noteSettle(size_t iters, size_t work);
-    void execStmt(const hdl::StmtPtr &stmt, bool clocked);
-    void commitNba();
 
     hdl::ModulePtr mod_;
     LoweredDesign design_;
@@ -187,14 +212,9 @@ class Simulator
     /** Pokes since the last eval() while recording. */
     StimulusStep pendingStep_;
 
-    std::vector<std::unique_ptr<Primitive>> prims_;
+    std::unique_ptr<Backend> backend_;
 
-    struct PendingWrite
-    {
-        StoreTarget target;
-        Bits value;
-    };
-    std::vector<PendingWrite> nba_;
+    std::vector<std::unique_ptr<Primitive>> prims_;
 
     /** Previous values of clock signals (per clocked proc sens items). */
     std::map<std::string, bool> prevClocks_;
@@ -207,6 +227,8 @@ class Simulator
     };
     std::vector<PrimClock> primClocks_;
     std::vector<bool> prevPrimClocks_;
+    /** Signals read by primitive clock expressions (flushed pre-read). */
+    std::vector<int> primClockSigs_;
 
     /** Execution rank per clocked process; empty = declaration order. */
     std::vector<size_t> procOrder_;
@@ -214,7 +236,6 @@ class Simulator
     int primaryClockId_ = -1;
     /** Last seen level of the primary clock when it drives no process. */
     bool primaryClockRaw_ = false;
-    bool warnedCombDisplay_ = false;
 };
 
 } // namespace hwdbg::sim

@@ -1,0 +1,118 @@
+# Golden cross-backend test for `hwdbg debug --backend bytecode`: on
+# three testbed bugs, the same scripted machine session runs once on
+# the interpreter and once on the compiled bytecode backend, and the
+# transcripts must be byte-identical — the debugger cannot tell which
+# engine executes the design. Also spot-checks that `cover` snapshots
+# and the deterministic half of `profile` agree across backends, and
+# that an unknown backend name is rejected.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_backend_work)
+file(MAKE_DIRECTORY ${work})
+set(scripts ${CMAKE_CURRENT_LIST_DIR}/debug/scripts)
+
+function(run_debug_session bug script backend outvar)
+    execute_process(COMMAND ${HWDBG} debug --bug ${bug} --machine
+                    --backend ${backend} --script ${script}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "debug --bug ${bug} --backend ${backend} failed "
+                "(rc=${rc}): ${out}${err}")
+    endif()
+    set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+foreach(bug D3 D4 D7)
+    string(TOLOWER ${bug} lbug)
+    set(script ${scripts}/${lbug}.txt)
+
+    run_debug_session(${bug} ${script} interp interp_out)
+    run_debug_session(${bug} ${script} bytecode bytecode_out)
+    if(NOT interp_out STREQUAL bytecode_out)
+        message(FATAL_ERROR
+                "debug --bug ${bug} transcripts differ between "
+                "backends:\n--- interp\n${interp_out}\n"
+                "--- bytecode\n${bytecode_out}")
+    endif()
+
+    # The bytecode transcript is still a valid machine transcript.
+    file(WRITE ${work}/${lbug}.jsonl "${bytecode_out}")
+    execute_process(COMMAND ${HWDBG} obscheck ${work}/${lbug}.jsonl
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+    if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(debug transcript\\)")
+        message(FATAL_ERROR
+                "obscheck rejected the ${bug} bytecode transcript: "
+                "${out}")
+    endif()
+endforeach()
+
+# Coverage snapshots are backend-independent (modulo the volatile
+# elapsed-ms field, which runs of the *same* backend don't share
+# either — compare through the text report instead, which drops it).
+foreach(bug D3 D7)
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug}
+                    RESULT_VARIABLE rc1 OUTPUT_VARIABLE interp_cov
+                    ERROR_QUIET)
+    execute_process(COMMAND ${HWDBG} cover --bug ${bug}
+                    --backend bytecode
+                    RESULT_VARIABLE rc2 OUTPUT_VARIABLE bytecode_cov
+                    ERROR_QUIET)
+    if(NOT rc1 EQUAL 0 OR NOT rc2 EQUAL 0)
+        message(FATAL_ERROR "cover --bug ${bug} failed on a backend")
+    endif()
+    if(NOT interp_cov STREQUAL bytecode_cov)
+        message(FATAL_ERROR
+                "cover --bug ${bug} reports differ between backends:\n"
+                "--- interp\n${interp_cov}\n"
+                "--- bytecode\n${bytecode_cov}")
+    endif()
+endforeach()
+
+# The deterministic profile ranking (eval counts) matches too.
+execute_process(COMMAND ${HWDBG} testbed emit D7
+                RESULT_VARIABLE rc OUTPUT_VARIABLE design ERROR_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "testbed emit D7 failed (rc=${rc})")
+endif()
+file(WRITE ${work}/d7.v "${design}")
+foreach(backend interp bytecode)
+    execute_process(COMMAND ${HWDBG} profile ${work}/d7.v --cycles 200
+                    --rank evals --backend ${backend}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "profile --backend ${backend} failed (rc=${rc})")
+    endif()
+    # Strip the wall-time columns (ms and %) and the column padding
+    # that varies with their digit count; eval counts, construct
+    # labels, and toggle ranks must survive untouched.
+    string(REGEX REPLACE "[0-9]+\\.[0-9]+" "_" out "${out}")
+    string(REGEX REPLACE " +" " " out "${out}")
+    set(profile_${backend} "${out}")
+endforeach()
+if(NOT profile_interp STREQUAL profile_bytecode)
+    message(FATAL_ERROR
+            "profile eval ranking differs between backends:\n"
+            "--- interp\n${profile_interp}\n"
+            "--- bytecode\n${profile_bytecode}")
+endif()
+
+# Unknown backend names fail fast on every command that accepts one.
+foreach(cmdline "debug;--bug;D7" "profile;${work}/d7.v"
+        "cover;--bug;D7" "fuzz;--seeds;1")
+    execute_process(COMMAND ${HWDBG} ${cmdline} --backend turbo
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(rc EQUAL 0)
+        message(FATAL_ERROR
+                "'${cmdline} --backend turbo' was accepted:\n${out}")
+    endif()
+    if(NOT err MATCHES "unknown backend 'turbo'")
+        message(FATAL_ERROR
+                "'${cmdline} --backend turbo' missing diagnostic: "
+                "${err}")
+    endif()
+endforeach()
+
+message(STATUS "cli_backend golden checks passed")
