@@ -58,6 +58,9 @@ struct FinalState
     uint64_t cycle = 0;
     bool finished = false;
     size_t logLines = 0;
+    /** Seconds spent formatting the deferred $display log — work the
+     *  hot loop used to pay inline and now pays at the drain. */
+    double fmtSec = 0;
 
     bool operator==(const FinalState &rhs) const
     {
@@ -89,7 +92,14 @@ runStimulus(sim::Simulator &sim, const fuzz::GeneratedDesign &gd,
     out->arrays = sim.context().arrays;
     out->cycle = sim.cycle();
     out->finished = sim.finished();
+    // The first log() access drains and formats the deferred $display
+    // entries; timing it separately shows what the hot loop no longer
+    // pays.
+    auto fmtBegin = std::chrono::steady_clock::now();
     out->logLines = sim.log().size();
+    out->fmtSec = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - fmtBegin)
+                      .count();
     return std::chrono::duration<double>(end - begin).count();
 }
 
@@ -100,6 +110,8 @@ struct Row
     double interpSec;
     double bytecodeSec;
     double speedup;
+    double interpFmtSec;
+    double bytecodeFmtSec;
     bool identical;
 };
 
@@ -129,8 +141,9 @@ main(int argc, char **argv)
     std::printf("Backend speedup: interpreter vs. compiled bytecode, "
                 "%u cycles/design\n",
                 cycles);
-    std::printf("%-6s %-8s %-11s %-13s %-9s %s\n", "seed", "signals",
-                "interp s", "bytecode s", "speedup", "state");
+    std::printf("%-6s %-8s %-11s %-13s %-9s %-9s %s\n", "seed",
+                "signals", "interp s", "bytecode s", "speedup",
+                "fmt s", "state");
 
     std::vector<Row> rows;
     double logSum = 0;
@@ -153,13 +166,15 @@ main(int argc, char **argv)
                 secA,
                 secB,
                 secB > 0 ? secA / secB : 0,
+                stateA.fmtSec,
+                stateB.fmtSec,
                 stateA == stateB};
         rows.push_back(row);
         logSum += std::log(row.speedup);
         diverged = diverged || !row.identical;
-        std::printf("%-6llu %-8zu %-11.4f %-13.4f %-9.2f %s\n",
+        std::printf("%-6llu %-8zu %-11.4f %-13.4f %-9.2f %-9.4f %s\n",
                     static_cast<unsigned long long>(seed), row.signals,
-                    secA, secB, row.speedup,
+                    secA, secB, row.speedup, stateA.fmtSec,
                     row.identical ? "identical" : "DIVERGED");
     }
 
@@ -182,10 +197,13 @@ main(int argc, char **argv)
                          "    {\"seed\": %llu, \"signals\": %zu, "
                          "\"interp_sec\": %.6f, "
                          "\"bytecode_sec\": %.6f, "
-                         "\"speedup\": %.3f}%s\n",
+                         "\"speedup\": %.3f, "
+                         "\"interp_fmt_sec\": %.6f, "
+                         "\"bytecode_fmt_sec\": %.6f}%s\n",
                          static_cast<unsigned long long>(rows[i].seed),
                          rows[i].signals, rows[i].interpSec,
                          rows[i].bytecodeSec, rows[i].speedup,
+                         rows[i].interpFmtSec, rows[i].bytecodeFmtSec,
                          i + 1 < rows.size() ? "," : "");
         std::fprintf(f,
                      "  ],\n  \"geomean_speedup\": %.3f,\n"

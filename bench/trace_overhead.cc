@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Overhead budget check for the per-eval trace hook (DESIGN.md §15),
+ * mirroring cover_overhead.cc.
+ *
+ * The hook seam stays compiled into sim::Simulator for every build:
+ * both exit paths of eval() test one member pointer. This benchmark
+ * asserts both sides of the budget:
+ *
+ *  1. calibrates the ns cost of a never-taken pointer test + branch,
+ *  2. measures the simulator's ns/cycle on a testbed design with no
+ *     hook attached, counts evals per cycle from the eval sequence
+ *     counter, and FAILS (exit 1) when the implied disabled-path
+ *     overhead reaches 1%;
+ *  3. measures the same workload with a TraceRecorder attached
+ *     (every signal traced) and reports the enabled-path slowdown —
+ *     informational: an attached recorder reads every traced signal
+ *     per eval, which is the feature, not overhead.
+ *
+ * Throughput numbers are min-of-3 runs; with a path argument the
+ * results land in a BENCH_trace_overhead.json trajectory file.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bugbase/designs.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "hdl/preproc.hh"
+#include "sim/simulator.hh"
+#include "trace/trace.hh"
+
+using namespace hwdbg;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+nsSince(Clock::time_point begin)
+{
+    return std::chrono::duration<double, std::nano>(Clock::now() -
+                                                    begin)
+        .count();
+}
+
+/** ns per disabled hook test: a load of a null hook pointer and the
+ *  never-taken branch on it, the exact shape eval() pays. */
+double
+calibrateDisabledHook()
+{
+    sim::EvalHook *volatile hook = nullptr;
+    volatile uint64_t sink = 0;
+    constexpr uint64_t kIters = 50'000'000;
+    auto begin = Clock::now();
+    for (uint64_t i = 0; i < kIters; ++i) {
+        if (hook)
+            sink = sink + i;
+    }
+    return nsSince(begin) / static_cast<double>(kIters);
+}
+
+std::unique_ptr<sim::Simulator>
+makeWorkload()
+{
+    std::string src =
+        hdl::preprocess(bugs::designSource("rsd"), {}, "rsd.v");
+    hdl::Design design = hdl::parse(src, "rsd.v");
+    return std::make_unique<sim::Simulator>(
+        elab::elaborate(design, "rsd").mod);
+}
+
+double
+simNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    auto begin = Clock::now();
+    for (uint32_t t = 0; t < cycles; ++t) {
+        sim.poke("rst", Bits(1, t < 2 ? 1 : 0));
+        sim.poke("in_valid", Bits(1, t & 1));
+        sim.poke("in_data", Bits(8, t * 7));
+        sim.poke("clk", Bits(1, 0));
+        sim.eval();
+        sim.poke("clk", Bits(1, 1));
+        sim.eval();
+    }
+    return nsSince(begin) / cycles;
+}
+
+/** Min of three timed runs, shaving scheduler noise. */
+double
+bestNsPerCycle(sim::Simulator &sim, uint32_t cycles)
+{
+    double best = simNsPerCycle(sim, cycles);
+    for (int run = 1; run < 3; ++run)
+        best = std::min(best, simNsPerCycle(sim, cycles));
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *jsonPath = argc > 1 ? argv[1] : nullptr;
+    double hook_ns = calibrateDisabledHook();
+
+    constexpr uint32_t kCycles = 20000;
+    auto sim = makeWorkload();
+    (void)simNsPerCycle(*sim, 2000); // warm up
+    uint64_t seqBefore = sim->evalSeq();
+    double off_ns = bestNsPerCycle(*sim, kCycles);
+    // Hook sites fire once per eval; the sequence counter measures
+    // evals/cycle exactly (3 timed runs of kCycles, 2 evals each).
+    double evals_per_cycle =
+        static_cast<double>(sim->evalSeq() - seqBefore) /
+        (3.0 * kCycles);
+
+    // Enabled path: a recorder over every signal, free-running ring.
+    trace::TraceConfig cfg;
+    cfg.budgetBytes = 1 << 20;
+    trace::TraceRecorder recorder(*sim, cfg);
+    recorder.attach();
+    double on_ns = bestNsPerCycle(*sim, kCycles);
+    recorder.detach();
+
+    double implied_ns = evals_per_cycle * hook_ns;
+    double disabled_pct = 100.0 * implied_ns / off_ns;
+    double enabled_pct = 100.0 * (on_ns - off_ns) / off_ns;
+
+    std::printf("trace_overhead: per-eval hook budget check\n");
+    std::printf("  disabled hook         : %.3f ns/test\n", hook_ns);
+    std::printf("  sim throughput (off)  : %.1f ns/cycle\n", off_ns);
+    std::printf("  sim throughput (on)   : %.1f ns/cycle (%+.2f%%)\n",
+                on_ns, enabled_pct);
+    std::printf("  hook tests per cycle  : %.1f\n", evals_per_cycle);
+    std::printf("  signals traced        : %zu (%llu change rows)\n",
+                recorder.signals().size(),
+                static_cast<unsigned long long>(recorder.samples()));
+    std::printf("  implied disabled cost : %.3f ns/cycle = %.4f%%\n",
+                implied_ns, disabled_pct);
+
+    if (jsonPath) {
+        FILE *f = std::fopen(jsonPath, "w");
+        if (!f) {
+            std::fprintf(stderr, "FATAL: cannot write %s\n", jsonPath);
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n  \"bench\": \"trace_overhead\",\n"
+                     "  \"hook_ns\": %.4f,\n"
+                     "  \"off_ns_per_cycle\": %.1f,\n"
+                     "  \"on_ns_per_cycle\": %.1f,\n"
+                     "  \"hook_tests_per_cycle\": %.1f,\n"
+                     "  \"implied_disabled_pct\": %.4f,\n"
+                     "  \"enabled_pct\": %.2f,\n"
+                     "  \"gate_pct\": 1.0\n}\n",
+                     hook_ns, off_ns, on_ns, evals_per_cycle,
+                     disabled_pct, enabled_pct);
+        std::fclose(f);
+        std::printf("trajectory written to %s\n", jsonPath);
+    }
+
+    if (disabled_pct >= 1.0) {
+        std::printf("FAIL: disabled-path overhead %.4f%% >= 1%%\n",
+                    disabled_pct);
+        return 1;
+    }
+    std::printf("PASS: disabled %.4f%% < 1%% (enabled %+.2f%% "
+                "informational)\n",
+                disabled_pct, enabled_pct);
+    return 0;
+}

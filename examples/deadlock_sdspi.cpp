@@ -20,7 +20,7 @@
 #include "hdl/parser.hh"
 #include "hdl/printer.hh"
 #include "sim/simulator.hh"
-#include "sim/vcd.hh"
+#include "trace/vcd.hh"
 
 using namespace hwdbg;
 using namespace hwdbg::bugs;
@@ -73,7 +73,7 @@ main()
     // The old way: a waveform.
     {
         sim::Simulator sim(buildDesign(bug, true).mod);
-        sim::VcdWriter vcd(sim);
+        trace::VcdRecorder vcd(sim);
         sim.poke("rst", uint64_t(1));
         uint64_t t = 0;
         auto tick = [&] {

@@ -19,6 +19,8 @@
  *   hwdbg testbed    list | emit <bug-id> [--fixed]
  *   hwdbg profile    <file> [--cycles N] [--seed S] [--rank time|evals]
  *   hwdbg cover      <file|--bug ID> [--out F] | cover merge <f>...
+ *   hwdbg trace      <file|--bug ID> [--signals G] [--trigger E]
+ *                    [--budget N] [--vcd F] [--out F]
  *   hwdbg obscheck   <file>...
  *   hwdbg debug      <file|--bug ID> [--machine] [--script FILE] ...
  *   hwdbg version    (also --version)
@@ -74,6 +76,9 @@
 #include "obs/trace.hh"
 #include "sim/profiler.hh"
 #include "synth/platform.hh"
+#include "trace/json.hh"
+#include "trace/run.hh"
+#include "trace/vcd.hh"
 #include "synth/resources.hh"
 #include "synth/timing.hh"
 
@@ -178,6 +183,8 @@ parseArgs(int argc, char **argv)
                 name == "bug" || name == "script" ||
                 name == "stimulus" || name == "dep" ||
                 name == "backend" ||
+                name == "trigger" || name == "budget" ||
+                name == "pre" || name == "vcd" ||
                 name == "loss" || name == "checkpoint-interval" ||
                 name == "checkpoint-capacity" || name == "out" ||
                 name == "cover-plateau" || name == "pass" ||
@@ -530,7 +537,8 @@ cmdFuzz(const Args &args)
             fuzz::Oracle oracle;
             if (!fuzz::oracleFromName(name, &oracle))
                 fatal("unknown oracle '%s' (roundtrip, differential, "
-                      "lint, instrument, order, xbackend, or all)",
+                      "lint, instrument, order, xbackend, xtrace, or "
+                      "all)",
                       name.c_str());
             config.mask |= fuzz::oracleBit(oracle);
         }
@@ -774,6 +782,108 @@ cmdCover(const Args &args)
     return 0;
 }
 
+std::string
+renderTraceText(const trace::TraceDump &dump)
+{
+    std::ostringstream out;
+    out << "trace of " << dump.top << " (" << dump.workload << ", "
+        << dump.backend << ")\n";
+    out << "  signals:  " << dump.signals.size() << " traced, "
+        << dump.rowBytes << " bytes/row\n";
+    out << "  window:   " << dump.rows.size() << "/" << dump.depth
+        << " rows";
+    if (dump.armed)
+        out << " (" << dump.preDepth << " pre + " << dump.postDepth
+            << " post)";
+    out << "\n";
+    if (dump.armed) {
+        if (dump.fired)
+            out << "  trigger:  fired at cycle " << dump.triggerCycle
+                << " (eval " << dump.triggerSeq << ", "
+                << dump.triggerFires << " fire"
+                << (dump.triggerFires == 1 ? "" : "s") << " total)\n";
+        else
+            out << "  trigger:  armed, never fired\n";
+    }
+    out << "  capture:  " << dump.samples << " change rows, "
+        << dump.drops << " dropped\n";
+    if (!dump.rows.empty())
+        out << "  span:     cycle " << dump.rows.front().cycle << " .. "
+            << dump.rows.back().cycle << "\n";
+    return out.str();
+}
+
+int
+cmdTrace(const Args &args)
+{
+    trace::TraceConfig cfg;
+    std::string signals = args.opt("signals");
+    for (size_t pos = 0; pos < signals.size();) {
+        size_t comma = signals.find(',', pos);
+        if (comma == std::string::npos)
+            comma = signals.size();
+        if (comma > pos)
+            cfg.signals.push_back(signals.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    cfg.trigger = args.opt("trigger");
+    cfg.budgetBytes = parseU64(args.opt("budget", "4096"), "--budget");
+    cfg.prePct = static_cast<uint32_t>(
+        parseU64(args.opt("pre", "50"), "--pre"));
+    if (cfg.prePct > 100)
+        fatal("--pre is a percentage (0-100)");
+
+    trace::TraceDump dump;
+    sim::BackendFactory backend = backendFromArgs(args);
+    std::string bugId = args.opt("bug");
+    if (!bugId.empty()) {
+        const auto &bug = bugs::bugById(bugId);
+        dump = trace::traceBugWorkload(bug, !args.flag("fixed"), cfg,
+                                       backend);
+    } else if (args.options.count("stimulus")) {
+        auto elaborated = load(args);
+        std::string path = args.opt("stimulus");
+        sim::StimulusTape tape = debug::loadStimulusFile(path);
+        auto slash = path.find_last_of('/');
+        std::string base =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+        dump = trace::traceWithTape(elaborated.mod, "stimulus:" + base,
+                                    tape, cfg, backend);
+    } else {
+        auto elaborated = load(args);
+        uint64_t seed = parseU64(args.opt("seed", "1"), "--seed");
+        auto cycles = static_cast<uint32_t>(
+            parseU64(args.opt("cycles", "2000"), "--cycles"));
+        dump = trace::traceRandom(elaborated.mod,
+                                  "seed:" + std::to_string(seed), seed,
+                                  cycles, cfg, backend);
+    }
+
+    std::string out = args.opt("out");
+    if (!out.empty()) {
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot write '%s'", out.c_str());
+        file << trace::toJson(dump);
+    }
+    std::string vcd = args.opt("vcd");
+    if (!vcd.empty()) {
+        std::ofstream file(vcd);
+        if (!file)
+            fatal("cannot write '%s'", vcd.c_str());
+        file << trace::renderVcd(dump);
+    }
+    std::string format = args.opt("format", "text");
+    if (format == "json")
+        std::fputs(trace::toJson(dump).c_str(), stdout);
+    else if (format == "text")
+        std::fputs(renderTraceText(dump).c_str(), stdout);
+    else
+        fatal("unknown format '%s' (expected text or json)",
+              format.c_str());
+    return 0;
+}
+
 int
 cmdVersion(const Args &)
 {
@@ -848,6 +958,11 @@ cmdObscheck(const Args &args)
                    root->get("format")->text == "hwdbg-analyze") {
             kind = "analyze report";
             verdict = analyze::checkAnalyzeJson(text);
+        } else if (root->isObject() && root->get("format") &&
+                   root->get("format")->isString() &&
+                   root->get("format")->text == "hwdbg-trace") {
+            kind = "signal trace";
+            verdict = trace::checkTraceDumpJson(text);
         } else {
             verdict = obs::checkMetricsJson(text);
         }
@@ -948,16 +1063,19 @@ commands()
          "  --jobs J                 worker threads\n"
          "  --cycles C               simulated cycles per seed\n"
          "  --oracle NAME            roundtrip, differential, lint,\n"
-         "                           instrument, order, xbackend, or\n"
-         "                           all (repeatable; order and\n"
-         "                           xbackend are opt-in: order re-runs\n"
-         "                           each seed with reversed clocked-\n"
-         "                           process order and cross-checks the\n"
-         "                           analyze race pass, xbackend runs\n"
-         "                           each seed on the interpreter and\n"
-         "                           the compiled bytecode backend and\n"
-         "                           diffs outputs, logs, and final\n"
-         "                           state)\n"
+         "                           instrument, order, xbackend,\n"
+         "                           xtrace, or all (repeatable; order,\n"
+         "                           xbackend, and xtrace are opt-in:\n"
+         "                           order re-runs each seed with\n"
+         "                           reversed clocked-process order and\n"
+         "                           cross-checks the analyze race\n"
+         "                           pass, xbackend runs each seed on\n"
+         "                           the interpreter and the compiled\n"
+         "                           bytecode backend and diffs\n"
+         "                           outputs, logs, and final state,\n"
+         "                           xtrace attaches a trace recorder\n"
+         "                           to both backends and diffs the\n"
+         "                           rendered JSON and VCD dumps)\n"
          "  --backend B              interp or bytecode: execution\n"
          "                           backend for the campaign's own\n"
          "                           simulators (default interp)\n"
@@ -1003,12 +1121,44 @@ commands()
          "                       merge is associative and idempotent\n"
          "FSM state/arc coverage uses the detected state machines.\n",
          cmdCover},
+        {"trace",
+         "trace <file|--bug ID> [--signals G] [--trigger E] ...",
+         "trigger-armed budgeted signal recording (ILA-style)",
+         "stimulus source (exactly one):\n"
+         "  --bug ID             run the testbed bug's trigger workload\n"
+         "                       (--fixed for the fixed design)\n"
+         "  --stimulus FILE      replay a stimulus vector file\n"
+         "  <file> alone         seeded random inputs (--cycles N,\n"
+         "                       --seed S; defaults 2000 / 1)\n"
+         "recording:\n"
+         "  --signals G1,G2      signal globs over the elaborated\n"
+         "                       design ('*'/'?'; memories expand to\n"
+         "                       name[i] words; default: everything)\n"
+         "  --trigger EXPR       arm on a Verilog condition; fires on\n"
+         "                       its rising edge, or on any change\n"
+         "                       with a 'change:' prefix. Without a\n"
+         "                       trigger the ring free-runs and keeps\n"
+         "                       the last rows\n"
+         "  --budget N           capture budget in bytes (default\n"
+         "                       4096); ring depth = budget / row size\n"
+         "  --pre P              percent of the ring kept as\n"
+         "                       pre-trigger history (default 50)\n"
+         "output:\n"
+         "  --format text|json   report format (default text; json is\n"
+         "                       the versioned hwdbg-trace dump\n"
+         "                       obscheck accepts)\n"
+         "  --out FILE           write the hwdbg-trace JSON to FILE\n"
+         "  --vcd FILE           write the captured window as VCD\n"
+         "  --backend B          interp or bytecode (default interp);\n"
+         "                       dumps are byte-identical\n",
+         cmdTrace},
         {"obscheck", "obscheck <file>...",
          "validate trace/metrics/coverage/analyze/debug files",
          "Sniffs each file's kind (Chrome trace, metrics snapshot,\n"
-         "hwdbg-cover coverage file, hwdbg-analyze report, or\n"
-         "hwdbg-debug machine transcript) and checks it against the\n"
-         "schema; exit 1 on the first violation per file.\n",
+         "hwdbg-cover coverage file, hwdbg-analyze report, hwdbg-trace\n"
+         "signal trace, or hwdbg-debug machine transcript) and checks\n"
+         "it against the schema; exit 1 on the first violation per\n"
+         "file.\n",
          cmdObscheck},
         {"debug", "debug <file|--bug ID> [--machine] [--script F]",
          "interactive time-travel debugger",

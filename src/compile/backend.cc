@@ -499,9 +499,9 @@ BytecodeBackend::run(const Program::Chunk &chunk)
             for (const auto &[aoff, aw] : dd.args)
                 args.push_back(
                     Bits::fromWords(aw, s + aoff, wordsFor(aw)));
-            ectx.log.push_back(sim::EvalContext::LogLine{
-                ectx.cycle,
-                sim::formatDisplay(dd.stmt->format, args)});
+            // Deferred formatting: bank the raw hit, render at drain.
+            ectx.pendingLog.push_back(sim::EvalContext::PendingDisplay{
+                ectx.cycle, &dd.stmt->format, std::move(args)});
             HWDBG_STAT_INC("sim.display_records", 1);
             break;
           }

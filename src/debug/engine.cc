@@ -115,6 +115,32 @@ Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
 
 Engine::~Engine() = default;
 
+void
+Engine::recordStart(const trace::TraceConfig &cfg)
+{
+    if (recording())
+        fatal("record: already recording (record stop first)");
+    recorder_ = std::make_unique<trace::TraceRecorder>(sim_, cfg);
+    recorder_->attach();
+    HWDBG_STAT_INC("debug.record.starts", 1);
+}
+
+void
+Engine::recordStop()
+{
+    if (!recording())
+        fatal("record: not recording");
+    recorder_->detach();
+}
+
+trace::TraceDump
+Engine::recordDump() const
+{
+    if (!recorder_)
+        fatal("record: nothing recorded (record start first)");
+    return recorder_->dump("debug:" + sim_.design().module().name);
+}
+
 Engine::CoverageSummary
 Engine::coverageSummary()
 {

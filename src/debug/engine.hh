@@ -36,6 +36,7 @@
 #include "debug/checkpoint.hh"
 #include "sim/coverage.hh"
 #include "sim/simulator.hh"
+#include "trace/trace.hh"
 
 namespace hwdbg::analysis
 {
@@ -184,6 +185,28 @@ class Engine
     };
     CoverageSummary coverageSummary();
 
+    // ---- recording ---------------------------------------------------
+    /**
+     * Live trace recording over the session's simulator (the REPL's
+     * `record` command). Safe under time travel: rows are keyed on the
+     * simulator's eval sequence number, so checkpoint restore + replay
+     * neither fabricates nor drops a change. recordStop() keeps the
+     * capture for recordDump(); recordStart() replaces it.
+     */
+    void recordStart(const trace::TraceConfig &cfg);
+    void recordStop();
+    /** Assemble the capture (attached or stopped). */
+    trace::TraceDump recordDump() const;
+    /** The live/stopped recorder, or null before any record start. */
+    const trace::TraceRecorder *recorder() const
+    {
+        return recorder_.get();
+    }
+    bool recording() const
+    {
+        return recorder_ && recorder_->attached();
+    }
+
     BreakpointSet &breakpoints() { return bps_; }
     sim::Simulator &sim() { return sim_; }
     const sim::Simulator &sim() const { return sim_; }
@@ -210,6 +233,7 @@ class Engine
     CheckpointRing ring_;
     sim::CoverageItems coverItems_;
     std::unique_ptr<sim::CoverageCollector> cover_;
+    std::unique_ptr<trace::TraceRecorder> recorder_;
     /** covered() at the last coverageSummary() call. */
     uint64_t lastCovered_ = 0;
 

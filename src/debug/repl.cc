@@ -1,6 +1,7 @@
 #include "debug/repl.hh"
 
 #include <chrono>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -11,6 +12,8 @@
 #include "obs/json.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "trace/json.hh"
+#include "trace/vcd.hh"
 
 namespace hwdbg::debug
 {
@@ -48,6 +51,10 @@ const CmdHelp kCommands[] = {
     {"events", "events", "paper-tool events observed up to this point"},
     {"cover", "cover",
      "live coverage totals and goals newly covered since last check"},
+    {"record",
+     "record start [signals=G] [trigger=E] [budget=N] [pre=P] | "
+     "record stop | record status | record dump <file> [vcd=F]",
+     "trigger-armed signal recording over the live session"},
     {"log", "log [n]", "last n $display lines (default 10)"},
     {"help", "help [command]", "this list / one command's usage"},
     {"quit", "quit", "end the session"},
@@ -252,6 +259,158 @@ cmdInfo(Engine &engine, const Request &req)
     }
     res.ok = false;
     res.error = "usage: info breakpoints | info checkpoints";
+    return res;
+}
+
+CmdResult
+cmdRecord(Engine &engine, const Request &req)
+{
+    CmdResult res;
+    std::string sub = req.args.empty() ? "" : req.args[0];
+
+    if (sub == "start") {
+        trace::TraceConfig cfg;
+        for (size_t i = 1; i < req.args.size(); ++i) {
+            const std::string &arg = req.args[i];
+            size_t eq = arg.find('=');
+            std::string key =
+                eq == std::string::npos ? arg : arg.substr(0, eq);
+            std::string value =
+                eq == std::string::npos ? "" : arg.substr(eq + 1);
+            bool bad = false;
+            if (key == "signals") {
+                for (size_t pos = 0; pos < value.size();) {
+                    size_t comma = value.find(',', pos);
+                    if (comma == std::string::npos)
+                        comma = value.size();
+                    if (comma > pos)
+                        cfg.signals.push_back(
+                            value.substr(pos, comma - pos));
+                    pos = comma + 1;
+                }
+            } else if (key == "trigger") {
+                cfg.trigger = value;
+            } else if (key == "budget") {
+                bad = !parseU64(value, &cfg.budgetBytes);
+            } else if (key == "pre") {
+                uint64_t pct = 0;
+                bad = !parseU64(value, &pct) || pct > 100;
+                cfg.prePct = static_cast<uint32_t>(pct);
+            } else {
+                bad = true;
+            }
+            if (bad) {
+                res.ok = false;
+                res.error = "usage: record start [signals=G1,G2] "
+                            "[trigger=EXPR] [budget=BYTES] [pre=PCT]";
+                return res;
+            }
+        }
+        engine.recordStart(cfg);
+        const trace::TraceRecorder &rec = *engine.recorder();
+        res.payloadJson =
+            JsonObject()
+                .field("signals", uint64_t(rec.signals().size()))
+                .field("row_bytes", rec.rowBytes())
+                .field("depth", rec.depth())
+                .field("armed", !cfg.trigger.empty())
+                .str();
+        res.humanLines.push_back(csprintf(
+            "recording %zu signals (%llu bytes/row, depth %llu%s)",
+            rec.signals().size(),
+            static_cast<unsigned long long>(rec.rowBytes()),
+            static_cast<unsigned long long>(rec.depth()),
+            cfg.trigger.empty() ? "" : ", trigger armed"));
+        return res;
+    }
+
+    if (sub == "stop") {
+        engine.recordStop();
+        const trace::TraceRecorder &rec = *engine.recorder();
+        res.payloadJson =
+            JsonObject()
+                .field("samples", rec.samples())
+                .field("drops", rec.drops())
+                .field("trigger_fires", rec.triggerFires())
+                .str();
+        res.humanLines.push_back(csprintf(
+            "recording stopped: %llu change rows, %llu dropped",
+            static_cast<unsigned long long>(rec.samples()),
+            static_cast<unsigned long long>(rec.drops())));
+        return res;
+    }
+
+    if (sub == "status") {
+        const trace::TraceRecorder *rec = engine.recorder();
+        if (!rec) {
+            res.payloadJson =
+                JsonObject().field("recording", false).str();
+            res.humanLines.push_back("not recording");
+            return res;
+        }
+        res.payloadJson =
+            JsonObject()
+                .field("recording", engine.recording())
+                .field("signals", uint64_t(rec->signals().size()))
+                .field("depth", rec->depth())
+                .field("samples", rec->samples())
+                .field("drops", rec->drops())
+                .field("triggered", rec->triggered())
+                .field("trigger_fires", rec->triggerFires())
+                .str();
+        res.humanLines.push_back(csprintf(
+            "%s: %llu change rows, %llu dropped, %s",
+            engine.recording() ? "recording" : "stopped",
+            static_cast<unsigned long long>(rec->samples()),
+            static_cast<unsigned long long>(rec->drops()),
+            rec->triggered() ? "trigger fired" : "trigger not fired"));
+        return res;
+    }
+
+    if (sub == "dump") {
+        if (req.args.size() < 2) {
+            res.ok = false;
+            res.error = "usage: record dump <file> [vcd=FILE]";
+            return res;
+        }
+        trace::TraceDump dump = engine.recordDump();
+        const std::string &path = req.args[1];
+        std::ofstream file(path);
+        if (!file) {
+            res.ok = false;
+            res.error = "cannot write '" + path + "'";
+            return res;
+        }
+        file << trace::toJson(dump);
+        std::string vcdPath;
+        for (size_t i = 2; i < req.args.size(); ++i)
+            if (req.args[i].rfind("vcd=", 0) == 0)
+                vcdPath = req.args[i].substr(4);
+        if (!vcdPath.empty()) {
+            std::ofstream vcdFile(vcdPath);
+            if (!vcdFile) {
+                res.ok = false;
+                res.error = "cannot write '" + vcdPath + "'";
+                return res;
+            }
+            vcdFile << trace::renderVcd(dump);
+        }
+        res.payloadJson = JsonObject()
+                              .field("rows", uint64_t(dump.rows.size()))
+                              .field("samples", dump.samples)
+                              .field("drops", dump.drops)
+                              .field("fired", dump.fired)
+                              .str();
+        res.humanLines.push_back(csprintf(
+            "wrote %zu rows to %s%s%s", dump.rows.size(), path.c_str(),
+            vcdPath.empty() ? "" : " and ", vcdPath.c_str()));
+        return res;
+    }
+
+    res.ok = false;
+    res.error =
+        "usage: record start|stop|status|dump <file> (try 'help "
+        "record')";
     return res;
 }
 
@@ -483,6 +642,9 @@ dispatch(Engine &engine, const Request &req)
                 static_cast<unsigned long long>(t.fsmTransTotal)));
         return res;
     }
+
+    if (req.cmd == "record")
+        return cmdRecord(engine, req);
 
     if (req.cmd == "log") {
         uint64_t n = 10;

@@ -26,6 +26,9 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "sim/simulator.hh"
+#include "trace/json.hh"
+#include "trace/run.hh"
+#include "trace/vcd.hh"
 
 namespace hwdbg::fuzz
 {
@@ -48,6 +51,8 @@ oracleName(Oracle oracle)
         return "order";
       case Oracle::Xbackend:
         return "xbackend";
+      case Oracle::Xtrace:
+        return "xtrace";
     }
     return "?";
 }
@@ -882,6 +887,63 @@ runXbackend(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
     return std::nullopt;
 }
 
+// ------------------------------------------------------------------- xtrace
+
+std::optional<Failure>
+runXtrace(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles)
+{
+    // The trace recorder observes flushed simulator state through the
+    // per-eval hook; both backends must present identical values to it
+    // at every eval, so the rendered dumps must be byte-identical.
+    // Tracing every signal makes the comparison maximally sensitive,
+    // and arming a change trigger on rst (when present) walks the
+    // Armed -> Triggered -> Done state machine under fuzz too.
+    trace::TraceConfig cfg;
+    cfg.budgetBytes = 1 << 16;
+    if (gd.hasRst)
+        cfg.trigger = "change:rst";
+
+    auto flatA = elab::elaborate(gd.design, gd.top).mod;
+    auto flatB = elab::elaborate(gd.design, gd.top).mod;
+    sim::Simulator interp(flatA);
+    sim::Simulator bytecode(flatB);
+    bytecode.setBackend(compile::makeBytecodeBackend());
+
+    trace::TraceRecorder recA(interp, cfg);
+    trace::TraceRecorder recB(bytecode, cfg);
+    recA.attach();
+    recB.attach();
+
+    Stimulus stim = makeStimulus(gd, seed, cycles);
+    runTrace(interp, gd, stim);
+    runTrace(bytecode, gd, stim);
+
+    recA.detach();
+    recB.detach();
+    trace::TraceDump da = recA.dump("fuzz:" + std::to_string(seed));
+    trace::TraceDump db = recB.dump("fuzz:" + std::to_string(seed));
+    // The backend provenance label is the one intentional difference;
+    // neutralize it so the byte comparison covers everything else.
+    da.backend = "x";
+    db.backend = "x";
+
+    std::string ja = trace::toJson(da);
+    std::string jb = trace::toJson(db);
+    if (ja != jb)
+        return Failure{Oracle::Xtrace,
+                       "hwdbg-trace JSON dumps differ between interp "
+                       "and bytecode (" +
+                           std::to_string(da.rows.size()) + " vs " +
+                           std::to_string(db.rows.size()) + " rows, " +
+                           std::to_string(da.samples) + " vs " +
+                           std::to_string(db.samples) + " samples)"};
+    if (trace::renderVcd(da) != trace::renderVcd(db))
+        return Failure{Oracle::Xtrace,
+                       "VCD dumps differ between interp and bytecode "
+                       "despite identical JSON dumps"};
+    return std::nullopt;
+}
+
 // ----------------------------------------------------------------- dispatch
 
 std::vector<Failure>
@@ -926,6 +988,8 @@ runOracles(const GeneratedDesign &gd, uint64_t seed,
     });
     guard(Oracle::Xbackend,
           [&] { return runXbackend(gd, seed, opts.cycles); });
+    guard(Oracle::Xtrace,
+          [&] { return runXtrace(gd, seed, opts.cycles); });
     return failures;
 }
 

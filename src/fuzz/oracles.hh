@@ -38,6 +38,14 @@
  *    the final value of every signal and memory element must be
  *    byte-identical. This is the fuzzing arm of the backend
  *    equivalence proof (tests/compile covers the curated testbed).
+ *  - Xtrace (opt-in, not in the default mask): cross-backend trace
+ *    equivalence. The same design runs on the interpreter and the
+ *    compiled bytecode backend with a TraceRecorder attached to each
+ *    (every signal traced, trigger armed when the design has rst);
+ *    the rendered hwdbg-trace JSON and VCD dumps must be
+ *    byte-identical apart from the backend provenance label. This
+ *    pins the per-eval hook seam: both backends must present
+ *    identical flushed state to observers at every eval.
  */
 
 #ifndef HWDBG_FUZZ_ORACLES_HH
@@ -62,13 +70,14 @@ enum class Oracle : uint32_t
     Instrument = 3,
     Order = 4,
     Xbackend = 5,
+    Xtrace = 6,
 };
 
-constexpr uint32_t kOracleCount = 6;
+constexpr uint32_t kOracleCount = 7;
 
 /** Stable short name ("roundtrip", "differential", "lint",
- *  "instrument", "order", "xbackend") used by --oracle and in
- *  reports. */
+ *  "instrument", "order", "xbackend", "xtrace") used by --oracle and
+ *  in reports. */
 const char *oracleName(Oracle oracle);
 
 /** Parse an --oracle argument; returns false for unknown names. */
@@ -134,6 +143,8 @@ runOrder(const GeneratedDesign &gd, uint64_t seed, uint32_t cycles,
          const sim::BackendFactory &backend = {});
 std::optional<Failure> runXbackend(const GeneratedDesign &gd,
                                    uint64_t seed, uint32_t cycles);
+std::optional<Failure> runXtrace(const GeneratedDesign &gd,
+                                 uint64_t seed, uint32_t cycles);
 
 /**
  * Run every enabled oracle in order; internal HdlErrors are reported as

@@ -234,8 +234,10 @@ InterpBackend::execStmt(const StmtPtr &stmt, bool clocked)
         args.reserve(disp->args.size());
         for (const auto &arg : disp->args)
             args.push_back(evalExpr(arg, ctx_));
-        ctx_.log.push_back(EvalContext::LogLine{
-            ctx_.cycle, formatDisplay(disp->format, args)});
+        // Formatting is deferred to the next log drain: the hot loop
+        // only evaluates the arguments and banks the raw hit.
+        ctx_.pendingLog.push_back(EvalContext::PendingDisplay{
+            ctx_.cycle, &disp->format, std::move(args)});
         HWDBG_STAT_INC("sim.display_records", 1);
         break;
       }

@@ -24,6 +24,18 @@ EvalContext::EvalContext(const LoweredDesign &design_) : design(design_)
     }
 }
 
+void
+EvalContext::drainLog()
+{
+    if (pendingLog.empty())
+        return;
+    log.reserve(log.size() + pendingLog.size());
+    for (const auto &entry : pendingLog)
+        log.push_back(
+            LogLine{entry.cycle, formatDisplay(*entry.format, entry.args)});
+    pendingLog.clear();
+}
+
 namespace
 {
 

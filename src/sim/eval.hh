@@ -38,6 +38,13 @@ struct EvalContext
     /** Number of primary clock cycles elapsed (posedges of "clk"). */
     uint64_t cycle = 0;
 
+    /** Monotonic eval() sequence number (1-based; 0 = before the first
+     *  eval). Snapshots carry it, so after a restore a deterministic
+     *  replay walks through the same sequence numbers — observers keyed
+     *  on it (the trace recorder) can tell replayed evals from new
+     *  frontier evals. */
+    uint64_t evalSeq = 0;
+
     /** Set by applyStore() whenever a store changes a value; the
      *  simulator's combinational settle loop clears and polls it. */
     bool valuesChanged = false;
@@ -62,6 +69,25 @@ struct EvalContext
         std::string text;
     };
     std::vector<LogLine> log;
+
+    /** A $display hit whose formatting has been deferred out of the
+     *  hot loop: the format string lives in the AST (owned by the
+     *  simulator's module, so the pointer outlives the context) and
+     *  the arguments are already evaluated. drainLog() renders these
+     *  into `log` in execution order. */
+    struct PendingDisplay
+    {
+        uint64_t cycle;
+        const std::string *format;
+        std::vector<Bits> args;
+    };
+    std::vector<PendingDisplay> pendingLog;
+
+    /** Render all pending $display entries into `log` (idempotent). */
+    void drainLog();
+
+    /** Total log lines, formatted plus pending (no formatting cost). */
+    size_t logSize() const { return log.size() + pendingLog.size(); }
 };
 
 /**

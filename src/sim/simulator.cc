@@ -188,10 +188,14 @@ Simulator::saveState() const
     // Logically const: publishing backend shadow state into the shared
     // context changes no observable simulator state.
     const_cast<Simulator *>(this)->backend_->flush();
+    // Pending $display entries render into the log before it is
+    // copied, so snapshots stay a plain vector of formatted lines.
+    const_cast<EvalContext &>(ctx_).drainLog();
     SimSnapshot snap;
     snap.values = ctx_.values;
     snap.arrays = ctx_.arrays;
     snap.cycle = ctx_.cycle;
+    snap.evalSeq = ctx_.evalSeq;
     snap.finished = ctx_.finished;
     snap.log = ctx_.log;
     snap.prevClocks = prevClocks_;
@@ -214,8 +218,10 @@ Simulator::restoreState(const SimSnapshot &snap)
     ctx_.values = snap.values;
     ctx_.arrays = snap.arrays;
     ctx_.cycle = snap.cycle;
+    ctx_.evalSeq = snap.evalSeq;
     ctx_.finished = snap.finished;
     ctx_.log = snap.log;
+    ctx_.pendingLog.clear();
     ctx_.valuesChanged = false;
     prevClocks_ = snap.prevClocks;
     prevPrimClocks_ = snap.prevPrimClocks;
@@ -233,6 +239,10 @@ Simulator::restoreState(const SimSnapshot &snap)
     // travel cannot fabricate a restore-point transition.
     if (cover_)
         cover_->resync(ctx_);
+    // Same contract for the per-eval hook: restored state is a new
+    // baseline, never a fabricated change.
+    if (hook_)
+        hook_->resync(ctx_);
     HWDBG_STAT_INC("sim.restores", 1);
 }
 
@@ -266,6 +276,18 @@ Simulator::enableCoverage(CoverageCollector *collector)
     if (cover_) {
         backend_->flush();
         cover_->resync(ctx_);
+    }
+}
+
+void
+Simulator::setEvalHook(EvalHook *hook)
+{
+    hook_ = hook;
+    // Seed change/edge baselines from current state: attaching mid-run
+    // observes from here on and fabricates nothing retroactively.
+    if (hook_) {
+        backend_->flush();
+        hook_->resync(ctx_);
     }
 }
 
@@ -381,6 +403,7 @@ Simulator::eval()
         tape_->steps.push_back(std::move(pendingStep_));
         pendingStep_.pokes.clear();
     }
+    ++ctx_.evalSeq;
     backend_->settleComb();
 
     // Detect clock edges on clocked processes.
@@ -442,6 +465,10 @@ Simulator::eval()
             backend_->flush();
             cover_->sample(ctx_);
         }
+        if (hook_) {
+            backend_->flush();
+            hook_->onEval(ctx_);
+        }
         return;
     }
 
@@ -482,6 +509,10 @@ Simulator::eval()
     if (cover_) {
         backend_->flush();
         cover_->sample(ctx_);
+    }
+    if (hook_) {
+        backend_->flush();
+        hook_->onEval(ctx_);
     }
 }
 

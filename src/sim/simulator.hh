@@ -39,6 +39,30 @@ struct SimCounters;
 class CoverageCollector;
 
 /**
+ * Observer invoked at the end of every eval() with backend shadow state
+ * flushed into the shared context (so ctx.values/arrays are current on
+ * any backend). The trace recorder is the canonical implementation; the
+ * detached path costs one pointer test per eval (bench/trace_overhead
+ * measures it).
+ */
+class EvalHook
+{
+  public:
+    virtual ~EvalHook() = default;
+
+    /** End of one eval(); ctx.evalSeq identifies it. Called for every
+     *  eval, including ones that trigger no process. */
+    virtual void onEval(EvalContext &ctx) = 0;
+
+    /**
+     * State was replaced outside eval() (attach, restoreState). ctx is
+     * flushed. Implementations re-seed any change/edge baselines so
+     * time travel can neither fabricate nor drop an observation.
+     */
+    virtual void resync(EvalContext &ctx) = 0;
+};
+
+/**
  * One eval() step of recorded stimulus: the pokes applied since the
  * previous eval, in poke order (later pokes of the same signal win,
  * exactly as they did live).
@@ -76,6 +100,7 @@ struct SimSnapshot
     std::vector<Bits> values;
     std::vector<std::vector<Bits>> arrays;
     uint64_t cycle = 0;
+    uint64_t evalSeq = 0;
     bool finished = false;
     std::vector<EvalContext::LogLine> log;
     std::map<std::string, bool> prevClocks;
@@ -111,6 +136,18 @@ class Simulator
      * bench/cover_overhead measures it.
      */
     void enableCoverage(CoverageCollector *collector);
+
+    /**
+     * Attach a per-eval observer (trace recording) until detached with
+     * nullptr. The hook fires at the end of every eval() with backend
+     * state flushed; attach and restoreState() call resync() so the
+     * hook can re-seed its baselines. One hook at a time — the trace
+     * recorder owns the slot the way the coverage collector owns its.
+     */
+    void setEvalHook(EvalHook *hook);
+
+    /** The attached per-eval observer (null when detached). */
+    EvalHook *evalHook() const { return hook_; }
 
     /**
      * Replace the execution backend (null factory restores the
@@ -182,13 +219,26 @@ class Simulator
 
     bool finished() const { return ctx_.finished; }
 
+    /**
+     * The $display log. Formatting is deferred out of the hot eval
+     * loop; this accessor drains (renders) any pending entries first.
+     * Logically const: draining changes no simulated state, only
+     * materializes text that was already determined.
+     */
     const std::vector<EvalContext::LogLine> &log() const
     {
+        const_cast<EvalContext &>(ctx_).drainLog();
         return ctx_.log;
     }
 
+    /** Log line count without formatting (pending included). */
+    size_t logSize() const { return ctx_.logSize(); }
+
     /** Number of posedges seen on the primary clock ("clk"). */
     uint64_t cycle() const { return ctx_.cycle; }
+
+    /** Monotonic eval() count (ctx.evalSeq; snapshots restore it). */
+    uint64_t evalSeq() const { return ctx_.evalSeq; }
 
     /** Primitive model by flattened instance name (null if absent). */
     Primitive *primitive(const std::string &inst_name) const;
@@ -208,6 +258,7 @@ class Simulator
     EvalContext ctx_;
     SimCounters *prof_ = nullptr;
     CoverageCollector *cover_ = nullptr;
+    EvalHook *hook_ = nullptr;
     StimulusTape *tape_ = nullptr;
     /** Pokes since the last eval() while recording. */
     StimulusStep pendingStep_;

@@ -1,0 +1,345 @@
+#include "trace/json.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/jsoncheck.hh"
+
+namespace hwdbg::trace
+{
+
+using obs::jsonEscape;
+
+namespace
+{
+
+std::string
+hexU64(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "0x%llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+/** Fixed-width hex of a Bits value: one nibble per 4 declared bits. */
+std::string
+bitsToHex(const Bits &value)
+{
+    uint32_t nibbles = std::max<uint32_t>(1, (value.width() + 3) / 4);
+    std::string out = "0x";
+    out.reserve(2 + nibbles);
+    for (uint32_t n = nibbles; n-- > 0;) {
+        uint32_t bit = n * 4;
+        uint64_t word = bit / 64 < value.numWords()
+                            ? value.rawWords()[bit / 64]
+                            : 0;
+        out.push_back("0123456789abcdef"[(word >> (bit % 64)) & 0xf]);
+    }
+    return out;
+}
+
+bool
+hexToBits(const std::string &text, uint32_t width, Bits *out)
+{
+    uint32_t nibbles = std::max<uint32_t>(1, (width + 3) / 4);
+    if (text.size() != 2 + nibbles || text[0] != '0' || text[1] != 'x')
+        return false;
+    std::vector<uint64_t> words((width + 63) / 64, 0);
+    if (words.empty())
+        words.assign(1, 0);
+    for (uint32_t n = 0; n < nibbles; ++n) {
+        char c = text[2 + (nibbles - 1 - n)];
+        uint32_t nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = c - 'a' + 10;
+        else
+            return false;
+        uint32_t bit = n * 4;
+        if (bit / 64 < words.size())
+            words[bit / 64] |= uint64_t(nib) << (bit % 64);
+        else if (nib)
+            return false;
+    }
+    *out = Bits::fromWords(width, words.data(), words.size());
+    // Reject values with bits above the declared width.
+    if (bitsToHex(*out) != text)
+        return false;
+    return true;
+}
+
+bool
+hexToU64(const std::string &text, uint64_t *out)
+{
+    if (text.size() < 3 || text.size() > 18 || text[0] != '0' ||
+        text[1] != 'x')
+        return false;
+    uint64_t value = 0;
+    for (size_t i = 2; i < text.size(); ++i) {
+        char c = text[i];
+        uint32_t nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | nib;
+    }
+    *out = value;
+    return true;
+}
+
+bool
+getUint(const obs::JsonValue &obj, const char *key, uint64_t *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || !val->isNumber() || val->number < 0)
+        return false;
+    auto value = static_cast<uint64_t>(val->number);
+    if (static_cast<double>(value) != val->number)
+        return false;
+    *out = value;
+    return true;
+}
+
+bool
+getBool(const obs::JsonValue &obj, const char *key, bool *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || val->kind != obs::JsonValue::Kind::Bool)
+        return false;
+    *out = val->boolean;
+    return true;
+}
+
+bool
+getString(const obs::JsonValue &obj, const char *key, std::string *out)
+{
+    const auto *val = obj.get(key);
+    if (!val || !val->isString())
+        return false;
+    *out = val->text;
+    return true;
+}
+
+bool
+getHexU64(const obs::JsonValue &obj, const char *key, uint64_t *out)
+{
+    std::string text;
+    return getString(obj, key, &text) && hexToU64(text, out);
+}
+
+} // namespace
+
+std::string
+toJson(const TraceDump &dump)
+{
+    const obs::BuildInfo &build = obs::buildInfo();
+    std::ostringstream out;
+    out << "{\"format\": \"hwdbg-trace\", \"version\": 1,\n";
+    out << "\"build\": {\"tool\": \"hwdbg\", \"version\": \""
+        << jsonEscape(build.version) << "\", \"git\": \""
+        << jsonEscape(build.git) << "\", \"type\": \""
+        << jsonEscape(build.buildType) << "\"},\n";
+    out << "\"design\": {\"top\": \"" << jsonEscape(dump.top)
+        << "\"},\n";
+    out << "\"workload\": \"" << jsonEscape(dump.workload) << "\",\n";
+    out << "\"backend\": \"" << jsonEscape(dump.backend) << "\",\n";
+
+    out << "\"config\": {\"signals\": [";
+    for (size_t i = 0; i < dump.config.signals.size(); ++i)
+        out << (i ? ", " : "") << "\""
+            << jsonEscape(dump.config.signals[i]) << "\"";
+    out << "], \"trigger\": \"" << jsonEscape(dump.config.trigger)
+        << "\", \"budget_bytes\": " << dump.config.budgetBytes
+        << ", \"pre_pct\": " << dump.config.prePct << "},\n";
+
+    out << "\"window\": {\"row_bytes\": " << dump.rowBytes
+        << ", \"depth\": " << dump.depth
+        << ", \"pre_depth\": " << dump.preDepth
+        << ", \"post_depth\": " << dump.postDepth << "},\n";
+
+    out << "\"trigger\": {\"armed\": " << (dump.armed ? "true" : "false")
+        << ", \"fired\": " << (dump.fired ? "true" : "false")
+        << ", \"seq\": \"" << hexU64(dump.triggerSeq)
+        << "\", \"cycle\": \"" << hexU64(dump.triggerCycle)
+        << "\", \"fires\": " << dump.triggerFires << "},\n";
+
+    out << "\"stats\": {\"samples\": " << dump.samples
+        << ", \"drops\": " << dump.drops << "},\n";
+
+    out << "\"signals\": [";
+    for (size_t i = 0; i < dump.signals.size(); ++i) {
+        const auto &sig = dump.signals[i];
+        out << (i ? ",\n " : "\n ") << "{\"name\": \""
+            << jsonEscape(sig.name) << "\", \"width\": " << sig.width
+            << ", \"loc\": \"" << jsonEscape(sig.loc) << "\"}";
+    }
+    out << "],\n";
+
+    out << "\"rows\": [";
+    for (size_t i = 0; i < dump.rows.size(); ++i) {
+        const auto &row = dump.rows[i];
+        out << (i ? ",\n " : "\n ") << "{\"seq\": \""
+            << hexU64(row.seq) << "\", \"cycle\": \""
+            << hexU64(row.cycle) << "\", \"values\": [";
+        for (size_t v = 0; v < row.values.size(); ++v)
+            out << (v ? ", " : "") << "\"" << bitsToHex(row.values[v])
+                << "\"";
+        out << "]}";
+    }
+    out << "]\n}\n";
+    return out.str();
+}
+
+bool
+parseTraceDump(const std::string &text, TraceDump *out,
+               std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        *error = why;
+        return false;
+    };
+    std::string parse_error;
+    obs::JsonPtr root = obs::parseJson(text, &parse_error);
+    if (!root)
+        return fail(parse_error);
+    if (!root->isObject())
+        return fail("root is not an object");
+
+    std::string format;
+    if (!getString(*root, "format", &format) ||
+        format != "hwdbg-trace")
+        return fail("\"format\" must be \"hwdbg-trace\"");
+    uint64_t version = 0;
+    if (!getUint(*root, "version", &version) || version != 1)
+        return fail("unsupported trace format version");
+
+    *out = TraceDump{};
+    const auto *design = root->get("design");
+    if (!design || !design->isObject() ||
+        !getString(*design, "top", &out->top))
+        return fail("missing \"design\" object with string \"top\"");
+    if (!getString(*root, "workload", &out->workload))
+        return fail("\"workload\" must be a string");
+    if (!getString(*root, "backend", &out->backend))
+        return fail("\"backend\" must be a string");
+
+    const auto *config = root->get("config");
+    if (!config || !config->isObject())
+        return fail("missing \"config\" object");
+    const auto *globs = config->get("signals");
+    if (!globs || !globs->isArray())
+        return fail("config.signals must be an array");
+    for (const auto &elem : globs->elems) {
+        if (!elem->isString())
+            return fail("config.signals entries must be strings");
+        out->config.signals.push_back(elem->text);
+    }
+    uint64_t pre_pct = 0;
+    if (!getString(*config, "trigger", &out->config.trigger) ||
+        !getUint(*config, "budget_bytes", &out->config.budgetBytes) ||
+        !getUint(*config, "pre_pct", &pre_pct) || pre_pct > 100)
+        return fail("malformed \"config\" object");
+    out->config.prePct = static_cast<uint32_t>(pre_pct);
+
+    const auto *window = root->get("window");
+    if (!window || !window->isObject() ||
+        !getUint(*window, "row_bytes", &out->rowBytes) ||
+        !getUint(*window, "depth", &out->depth) ||
+        !getUint(*window, "pre_depth", &out->preDepth) ||
+        !getUint(*window, "post_depth", &out->postDepth))
+        return fail("malformed \"window\" object");
+    if (out->preDepth + out->postDepth != out->depth)
+        return fail("window pre_depth + post_depth != depth");
+
+    const auto *trigger = root->get("trigger");
+    if (!trigger || !trigger->isObject() ||
+        !getBool(*trigger, "armed", &out->armed) ||
+        !getBool(*trigger, "fired", &out->fired) ||
+        !getHexU64(*trigger, "seq", &out->triggerSeq) ||
+        !getHexU64(*trigger, "cycle", &out->triggerCycle) ||
+        !getUint(*trigger, "fires", &out->triggerFires))
+        return fail("malformed \"trigger\" object");
+    if (out->fired && !out->armed)
+        return fail("trigger fired without being armed");
+
+    const auto *stats = root->get("stats");
+    if (!stats || !stats->isObject() ||
+        !getUint(*stats, "samples", &out->samples) ||
+        !getUint(*stats, "drops", &out->drops))
+        return fail("malformed \"stats\" object");
+
+    const auto *signals = root->get("signals");
+    if (!signals || !signals->isArray())
+        return fail("missing \"signals\" array");
+    for (const auto &elem : signals->elems) {
+        if (!elem->isObject())
+            return fail("signal entries must be objects");
+        TracedSignal sig;
+        uint64_t width = 0;
+        if (!getString(*elem, "name", &sig.name) ||
+            !getUint(*elem, "width", &width) || width < 1 ||
+            width > (1u << 24) || !getString(*elem, "loc", &sig.loc))
+            return fail("malformed signal entry");
+        sig.width = static_cast<uint32_t>(width);
+        out->signals.push_back(std::move(sig));
+    }
+    if (out->signals.empty())
+        return fail("a trace must declare at least one signal");
+
+    const auto *rows = root->get("rows");
+    if (!rows || !rows->isArray())
+        return fail("missing \"rows\" array");
+    if (rows->elems.size() > out->depth)
+        return fail("more rows than the window depth allows");
+    uint64_t prev_seq = 0;
+    for (const auto &elem : rows->elems) {
+        if (!elem->isObject())
+            return fail("row entries must be objects");
+        TraceDump::Row row;
+        if (!getHexU64(*elem, "seq", &row.seq) ||
+            !getHexU64(*elem, "cycle", &row.cycle))
+            return fail("malformed row entry");
+        if (!out->rows.empty() && row.seq <= prev_seq)
+            return fail("row seq must be strictly increasing");
+        prev_seq = row.seq;
+        const auto *values = elem->get("values");
+        if (!values || !values->isArray() ||
+            values->elems.size() != out->signals.size())
+            return fail("row values must match the signal list");
+        for (size_t v = 0; v < values->elems.size(); ++v) {
+            const auto &value = values->elems[v];
+            Bits bits;
+            if (!value->isString() ||
+                !hexToBits(value->text, out->signals[v].width, &bits))
+                return fail("row value " + std::to_string(v) +
+                            " must be " +
+                            std::to_string(
+                                (out->signals[v].width + 3) / 4) +
+                            "-digit hex");
+            row.values.push_back(std::move(bits));
+        }
+        out->rows.push_back(std::move(row));
+    }
+
+    error->clear();
+    return true;
+}
+
+std::string
+checkTraceDumpJson(const std::string &text)
+{
+    TraceDump dump;
+    std::string error;
+    if (!parseTraceDump(text, &dump, &error))
+        return error;
+    return "";
+}
+
+} // namespace hwdbg::trace

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Versioned `hwdbg-trace` JSON v1: the shareable trace artifact.
+ *
+ * Schema (all 64-bit quantities are "0x…" hex strings so no reader
+ * loses precision to doubles):
+ *
+ *   {"format": "hwdbg-trace", "version": 1,
+ *    "build": {"tool", "version", "git", "type"},
+ *    "design": {"top": "..."},
+ *    "workload": "bug:D3", "backend": "interp",
+ *    "config": {"signals": [globs…], "trigger": "...",
+ *               "budget_bytes": N, "pre_pct": N},
+ *    "window": {"row_bytes": N, "depth": N, "pre_depth": N,
+ *               "post_depth": N},
+ *    "trigger": {"armed": b, "fired": b, "seq": "0x…",
+ *                "cycle": "0x…", "fires": N},
+ *    "stats": {"samples": N, "drops": N},
+ *    "signals": [{"name", "width", "loc"}…],
+ *    "rows": [{"seq": "0x…", "cycle": "0x…",
+ *              "values": ["0x…"…]}…]}
+ *
+ * Row values are fixed-width hex (one nibble per 4 bits of the
+ * declared width), row seq is strictly increasing, and every row
+ * carries exactly one value per declared signal — checkTraceDumpJson
+ * enforces all of it for `hwdbg obscheck`.
+ */
+
+#ifndef HWDBG_TRACE_JSON_HH
+#define HWDBG_TRACE_JSON_HH
+
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace hwdbg::trace
+{
+
+/** Render @p dump as hwdbg-trace JSON v1. */
+std::string toJson(const TraceDump &dump);
+
+/** Parse and validate; false + *error on malformed input. */
+bool parseTraceDump(const std::string &text, TraceDump *out,
+                    std::string *error);
+
+/** Empty string when @p text is valid hwdbg-trace v1, else the error. */
+std::string checkTraceDumpJson(const std::string &text);
+
+} // namespace hwdbg::trace
+
+#endif // HWDBG_TRACE_JSON_HH

@@ -1,0 +1,151 @@
+#include "trace/vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace hwdbg::trace
+{
+
+namespace
+{
+
+/** VCD identifier code for the n-th signal (printable ASCII run). */
+std::string
+vcdCode(size_t n)
+{
+    std::string code;
+    do {
+        code.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return code;
+}
+
+void
+emitValue(std::ostream &out, const Bits &value, uint32_t width,
+          const std::string &code)
+{
+    if (width == 1)
+        out << (value.isZero() ? "0" : "1") << code << "\n";
+    else
+        out << "b" << value.toBinString() << " " << code << "\n";
+}
+
+void
+emitX(std::ostream &out, uint32_t width, const std::string &code)
+{
+    if (width == 1)
+        out << "x" << code << "\n";
+    else
+        out << "bx " << code << "\n";
+}
+
+} // namespace
+
+size_t
+VcdBuilder::addSignal(const std::string &name, uint32_t width)
+{
+    signals_.push_back(Signal{name, width});
+    return signals_.size() - 1;
+}
+
+void
+VcdBuilder::change(size_t handle, uint64_t time, const Bits &value)
+{
+    if (handle >= signals_.size())
+        fatal("VcdBuilder::change: unknown signal handle %zu", handle);
+    if (!events_.empty() && time < events_.back().time)
+        fatal("VcdBuilder::change: time went backwards (%llu < %llu)",
+              static_cast<unsigned long long>(time),
+              static_cast<unsigned long long>(events_.back().time));
+    events_.push_back(Event{time, handle, value});
+}
+
+std::string
+VcdBuilder::render() const
+{
+    std::ostringstream out;
+    out << "$timescale 1ns $end\n";
+    out << "$scope module " << scope_ << " $end\n";
+    for (size_t i = 0; i < signals_.size(); ++i)
+        out << "$var wire " << signals_[i].width << " " << vcdCode(i)
+            << " " << signals_[i].name << " $end\n";
+    out << "$upscope $end\n$enddefinitions $end\n";
+
+    // Every signal is unknown until its first recorded change: a
+    // capture window does not start at time zero.
+    out << "$dumpvars\n";
+    for (size_t i = 0; i < signals_.size(); ++i)
+        emitX(out, signals_[i].width, vcdCode(i));
+    out << "$end\n";
+
+    uint64_t current_time = ~uint64_t(0);
+    for (const auto &event : events_) {
+        if (event.time != current_time) {
+            out << "#" << event.time << "\n";
+            current_time = event.time;
+        }
+        emitValue(out, event.value, signals_[event.handle].width,
+                  vcdCode(event.handle));
+    }
+    return out.str();
+}
+
+void
+VcdBuilder::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '%s' for writing", path.c_str());
+    out << render();
+}
+
+VcdRecorder::VcdRecorder(sim::Simulator &sim) : sim_(sim)
+{
+    TraceConfig everything;
+    tracked_ = resolveSignals(sim.design(), everything);
+    last_.assign(tracked_.size(), Bits());
+    vcd_.setScope(sim.design().module().name);
+    for (const auto &sig : tracked_)
+        vcd_.addSignal(sig.name, sig.width);
+}
+
+void
+VcdRecorder::sample(uint64_t time)
+{
+    sim::EvalContext &ctx = sim_.context();
+    for (size_t i = 0; i < tracked_.size(); ++i) {
+        const TracedSignal &sig = tracked_[i];
+        const Bits &now = sig.element < 0
+                              ? ctx.values[sig.sig]
+                              : ctx.arrays[sig.sig][sig.element];
+        if (!started_ || now != last_[i]) {
+            vcd_.change(i, time, now);
+            last_[i] = now;
+        }
+    }
+    started_ = true;
+}
+
+std::string
+renderVcd(const TraceDump &dump)
+{
+    VcdBuilder vcd;
+    vcd.setScope(dump.top);
+    for (const auto &sig : dump.signals)
+        vcd.addSignal(sig.name, sig.width);
+    std::vector<const Bits *> last(dump.signals.size(), nullptr);
+    for (const auto &row : dump.rows) {
+        for (size_t i = 0; i < dump.signals.size(); ++i) {
+            if (last[i] && *last[i] == row.values[i])
+                continue;
+            vcd.change(i, row.seq, row.values[i]);
+            last[i] = &row.values[i];
+        }
+    }
+    return vcd.render();
+}
+
+} // namespace hwdbg::trace

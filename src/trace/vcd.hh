@@ -1,0 +1,100 @@
+/**
+ * @file
+ * VCD (value change dump) emission for trace windows and live sampling.
+ *
+ * Replaces the seed-era scalar-only sim::VcdWriter. Two layers:
+ *
+ *  - VcdBuilder: a declaration + event writer that renders standard
+ *    VCD text. Vectors declare as `$var wire N`, memory words are
+ *    first-class signals, and every signal starts as X in the
+ *    `$dumpvars` block — a trace window does not begin at time zero,
+ *    so pre-window values are genuinely unknown.
+ *  - VcdRecorder: the live writer (the old VcdWriter workflow): track
+ *    every signal of a simulator, including memory words, and sample()
+ *    at chosen times.
+ *
+ * renderVcd() turns a finished TraceDump into VCD with row sequence
+ * numbers as timestamps.
+ */
+
+#ifndef HWDBG_TRACE_VCD_HH
+#define HWDBG_TRACE_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace hwdbg::trace
+{
+
+class VcdBuilder
+{
+  public:
+    /** Declare a signal; returns its handle. Declaration order is
+     *  emission order. */
+    size_t addSignal(const std::string &name, uint32_t width);
+
+    /** Module name for the single $scope (default "top"). */
+    void setScope(const std::string &scope) { scope_ = scope; }
+
+    /** Record a value change at @p time (non-decreasing across calls). */
+    void change(size_t handle, uint64_t time, const Bits &value);
+
+    /** Render the accumulated dump as VCD text. */
+    std::string render() const;
+
+    /** Write the dump to @p path. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    struct Signal
+    {
+        std::string name;
+        uint32_t width;
+    };
+    struct Event
+    {
+        uint64_t time;
+        size_t handle;
+        Bits value;
+    };
+
+    std::string scope_ = "top";
+    std::vector<Signal> signals_;
+    std::vector<Event> events_;
+};
+
+/**
+ * Live sampling over a simulator: tracks every signal (memory words
+ * included) and change-detects on each sample(). The migration target
+ * for the old sim::VcdWriter call sites.
+ */
+class VcdRecorder
+{
+  public:
+    explicit VcdRecorder(sim::Simulator &sim);
+
+    /** Record current values at time @p time (monotonic). */
+    void sample(uint64_t time);
+
+    std::string render() const { return vcd_.render(); }
+    void writeFile(const std::string &path) const
+    {
+        vcd_.writeFile(path);
+    }
+
+  private:
+    sim::Simulator &sim_;
+    std::vector<TracedSignal> tracked_;
+    std::vector<Bits> last_;
+    bool started_ = false;
+    VcdBuilder vcd_;
+};
+
+/** Render a finished trace window as VCD (timestamps = eval seq). */
+std::string renderVcd(const TraceDump &dump);
+
+} // namespace hwdbg::trace
+
+#endif // HWDBG_TRACE_VCD_HH

@@ -1,0 +1,77 @@
+# Golden tests for the `hwdbg trace` CLI: byte-determinism of the
+# capture summary and JSON across runs, the artifact path (--out +
+# obscheck, --vcd), and loud failure on a glob that matches nothing.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_trace_work)
+file(MAKE_DIRECTORY ${work})
+
+# Captures are byte-deterministic: the same bug workload recorded twice
+# must match exactly, for the text summary and the JSON dump alike.
+foreach(bug D3 D4 D7)
+    execute_process(COMMAND ${HWDBG} trace --bug ${bug}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE run_a ERROR_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "hwdbg trace --bug ${bug} failed (rc=${rc})")
+    endif()
+    execute_process(COMMAND ${HWDBG} trace --bug ${bug}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE run_b ERROR_QUIET)
+    if(NOT run_a STREQUAL run_b)
+        message(FATAL_ERROR "trace --bug ${bug} is not deterministic")
+    endif()
+    if(NOT run_a MATCHES "capture")
+        message(FATAL_ERROR "trace --bug ${bug} summary is wrong: ${run_a}")
+    endif()
+    execute_process(COMMAND ${HWDBG} trace --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_a ERROR_QUIET)
+    execute_process(COMMAND ${HWDBG} trace --bug ${bug} --format json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE json_b ERROR_QUIET)
+    if(NOT json_a STREQUAL json_b)
+        message(FATAL_ERROR "trace --bug ${bug} JSON is not deterministic")
+    endif()
+endforeach()
+
+# --out writes the JSON artifact and obscheck validates it; --vcd
+# writes a waveform next to it.
+execute_process(COMMAND ${HWDBG} trace --bug D3
+                --out ${work}/d3.trace.json --vcd ${work}/d3.vcd
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${work}/d3.trace.json)
+    message(FATAL_ERROR "trace --out did not write the artifact")
+endif()
+execute_process(COMMAND ${HWDBG} obscheck ${work}/d3.trace.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(signal trace\\)")
+    message(FATAL_ERROR "obscheck rejected the trace artifact: ${out}")
+endif()
+if(NOT EXISTS ${work}/d3.vcd)
+    message(FATAL_ERROR "trace --vcd did not write the waveform")
+endif()
+file(READ ${work}/d3.vcd vcd)
+if(NOT vcd MATCHES "^\\$timescale")
+    message(FATAL_ERROR "trace --vcd output is not VCD: ${vcd}")
+endif()
+
+# A trigger narrows the window: the armed capture still validates.
+execute_process(COMMAND ${HWDBG} trace --bug C1 --trigger cmd_valid
+                --budget 2048 --out ${work}/c1.trace.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "fired at cycle")
+    message(FATAL_ERROR "triggered trace on C1 failed: ${out}")
+endif()
+execute_process(COMMAND ${HWDBG} obscheck ${work}/c1.trace.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(signal trace\\)")
+    message(FATAL_ERROR "obscheck rejected the triggered capture: ${out}")
+endif()
+
+# A glob matching no signal is a user error, reported loudly.
+execute_process(COMMAND ${HWDBG} trace --bug D3 --signals nosuchsignal
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0)
+    message(FATAL_ERROR "trace with a bad glob should fail")
+endif()
+if(NOT err MATCHES "nosuchsignal")
+    message(FATAL_ERROR "bad-glob error is unhelpful: ${err}")
+endif()
+
+message(STATUS "cli_trace checks passed")

@@ -21,7 +21,7 @@
 #include "hdl/parser.hh"
 #include "elab/elaborate.hh"
 #include "sim/simulator.hh"
-#include "sim/vcd.hh"
+#include "trace/vcd.hh"
 
 using namespace hwdbg;
 using namespace hwdbg::sim;
@@ -83,7 +83,7 @@ std::string
 replayTail(Simulator &sim, const StimulusTape &tape, size_t from,
            size_t to)
 {
-    VcdWriter vcd(sim);
+    trace::VcdRecorder vcd(sim);
     for (size_t i = from; i < to; ++i) {
         sim.applyStep(tape.steps[i]);
         vcd.sample(i);

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * TraceRecorder semantics: glob resolution over scalars and memory
+ * words, the budget-derived ring geometry, trigger edge/change
+ * outcomes (never fires, fires on the first eval, re-fires ignored),
+ * the budget-smaller-than-one-row corner, and the snapshot/restore
+ * frontier guarantee (time travel neither fabricates nor drops rows).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "elab/elaborate.hh"
+#include "hdl/parser.hh"
+#include "sim/simulator.hh"
+#include "trace/json.hh"
+#include "trace/trace.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::trace;
+
+namespace
+{
+
+const char *kCounter =
+    "module m(input wire clk, input wire rst,\n"
+    "         output reg [7:0] count);\n"
+    "always @(posedge clk)\n"
+    "  if (rst) count <= 0; else count <= count + 1;\nendmodule";
+
+std::unique_ptr<sim::Simulator>
+makeSim(const std::string &src, const std::string &top = "m")
+{
+    hdl::Design design = hdl::parse(src);
+    return std::make_unique<sim::Simulator>(
+        elab::elaborate(design, top).mod);
+}
+
+void
+tick(sim::Simulator &sim, int n = 1)
+{
+    for (int i = 0; i < n; ++i) {
+        sim.poke("clk", uint64_t(0));
+        sim.eval();
+        sim.poke("clk", uint64_t(1));
+        sim.eval();
+    }
+}
+
+/** Run @p cycles with reset held for the first two. */
+void
+runCounter(sim::Simulator &sim, int cycles)
+{
+    for (int t = 0; t < cycles; ++t) {
+        sim.poke("rst", uint64_t(t < 2 ? 1 : 0));
+        tick(sim);
+    }
+}
+
+} // namespace
+
+TEST(TraceGlobTest, MatchGlob)
+{
+    EXPECT_TRUE(matchGlob("*", "anything"));
+    EXPECT_TRUE(matchGlob("state", "state"));
+    EXPECT_FALSE(matchGlob("state", "state2"));
+    EXPECT_TRUE(matchGlob("*valid*", "in_valid_q"));
+    EXPECT_TRUE(matchGlob("mem[?]", "mem[3]"));
+    EXPECT_FALSE(matchGlob("mem[?]", "mem[12]"));
+    EXPECT_TRUE(matchGlob("a*b*c", "a_x_b_y_c"));
+    EXPECT_FALSE(matchGlob("a*b*c", "a_x_c_y_b"));
+    EXPECT_FALSE(matchGlob("", "x"));
+    EXPECT_TRUE(matchGlob("**", "x"));
+}
+
+TEST(TraceGlobTest, ResolveSignalsExpandsMemories)
+{
+    auto sim = makeSim(
+        "module m(input wire clk, output reg [7:0] n);\n"
+        "reg [7:0] mem [0:3];\n"
+        "always @(posedge clk) n <= n + 1;\nendmodule");
+
+    TraceConfig all; // empty globs: everything
+    auto everything = resolveSignals(sim->design(), all);
+    bool sawWord = false;
+    for (const auto &sig : everything)
+        if (sig.name == "mem[2]")
+            sawWord = true;
+    EXPECT_TRUE(sawWord);
+
+    TraceConfig bare;
+    bare.signals = {"mem"};
+    EXPECT_EQ(resolveSignals(sim->design(), bare).size(), 4u);
+
+    TraceConfig one;
+    one.signals = {"mem[1]"};
+    auto words = resolveSignals(sim->design(), one);
+    ASSERT_EQ(words.size(), 1u);
+    EXPECT_EQ(words[0].name, "mem[1]");
+    EXPECT_EQ(words[0].element, 1);
+
+    TraceConfig miss;
+    miss.signals = {"no_such_signal"};
+    EXPECT_THROW(resolveSignals(sim->design(), miss), HdlError);
+}
+
+TEST(TraceRecorderTest, RollingRingKeepsTheLastRows)
+{
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    // Row = 16 header + 1 value byte = 17; budget 68 -> depth 4.
+    cfg.budgetBytes = 68;
+    TraceRecorder rec(*sim, cfg);
+    EXPECT_EQ(rec.rowBytes(), 17u);
+    EXPECT_EQ(rec.depth(), 4u);
+
+    rec.attach();
+    runCounter(*sim, 20);
+    rec.detach();
+
+    TraceDump dump = rec.dump("unit");
+    EXPECT_FALSE(dump.armed);
+    ASSERT_EQ(dump.rows.size(), 4u);
+    // The window holds the newest change rows; older ones were dropped.
+    EXPECT_EQ(dump.samples, dump.rows.size() + dump.drops);
+    EXPECT_GT(dump.drops, 0u);
+    for (size_t i = 1; i < dump.rows.size(); ++i)
+        EXPECT_LT(dump.rows[i - 1].seq, dump.rows[i].seq);
+    EXPECT_EQ(dump.rows.back().values[0].toU64(), sim->peek("count").toU64());
+}
+
+TEST(TraceRecorderTest, TriggerThatNeverFiresKeepsArmedRing)
+{
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.trigger = "count == 8'hff"; // 20 cycles never reach 0xff
+    cfg.budgetBytes = 170;          // depth 10, pre 5 / post 5
+    TraceRecorder rec(*sim, cfg);
+    rec.attach();
+    runCounter(*sim, 20);
+    rec.detach();
+
+    TraceDump dump = rec.dump("unit");
+    EXPECT_TRUE(dump.armed);
+    EXPECT_FALSE(dump.fired);
+    EXPECT_EQ(dump.triggerFires, 0u);
+    // Only the pre-trigger ring holds rows, bounded by preDepth.
+    EXPECT_EQ(dump.preDepth, 5u);
+    EXPECT_EQ(dump.rows.size(), 5u);
+}
+
+TEST(TraceRecorderTest, TriggerFiresOnTheFirstPosedge)
+{
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.trigger = "clk"; // rises on the very first posedge
+    cfg.budgetBytes = 170;
+    TraceRecorder rec(*sim, cfg);
+    rec.attach();
+    runCounter(*sim, 20);
+    rec.detach();
+
+    TraceDump dump = rec.dump("unit");
+    EXPECT_TRUE(dump.fired);
+    // The cycle counter increments on the posedge, so the earliest
+    // possible trigger cycle is 1; eval 1 is the low phase, eval 2
+    // the firing posedge.
+    EXPECT_EQ(dump.triggerCycle, 1u);
+    EXPECT_EQ(dump.triggerSeq, 2u);
+    EXPECT_GE(dump.triggerFires, 1u);
+    // The window: the single pre-trigger row (the anchor row from
+    // eval 1 — the ring never filled) plus the full post window.
+    ASSERT_FALSE(dump.rows.empty());
+    EXPECT_EQ(dump.rows.front().seq, 1u);
+    EXPECT_EQ(dump.rows.size(), 1u + dump.postDepth);
+    // Changes past the filled window were dropped.
+    EXPECT_GT(dump.drops, 0u);
+}
+
+TEST(TraceRecorderTest, ConditionTrueAtAttachNeedsARisingEdge)
+{
+    // Edge semantics anchor at attach: the baseline is evaluated when
+    // the recorder hooks the simulator, so a condition that is already
+    // true then (and never goes false and true again) never fires.
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.trigger = "count < 8'h10"; // true at attach, false from 0x10 on
+    cfg.budgetBytes = 170;
+    TraceRecorder rec(*sim, cfg);
+    rec.attach();
+    runCounter(*sim, 20);
+    rec.detach();
+    EXPECT_FALSE(rec.triggered());
+    EXPECT_EQ(rec.triggerFires(), 0u);
+}
+
+TEST(TraceRecorderTest, ChangeTriggerFiresOnEveryValueChange)
+{
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.trigger = "change:count[1:0]";
+    cfg.budgetBytes = 1 << 12;
+    TraceRecorder rec(*sim, cfg);
+    rec.attach();
+    runCounter(*sim, 10);
+    rec.detach();
+    // count changes on 9 of 10 posedges (reset holds it at 0 once);
+    // every change of the low bits is a fire.
+    EXPECT_TRUE(rec.triggered());
+    EXPECT_GT(rec.triggerFires(), 1u);
+}
+
+TEST(TraceRecorderTest, BudgetSmallerThanOneRowRecordsNothing)
+{
+    auto sim = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.budgetBytes = 16; // rowBytes is 17
+    TraceRecorder rec(*sim, cfg);
+    EXPECT_EQ(rec.depth(), 0u);
+    rec.attach();
+    runCounter(*sim, 10);
+    rec.detach();
+
+    TraceDump dump = rec.dump("unit");
+    EXPECT_TRUE(dump.rows.empty());
+    EXPECT_GT(dump.drops, 0u);
+    EXPECT_EQ(dump.samples, dump.drops);
+    // The empty capture still renders and validates.
+    EXPECT_EQ(checkTraceDumpJson(toJson(dump)), "");
+}
+
+TEST(TraceRecorderTest, TimeTravelNeverFabricatesNorDropsRows)
+{
+    // Reference capture: straight-line run, no travel.
+    auto simA = makeSim(kCounter);
+    TraceConfig cfg;
+    cfg.signals = {"count"};
+    cfg.budgetBytes = 1 << 12;
+    TraceRecorder recA(*simA, cfg);
+    recA.attach();
+    runCounter(*simA, 12);
+    recA.detach();
+
+    // Travelled capture: identical stimulus, but snapshot at cycle 6
+    // and replay the tail twice. The frontier protocol must skip the
+    // replayed evals, so the dump matches the straight-line one.
+    auto simB = makeSim(kCounter);
+    TraceRecorder recB(*simB, cfg);
+    recB.attach();
+    for (int t = 0; t < 6; ++t) {
+        simB->poke("rst", uint64_t(t < 2 ? 1 : 0));
+        tick(*simB);
+    }
+    sim::SimSnapshot snap = simB->saveState();
+    for (int t = 6; t < 12; ++t) {
+        simB->poke("rst", uint64_t(0));
+        tick(*simB);
+    }
+    simB->restoreState(snap);
+    for (int t = 6; t < 12; ++t) {
+        simB->poke("rst", uint64_t(0));
+        tick(*simB);
+    }
+    recB.detach();
+
+    TraceDump a = recA.dump("unit");
+    TraceDump b = recB.dump("unit");
+    EXPECT_EQ(toJson(a), toJson(b));
+}

@@ -1,22 +1,27 @@
 /**
  * @file
- * Tests for the VCD waveform writer.
+ * Tests for the trace VCD emitter (the seed VcdWriter's successor):
+ * vector declarations, memory words, X-state initialization, and the
+ * live-sampling recorder.
  */
 
 #include <gtest/gtest.h>
 
-#include <memory>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "elab/elaborate.hh"
 #include "hdl/parser.hh"
 #include "sim/simulator.hh"
-#include "sim/vcd.hh"
+#include "trace/vcd.hh"
 
 using namespace hwdbg;
 using namespace hwdbg::hdl;
 using namespace hwdbg::sim;
+using hwdbg::trace::VcdBuilder;
+using hwdbg::trace::VcdRecorder;
 
 namespace
 {
@@ -28,24 +33,66 @@ makeSim(const std::string &src)
     return std::make_unique<Simulator>(elab::elaborate(design, "m").mod);
 }
 
+/** Body lines after the initial $dumpvars … $end block. */
+std::vector<std::string>
+bodyLines(const std::string &vcd)
+{
+    std::vector<std::string> out;
+    std::istringstream lines(vcd);
+    std::string line;
+    bool in_dump = false, in_body = false;
+    while (std::getline(lines, line)) {
+        if (line == "$dumpvars") {
+            in_dump = true;
+            continue;
+        }
+        if (in_dump && line == "$end") {
+            in_dump = false;
+            in_body = true;
+            continue;
+        }
+        if (in_body)
+            out.push_back(line);
+    }
+    return out;
+}
+
 } // namespace
 
-TEST(VcdTest, HeaderDeclaresScalarSignals)
+TEST(VcdTest, HeaderDeclaresVectorsAndMemoryWords)
 {
     auto sim = makeSim(
         "module m(input wire clk, output reg [7:0] n);\n"
         "reg [7:0] mem [0:3];\n"
         "always @(posedge clk) n <= n + 1;\nendmodule");
-    VcdWriter vcd(*sim);
+    VcdRecorder vcd(*sim);
     vcd.sample(0);
     std::string out = vcd.render();
     EXPECT_NE(out.find("$timescale"), std::string::npos);
     EXPECT_NE(out.find("$scope module m $end"), std::string::npos);
     EXPECT_NE(out.find("$var wire 1 ! clk $end"), std::string::npos);
     EXPECT_NE(out.find(" n $end"), std::string::npos);
-    // Memories are not dumped.
-    EXPECT_EQ(out.find(" mem $end"), std::string::npos);
+    // The seed writer skipped memories; words are first-class now.
+    EXPECT_NE(out.find(" mem[0] $end"), std::string::npos);
+    EXPECT_NE(out.find(" mem[3] $end"), std::string::npos);
+    EXPECT_NE(out.find("$var wire 8"), std::string::npos);
     EXPECT_NE(out.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(VcdTest, StartsAllSignalsAsX)
+{
+    VcdBuilder vcd;
+    size_t flag = vcd.addSignal("flag", 1);
+    size_t bus = vcd.addSignal("bus", 8);
+    vcd.change(flag, 5, Bits(1, 1));
+    vcd.change(bus, 5, Bits(8, 0xab));
+    std::string out = vcd.render();
+    // The window does not begin at time zero: scalars dump as x and
+    // vectors as bx until their first recorded change.
+    size_t dump = out.find("$dumpvars\nx!\nbx \"\n$end\n");
+    ASSERT_NE(dump, std::string::npos) << out;
+    EXPECT_NE(out.find("#5\n1!\nb10101011 \""), std::string::npos)
+        << out;
 }
 
 TEST(VcdTest, RecordsOnlyChanges)
@@ -53,7 +100,7 @@ TEST(VcdTest, RecordsOnlyChanges)
     auto sim = makeSim(
         "module m(input wire clk, output reg [3:0] n);\n"
         "always @(posedge clk) n <= n + 1;\nendmodule");
-    VcdWriter vcd(*sim);
+    VcdRecorder vcd(*sim);
     uint64_t t = 0;
     auto tick = [&] {
         sim->poke("clk", uint64_t(0));
@@ -65,20 +112,10 @@ TEST(VcdTest, RecordsOnlyChanges)
     };
     tick();
     tick();
-    std::string out = vcd.render();
 
     // Count the timestamps and the 4-bit vector changes of n.
     int times = 0, n_changes = 0;
-    std::istringstream lines(out);
-    std::string line;
-    bool in_body = false;
-    while (std::getline(lines, line)) {
-        if (line.rfind("$enddefinitions", 0) == 0) {
-            in_body = true;
-            continue;
-        }
-        if (!in_body)
-            continue;
+    for (const auto &line : bodyLines(vcd.render())) {
         if (!line.empty() && line[0] == '#')
             ++times;
         if (!line.empty() && line[0] == 'b')
@@ -89,12 +126,20 @@ TEST(VcdTest, RecordsOnlyChanges)
     EXPECT_EQ(n_changes, 3);
 }
 
+TEST(VcdTest, RejectsTimeGoingBackwards)
+{
+    VcdBuilder vcd;
+    size_t sig = vcd.addSignal("s", 1);
+    vcd.change(sig, 10, Bits(1, 1));
+    EXPECT_THROW(vcd.change(sig, 9, Bits(1, 0)), HdlError);
+}
+
 TEST(VcdTest, FileWriting)
 {
     auto sim = makeSim(
         "module m(input wire clk);\nreg x;\n"
         "always @(posedge clk) x <= !x;\nendmodule");
-    VcdWriter vcd(*sim);
+    VcdRecorder vcd(*sim);
     vcd.sample(0);
     std::string path = "/tmp/hwdbg_test_vcd_out.vcd";
     vcd.writeFile(path);
