@@ -23,6 +23,7 @@
  *                    [--budget N] [--vcd F] [--out F]
  *   hwdbg obscheck   <file>...
  *   hwdbg debug      <file|--bug ID> [--machine] [--script FILE] ...
+ *   hwdbg serve      [--port N | --connect N] [--script FILE]
  *   hwdbg version    (also --version)
  *   hwdbg help       [command]
  *
@@ -74,6 +75,7 @@
 #include "obs/jsoncheck.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/server.hh"
 #include "sim/profiler.hh"
 #include "synth/platform.hh"
 #include "trace/json.hh"
@@ -188,7 +190,8 @@ parseArgs(int argc, char **argv)
                 name == "loss" || name == "checkpoint-interval" ||
                 name == "checkpoint-capacity" || name == "out" ||
                 name == "cover-plateau" || name == "pass" ||
-                name == "race-chance";
+                name == "race-chance" || name == "port" ||
+                name == "connect";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -691,6 +694,49 @@ cmdDebug(const Args &args)
     return 0;
 }
 
+int
+cmdServe(const Args &args)
+{
+    std::string script = args.opt("script");
+
+    if (args.options.count("connect")) {
+        uint16_t port = static_cast<uint16_t>(
+            parseU64(args.opt("connect"), "--connect"));
+        if (script.empty())
+            return serve::runClient(port, std::cin, std::cout) ? 1 : 0;
+        std::ifstream in(script);
+        if (!in)
+            fatal("cannot open script '%s'", script.c_str());
+        return serve::runClient(port, in, std::cout) ? 1 : 0;
+    }
+
+    serve::ServerOptions sopts;
+    sopts.checkpointInterval =
+        parseU64(args.opt("checkpoint-interval", "128"),
+                 "--checkpoint-interval");
+    sopts.checkpointCapacity = static_cast<size_t>(
+        parseU64(args.opt("checkpoint-capacity", "64"),
+                 "--checkpoint-capacity"));
+    serve::Server server(sopts);
+
+    if (args.options.count("port")) {
+        uint16_t port = static_cast<uint16_t>(
+            parseU64(args.opt("port"), "--port"));
+        uint16_t bound = server.listenTcp(port);
+        // Announce on stderr so per-channel stdout stays clean.
+        std::fprintf(stderr, "hwdbg serve: listening on 127.0.0.1:%u\n",
+                     unsigned(bound));
+        return server.acceptLoop() ? 1 : 0;
+    }
+    if (!script.empty()) {
+        std::ifstream in(script);
+        if (!in)
+            fatal("cannot open script '%s'", script.c_str());
+        return server.runChannel(in, std::cout) ? 1 : 0;
+    }
+    return server.runChannel(std::cin, std::cout) ? 1 : 0;
+}
+
 cover::Snapshot
 parseCoverageFile(const std::string &path)
 {
@@ -928,11 +974,18 @@ cmdObscheck(const Args &args)
         std::string verdict;
         const char *kind = "metrics";
         obs::JsonPtr hello = obs::parseJson(firstLine, &error);
+        std::string proto;
         if (hello && hello->isObject() && hello->get("proto") &&
-            hello->get("proto")->isString() &&
-            hello->get("proto")->text == "hwdbg-debug") {
-            kind = "debug transcript";
-            verdict = debug::checkDebugTranscript(text);
+            hello->get("proto")->isString())
+            proto = hello->get("proto")->text;
+        if (proto == "hwdbg-debug" || proto == "hwdbg-serve") {
+            if (proto == "hwdbg-debug") {
+                kind = "debug transcript";
+                verdict = debug::checkDebugTranscript(text);
+            } else {
+                kind = "serve transcript";
+                verdict = serve::checkServeTranscript(text);
+            }
             if (verdict.empty()) {
                 std::printf("%s: ok (%s)\n", path.c_str(), kind);
             } else {
@@ -1156,9 +1209,9 @@ commands()
          "validate trace/metrics/coverage/analyze/debug files",
          "Sniffs each file's kind (Chrome trace, metrics snapshot,\n"
          "hwdbg-cover coverage file, hwdbg-analyze report, hwdbg-trace\n"
-         "signal trace, or hwdbg-debug machine transcript) and checks\n"
-         "it against the schema; exit 1 on the first violation per\n"
-         "file.\n",
+         "signal trace, hwdbg-debug machine transcript, or hwdbg-serve\n"
+         "server transcript) and checks it against the schema; exit 1\n"
+         "on the first violation per file.\n",
          cmdObscheck},
         {"debug", "debug <file|--bug ID> [--machine] [--script F]",
          "interactive time-travel debugger",
@@ -1182,6 +1235,36 @@ commands()
          "  --checkpoint-capacity N   ring size (64)\n"
          "Inside the session, 'help' lists the debugger commands.\n",
          cmdDebug},
+        {"serve", "serve [--port N | --connect N] [--script F]",
+         "multi-session debug/analysis server (JSON-lines)",
+         "Hosts many simultaneous sessions (debug, cover, trace,\n"
+         "analyze) over the JSON-lines protocol, multiplexed by\n"
+         "session id. Sessions attach through a shared design cache\n"
+         "(parse + elaborate + instrument + record once per\n"
+         "design/variant/backend) and dedupe checkpoint snapshots\n"
+         "content-addressed across sessions.\n"
+         "transports:\n"
+         "  (default)            one channel on stdin/stdout\n"
+         "  --script FILE        drive the stdio channel from FILE\n"
+         "                       (exit 1 when any command failed)\n"
+         "  --port N             TCP listener on 127.0.0.1:N (0 picks\n"
+         "                       a free port, printed on stderr); one\n"
+         "                       concurrent channel per connection\n"
+         "  --connect N          client mode: drive a running server\n"
+         "                       at 127.0.0.1:N from --script/stdin\n"
+         "server commands (one per line; 'help' lists them):\n"
+         "  open <kind> bug=ID|file=PATH [fixed] [backend=B]\n"
+         "       [stimulus=FILE] [out=FILE] [vcd=FILE] [signals=G]\n"
+         "       [trigger=E] [budget=N] [passes=A,B] [top=M]\n"
+         "  close <sid> | sessions | stats | help | quit | shutdown\n"
+         "session routing: JSON {\"session\":N,...} or a '@N' prefix\n"
+         "sends a debugger command to session N (e.g. '@2 step 5');\n"
+         "in client mode '@_' routes to the session this client most\n"
+         "recently opened, so one script fits concurrent clients.\n"
+         "options:\n"
+         "  --checkpoint-interval N   per-session snapshot cadence (128)\n"
+         "  --checkpoint-capacity N   per-session ring size (64)\n",
+         cmdServe},
         {"version", "version", "print build provenance",
          "Prints the hwdbg version, git hash, and build type — the\n"
          "same provenance stamped into every trace/metrics/coverage\n"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/coverage.hh"
+
 namespace hwdbg::debug
 {
 
@@ -15,8 +17,49 @@ breakpointKindName(Breakpoint::Kind kind)
         return "watch";
       case Breakpoint::Kind::Event:
         return "event";
+      case Breakpoint::Kind::Line:
+        return "line";
     }
     return "?";
+}
+
+namespace
+{
+
+/** File component after the last path separator. */
+std::string
+basenameOf(const std::string &path)
+{
+    size_t slash = path.find_last_of("/\\");
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+/** Sum of the resolved statements' execution counters. */
+uint64_t
+execSum(const Breakpoint &bp, const sim::CoverageCollector &cover)
+{
+    uint64_t sum = 0;
+    for (uint32_t id : bp.stmtIds)
+        sum += cover.stmtExecCount(id);
+    return sum;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+resolveLineStmts(const sim::CoverageItems &items, const std::string &file,
+                 uint32_t line)
+{
+    bool bareName = file.find_first_of("/\\") == std::string::npos;
+    std::vector<uint32_t> ids;
+    for (size_t i = 0; i < items.statements.size(); ++i) {
+        const auto &loc = items.statements[i].loc;
+        if (loc.line != static_cast<int>(line))
+            continue;
+        if (loc.file == file || (bareName && basenameOf(loc.file) == file))
+            ids.push_back(static_cast<uint32_t>(i));
+    }
+    return ids;
 }
 
 int
@@ -32,6 +75,22 @@ BreakpointSet::add(Breakpoint::Kind kind, const std::string &spec,
         bp.lastBool = sim::evalBool(bp.expr, ctx);
     else if (bp.kind == Breakpoint::Kind::Watch)
         bp.lastValue = sim::evalExpr(bp.expr, ctx);
+    bps_.push_back(std::move(bp));
+    return bps_.back().id;
+}
+
+int
+BreakpointSet::addLine(const std::string &spec,
+                       std::vector<uint32_t> stmt_ids, hdl::ExprPtr cond,
+                       const sim::CoverageCollector &cover)
+{
+    Breakpoint bp;
+    bp.id = nextId_++;
+    bp.kind = Breakpoint::Kind::Line;
+    bp.spec = spec;
+    bp.expr = std::move(cond);
+    bp.stmtIds = std::move(stmt_ids);
+    bp.lastExec = execSum(bp, cover);
     bps_.push_back(std::move(bp));
     return bps_.back().id;
 }
@@ -72,7 +131,8 @@ BreakpointSet::eventMatches(const std::string &spec, const std::string &key)
 
 std::vector<int>
 BreakpointSet::check(sim::EvalContext &ctx,
-                     const std::vector<DebugEvent> &events)
+                     const std::vector<DebugEvent> &events,
+                     const sim::CoverageCollector *cover)
 {
     std::vector<int> fired;
     for (auto &bp : bps_) {
@@ -98,6 +158,15 @@ BreakpointSet::check(sim::EvalContext &ctx,
                 }
             }
             break;
+          case Breakpoint::Kind::Line: {
+            if (!cover)
+                break;
+            uint64_t now = execSum(bp, *cover);
+            hit = now > bp.lastExec &&
+                  (!bp.expr || sim::evalBool(bp.expr, ctx));
+            bp.lastExec = now;
+            break;
+          }
         }
         if (hit && bp.enabled) {
             ++bp.hits;
@@ -108,13 +177,16 @@ BreakpointSet::check(sim::EvalContext &ctx,
 }
 
 void
-BreakpointSet::rebase(sim::EvalContext &ctx)
+BreakpointSet::rebase(sim::EvalContext &ctx,
+                      const sim::CoverageCollector *cover)
 {
     for (auto &bp : bps_) {
         if (bp.kind == Breakpoint::Kind::Expr)
             bp.lastBool = sim::evalBool(bp.expr, ctx);
         else if (bp.kind == Breakpoint::Kind::Watch)
             bp.lastValue = sim::evalExpr(bp.expr, ctx);
+        else if (bp.kind == Breakpoint::Kind::Line && cover)
+            bp.lastExec = execSum(bp, *cover);
     }
 }
 

@@ -2,7 +2,7 @@
  * @file
  * Conditional breakpoints, watchpoints, and paper-tool event breaks.
  *
- * Three kinds, all checked after every stimulus step (sub-cycle
+ * Four kinds, all checked after every stimulus step (sub-cycle
  * granularity — both clock phases are visible):
  *
  *  - Expr: a Verilog boolean expression over design signals
@@ -13,9 +13,15 @@
  *    (`fsm:ctrl_state`, `dep:req_data`, `loss:vm0_stage`); fires when
  *    the step emits a matching event. The bare category (`fsm`, `dep`,
  *    `loss`) matches every event of that kind.
+ *  - Line: an hgdb-style virtual breakpoint `at <file>:<line>
+ *    [if <expr>]` resolved against the elaborated design's statement
+ *    source locations. Fires on any step whose eval executed one of
+ *    the resolved statements (detected via the coverage collector's
+ *    per-statement execution counters), gated by the optional enable
+ *    condition evaluated post-step.
  *
- * Edge/change baselines are rebased after time travel so a breakpoint
- * never fires "on arrival" at a restored state.
+ * Edge/change/execution baselines are rebased after time travel so a
+ * breakpoint never fires "on arrival" at a restored state.
  */
 
 #ifndef HWDBG_DEBUG_BREAKPOINT_HH
@@ -26,6 +32,12 @@
 
 #include "hdl/ast.hh"
 #include "sim/eval.hh"
+
+namespace hwdbg::sim
+{
+class CoverageCollector;
+struct CoverageItems;
+} // namespace hwdbg::sim
 
 namespace hwdbg::debug
 {
@@ -42,13 +54,15 @@ struct DebugEvent
 
 struct Breakpoint
 {
-    enum class Kind { Expr, Watch, Event };
+    enum class Kind { Expr, Watch, Event, Line };
 
     int id = 0;
     Kind kind = Kind::Expr;
-    /** Source text of the condition / watched expr / event key. */
+    /** Source text of the condition / watched expr / event key /
+     *  "<file>:<line>[ if <cond>]" location. */
     std::string spec;
-    /** Parsed + annotated expression (null for Event). */
+    /** Parsed + annotated expression (null for Event; the optional
+     *  enable condition for Line). */
     hdl::ExprPtr expr;
     bool enabled = true;
     uint64_t hits = 0;
@@ -57,9 +71,26 @@ struct Breakpoint
     bool lastBool = false;
     /** Change baseline (Watch). */
     Bits lastValue;
+    /** Coverage statement ids resolved from the source location
+     *  (Line). */
+    std::vector<uint32_t> stmtIds;
+    /** Execution-count baseline: sum of stmtIds' exec counters at the
+     *  last check/rebase (Line). */
+    uint64_t lastExec = 0;
 };
 
 const char *breakpointKindName(Breakpoint::Kind kind);
+
+/**
+ * Resolve a virtual-breakpoint location against the elaborated
+ * design's statement source locations: every coverage statement id
+ * whose loc matches (@p file, @p line). @p file matches exactly, or by
+ * basename when it carries no path separator (so `break at fifo.v:12`
+ * works regardless of how the design was loaded).
+ */
+std::vector<uint32_t> resolveLineStmts(const sim::CoverageItems &items,
+                                       const std::string &file,
+                                       uint32_t line);
 
 class BreakpointSet
 {
@@ -69,6 +100,12 @@ class BreakpointSet
     int add(Breakpoint::Kind kind, const std::string &spec,
             hdl::ExprPtr expr, sim::EvalContext &ctx);
 
+    /** Add a virtual line breakpoint over resolved statement ids with
+     *  an optional enable condition; the execution baseline is taken
+     *  from @p cover immediately. Returns the assigned id. */
+    int addLine(const std::string &spec, std::vector<uint32_t> stmt_ids,
+                hdl::ExprPtr cond, const sim::CoverageCollector &cover);
+
     bool remove(int id);
     bool setEnabled(int id, bool enabled);
 
@@ -76,13 +113,17 @@ class BreakpointSet
      * Evaluate every enabled breakpoint against post-step state and
      * the step's events; returns the ids that fired (baselines
      * updated). Disabled breakpoints still track baselines so enabling
-     * them later behaves like a fresh add.
+     * them later behaves like a fresh add. @p cover feeds Line
+     * breakpoints' execution counters (null when none exist).
      */
     std::vector<int> check(sim::EvalContext &ctx,
-                           const std::vector<DebugEvent> &events);
+                           const std::vector<DebugEvent> &events,
+                           const sim::CoverageCollector *cover = nullptr);
 
-    /** Re-take every baseline from @p ctx (after restore/goto). */
-    void rebase(sim::EvalContext &ctx);
+    /** Re-take every baseline from @p ctx / @p cover (after
+     *  restore/goto). */
+    void rebase(sim::EvalContext &ctx,
+                const sim::CoverageCollector *cover = nullptr);
 
     const std::vector<Breakpoint> &all() const { return bps_; }
     const Breakpoint *find(int id) const;

@@ -7,9 +7,19 @@
 namespace hwdbg::debug
 {
 
-CheckpointRing::CheckpointRing(uint64_t interval, size_t capacity)
-    : interval_(interval), capacity_(capacity ? capacity : 1)
+CheckpointRing::CheckpointRing(uint64_t interval, size_t capacity,
+                               SnapshotInterner *interner)
+    : interval_(interval), capacity_(capacity ? capacity : 1),
+      interner_(interner)
 {
+}
+
+std::shared_ptr<const sim::SimSnapshot>
+CheckpointRing::intern(sim::SimSnapshot &&snap)
+{
+    if (interner_)
+        return interner_->intern(std::move(snap));
+    return std::make_shared<const sim::SimSnapshot>(std::move(snap));
 }
 
 void
@@ -17,7 +27,7 @@ CheckpointRing::saveInitial(const sim::Simulator &sim)
 {
     initial_.position = 0;
     initial_.cycle = sim.cycle();
-    initial_.snap = sim.saveState();
+    initial_.snap = intern(sim.saveState());
     haveInitial_ = true;
     HWDBG_STAT_MAX("debug.checkpoint_bytes", totalBytes());
 }
@@ -34,7 +44,7 @@ CheckpointRing::maybeSave(uint64_t position, const sim::Simulator &sim)
     Checkpoint cp;
     cp.position = position;
     cp.cycle = sim.cycle();
-    cp.snap = sim.saveState();
+    cp.snap = intern(sim.saveState());
     // Keep the deque sorted: replay re-saves arrive out of order
     // relative to positions already present.
     auto it = std::upper_bound(ring_.begin(), ring_.end(), position,
@@ -63,9 +73,9 @@ CheckpointRing::nearestAtOrBefore(uint64_t position) const
 size_t
 CheckpointRing::totalBytes() const
 {
-    size_t total = haveInitial_ ? initial_.snap.sizeBytes() : 0;
+    size_t total = haveInitial_ ? initial_.snap->sizeBytes() : 0;
     for (const auto &cp : ring_)
-        total += cp.snap.sizeBytes();
+        total += cp.snap->sizeBytes();
     return total;
 }
 

@@ -18,18 +18,36 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "sim/simulator.hh"
 
 namespace hwdbg::debug
 {
 
+/**
+ * Content-addressing seam for checkpoint snapshots. The serve layer's
+ * SnapshotStore implements this over snapshotFingerprint() so sessions
+ * replaying the same stimulus prefix share one immutable copy of each
+ * identical snapshot instead of each holding its own.
+ */
+class SnapshotInterner
+{
+  public:
+    virtual ~SnapshotInterner() = default;
+    /** Return a shared immutable snapshot equal to @p snap, reusing a
+     *  previously-interned copy when the content matches. */
+    virtual std::shared_ptr<const sim::SimSnapshot>
+    intern(sim::SimSnapshot &&snap) = 0;
+};
+
 struct Checkpoint
 {
     /** Stimulus steps applied when the snapshot was taken. */
     uint64_t position = 0;
     uint64_t cycle = 0;
-    sim::SimSnapshot snap;
+    /** Immutable, possibly shared across sessions via an interner. */
+    std::shared_ptr<const sim::SimSnapshot> snap;
 };
 
 class CheckpointRing
@@ -39,8 +57,11 @@ class CheckpointRing
      * @param interval Steps between periodic snapshots (0 disables
      *                 periodic checkpoints; only position 0 is kept).
      * @param capacity Max periodic snapshots retained (oldest evicted).
+     * @param interner Optional content-addressed snapshot store; null
+     *                 keeps every snapshot privately.
      */
-    CheckpointRing(uint64_t interval, size_t capacity);
+    CheckpointRing(uint64_t interval, size_t capacity,
+                   SnapshotInterner *interner = nullptr);
 
     /** Pin the position-0 snapshot (call once, before any step). */
     void saveInitial(const sim::Simulator &sim);
@@ -63,8 +84,11 @@ class CheckpointRing
     size_t totalBytes() const;
 
   private:
+    std::shared_ptr<const sim::SimSnapshot> intern(sim::SimSnapshot &&snap);
+
     uint64_t interval_;
     size_t capacity_;
+    SnapshotInterner *interner_ = nullptr;
     bool haveInitial_ = false;
     Checkpoint initial_;
     /** Sorted by position (saves always happen at increasing positions

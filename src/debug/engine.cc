@@ -98,12 +98,16 @@ loadStimulusFile(const std::string &path)
     return tape;
 }
 
-Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
+Engine::Engine(hdl::ModulePtr module,
+               std::shared_ptr<const sim::StimulusTape> tape,
                EngineOptions opts)
     : sim_(std::move(module)), tape_(std::move(tape)),
       opts_(std::move(opts)),
-      ring_(opts_.checkpointInterval, opts_.checkpointCapacity)
+      ring_(opts_.checkpointInterval, opts_.checkpointCapacity,
+            opts_.snapshots)
 {
+    if (!tape_)
+        tape_ = std::make_shared<const sim::StimulusTape>();
     if (opts_.backend)
         sim_.setBackend(opts_.backend);
     ring_.saveInitial(sim_);
@@ -111,6 +115,14 @@ Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
         sim_.design(), cover::fsmSpecsFor(sim_.design().module()));
     cover_ = std::make_unique<sim::CoverageCollector>(coverItems_);
     sim_.enableCoverage(cover_.get());
+}
+
+Engine::Engine(hdl::ModulePtr module, sim::StimulusTape tape,
+               EngineOptions opts)
+    : Engine(std::move(module),
+             std::make_shared<const sim::StimulusTape>(std::move(tape)),
+             std::move(opts))
+{
 }
 
 Engine::~Engine() = default;
@@ -211,7 +223,7 @@ std::vector<DebugEvent>
 Engine::stepOnce(bool quiet)
 {
     size_t logBefore = sim_.log().size();
-    sim_.applyStep(tape_.steps[pos_]);
+    sim_.applyStep(tape_->steps[pos_]);
     ++pos_;
     if (cycleAt_.size() < pos_)
         cycleAt_.push_back(sim_.cycle());
@@ -226,7 +238,7 @@ void
 Engine::restoreTo(uint64_t target)
 {
     const Checkpoint *cp = ring_.nearestAtOrBefore(target);
-    sim_.restoreState(cp->snap);
+    sim_.restoreState(*cp->snap);
     pos_ = cp->position;
     while (pos_ < target)
         stepOnce(true);
@@ -241,7 +253,7 @@ Engine::run()
     obs::ObsSpan span("debug.run");
     while (!atEnd() && !finished()) {
         auto events = stepOnce(false);
-        auto hits = bps_.check(sim_.context(), events);
+        auto hits = bps_.check(sim_.context(), events, cover_.get());
         if (!hits.empty())
             return {StopReason::Breakpoint, std::move(hits),
                     std::move(events)};
@@ -259,7 +271,7 @@ Engine::stepCycles(uint64_t n)
     uint64_t target = cycle() + n;
     while (cycle() < target && !atEnd() && !finished()) {
         auto events = stepOnce(false);
-        auto hits = bps_.check(sim_.context(), events);
+        auto hits = bps_.check(sim_.context(), events, cover_.get());
         if (!hits.empty())
             return {StopReason::Breakpoint, std::move(hits),
                     std::move(events)};
@@ -279,7 +291,7 @@ Engine::runUntil(const std::string &expr_text)
     hdl::ExprPtr expr = parseExpr(expr_text);
     while (!atEnd() && !finished()) {
         auto events = stepOnce(false);
-        auto hits = bps_.check(sim_.context(), events);
+        auto hits = bps_.check(sim_.context(), events, cover_.get());
         if (!hits.empty())
             return {StopReason::Breakpoint, std::move(hits),
                     std::move(events)};
@@ -320,7 +332,7 @@ Engine::gotoCycle(uint64_t target)
         while (!atEnd() && !finished() && cycle() < target)
             stepOnce(true);
     }
-    bps_.rebase(sim_.context());
+    bps_.rebase(sim_.context(), cover_.get());
     if (cycle() == target)
         return {StopReason::None, {}, {}};
     return {finished() ? StopReason::Finished : StopReason::EndOfTape,
@@ -348,6 +360,26 @@ Engine::evalNow(const std::string &expr_text)
 {
     hdl::ExprPtr expr = parseExpr(expr_text);
     return sim::evalExpr(expr, sim_.context());
+}
+
+int
+Engine::addLineBreakpoint(const std::string &file, uint32_t line,
+                          const std::string &cond_text)
+{
+    auto ids = resolveLineStmts(coverItems_, file, line);
+    if (ids.empty())
+        fatal("no executable statement at %s:%u", file.c_str(),
+              unsigned(line));
+    hdl::ExprPtr cond;
+    if (!cond_text.empty())
+        cond = parseExpr(cond_text);
+    cover_->enableStmtCounts();
+    std::string spec = file + ":" + std::to_string(line);
+    if (!cond_text.empty())
+        spec += " if " + cond_text;
+    int id = bps_.addLine(spec, std::move(ids), std::move(cond), *cover_);
+    HWDBG_STAT_INC("debug.breakpoints.line", 1);
+    return id;
 }
 
 std::vector<Engine::BacktraceEntry>

@@ -92,6 +92,10 @@ struct EngineOptions
      *  Installed before the initial checkpoint so the whole session —
      *  including time travel — replays on the chosen backend. */
     sim::BackendFactory backend;
+    /** Content-addressed checkpoint store shared across sessions (the
+     *  serve layer's SnapshotStore); null keeps snapshots private. The
+     *  pointee must outlive the engine. */
+    SnapshotInterner *snapshots = nullptr;
 };
 
 class Engine
@@ -115,6 +119,13 @@ class Engine
         std::vector<DebugEvent> events;
     };
 
+    /** Shared-tape form: many sessions replaying the same recorded
+     *  stimulus reference one immutable tape (the serve layer's design
+     *  cache hands every session the same pointer). */
+    Engine(hdl::ModulePtr module,
+           std::shared_ptr<const sim::StimulusTape> tape,
+           EngineOptions opts = {});
+    /** Owning convenience form for single-session use. */
     Engine(hdl::ModulePtr module, sim::StimulusTape tape,
            EngineOptions opts = {});
     ~Engine();
@@ -140,8 +151,8 @@ class Engine
     /** Stimulus steps applied so far (the tape position). */
     uint64_t position() const { return pos_; }
     /** Total steps on the recorded stimulus tape. */
-    uint64_t tapeSize() const { return tape_.steps.size(); }
-    bool atEnd() const { return pos_ >= tape_.steps.size(); }
+    uint64_t tapeSize() const { return tape_->steps.size(); }
+    bool atEnd() const { return pos_ >= tape_->steps.size(); }
     bool finished() const;
 
     /** Evaluate a Verilog expression against current state. */
@@ -217,6 +228,16 @@ class Engine
     /** Parse + annotate an expression against this design. */
     hdl::ExprPtr parseExpr(const std::string &expr_text) const;
 
+    /**
+     * Add an hgdb-style virtual breakpoint at a source location, with
+     * an optional enable condition (empty = unconditional). Resolves
+     * (@p file, @p line) against the elaborated design's statement
+     * locations; raises HdlError when no executable statement matches.
+     * Returns the breakpoint id.
+     */
+    int addLineBreakpoint(const std::string &file, uint32_t line,
+                          const std::string &cond_text);
+
   private:
     /** Apply the next tape step; returns the events it emitted. */
     std::vector<DebugEvent> stepOnce(bool quiet);
@@ -227,7 +248,7 @@ class Engine
     std::vector<DebugEvent> eventsFromLog(size_t log_from) const;
 
     sim::Simulator sim_;
-    sim::StimulusTape tape_;
+    std::shared_ptr<const sim::StimulusTape> tape_;
     EngineOptions opts_;
     BreakpointSet bps_;
     CheckpointRing ring_;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Transport-agnostic debugger command dispatch.
+ *
+ * ProtocolHandler owns everything between "a parsed Request" and "the
+ * bytes of a response": the command table, dispatch, machine-protocol
+ * field rendering, and the per-command observability (span + latency
+ * histogram + error counters). Transports stay thin — the single-user
+ * REPL (repl.cc) reads lines from a stream, the multi-session server
+ * (src/serve) routes requests by session id; both produce byte-
+ * identical responses for the same engine state and request because
+ * all rendering lives here.
+ */
+
+#ifndef HWDBG_DEBUG_HANDLER_HH
+#define HWDBG_DEBUG_HANDLER_HH
+
+#include <string>
+#include <vector>
+
+#include "debug/engine.hh"
+#include "debug/protocol.hh"
+
+namespace hwdbg::debug
+{
+
+class ProtocolHandler
+{
+  public:
+    explicit ProtocolHandler(Engine &engine) : engine_(engine) {}
+
+    /** One command's outcome, rendered for both frontends. */
+    struct Result
+    {
+        bool ok = true;
+        std::string error;
+        /** Pre-rendered payload object ("" = no payload field). */
+        std::string payloadJson;
+        std::vector<std::string> humanLines;
+        bool quit = false;
+    };
+
+    /** The machine-mode hello line (without trailing newline). */
+    std::string helloJson() const;
+
+    /**
+     * Dispatch one request: obs span + latency/error metrics around
+     * the command, HdlError mapped to a failed Result. Never throws on
+     * malformed commands — res.ok carries the verdict.
+     */
+    Result handle(const Request &req);
+
+    /**
+     * Append the machine-protocol response fields — id/ok/[error]/cmd/
+     * [payload]/state, exactly in that order — onto @p resp. The
+     * object may already carry leading transport fields (the serve
+     * multiplexer's "session"); with none it renders the byte-exact
+     * `hwdbg debug --machine` response line.
+     */
+    void responseFields(const Request &req, const Result &res,
+                        JsonObject &resp) const;
+
+    Engine &engine() { return engine_; }
+
+  private:
+    Engine &engine_;
+};
+
+} // namespace hwdbg::debug
+
+#endif // HWDBG_DEBUG_HANDLER_HH

@@ -95,6 +95,11 @@ parseRequestLine(const std::string &line)
             req.hasId = true;
             req.id = static_cast<int64_t>(id->number);
         }
+        if (const auto *sess = root->get("session");
+            sess && sess->isNumber()) {
+            req.hasSession = true;
+            req.session = static_cast<int64_t>(sess->number);
+        }
         const auto *cmd = root->get("cmd");
         if (!cmd || !cmd->isString()) {
             req.error = "request is missing a string \"cmd\"";
@@ -127,6 +132,25 @@ parseRequestLine(const std::string &line)
 
     std::istringstream toks(line);
     toks >> req.cmd;
+    // Bare-text session routing: "@2 step 5" targets session 2.
+    if (req.cmd.size() > 1 && req.cmd[0] == '@') {
+        bool digits = true;
+        for (size_t i = 1; i < req.cmd.size(); ++i)
+            digits = digits && req.cmd[i] >= '0' && req.cmd[i] <= '9';
+        if (!digits) {
+            req.error = "bad session prefix '" + req.cmd + "'";
+            req.cmd.clear();
+            return req;
+        }
+        req.hasSession = true;
+        req.session = std::stoll(req.cmd.substr(1));
+        req.cmd.clear();
+        toks >> req.cmd;
+        if (req.cmd.empty()) {
+            req.error = "session prefix without a command";
+            return req;
+        }
+    }
     std::string tok;
     while (toks >> tok)
         req.args.push_back(tok);
@@ -157,11 +181,14 @@ checkStateObject(const obs::JsonValue &state)
     return "";
 }
 
+} // namespace
+
 std::string
-checkResponseObject(const obs::JsonValue &obj)
+checkResponseMembers(const obs::JsonValue &obj, size_t from,
+                     bool stateOptional)
 {
     const auto &m = obj.members;
-    size_t i = 0;
+    size_t i = from;
     auto has = [&](const char *k) {
         return i < m.size() && m[i].first == k;
     };
@@ -202,19 +229,19 @@ checkResponseObject(const obs::JsonValue &obj)
         ++i;
     }
 
-    if (!has("state"))
+    if (has("state")) {
+        std::string err = checkStateObject(*m[i].second);
+        if (!err.empty())
+            return err;
+        ++i;
+    } else if (!stateOptional) {
         return "expected \"state\" as the final field";
-    std::string err = checkStateObject(*m[i].second);
-    if (!err.empty())
-        return err;
-    ++i;
+    }
 
     if (i != m.size())
         return "unexpected field \"" + m[i].first + "\" after state";
     return "";
 }
-
-} // namespace
 
 std::string
 checkDebugTranscript(const std::string &text)
@@ -247,7 +274,8 @@ checkDebugTranscript(const std::string &text)
             sawHello = true;
             continue;
         }
-        std::string err = checkResponseObject(*root);
+        std::string err =
+            checkResponseMembers(*root, 0, /*stateOptional=*/false);
         if (!err.empty())
             return csprintf("line %d: %s", lineno, err.c_str());
     }

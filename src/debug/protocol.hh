@@ -30,6 +30,11 @@
 #include <string>
 #include <vector>
 
+namespace hwdbg::obs
+{
+struct JsonValue;
+}
+
 namespace hwdbg::debug
 {
 
@@ -38,6 +43,11 @@ struct Request
 {
     bool hasId = false;
     int64_t id = 0;
+    /** Serve-mode session routing: JSON `"session":N` or a bare-text
+     *  `@N ` prefix. Absent (hasSession false) in plain debug mode and
+     *  for serve's own server-level commands. */
+    bool hasSession = false;
+    int64_t session = 0;
     std::string cmd;
     std::vector<std::string> args;
     /** Non-empty when the line could not be parsed. */
@@ -77,6 +87,17 @@ std::string jsonArray(const std::vector<std::string> &elems);
  * Returns "" when valid, else "line N: reason".
  */
 std::string checkDebugTranscript(const std::string &text);
+
+/**
+ * Validate response members of a parsed JSON object starting at member
+ * index @p from: id/ok/[error]/cmd/[payload]/state in exactly that
+ * order. With @p stateOptional the trailing state object may be absent
+ * (serve's server-level responses); when present it is still fully
+ * validated. Returns "" when valid, else a reason. Serve prepends a
+ * "session" member and validates the rest with from = 1.
+ */
+std::string checkResponseMembers(const obs::JsonValue &obj, size_t from,
+                                 bool stateOptional);
 
 } // namespace hwdbg::debug
 

@@ -13,6 +13,9 @@
  *   run-until <expr>         run until the expression becomes true
  *   break <expr>             conditional breakpoint (false -> true edge)
  *   break event <key>        break on a paper-tool event (fsm:/dep:/loss:)
+ *   break at <file>:<line> [if <expr>]
+ *                            virtual breakpoint on a source line
+ *                            with an optional enable condition
  *   watch <expr>             stop whenever the expression changes value
  *   delete <id>              remove a breakpoint
  *   enable <id> | disable <id>

@@ -1,0 +1,67 @@
+#include "serve/session.hh"
+
+#include "obs/metrics.hh"
+
+namespace hwdbg::serve
+{
+
+std::shared_ptr<Session>
+SessionRegistry::create(const std::string &kind)
+{
+    auto sess = std::make_shared<Session>();
+    sess->kind = kind;
+    std::lock_guard<std::mutex> lock(mu_);
+    sess->id = nextId_++;
+    sessions_[sess->id] = sess;
+    ++opened_;
+    HWDBG_STAT_INC("serve.sessions.opened", 1);
+    HWDBG_STAT_MAX("serve.sessions.peak", sessions_.size());
+    return sess;
+}
+
+std::shared_ptr<Session>
+SessionRegistry::find(int64_t id) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool
+SessionRegistry::close(int64_t id)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end())
+        return false;
+    sessions_.erase(it);
+    HWDBG_STAT_INC("serve.sessions.closed", 1);
+    return true;
+}
+
+std::vector<std::shared_ptr<Session>>
+SessionRegistry::list() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::shared_ptr<Session>> out;
+    out.reserve(sessions_.size());
+    for (const auto &[id, sess] : sessions_)
+        out.push_back(sess);
+    return out;
+}
+
+size_t
+SessionRegistry::count() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return sessions_.size();
+}
+
+uint64_t
+SessionRegistry::opened() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return opened_;
+}
+
+} // namespace hwdbg::serve

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Serve sessions: one attached client activity over a cached design.
+ *
+ * A `debug` session owns a live Engine + ProtocolHandler pair built on
+ * a clone of the cached master module; routed requests (`"session":N`
+ * or a bare `@N ` prefix) dispatch into its handler under the session
+ * mutex, so two channels can safely share one session. One-shot kinds
+ * (`cover`, `trace`, `analyze`) run their whole job at open time on
+ * their own clone, keep the result summary, and stay listed until
+ * closed so `sessions` shows what the server has done.
+ */
+
+#ifndef HWDBG_SERVE_SESSION_HH
+#define HWDBG_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "debug/engine.hh"
+#include "debug/handler.hh"
+#include "serve/cache.hh"
+
+namespace hwdbg::serve
+{
+
+struct Session
+{
+    int64_t id = 0;
+    /** debug | cover | trace | analyze */
+    std::string kind;
+    std::shared_ptr<const CachedDesign> design;
+    /** Whether the attach was served from the design cache. */
+    bool cacheHit = false;
+
+    /** Live debugger state (kind == "debug" only). */
+    std::unique_ptr<debug::Engine> engine;
+    std::unique_ptr<debug::ProtocolHandler> handler;
+
+    /** One-shot result summary, pre-rendered JSON (non-debug kinds). */
+    std::string summaryJson;
+
+    /** Serializes routed commands; channels may share a session. */
+    std::mutex mu;
+};
+
+class SessionRegistry
+{
+  public:
+    /** Allocate the next session id and register an empty session. */
+    std::shared_ptr<Session> create(const std::string &kind);
+    std::shared_ptr<Session> find(int64_t id) const;
+    bool close(int64_t id);
+    /** Sessions sorted by id (stable listing for transcripts). */
+    std::vector<std::shared_ptr<Session>> list() const;
+    size_t count() const;
+    /** Total sessions ever opened (monotonic). */
+    uint64_t opened() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<int64_t, std::shared_ptr<Session>> sessions_;
+    int64_t nextId_ = 1;
+    uint64_t opened_ = 0;
+};
+
+} // namespace hwdbg::serve
+
+#endif // HWDBG_SERVE_SESSION_HH

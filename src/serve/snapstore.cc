@@ -1,0 +1,74 @@
+#include "serve/snapstore.hh"
+
+#include "obs/metrics.hh"
+#include "sim/simulator.hh"
+
+namespace hwdbg::serve
+{
+
+std::shared_ptr<const sim::SimSnapshot>
+SnapshotStore::intern(sim::SimSnapshot &&snap)
+{
+    uint64_t hash = sim::snapshotFingerprint(snap);
+    size_t bytes = snap.sizeBytes();
+
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = byHash_.find(hash);
+    if (it != byHash_.end()) {
+        // Guard against hash collisions with the two cheap invariants
+        // a genuine duplicate must share; a mismatch stores privately.
+        if (auto live = it->second.lock();
+            live && live->cycle == snap.cycle &&
+            live->evalSeq == snap.evalSeq &&
+            live->sizeBytes() == bytes) {
+            ++stats_.dedupHits;
+            stats_.dedupBytes += bytes;
+            HWDBG_STAT_INC("serve.snapshot.dedup_hits", 1);
+            HWDBG_STAT_INC("serve.snapshot.dedup_bytes", bytes);
+            return live;
+        }
+    }
+
+    auto owned =
+        std::make_shared<const sim::SimSnapshot>(std::move(snap));
+    byHash_[hash] = owned;
+    ++stats_.stored;
+    stats_.storedBytes += bytes;
+    HWDBG_STAT_INC("serve.snapshot.stored", 1);
+    HWDBG_STAT_INC("serve.snapshot.stored_bytes", bytes);
+
+    // Amortized prune: expired weak entries are only bookkeeping, but
+    // an unbounded map would grow with every unique snapshot ever seen.
+    if (++sincePrune_ >= 64) {
+        sincePrune_ = 0;
+        for (auto walk = byHash_.begin(); walk != byHash_.end();) {
+            if (walk->second.expired())
+                walk = byHash_.erase(walk);
+            else
+                ++walk;
+        }
+    }
+    return owned;
+}
+
+SnapshotStore::Stats
+SnapshotStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+size_t
+SnapshotStore::size()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = byHash_.begin(); it != byHash_.end();) {
+        if (it->second.expired())
+            it = byHash_.erase(it);
+        else
+            ++it;
+    }
+    return byHash_.size();
+}
+
+} // namespace hwdbg::serve

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Content-addressed snapshot store shared across serve sessions.
+ *
+ * Debug sessions replaying the same stimulus prefix of the same cached
+ * design produce byte-identical checkpoint snapshots. The store interns
+ * them by sim::snapshotFingerprint() (FNV-1a over the full snapshot
+ * content), so N sessions at the same checkpoint cycle share one
+ * SimSnapshot instead of N copies. Entries are held weakly: a snapshot
+ * lives exactly as long as some session's checkpoint ring references
+ * it, so closing sessions releases their memory.
+ *
+ * Dedup is observable via the serve.snapshot.* metrics
+ * (stored/stored_bytes/dedup_hits/dedup_bytes) that the scaling bench
+ * and CI smoke assert on.
+ */
+
+#ifndef HWDBG_SERVE_SNAPSTORE_HH
+#define HWDBG_SERVE_SNAPSTORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "debug/checkpoint.hh"
+
+namespace hwdbg::serve
+{
+
+class SnapshotStore : public debug::SnapshotInterner
+{
+  public:
+    std::shared_ptr<const sim::SimSnapshot>
+    intern(sim::SimSnapshot &&snap) override;
+
+    struct Stats
+    {
+        uint64_t stored = 0;
+        uint64_t storedBytes = 0;
+        uint64_t dedupHits = 0;
+        uint64_t dedupBytes = 0;
+    };
+    Stats stats() const;
+
+    /** Live (non-expired) entries; prunes dead ones as a side effect. */
+    size_t size();
+
+  private:
+    mutable std::mutex mu_;
+    std::map<uint64_t, std::weak_ptr<const sim::SimSnapshot>> byHash_;
+    Stats stats_;
+    uint64_t sincePrune_ = 0;
+};
+
+} // namespace hwdbg::serve
+
+#endif // HWDBG_SERVE_SNAPSTORE_HH

@@ -167,7 +167,11 @@ class CoverageCollector
         ++events_;
         int32_t id = stmt->coverId;
         if (id >= 0 && static_cast<uint32_t>(id) < stmtCount_)
+        {
             stmtWords_[id >> 6] |= uint64_t(1) << (id & 63);
+            if (!execCounts_.empty())
+                ++execCounts_[id];
+        }
     }
 
     /** Branch arm @p arm of statement @p stmt chosen. */
@@ -201,6 +205,23 @@ class CoverageCollector
 
     /** Mark hook executions so far (the bench overhead currency). */
     uint64_t events() const { return events_; }
+
+    /**
+     * Start per-statement execution counting (the signal virtual line
+     * breakpoints poll). Idempotent; until enabled the hot path pays
+     * one predictable branch per onStmt. Counts are monotonic across
+     * snapshot restores — consumers compare deltas, not absolutes.
+     */
+    void enableStmtCounts()
+    {
+        if (execCounts_.empty())
+            execCounts_.assign(stmtCount_, 0);
+    }
+    bool stmtCountsEnabled() const { return !execCounts_.empty(); }
+    uint64_t stmtExecCount(uint32_t id) const
+    {
+        return id < execCounts_.size() ? execCounts_[id] : 0;
+    }
 
     bool stmtHit(uint32_t id) const
     {
@@ -245,6 +266,8 @@ class CoverageCollector
     const CoverageItems *items_;
     uint32_t stmtCount_ = 0;
     std::vector<uint64_t> stmtWords_, armWords_, riseWords_, fallWords_;
+    /** Per-statement execution counters; empty until enableStmtCounts. */
+    std::vector<uint64_t> execCounts_;
 
     struct FsmRuntime
     {

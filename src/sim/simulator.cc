@@ -151,6 +151,92 @@ SimSnapshot::sizeBytes() const
     return total;
 }
 
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+fnvBytes(uint64_t &h, const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+}
+
+void
+fnvU64(uint64_t &h, uint64_t v)
+{
+    fnvBytes(h, &v, sizeof(v));
+}
+
+void
+fnvStr(uint64_t &h, const std::string &s)
+{
+    fnvU64(h, s.size());
+    fnvBytes(h, s.data(), s.size());
+}
+
+void
+fnvBits(uint64_t &h, const Bits &bits)
+{
+    fnvU64(h, bits.width());
+    fnvBytes(h, bits.rawWords(), bits.numWords() * sizeof(uint64_t));
+}
+
+} // namespace
+
+uint64_t
+snapshotFingerprint(const SimSnapshot &snap)
+{
+    uint64_t h = kFnvOffset;
+    fnvU64(h, snap.values.size());
+    for (const auto &value : snap.values)
+        fnvBits(h, value);
+    fnvU64(h, snap.arrays.size());
+    for (const auto &array : snap.arrays) {
+        fnvU64(h, array.size());
+        for (const auto &element : array)
+            fnvBits(h, element);
+    }
+    fnvU64(h, snap.cycle);
+    fnvU64(h, snap.evalSeq);
+    fnvU64(h, snap.finished ? 1 : 0);
+    fnvU64(h, snap.log.size());
+    for (const auto &line : snap.log) {
+        fnvU64(h, line.cycle);
+        fnvStr(h, line.text);
+    }
+    fnvU64(h, snap.prevClocks.size());
+    for (const auto &[name, level] : snap.prevClocks) {
+        fnvStr(h, name);
+        fnvU64(h, level ? 1 : 0);
+    }
+    fnvU64(h, snap.prevPrimClocks.size());
+    for (bool level : snap.prevPrimClocks)
+        fnvU64(h, level ? 1 : 0);
+    fnvU64(h, snap.primaryClockRaw ? 1 : 0);
+    fnvU64(h, snap.nba.size());
+    for (const auto &write : snap.nba) {
+        fnvU64(h, static_cast<uint64_t>(write.target.sig));
+        fnvU64(h, static_cast<uint64_t>(write.target.element));
+        fnvU64(h, write.target.dropped ? 1 : 0);
+        fnvU64(h, write.target.msb);
+        fnvU64(h, write.target.lsb);
+        fnvU64(h, write.target.whole ? 1 : 0);
+        fnvBits(h, write.value);
+    }
+    fnvU64(h, snap.primStates.size());
+    for (const auto &blob : snap.primStates) {
+        fnvU64(h, blob.size());
+        fnvBytes(h, blob.data(), blob.size());
+    }
+    return h;
+}
+
 void
 Simulator::setBackend(const BackendFactory &factory)
 {

@@ -115,6 +115,15 @@ struct SimSnapshot
     size_t sizeBytes() const;
 };
 
+/**
+ * FNV-1a 64 over a canonical byte serialization of every snapshot
+ * field. Two snapshots hash equal iff they describe the same simulator
+ * state, independent of backend, so the serve-layer snapshot store can
+ * content-address checkpoints and dedup sessions replaying the same
+ * stimulus prefix.
+ */
+uint64_t snapshotFingerprint(const SimSnapshot &snap);
+
 class Simulator
 {
   public:

@@ -3,8 +3,9 @@
 # and unknown names fail loudly. Keyed to the same table that drives
 # dispatch, so a new command cannot ship without help text.
 
-set(all_commands parse lint fsm deps signalcat losscheck resources
-    timing testbed fuzz profile obscheck debug cover version help)
+set(all_commands parse lint analyze fsm deps signalcat losscheck
+    resources timing testbed fuzz profile cover trace obscheck debug
+    serve version help)
 
 # hwdbg with no arguments prints the usage listing and exits 2.
 execute_process(COMMAND ${HWDBG}

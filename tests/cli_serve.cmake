@@ -1,0 +1,111 @@
+# Golden tests for `hwdbg serve`: a scripted multi-session channel
+# (debug + cover + trace + analyze on shared cached designs, virtual
+# line breakpoints, session routing, stats) is byte-identical across
+# two runs, passes `hwdbg obscheck`, shows the design cache and the
+# content-addressed snapshot dedup working, and surfaces failures as
+# protocol errors + non-zero exit.
+
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_serve_work)
+file(MAKE_DIRECTORY ${work})
+
+file(WRITE ${work}/session.txt "# multi-session serve golden
+open debug bug=D3
+open debug bug=D3
+open cover bug=D3 out=${work}/cover.json
+open trace bug=D3 signals=* budget=2048 out=${work}/trace.json
+open analyze bug=D3 out=${work}/analyze.json
+@1 break at optimus.v:87
+@1 run
+@1 info breakpoints
+@2 step 5
+@1 reverse-step 2
+@1 run
+sessions
+stats
+close 2
+quit
+")
+
+function(run_serve_session script outvar)
+    execute_process(COMMAND ${HWDBG} serve --script ${script}
+                    --metrics ${work}/metrics.json
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR
+                "serve --script failed (rc=${rc}): ${out}${err}")
+    endif()
+    set(${outvar} "${out}" PARENT_SCOPE)
+endfunction()
+
+run_serve_session(${work}/session.txt first)
+run_serve_session(${work}/session.txt second)
+if(NOT first STREQUAL second)
+    message(FATAL_ERROR
+            "serve transcripts differ between two runs of the same "
+            "script:\n--- a\n${first}\n--- b\n${second}")
+endif()
+
+# Shared-state content: the second debug attach and every one-shot
+# session hit the design cache; checkpoint snapshots dedupe; the
+# virtual line breakpoint resolves, fires, and re-fires after travel.
+foreach(pattern
+        "^{\"proto\":\"hwdbg-serve\",\"version\":1,"
+        "\"cache\":\"miss\""
+        "\"cache\":\"hit\""
+        "\"kind\":\"line\",\"spec\":\"optimus.v:87\""
+        "\"stop\":\"breakpoint\""
+        "\"hits\":1"
+        "\"builds\":1"
+        "\"dedup_hits\":"
+        "\"count\":5"
+        "\"cmd\":\"close\"")
+    if(NOT first MATCHES "${pattern}")
+        message(FATAL_ERROR
+                "serve transcript is missing '${pattern}':\n${first}")
+    endif()
+endforeach()
+if(first MATCHES "\"dedup_hits\":0,")
+    message(FATAL_ERROR
+            "two sessions on one design deduped nothing:\n${first}")
+endif()
+
+# The serve.snapshot.dedup_bytes metric recorded real sharing.
+file(READ ${work}/metrics.json metrics)
+if(NOT metrics MATCHES "serve.snapshot.dedup_bytes")
+    message(FATAL_ERROR
+            "metrics snapshot lost serve.snapshot.dedup_bytes:"
+            "\n${metrics}")
+endif()
+if(metrics MATCHES "\"serve.snapshot.dedup_bytes\": 0[,\n]")
+    message(FATAL_ERROR
+            "serve.snapshot.dedup_bytes stayed zero:\n${metrics}")
+endif()
+
+# The transcript and every session artifact pass the schema checks.
+file(WRITE ${work}/serve.jsonl "${first}")
+execute_process(COMMAND ${HWDBG} obscheck ${work}/serve.jsonl
+                ${work}/cover.json ${work}/trace.json
+                ${work}/analyze.json ${work}/metrics.json
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(serve transcript\\)")
+    message(FATAL_ERROR
+            "obscheck rejected the serve artifacts: ${out}")
+endif()
+
+# A failing command (unknown bug) surfaces as an error response and a
+# non-zero exit, without killing the channel.
+file(WRITE ${work}/bad.txt "open debug bug=NOPE\nsessions\nquit\n")
+execute_process(COMMAND ${HWDBG} serve --script ${work}/bad.txt
+                RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
+if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "a script with a failing open exited 0:\n${out}")
+endif()
+if(NOT out MATCHES "\"ok\":false,\"error\":" OR
+   NOT out MATCHES "\"cmd\":\"sessions\"")
+    message(FATAL_ERROR
+            "failed open did not keep the channel alive:\n${out}")
+endif()
+
+message(STATUS "cli_serve golden checks passed")

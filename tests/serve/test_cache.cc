@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The serve design cache's build-once guarantee: one builder run per
+ * key even under concurrent attaches, negatively-cached failures, and
+ * independent keys building independently.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "serve/cache.hh"
+
+using namespace hwdbg;
+using namespace hwdbg::serve;
+
+namespace
+{
+
+CachedDesign
+trivialDesign(const std::string &name)
+{
+    CachedDesign built;
+    built.name = name;
+    built.tape = std::make_shared<sim::StimulusTape>();
+    return built;
+}
+
+} // namespace
+
+TEST(DesignCacheTest, SecondAttachIsAHit)
+{
+    DesignCache cache;
+    int builds = 0;
+    auto builder = [&] {
+        ++builds;
+        return trivialDesign("d");
+    };
+
+    auto first = cache.getOrBuild("k", builder);
+    auto second = cache.getOrBuild("k", builder);
+    EXPECT_FALSE(first.hit);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(first.design.get(), second.design.get());
+    EXPECT_EQ(builds, 1);
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.builds, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(DesignCacheTest, ConcurrentAttachesBuildExactlyOnce)
+{
+    DesignCache cache;
+    std::atomic<int> builds{0};
+    auto builder = [&] {
+        ++builds;
+        // Widen the race window so waiters really block on the
+        // in-flight build instead of finding it already done.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        return trivialDesign("d");
+    };
+
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<const CachedDesign *> got(kThreads, nullptr);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            auto attach = cache.getOrBuild("k", builder);
+            got[i] = attach.design.get();
+            if (attach.hit)
+                ++hits;
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(hits.load(), kThreads - 1);
+    for (int i = 1; i < kThreads; ++i)
+        EXPECT_EQ(got[i], got[0]);
+    EXPECT_EQ(cache.stats().builds, 1u);
+}
+
+TEST(DesignCacheTest, FailuresAreNegativelyCached)
+{
+    DesignCache cache;
+    int builds = 0;
+    auto builder = [&]() -> CachedDesign {
+        ++builds;
+        fatal("no such design");
+    };
+
+    EXPECT_THROW(cache.getOrBuild("bad", builder), HdlError);
+    try {
+        cache.getOrBuild("bad", builder);
+        FAIL() << "second attach should replay the failure";
+    } catch (const HdlError &e) {
+        EXPECT_STREQ(e.what(), "no such design");
+    }
+    // The failing builder ran exactly once; the replay was cached.
+    EXPECT_EQ(builds, 1);
+}
+
+TEST(DesignCacheTest, DistinctKeysBuildIndependently)
+{
+    DesignCache cache;
+    int builds = 0;
+    auto builder = [&] {
+        ++builds;
+        return trivialDesign("d");
+    };
+
+    auto a = cache.getOrBuild("a", builder);
+    auto b = cache.getOrBuild("b", builder);
+    EXPECT_EQ(builds, 2);
+    EXPECT_NE(a.design.get(), b.design.get());
+    EXPECT_EQ(cache.size(), 2u);
+}
