@@ -75,7 +75,9 @@
 #include "obs/jsoncheck.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/monitor.hh"
 #include "serve/server.hh"
+#include "serve/stats.hh"
 #include "sim/profiler.hh"
 #include "synth/platform.hh"
 #include "trace/json.hh"
@@ -191,7 +193,9 @@ parseArgs(int argc, char **argv)
                 name == "checkpoint-capacity" || name == "out" ||
                 name == "cover-plateau" || name == "pass" ||
                 name == "race-chance" || name == "port" ||
-                name == "connect";
+                name == "connect" || name == "slow-us" ||
+                name == "reqlog" || name == "interval" ||
+                name == "iterations";
             std::string value;
             if (takes_value) {
                 if (i + 1 >= argc)
@@ -702,6 +706,15 @@ cmdServe(const Args &args)
     if (args.options.count("connect")) {
         uint16_t port = static_cast<uint16_t>(
             parseU64(args.opt("connect"), "--connect"));
+        if (args.flag("monitor")) {
+            serve::TopOptions topts;
+            topts.intervalMs =
+                parseU64(args.opt("interval", "1000"), "--interval");
+            topts.iterations =
+                parseU64(args.opt("iterations", "0"), "--iterations");
+            topts.clear = !args.flag("no-clear");
+            return serve::runTop(port, topts, std::cout);
+        }
         if (script.empty())
             return serve::runClient(port, std::cin, std::cout) ? 1 : 0;
         std::ifstream in(script);
@@ -717,6 +730,10 @@ cmdServe(const Args &args)
     sopts.checkpointCapacity = static_cast<size_t>(
         parseU64(args.opt("checkpoint-capacity", "64"),
                  "--checkpoint-capacity"));
+    sopts.telemetry = !args.flag("no-telemetry");
+    sopts.slowThresholdUs =
+        parseU64(args.opt("slow-us", "100000"), "--slow-us");
+    sopts.reqlogPath = args.opt("reqlog");
     serve::Server server(sopts);
 
     if (args.options.count("port")) {
@@ -1016,6 +1033,11 @@ cmdObscheck(const Args &args)
                    root->get("format")->text == "hwdbg-trace") {
             kind = "signal trace";
             verdict = trace::checkTraceDumpJson(text);
+        } else if (root->isObject() && root->get("format") &&
+                   root->get("format")->isString() &&
+                   root->get("format")->text == "hwdbg-serve-stats") {
+            kind = "serve stats";
+            verdict = serve::checkServeStatsJson(text);
         } else {
             verdict = obs::checkMetricsJson(text);
         }
@@ -1209,9 +1231,10 @@ commands()
          "validate trace/metrics/coverage/analyze/debug files",
          "Sniffs each file's kind (Chrome trace, metrics snapshot,\n"
          "hwdbg-cover coverage file, hwdbg-analyze report, hwdbg-trace\n"
-         "signal trace, hwdbg-debug machine transcript, or hwdbg-serve\n"
-         "server transcript) and checks it against the schema; exit 1\n"
-         "on the first violation per file.\n",
+         "signal trace, hwdbg-serve-stats document, hwdbg-debug\n"
+         "machine transcript, or hwdbg-serve server transcript) and\n"
+         "checks it against the schema; exit 1 on the first violation\n"
+         "per file.\n",
          cmdObscheck},
         {"debug", "debug <file|--bug ID> [--machine] [--script F]",
          "interactive time-travel debugger",
@@ -1256,14 +1279,36 @@ commands()
          "  open <kind> bug=ID|file=PATH [fixed] [backend=B]\n"
          "       [stimulus=FILE] [out=FILE] [vcd=FILE] [signals=G]\n"
          "       [trigger=E] [budget=N] [passes=A,B] [top=M]\n"
-         "  close <sid> | sessions | stats | help | quit | shutdown\n"
+         "  close <sid> | sessions | help | quit | shutdown\n"
+         "  stats [out=FILE]     hwdbg-serve-stats v1 document: global\n"
+         "                       request/error/slow counters, cache\n"
+         "                       hit/miss/build-time, snapshot dedup,\n"
+         "                       per-command latency p50/p95/p99, one\n"
+         "                       row per session (obscheck validates)\n"
+         "  health               liveness probe (status, sessions,\n"
+         "                       requests, errors, uptime)\n"
+         "  slow                 ring of requests at/over --slow-us\n"
          "session routing: JSON {\"session\":N,...} or a '@N' prefix\n"
          "sends a debugger command to session N (e.g. '@2 step 5');\n"
          "in client mode '@_' routes to the session this client most\n"
          "recently opened, so one script fits concurrent clients.\n"
+         "telemetry: every request is logged (id, session, command,\n"
+         "outcome, latency); with --trace each session gets a named\n"
+         "Perfetto track with attach/build/command/snapshot spans.\n"
          "options:\n"
          "  --checkpoint-interval N   per-session snapshot cadence (128)\n"
-         "  --checkpoint-capacity N   per-session ring size (64)\n",
+         "  --checkpoint-capacity N   per-session ring size (64)\n"
+         "  --slow-us N          slow-request threshold in µs (100000)\n"
+         "  --reqlog FILE        spill every request event as one JSON\n"
+         "                       line to FILE\n"
+         "  --no-telemetry       disable the per-request log entirely\n"
+         "client monitor (with --connect):\n"
+         "  --monitor            poll `stats` and render a refreshing\n"
+         "                       top-style table\n"
+         "  --interval MS        poll period (default 1000)\n"
+         "  --iterations N       frames to render (default 0 = run\n"
+         "                       until the server exits)\n"
+         "  --no-clear           do not clear the screen per frame\n",
          cmdServe},
         {"version", "version", "print build provenance",
          "Prints the hwdbg version, git hash, and build type — the\n"

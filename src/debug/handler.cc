@@ -747,7 +747,7 @@ ProtocolHandler::handle(const Request &req)
         res.ok = false;
         res.error = req.error;
     } else {
-        obs::ObsSpan span("debug.cmd:" + req.cmd);
+        obs::ObsSpan span("debug.cmd:" + req.cmd, track_);
         try {
             res = dispatch(engine_, req);
         } catch (const HdlError &err) {

@@ -15,6 +15,7 @@
 #ifndef HWDBG_DEBUG_HANDLER_HH
 #define HWDBG_DEBUG_HANDLER_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -62,8 +63,17 @@ class ProtocolHandler
 
     Engine &engine() { return engine_; }
 
+    /**
+     * Route this handler's command spans onto an obs virtual track
+     * (serve sets the owning session's track so a loaded server's
+     * --trace file reads as one timeline lane per session). 0 keeps
+     * spans on the calling thread's track.
+     */
+    void setTraceTrack(uint32_t track) { track_ = track; }
+
   private:
     Engine &engine_;
+    uint32_t track_ = 0;
 };
 
 } // namespace hwdbg::debug

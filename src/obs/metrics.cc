@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -81,6 +82,30 @@ Histogram::min() const
 {
     uint64_t v = min_.load(std::memory_order_relaxed);
     return v == UINT64_MAX ? 0 : v;
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    uint64_t total = count();
+    if (total == 0)
+        return 0;
+    q = std::min(std::max(q, 0.0), 1.0);
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += counts_[i].load(std::memory_order_relaxed);
+        if (seen >= rank) {
+            uint64_t bound = i < bounds_.size() ? bounds_[i] : max();
+            return std::min(std::max(bound, min()), max());
+        }
+    }
+    // Racing recorders can leave count() ahead of the bucket sums for
+    // a moment; the largest observed sample is the honest answer.
+    return max();
 }
 
 void

@@ -91,6 +91,15 @@ class Histogram
     /** Smallest/largest recorded sample; 0 when empty. */
     uint64_t min() const;
     uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+    /**
+     * Estimated sample value at quantile @p q in [0,1]: the upper
+     * bound of the first bucket whose cumulative count reaches
+     * ceil(q * count()), clamped into [min(), max()] so the estimate
+     * never leaves the observed range (the +inf bucket reports
+     * max()). An empty histogram returns 0 — the same convention as
+     * min(), so p50/p95/p99 of a never-sampled latency render 0.
+     */
+    uint64_t quantile(double q) const;
     void reset();
 
   private:

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Structured per-request event log for long-lived servers.
+ *
+ * Every completed request is recorded as one RequestEvent (request id,
+ * session id, command kind, outcome, latency) into a bounded in-memory
+ * ring. Requests at or above a configurable latency threshold are
+ * additionally kept in a separate slow-request ring so they survive
+ * churn in the main ring, and every event can be spilled as one JSON
+ * line to an optional stream for offline analysis.
+ *
+ * Per-command aggregates (count, errors, latency histogram with
+ * p50/p95/p99 export) accumulate alongside the rings, so a stats
+ * snapshot never has to replay events.
+ *
+ * Threading: record() and every accessor take one mutex; the expected
+ * call rate (one record per protocol command) is far below contention
+ * territory, and a single lock keeps ring + aggregates + spill
+ * mutually consistent. The disabled path is one relaxed atomic load.
+ * Latency numbers are wall-clock and therefore nondeterministic; all
+ * JSON fields derived from them carry a `_us` suffix so callers can
+ * scrub them uniformly when comparing documents.
+ */
+
+#ifndef HWDBG_OBS_REQLOG_HH
+#define HWDBG_OBS_REQLOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace hwdbg::obs
+{
+
+/** One completed request. */
+struct RequestEvent
+{
+    uint64_t id = 0;        ///< Request id, 1-based, process-unique.
+    uint64_t session = 0;   ///< Owning session; 0 = server-level.
+    std::string cmd;        ///< Command kind ("open", "run", ...).
+    bool ok = true;         ///< Protocol outcome.
+    uint64_t latencyUs = 0; ///< Wall-clock service time.
+};
+
+/** Value-type snapshot of one command's aggregate (safe to hand out). */
+struct CommandSnapshot
+{
+    std::string cmd;
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t p50Us = 0;
+    uint64_t p95Us = 0;
+    uint64_t p99Us = 0;
+    uint64_t maxUs = 0;
+};
+
+class RequestLog
+{
+  public:
+    /** @p capacity bounds the main ring, @p slowCapacity the slow ring. */
+    explicit RequestLog(size_t capacity = 1024, size_t slowCapacity = 64);
+
+    /** Recording gate; record() is one relaxed load + branch when off. */
+    void setEnabled(bool on);
+    bool enabled() const;
+
+    /** Requests with latency >= the threshold land in the slow ring
+     *  (so 0 marks everything slow — handy in tests). */
+    void setSlowThresholdUs(uint64_t us);
+    uint64_t slowThresholdUs() const;
+
+    /** JSON-lines spill target; null disables. Not owned; the caller
+     *  must clear it before the stream dies. */
+    void setSpill(std::ostream *out);
+
+    /** Next request id (first call returns 1). Ids are handed out even
+     *  while recording is disabled so they stay unique. */
+    uint64_t nextRequestId();
+
+    /** Record one completed request; no-op when disabled. */
+    void record(const RequestEvent &event);
+
+    uint64_t requests() const;
+    uint64_t errors() const;
+    uint64_t slowCount() const;
+
+    /** Oldest-first copies of the rings. */
+    std::vector<RequestEvent> recent() const;
+    std::vector<RequestEvent> slow() const;
+
+    /** Per-command aggregates, sorted by command name. */
+    std::vector<CommandSnapshot> commands() const;
+
+    /** Drop rings and aggregates (ids keep counting). */
+    void reset();
+
+    /** One-line JSON rendering used for the spill and `slow` output. */
+    static std::string eventJson(const RequestEvent &event);
+
+  private:
+    struct CommandStats
+    {
+        uint64_t count = 0;
+        uint64_t errors = 0;
+        Histogram latency;
+        CommandStats();
+    };
+
+    mutable std::mutex mu_;
+    size_t capacity_;
+    size_t slowCapacity_;
+    std::deque<RequestEvent> ring_;
+    std::deque<RequestEvent> slowRing_;
+    std::map<std::string, std::unique_ptr<CommandStats>> commands_;
+    uint64_t requests_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t slowCount_ = 0;
+    std::ostream *spill_ = nullptr;
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> slowThresholdUs_{100000};
+    std::atomic<uint64_t> nextId_{0};
+};
+
+} // namespace hwdbg::obs
+
+#endif // HWDBG_OBS_REQLOG_HH

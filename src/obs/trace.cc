@@ -72,6 +72,17 @@ myBuffer()
     return *buf;
 }
 
+/** Buffer backing track @p tid; null when the id was never issued. */
+TraceBuffer *
+bufferByTid(uint32_t tid)
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    if (tid == 0 || tid > r.buffers.size())
+        return nullptr;
+    return r.buffers[tid - 1].get();
+}
+
 double
 nowUs()
 {
@@ -204,13 +215,28 @@ setTraceThreadName(const std::string &name)
     buf.threadName = name;
 }
 
+uint32_t
+traceRegisterTrack(const std::string &name)
+{
+    TraceRegistry &r = traceRegistry();
+    std::lock_guard<std::mutex> guard(r.lock);
+    r.buffers.push_back(std::make_unique<TraceBuffer>());
+    TraceBuffer *buf = r.buffers.back().get();
+    buf->tid = static_cast<uint32_t>(r.buffers.size());
+    buf->threadName = name;
+    return buf->tid;
+}
+
 void
 ObsSpan::begin(const char *name)
 {
     if (!armed.load(std::memory_order_relaxed))
         return;
     uint64_t session = currentSession.load(std::memory_order_relaxed);
-    append(myBuffer(), TraceEvent{name, 'B', nowUs()}, session);
+    TraceBuffer *buf = track_ ? bufferByTid(track_) : &myBuffer();
+    if (!buf)
+        return;
+    append(*buf, TraceEvent{name, 'B', nowUs()}, session);
     session_ = session;
 }
 
@@ -224,6 +250,16 @@ ObsSpan::ObsSpan(const std::string &name)
     begin(name.c_str());
 }
 
+ObsSpan::ObsSpan(const char *name, uint32_t track) : track_(track)
+{
+    begin(name);
+}
+
+ObsSpan::ObsSpan(const std::string &name, uint32_t track) : track_(track)
+{
+    begin(name.c_str());
+}
+
 ObsSpan::~ObsSpan()
 {
     if (!session_)
@@ -233,7 +269,9 @@ ObsSpan::~ObsSpan()
     if (!armed.load(std::memory_order_relaxed) ||
         currentSession.load(std::memory_order_relaxed) != session_)
         return;
-    append(myBuffer(), TraceEvent{"", 'E', nowUs()}, session_);
+    TraceBuffer *buf = track_ ? bufferByTid(track_) : &myBuffer();
+    if (buf)
+        append(*buf, TraceEvent{"", 'E', nowUs()}, session_);
 }
 
 } // namespace hwdbg::obs

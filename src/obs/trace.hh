@@ -51,12 +51,24 @@ bool writeTrace(const std::string &path);
 /** Label the calling thread's track (e.g. "fuzz-worker-3"). */
 void setTraceThreadName(const std::string &name);
 
-/** RAII span on the calling thread's track. */
+/**
+ * Register a named virtual track that is not bound to any thread —
+ * e.g. one track per serve session, written by whichever connection
+ * thread handles a command. Returns the track id for the ObsSpan
+ * track overloads. Tracks live for the process, so callers that mint
+ * them per logical entity should only do so while traceEnabled().
+ */
+uint32_t traceRegisterTrack(const std::string &name);
+
+/** RAII span on the calling thread's track, or on a virtual track. */
 class ObsSpan
 {
   public:
     explicit ObsSpan(const char *name);
     explicit ObsSpan(const std::string &name);
+    /** Record onto virtual track @p track (0 = the calling thread). */
+    ObsSpan(const char *name, uint32_t track);
+    ObsSpan(const std::string &name, uint32_t track);
     ~ObsSpan();
 
     ObsSpan(const ObsSpan &) = delete;
@@ -66,6 +78,8 @@ class ObsSpan
     void begin(const char *name);
     /** Session generation this span recorded into; 0 = inactive. */
     uint64_t session_ = 0;
+    /** Virtual track the span records on; 0 = thread-local buffer. */
+    uint32_t track_ = 0;
 };
 
 } // namespace hwdbg::obs

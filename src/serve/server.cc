@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include "obs/jsoncheck.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "serve/stats.hh"
 #include "trace/json.hh"
 #include "trace/run.hh"
 #include "trace/vcd.hh"
@@ -184,7 +186,36 @@ parseOpenArgs(const std::vector<std::string> &args)
 
 } // namespace
 
-Server::Server(ServerOptions opts) : opts_(opts) {}
+Server::Server(ServerOptions opts)
+    : opts_(opts),
+      reqlog_(opts.reqlogCapacity, opts.slowCapacity),
+      start_(std::chrono::steady_clock::now())
+{
+    reqlog_.setEnabled(opts_.telemetry);
+    reqlog_.setSlowThresholdUs(opts_.slowThresholdUs);
+    if (!opts_.reqlogPath.empty()) {
+        spill_ = std::make_unique<std::ofstream>(opts_.reqlogPath,
+                                                 std::ios::binary);
+        if (!*spill_)
+            fatal("serve: cannot write request log '%s'",
+                  opts_.reqlogPath.c_str());
+        reqlog_.setSpill(spill_.get());
+    }
+}
+
+Server::~Server()
+{
+    reqlog_.setSpill(nullptr);
+}
+
+uint64_t
+Server::uptimeUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+}
 
 std::string
 Server::helloJson() const
@@ -290,6 +321,16 @@ Server::openSession(const std::vector<std::string> &args)
     auto sess = registry_.create(kind);
     sess->design = design;
     sess->cacheHit = attach.hit;
+    sess->designName = design->name;
+    sess->openedUs = uptimeUs();
+    // One named Perfetto track per session, minted lazily so an
+    // untraced long-lived server never grows the track registry.
+    if (obs::traceEnabled())
+        sess->track = obs::traceRegisterTrack(
+            "serve.session." + std::to_string(sess->id) + ":" + kind +
+            ":" + label);
+    obs::ObsSpan attachSpan("serve.attach:" + kind + ":" + label,
+                            sess->track);
 
     debug::JsonObject payload;
     payload.field("session", sess->id);
@@ -310,6 +351,7 @@ Server::openSession(const std::vector<std::string> &args)
                 hdl::cloneModule(*design->module), design->tape, eopts);
             sess->handler = std::make_unique<debug::ProtocolHandler>(
                 *sess->engine);
+            sess->handler->setTraceTrack(sess->track);
             payload.field("steps",
                           static_cast<uint64_t>(sess->engine->tapeSize()));
             payload.field(
@@ -391,6 +433,89 @@ Server::openSession(const std::vector<std::string> &args)
 }
 
 std::string
+Server::statsJson()
+{
+    auto cache = cache_.stats();
+    auto snaps = snapshots_.stats();
+
+    debug::JsonObject server;
+    server.field("sessions", static_cast<uint64_t>(registry_.count()));
+    server.field("opened", registry_.opened());
+    server.field("channels", channels_.load(std::memory_order_relaxed));
+    server.field("channels_active",
+                 channelsActive_.load(std::memory_order_relaxed));
+    server.field("requests", reqlog_.requests());
+    server.field("errors", reqlog_.errors());
+    server.field("slow", reqlog_.slowCount());
+    server.field("slow_threshold_us", reqlog_.slowThresholdUs());
+    server.field("dispatched", registry_.dispatched());
+    server.field("retired_cmds", registry_.retiredCmds());
+    server.field("uptime_us", uptimeUs());
+
+    debug::JsonObject cacheBody;
+    cacheBody.field("entries", static_cast<uint64_t>(cache_.size()));
+    cacheBody.field("hits", cache.hits);
+    cacheBody.field("misses", cache.misses);
+    cacheBody.field("builds", cache.builds);
+    cacheBody.field("build_us", cache.buildMicros);
+
+    debug::JsonObject snapBody;
+    snapBody.field("stored", snaps.stored);
+    snapBody.field("stored_bytes", snaps.storedBytes);
+    snapBody.field("dedup_hits", snaps.dedupHits);
+    snapBody.field("dedup_bytes", snaps.dedupBytes);
+    uint64_t interned = snaps.stored + snaps.dedupHits;
+    snapBody.field("dedup_ratio_pct",
+                   interned ? snaps.dedupHits * 100 / interned
+                            : uint64_t{0});
+
+    std::vector<std::string> cmdRows;
+    for (const auto &snap : reqlog_.commands()) {
+        debug::JsonObject row;
+        row.field("cmd", snap.cmd);
+        row.field("count", snap.count);
+        row.field("errors", snap.errors);
+        row.field("p50_us", snap.p50Us);
+        row.field("p95_us", snap.p95Us);
+        row.field("p99_us", snap.p99Us);
+        row.field("max_us", snap.maxUs);
+        cmdRows.push_back(row.str());
+    }
+
+    uint64_t now = uptimeUs();
+    std::vector<std::string> sessRows;
+    for (const auto &sess : registry_.list()) {
+        debug::JsonObject row;
+        row.field("session", sess->id);
+        row.field("kind", sess->kind);
+        row.field("design", sess->designName);
+        row.field("cache",
+                  std::string(sess->cacheHit ? "hit" : "miss"));
+        row.field("cmds", sess->cmds.load(std::memory_order_relaxed));
+        row.field("errors", sess->errs.load(std::memory_order_relaxed));
+        if (sess->engine) {
+            std::lock_guard<std::mutex> lock(sess->mu);
+            row.field("cycle", sess->engine->sim().cycle());
+        }
+        row.field("uptime_us",
+                  now > sess->openedUs ? now - sess->openedUs
+                                       : uint64_t{0});
+        sessRows.push_back(row.str());
+    }
+
+    debug::JsonObject doc;
+    doc.field("format", std::string("hwdbg-serve-stats"));
+    doc.field("version", static_cast<int64_t>(1));
+    doc.raw("build", obs::buildInfoJson());
+    doc.raw("server", server.str());
+    doc.raw("cache", cacheBody.str());
+    doc.raw("snapshots", snapBody.str());
+    doc.raw("commands", debug::jsonArray(cmdRows));
+    doc.raw("sessions", debug::jsonArray(sessRows));
+    return doc.str();
+}
+
+std::string
 Server::serverCommand(const debug::Request &req, bool *failed,
                       bool *quitChannel)
 {
@@ -439,30 +564,42 @@ Server::serverCommand(const debug::Request &req, bool *failed,
             body.raw("sessions", debug::jsonArray(rows));
             payload = body.str();
         } else if (req.cmd == "stats") {
-            auto cache = cache_.stats();
-            auto snaps = snapshots_.stats();
-            debug::JsonObject cacheBody;
-            cacheBody.field("entries",
-                            static_cast<uint64_t>(cache_.size()));
-            cacheBody.field("hits", cache.hits);
-            cacheBody.field("misses", cache.misses);
-            cacheBody.field("builds", cache.builds);
-            debug::JsonObject snapBody;
-            snapBody.field("stored", snaps.stored);
-            snapBody.field("stored_bytes", snaps.storedBytes);
-            snapBody.field("dedup_hits", snaps.dedupHits);
-            snapBody.field("dedup_bytes", snaps.dedupBytes);
+            std::string doc = statsJson();
+            // `stats out=FILE` also lands the document on disk (the CI
+            // smoke uploads it as an artifact).
+            for (const auto &arg : req.args) {
+                if (arg.rfind("out=", 0) == 0 && arg.size() > 4)
+                    writeFileOrFatal(arg.substr(4), doc + "\n");
+                else
+                    fatal("stats: unknown argument '%s' "
+                          "(expected out=FILE)",
+                          arg.c_str());
+            }
+            payload = doc;
+        } else if (req.cmd == "health") {
             debug::JsonObject body;
+            body.field("status", std::string("ok"));
             body.field("sessions",
                        static_cast<uint64_t>(registry_.count()));
-            body.field("opened", registry_.opened());
-            body.raw("cache", cacheBody.str());
-            body.raw("snapshots", snapBody.str());
+            body.field("channels_active",
+                       channelsActive_.load(std::memory_order_relaxed));
+            body.field("requests", reqlog_.requests());
+            body.field("errors", reqlog_.errors());
+            body.field("uptime_us", uptimeUs());
+            payload = body.str();
+        } else if (req.cmd == "slow") {
+            std::vector<std::string> rows;
+            for (const auto &event : reqlog_.slow())
+                rows.push_back(obs::RequestLog::eventJson(event));
+            debug::JsonObject body;
+            body.field("threshold_us", reqlog_.slowThresholdUs());
+            body.field("count", static_cast<uint64_t>(rows.size()));
+            body.raw("requests", debug::jsonArray(rows));
             payload = body.str();
         } else if (req.cmd == "help") {
             static const char *cmds[] = {
-                "open", "close", "sessions", "stats",
-                "help", "quit",  "shutdown",
+                "open", "close", "sessions", "stats", "health",
+                "slow", "help",  "quit",     "shutdown",
             };
             std::vector<std::string> rows;
             for (const char *cmd : cmds)
@@ -538,10 +675,13 @@ Server::routedCommand(const debug::Request &req, bool *failed)
     debug::ProtocolHandler::Result res = sess->handler->handle(req);
     if (!res.ok)
         *failed = true;
+    registry_.noteDispatch(*sess, res.ok);
     debug::JsonObject resp;
     resp.field("session", sess->id);
     sess->handler->responseFields(req, res, resp);
-    // A routed `quit` retires the session, not the channel.
+    // A routed `quit` retires the session, not the channel. Dispatch
+    // accounting above runs first so close() folds the quit into the
+    // retired totals.
     if (res.quit)
         registry_.close(sess->id);
     return resp.str();
@@ -551,32 +691,65 @@ std::string
 Server::handleLine(const debug::Request &req, bool *failed,
                    bool *quitChannel)
 {
+    // One RequestEvent per line, recorded after the response is
+    // rendered: a `stats` request therefore never sees itself, which
+    // keeps the first stats document of a scripted run deterministic.
+    obs::RequestEvent event;
+    event.id = reqlog_.nextRequestId();
+    event.session = req.hasSession ? static_cast<uint64_t>(req.session)
+                                   : uint64_t{0};
+    event.cmd = req.cmd.empty() ? std::string("?") : req.cmd;
+    auto t0 = std::chrono::steady_clock::now();
+
+    std::string resp;
+    bool lineFailed = false;
     if (!req.error.empty()) {
         HWDBG_STAT_INC("serve.cmds", 1);
         HWDBG_STAT_INC("serve.errors", 1);
-        *failed = true;
-        debug::JsonObject resp;
-        resp.field("session",
-                   req.hasSession ? req.session
-                                  : static_cast<int64_t>(0));
+        lineFailed = true;
+        debug::JsonObject err;
+        err.field("session",
+                  req.hasSession ? req.session
+                                 : static_cast<int64_t>(0));
         if (req.hasId)
-            resp.field("id", req.id);
+            err.field("id", req.id);
         else
-            resp.raw("id", "null");
-        resp.field("ok", false);
-        resp.field("error", req.error);
-        resp.field("cmd", req.cmd.empty() ? std::string("?") : req.cmd);
-        return resp.str();
+            err.raw("id", "null");
+        err.field("ok", false);
+        err.field("error", req.error);
+        err.field("cmd", event.cmd);
+        resp = err.str();
+    } else if (req.hasSession && req.session != 0) {
+        resp = routedCommand(req, &lineFailed);
+    } else {
+        resp = serverCommand(req, &lineFailed, quitChannel);
     }
-    if (req.hasSession && req.session != 0)
-        return routedCommand(req, failed);
-    return serverCommand(req, failed, quitChannel);
+
+    event.ok = !lineFailed;
+    event.latencyUs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    reqlog_.record(event);
+    HWDBG_STAT_HIST("serve.request_latency_us", event.latencyUs);
+    if (lineFailed)
+        *failed = true;
+    return resp;
 }
 
 int
 Server::runChannel(std::istream &in, std::ostream &out)
 {
     HWDBG_STAT_INC("serve.channels", 1);
+    channels_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t active =
+        channelsActive_.fetch_add(1, std::memory_order_relaxed) + 1;
+    HWDBG_STAT_MAX("serve.channels.peak", active);
+    struct ActiveGuard
+    {
+        std::atomic<uint64_t> &active;
+        ~ActiveGuard() { active.fetch_sub(1, std::memory_order_relaxed); }
+    } guard{channelsActive_};
     out << helloJson() << "\n" << std::flush;
     int failures = 0;
     std::string line;
@@ -642,7 +815,11 @@ Server::acceptLoop()
                 continue;
             break;
         }
-        workers.emplace_back([this, cfd, &failures] {
+        uint64_t conn = workers.size() + 1;
+        workers.emplace_back([this, cfd, conn, &failures] {
+            if (obs::traceEnabled())
+                obs::setTraceThreadName("serve.conn-" +
+                                        std::to_string(conn));
             FdBuf buf(cfd);
             std::istream in(&buf);
             std::ostream out(&buf);
@@ -769,6 +946,11 @@ checkServeTranscript(const std::string &text)
             if (m[1].first != "version" || !m[1].second->isNumber())
                 return csprintf("line %d: hello must carry a version",
                                 lineno);
+            if (m.size() < 3 || m[2].first != "build" ||
+                !m[2].second->isObject())
+                return csprintf(
+                    "line %d: hello must carry build provenance",
+                    lineno);
             sawHello = true;
             continue;
         }

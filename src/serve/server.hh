@@ -27,7 +27,19 @@
  *        [signals=G1,G2] [trigger=EXPR] [budget=BYTES] [passes=A,B]
  *     kind is debug | cover | trace | analyze. Debug sessions stay
  *     interactive; the one-shot kinds run at open and keep a summary.
- *   close <sid> / sessions / stats / help / quit / shutdown
+ *   close <sid> / sessions / help / quit / shutdown
+ *   stats [out=FILE]  full hwdbg-serve-stats v1 document (serve/stats.hh)
+ *   health            liveness probe: status/sessions/requests/errors
+ *   slow              slow-request ring (latency >= --slow-us)
+ *
+ * Telemetry: every request is logged into an obs::RequestLog (request
+ * id, session, command, outcome, latency) with per-command latency
+ * histograms behind `stats`; requests at or over the slow threshold
+ * land in the `slow` ring and everything can spill as JSON lines to
+ * ServerOptions::reqlogPath. A `stats` request records itself only
+ * after rendering its response, so the first stats document of a
+ * scripted run is deterministic. With --trace armed, every session
+ * gets its own named Perfetto track carrying attach + command spans.
  *
  * Sessions attach through the shared DesignCache (elaborate + record
  * once per (source, variant, backend)) and intern checkpoints in the
@@ -41,10 +53,13 @@
 #define HWDBG_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
+#include "obs/reqlog.hh"
 #include "serve/cache.hh"
 #include "serve/session.hh"
 #include "serve/snapstore.hh"
@@ -57,12 +72,22 @@ struct ServerOptions
     /** Checkpoint cadence handed to every debug session's engine. */
     uint64_t checkpointInterval = 128;
     size_t checkpointCapacity = 64;
+    /** Per-request telemetry (--no-telemetry turns it off). */
+    bool telemetry = true;
+    /** Requests at or over this land in the slow ring (--slow-us). */
+    uint64_t slowThresholdUs = 100000;
+    /** JSON-lines spill of every request event (--reqlog FILE). */
+    std::string reqlogPath;
+    /** Ring capacities for the request log. */
+    size_t reqlogCapacity = 1024;
+    size_t slowCapacity = 64;
 };
 
 class Server
 {
   public:
     explicit Server(ServerOptions opts = {});
+    ~Server(); // out-of-line: spill_ needs the complete ofstream
 
     /** The hwdbg-serve hello line (no trailing newline). */
     std::string helloJson() const;
@@ -98,6 +123,14 @@ class Server
     DesignCache &cache() { return cache_; }
     SnapshotStore &snapshots() { return snapshots_; }
     SessionRegistry &sessions() { return registry_; }
+    obs::RequestLog &requestLog() { return reqlog_; }
+
+    /**
+     * The hwdbg-serve-stats v1 document, one line (see serve/stats.hh
+     * for the schema). Also the payload of the `stats` command; tests
+     * call it directly so the fetch itself is not logged.
+     */
+    std::string statsJson();
 
   private:
     std::string handleLine(const debug::Request &req, bool *failed,
@@ -107,11 +140,19 @@ class Server
     std::string routedCommand(const debug::Request &req, bool *failed);
     /** Runs `open`; returns the payload JSON. Throws HdlError. */
     std::string openSession(const std::vector<std::string> &args);
+    /** Microseconds since the server was constructed. */
+    uint64_t uptimeUs() const;
 
     ServerOptions opts_;
     DesignCache cache_;
     SnapshotStore snapshots_;
     SessionRegistry registry_;
+    obs::RequestLog reqlog_;
+    /** Owns the --reqlog spill stream for the process lifetime. */
+    std::unique_ptr<std::ofstream> spill_;
+    std::chrono::steady_clock::time_point start_;
+    std::atomic<uint64_t> channels_{0};
+    std::atomic<uint64_t> channelsActive_{0};
     std::atomic<bool> stopping_{false};
     std::atomic<int> listenFd_{-1};
 };

@@ -34,6 +34,10 @@ SessionRegistry::close(int64_t id)
     auto it = sessions_.find(id);
     if (it == sessions_.end())
         return false;
+    // Fold the session's counters into the retired totals so
+    // dispatched() still reconciles after the session is gone.
+    retiredCmds_ += it->second->cmds.load(std::memory_order_relaxed);
+    retiredErrs_ += it->second->errs.load(std::memory_order_relaxed);
     sessions_.erase(it);
     HWDBG_STAT_INC("serve.sessions.closed", 1);
     return true;
@@ -62,6 +66,35 @@ SessionRegistry::opened() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return opened_;
+}
+
+void
+SessionRegistry::noteDispatch(Session &sess, bool ok)
+{
+    sess.cmds.fetch_add(1, std::memory_order_relaxed);
+    if (!ok)
+        sess.errs.fetch_add(1, std::memory_order_relaxed);
+    dispatched_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+SessionRegistry::dispatched() const
+{
+    return dispatched_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+SessionRegistry::retiredCmds() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return retiredCmds_;
+}
+
+uint64_t
+SessionRegistry::retiredErrs() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return retiredErrs_;
 }
 
 } // namespace hwdbg::serve

@@ -14,6 +14,7 @@
 #ifndef HWDBG_SERVE_SESSION_HH
 #define HWDBG_SERVE_SESSION_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -36,6 +37,8 @@ struct Session
     std::shared_ptr<const CachedDesign> design;
     /** Whether the attach was served from the design cache. */
     bool cacheHit = false;
+    /** Design description as rendered in the open payload. */
+    std::string designName;
 
     /** Live debugger state (kind == "debug" only). */
     std::unique_ptr<debug::Engine> engine;
@@ -43,6 +46,15 @@ struct Session
 
     /** One-shot result summary, pre-rendered JSON (non-debug kinds). */
     std::string summaryJson;
+
+    /** Perfetto virtual track id; 0 when tracing was off at open. */
+    uint32_t track = 0;
+    /** Server-uptime stamp at open (µs), for the stats uptime field. */
+    uint64_t openedUs = 0;
+    /** Routed commands dispatched into this session / failures among
+     *  them. Atomics: channels sharing the session race on these. */
+    std::atomic<uint64_t> cmds{0};
+    std::atomic<uint64_t> errs{0};
 
     /** Serializes routed commands; channels may share a session. */
     std::mutex mu;
@@ -61,11 +73,24 @@ class SessionRegistry
     /** Total sessions ever opened (monotonic). */
     uint64_t opened() const;
 
+    /** Count one routed dispatch into @p sess. The invariant
+     *  dispatched() == sum(live cmds) + retiredCmds() holds whenever
+     *  the server is quiescent; the stats concurrency test asserts it. */
+    void noteDispatch(Session &sess, bool ok);
+    /** Routed commands dispatched into any session, ever. */
+    uint64_t dispatched() const;
+    /** Command/error counts accumulated from closed sessions. */
+    uint64_t retiredCmds() const;
+    uint64_t retiredErrs() const;
+
   private:
     mutable std::mutex mu_;
     std::map<int64_t, std::shared_ptr<Session>> sessions_;
     int64_t nextId_ = 1;
     uint64_t opened_ = 0;
+    uint64_t retiredCmds_ = 0;
+    uint64_t retiredErrs_ = 0;
+    std::atomic<uint64_t> dispatched_{0};
 };
 
 } // namespace hwdbg::serve

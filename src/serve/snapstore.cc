@@ -1,6 +1,7 @@
 #include "serve/snapstore.hh"
 
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/simulator.hh"
 
 namespace hwdbg::serve
@@ -9,6 +10,7 @@ namespace hwdbg::serve
 std::shared_ptr<const sim::SimSnapshot>
 SnapshotStore::intern(sim::SimSnapshot &&snap)
 {
+    obs::ObsSpan span("serve.snapshot.intern");
     uint64_t hash = sim::snapshotFingerprint(snap);
     size_t bytes = snap.sizeBytes();
 

@@ -50,6 +50,18 @@ foreach(pattern "--bug ID" "--machine" "--script FILE" "--stimulus FILE"
     endif()
 endforeach()
 
+# Spot-check that serve documents its telemetry surface: the server
+# flags, the introspection commands, and the client-side monitor.
+execute_process(COMMAND ${HWDBG} help serve
+                OUTPUT_VARIABLE out ERROR_QUIET)
+foreach(pattern "--slow-us" "--reqlog" "--no-telemetry" "--monitor"
+        "--interval" "--iterations" "stats" "health" "slow")
+    if(NOT out MATCHES "${pattern}")
+        message(FATAL_ERROR
+                "help serve is missing '${pattern}':\n${out}")
+    endif()
+endforeach()
+
 # Unknown names fail, both as a command and as a help topic.
 execute_process(COMMAND ${HWDBG} no-such-command
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)

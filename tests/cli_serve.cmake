@@ -1,9 +1,11 @@
 # Golden tests for `hwdbg serve`: a scripted multi-session channel
 # (debug + cover + trace + analyze on shared cached designs, virtual
-# line breakpoints, session routing, stats) is byte-identical across
-# two runs, passes `hwdbg obscheck`, shows the design cache and the
-# content-addressed snapshot dedup working, and surfaces failures as
-# protocol errors + non-zero exit.
+# line breakpoints, session routing, stats/health/slow telemetry) is
+# byte-identical across two runs once wall-clock `_us` fields are
+# scrubbed, passes `hwdbg obscheck` (including the hwdbg-serve-stats
+# document), shows the design cache and the content-addressed snapshot
+# dedup working, spills a JSON-lines request log, and surfaces
+# failures as protocol errors + non-zero exit.
 
 set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_serve_work)
 file(MAKE_DIRECTORY ${work})
@@ -22,13 +24,19 @@ open analyze bug=D3 out=${work}/analyze.json
 @1 run
 sessions
 stats
+health
+slow
+stats out=${work}/stats.json
 close 2
 quit
 ")
 
 function(run_serve_session script outvar)
+    # The huge --slow-us keeps the stats "slow" counter at a
+    # deterministic 0 on any machine.
     execute_process(COMMAND ${HWDBG} serve --script ${script}
                     --metrics ${work}/metrics.json
+                    --slow-us 600000000 --reqlog ${work}/reqlog.jsonl
                     RESULT_VARIABLE rc OUTPUT_VARIABLE out
                     ERROR_VARIABLE err)
     if(NOT rc EQUAL 0)
@@ -40,10 +48,16 @@ endfunction()
 
 run_serve_session(${work}/session.txt first)
 run_serve_session(${work}/session.txt second)
-if(NOT first STREQUAL second)
+# Every wall-clock field carries a `_us` suffix by convention; zero
+# them and the rest of the transcript must match byte for byte.
+string(REGEX REPLACE "_us\":[0-9]+" "_us\":0" first_scrubbed "${first}")
+string(REGEX REPLACE "_us\":[0-9]+" "_us\":0" second_scrubbed
+       "${second}")
+if(NOT first_scrubbed STREQUAL second_scrubbed)
     message(FATAL_ERROR
             "serve transcripts differ between two runs of the same "
-            "script:\n--- a\n${first}\n--- b\n${second}")
+            "script:\n--- a\n${first_scrubbed}\n--- b\n"
+            "${second_scrubbed}")
 endif()
 
 # Shared-state content: the second debug attach and every one-shot
@@ -59,7 +73,12 @@ foreach(pattern
         "\"builds\":1"
         "\"dedup_hits\":"
         "\"count\":5"
-        "\"cmd\":\"close\"")
+        "\"cmd\":\"close\""
+        "\"format\":\"hwdbg-serve-stats\",\"version\":1"
+        "\"dedup_ratio_pct\":"
+        "\"p95_us\":"
+        "\"status\":\"ok\""
+        "\"threshold_us\":600000000,\"count\":0")
     if(NOT first MATCHES "${pattern}")
         message(FATAL_ERROR
                 "serve transcript is missing '${pattern}':\n${first}")
@@ -70,7 +89,8 @@ if(first MATCHES "\"dedup_hits\":0,")
             "two sessions on one design deduped nothing:\n${first}")
 endif()
 
-# The serve.snapshot.dedup_bytes metric recorded real sharing.
+# The serve.snapshot.dedup_bytes metric recorded real sharing, and the
+# per-request latency histogram populated.
 file(READ ${work}/metrics.json metrics)
 if(NOT metrics MATCHES "serve.snapshot.dedup_bytes")
     message(FATAL_ERROR
@@ -81,14 +101,29 @@ if(metrics MATCHES "\"serve.snapshot.dedup_bytes\": 0[,\n]")
     message(FATAL_ERROR
             "serve.snapshot.dedup_bytes stayed zero:\n${metrics}")
 endif()
+if(NOT metrics MATCHES "serve.request_latency_us")
+    message(FATAL_ERROR
+            "metrics snapshot lost serve.request_latency_us:"
+            "\n${metrics}")
+endif()
+
+# The --reqlog spill is one JSON line per request, with latency.
+file(READ ${work}/reqlog.jsonl reqlog)
+if(NOT reqlog MATCHES "\"cmd\": \"stats\"" OR
+   NOT reqlog MATCHES "\"latency_us\": ")
+    message(FATAL_ERROR
+            "request log spill is missing events:\n${reqlog}")
+endif()
 
 # The transcript and every session artifact pass the schema checks.
 file(WRITE ${work}/serve.jsonl "${first}")
 execute_process(COMMAND ${HWDBG} obscheck ${work}/serve.jsonl
                 ${work}/cover.json ${work}/trace.json
                 ${work}/analyze.json ${work}/metrics.json
+                ${work}/stats.json
                 RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_QUIET)
-if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(serve transcript\\)")
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok \\(serve transcript\\)" OR
+   NOT out MATCHES "ok \\(serve stats\\)")
     message(FATAL_ERROR
             "obscheck rejected the serve artifacts: ${out}")
 endif()

@@ -74,6 +74,60 @@ TEST_F(MetricsTest, HistogramBucketEdges)
     EXPECT_EQ(h.max(), 1000u);
 }
 
+TEST_F(MetricsTest, HistogramQuantileEstimatesFromBuckets)
+{
+    Histogram &h = histogram("t.hist.quantile", {10, 20, 30});
+    h.record(5);
+    h.record(15);
+    h.record(25);
+    h.record(35);
+    // rank = ceil(q * 4): q=0.25 -> rank 1 -> bucket <=10; q=0.5 ->
+    // rank 2 -> bucket <=20; estimates are the bucket upper bounds.
+    EXPECT_EQ(h.quantile(0.25), 10u);
+    EXPECT_EQ(h.quantile(0.50), 20u);
+    EXPECT_EQ(h.quantile(0.75), 30u);
+    // The +inf bucket and q=1.0 report the observed max, and every
+    // estimate clamps into [min(), max()].
+    EXPECT_EQ(h.quantile(0.99), 35u);
+    EXPECT_EQ(h.quantile(1.0), 35u);
+    EXPECT_GE(h.quantile(0.0), h.min());
+    EXPECT_LE(h.quantile(0.0), h.max());
+}
+
+TEST_F(MetricsTest, HistogramQuantileClampsToObservedRange)
+{
+    // One sample deep inside a wide bucket: the bucket upper bound
+    // (65536) would wildly overstate it, so the estimate clamps to
+    // the observed max.
+    Histogram &h = histogram("t.hist.clamp");
+    h.record(40000);
+    EXPECT_EQ(h.quantile(0.5), 40000u);
+    EXPECT_EQ(h.quantile(0.99), 40000u);
+    // And a sample below the first bound clamps up to min().
+    Histogram &low = histogram("t.hist.clamp.low", {1000});
+    low.record(7);
+    low.record(9);
+    EXPECT_EQ(low.quantile(0.5), 9u);
+}
+
+TEST_F(MetricsTest, EmptyHistogramQuantilesRenderZero)
+{
+    // The never-sampled convention: p50/p95/p99 of an empty histogram
+    // are 0, matching min()'s empty convention — a serve stats doc for
+    // a command that never ran shows all-zero latency, not garbage.
+    Histogram &h = histogram("t.hist.empty");
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.quantile(0.50), 0u);
+    EXPECT_EQ(h.quantile(0.95), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+    // ...and reset() restores the convention.
+    h.record(123);
+    EXPECT_NE(h.quantile(0.5), 0u);
+    h.reset();
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
 TEST_F(MetricsTest, HistogramDefaultBoundsArePowersOfTwo)
 {
     Histogram &h = histogram("t.hist.default");

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * RequestLog semantics: ring bounding, the slow-request ring and its
+ * >= threshold rule, per-command aggregates, the JSON-lines spill,
+ * id uniqueness across enable/disable, and the disabled no-op path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/jsoncheck.hh"
+#include "obs/reqlog.hh"
+
+namespace hwdbg::obs
+{
+namespace
+{
+
+RequestEvent
+makeEvent(uint64_t id, const std::string &cmd, bool ok,
+          uint64_t latencyUs, uint64_t session = 1)
+{
+    RequestEvent event;
+    event.id = id;
+    event.session = session;
+    event.cmd = cmd;
+    event.ok = ok;
+    event.latencyUs = latencyUs;
+    return event;
+}
+
+TEST(RequestLog, DisabledRecordIsANoop)
+{
+    RequestLog log;
+    EXPECT_FALSE(log.enabled());
+    log.record(makeEvent(1, "run", true, 5));
+    EXPECT_EQ(log.requests(), 0u);
+    EXPECT_TRUE(log.recent().empty());
+    EXPECT_TRUE(log.commands().empty());
+}
+
+TEST(RequestLog, RingIsBoundedOldestFirst)
+{
+    RequestLog log(/*capacity=*/3, /*slowCapacity=*/2);
+    log.setEnabled(true);
+    for (uint64_t i = 1; i <= 5; ++i)
+        log.record(makeEvent(i, "run", true, i));
+    // The ring keeps the newest 3, oldest first; totals keep counting.
+    std::vector<RequestEvent> recent = log.recent();
+    ASSERT_EQ(recent.size(), 3u);
+    EXPECT_EQ(recent[0].id, 3u);
+    EXPECT_EQ(recent[2].id, 5u);
+    EXPECT_EQ(log.requests(), 5u);
+}
+
+TEST(RequestLog, SlowRingUsesInclusiveThreshold)
+{
+    RequestLog log;
+    log.setEnabled(true);
+    log.setSlowThresholdUs(100);
+    log.record(makeEvent(1, "run", true, 99));
+    log.record(makeEvent(2, "run", true, 100)); // >= threshold: slow
+    log.record(makeEvent(3, "run", true, 250));
+    EXPECT_EQ(log.slowCount(), 2u);
+    std::vector<RequestEvent> slow = log.slow();
+    ASSERT_EQ(slow.size(), 2u);
+    EXPECT_EQ(slow[0].id, 2u);
+    EXPECT_EQ(slow[1].id, 3u);
+    // Threshold 0 marks everything slow (the test-determinism hook).
+    log.setSlowThresholdUs(0);
+    log.record(makeEvent(4, "step", true, 0));
+    EXPECT_EQ(log.slowCount(), 3u);
+}
+
+TEST(RequestLog, SlowRingIsBoundedIndependently)
+{
+    RequestLog log(/*capacity=*/100, /*slowCapacity=*/2);
+    log.setEnabled(true);
+    log.setSlowThresholdUs(0);
+    for (uint64_t i = 1; i <= 4; ++i)
+        log.record(makeEvent(i, "run", true, i));
+    EXPECT_EQ(log.slowCount(), 4u);
+    EXPECT_EQ(log.recent().size(), 4u);
+    std::vector<RequestEvent> slow = log.slow();
+    ASSERT_EQ(slow.size(), 2u);
+    EXPECT_EQ(slow[0].id, 3u);
+    EXPECT_EQ(slow[1].id, 4u);
+}
+
+TEST(RequestLog, PerCommandAggregatesSortedWithQuantiles)
+{
+    RequestLog log;
+    log.setEnabled(true);
+    log.record(makeEvent(1, "run", true, 10));
+    log.record(makeEvent(2, "run", false, 30));
+    log.record(makeEvent(3, "peek", true, 5));
+    std::vector<CommandSnapshot> cmds = log.commands();
+    ASSERT_EQ(cmds.size(), 2u);
+    // Sorted by command name.
+    EXPECT_EQ(cmds[0].cmd, "peek");
+    EXPECT_EQ(cmds[1].cmd, "run");
+    EXPECT_EQ(cmds[1].count, 2u);
+    EXPECT_EQ(cmds[1].errors, 1u);
+    EXPECT_EQ(cmds[1].maxUs, 30u);
+    // Quantiles are monotone and clamped into the observed range.
+    for (const auto &cmd : cmds) {
+        EXPECT_LE(cmd.p50Us, cmd.p95Us);
+        EXPECT_LE(cmd.p95Us, cmd.p99Us);
+        EXPECT_LE(cmd.p99Us, cmd.maxUs);
+    }
+    // Global error total matches.
+    EXPECT_EQ(log.errors(), 1u);
+}
+
+TEST(RequestLog, SpillWritesOneJsonLinePerEvent)
+{
+    RequestLog log;
+    log.setEnabled(true);
+    std::ostringstream spill;
+    log.setSpill(&spill);
+    log.record(makeEvent(7, "open", true, 42, /*session=*/0));
+    log.record(makeEvent(8, "run", false, 9, /*session=*/3));
+    log.setSpill(nullptr);
+    log.record(makeEvent(9, "run", true, 1)); // after detach: no line
+    std::istringstream lines(spill.str());
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        ++count;
+        std::string error;
+        JsonPtr root = parseJson(line, &error);
+        ASSERT_TRUE(root && root->isObject()) << error;
+        EXPECT_TRUE(root->get("request"));
+        EXPECT_TRUE(root->get("cmd"));
+        EXPECT_TRUE(root->get("latency_us"));
+    }
+    EXPECT_EQ(count, 2);
+    EXPECT_NE(spill.str().find("\"request\": 7"), std::string::npos);
+    EXPECT_NE(spill.str().find("\"ok\": false"), std::string::npos);
+}
+
+TEST(RequestLog, EventJsonRendersAllFields)
+{
+    std::string json =
+        RequestLog::eventJson(makeEvent(12, "goto-cycle", false, 345,
+                                        /*session=*/2));
+    EXPECT_EQ(json, "{\"request\": 12, \"session\": 2, "
+                    "\"cmd\": \"goto-cycle\", \"ok\": false, "
+                    "\"latency_us\": 345}");
+    std::string error;
+    EXPECT_TRUE(parseJson(json, &error)) << error;
+}
+
+TEST(RequestLog, IdsStayUniqueAcrossDisableAndReset)
+{
+    RequestLog log;
+    EXPECT_EQ(log.nextRequestId(), 1u);
+    EXPECT_EQ(log.nextRequestId(), 2u);
+    log.setEnabled(true);
+    log.record(makeEvent(log.nextRequestId(), "run", true, 1));
+    log.reset(); // drops rings/aggregates but not the id counter
+    EXPECT_EQ(log.requests(), 0u);
+    EXPECT_EQ(log.nextRequestId(), 4u);
+}
+
+TEST(RequestLog, ConcurrentRecordersAreLossless)
+{
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    RequestLog log(/*capacity=*/kThreads * kPerThread,
+                   /*slowCapacity=*/8);
+    log.setEnabled(true);
+    log.setSlowThresholdUs(1u << 30);
+    std::vector<std::thread> pool;
+    for (int t = 0; t < kThreads; ++t)
+        pool.emplace_back([&log] {
+            for (int i = 0; i < kPerThread; ++i)
+                log.record(makeEvent(log.nextRequestId(), "run",
+                                     i % 10 != 0, uint64_t(i)));
+        });
+    for (auto &thread : pool)
+        thread.join();
+    EXPECT_EQ(log.requests(), uint64_t(kThreads) * kPerThread);
+    EXPECT_EQ(log.errors(), uint64_t(kThreads) * (kPerThread / 10));
+    std::vector<RequestEvent> recent = log.recent();
+    ASSERT_EQ(recent.size(), size_t(kThreads) * kPerThread);
+    std::set<uint64_t> ids;
+    for (const auto &event : recent)
+        ids.insert(event.id);
+    EXPECT_EQ(ids.size(), recent.size()) << "request ids must be unique";
+    std::vector<CommandSnapshot> cmds = log.commands();
+    ASSERT_EQ(cmds.size(), 1u);
+    EXPECT_EQ(cmds[0].count, uint64_t(kThreads) * kPerThread);
+}
+
+} // namespace
+} // namespace hwdbg::obs

@@ -174,5 +174,63 @@ TEST(Trace, WorkerThreadsGetNamedTracks)
     EXPECT_EQ(tids.size(), size_t(kThreads));
 }
 
+TEST(Trace, VirtualTracksCarrySpansFromAnyThread)
+{
+    startTrace();
+    uint32_t track = traceRegisterTrack("session-42");
+    ASSERT_NE(track, 0u);
+    {
+        ObsSpan attach("attach", track);
+    }
+    // A different thread records onto the same virtual track; the
+    // span must land there, not on that thread's own track.
+    std::thread worker([track] {
+        ObsSpan span("cmd", track);
+    });
+    worker.join();
+    {
+        ObsSpan local("thread-local");
+    }
+    std::string json = stopTrace();
+    EXPECT_EQ(checkTraceJson(json), "");
+    EXPECT_NE(json.find("session-42"), std::string::npos);
+
+    double trackTid = -1, localTid = -1;
+    std::set<double> spanTids;
+    for (const auto &ev : events(json)) {
+        if (ev.ph == "B" && (ev.name == "attach" || ev.name == "cmd"))
+            spanTids.insert(ev.tid);
+        if (ev.ph == "B" && ev.name == "attach")
+            trackTid = ev.tid;
+        if (ev.ph == "B" && ev.name == "thread-local")
+            localTid = ev.tid;
+    }
+    // Both spans share the virtual track's tid, distinct from the
+    // calling thread's own track.
+    EXPECT_EQ(spanTids.size(), 1u);
+    EXPECT_NE(trackTid, localTid);
+}
+
+TEST(Trace, VirtualTrackSpansAreNoopsWhenDisabled)
+{
+    uint32_t track = traceRegisterTrack("idle-track");
+    {
+        ObsSpan span("never-recorded", track);
+    }
+    startTrace();
+    std::string json = stopTrace();
+    EXPECT_EQ(json.find("never-recorded"), std::string::npos);
+    // A bogus track id must not crash; the span just goes nowhere.
+    startTrace();
+    {
+        ObsSpan span("into-the-void", 1u << 30);
+        ObsSpan real("still-recorded");
+    }
+    json = stopTrace();
+    EXPECT_EQ(checkTraceJson(json), "");
+    EXPECT_EQ(json.find("into-the-void"), std::string::npos);
+    EXPECT_NE(json.find("still-recorded"), std::string::npos);
+}
+
 } // namespace
 } // namespace hwdbg::obs

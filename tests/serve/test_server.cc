@@ -24,6 +24,7 @@
 #include "common/logging.hh"
 #include "obs/jsoncheck.hh"
 #include "serve/server.hh"
+#include "serve/stats.hh"
 
 using namespace hwdbg;
 using namespace hwdbg::serve;
@@ -130,10 +131,15 @@ TEST(ServeServerTest, ScriptedChannelIsByteDeterministic)
                                "sessions\n"
                                "stats\n"
                                "quit\n";
-    Server serverA, serverB;
+    // A huge slow threshold keeps the stats "slow" counter at 0 no
+    // matter how slow the machine is; the remaining wall-clock fields
+    // all carry the `_us` suffix and scrub to zero.
+    ServerOptions opts;
+    opts.slowThresholdUs = 600000000;
+    Server serverA(opts), serverB(opts);
     std::string runA = runScript(serverA, script);
     std::string runB = runScript(serverB, script);
-    EXPECT_EQ(runA, runB);
+    EXPECT_EQ(scrubServeTimings(runA), scrubServeTimings(runB));
     EXPECT_EQ(checkServeTranscript(runA), "");
 }
 
